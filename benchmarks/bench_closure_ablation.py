@@ -1,0 +1,82 @@
+"""Ablation — three independent closure implementations race.
+
+DESIGN.md §5 calls out the closure's design choices; this bench
+compares:
+
+* the staged algorithm (`rdfs_closure`) — bulk transitive closures per
+  rule group, what production paths use;
+* the literal rule engine (`rdfs_closure_by_rules`) — Definition 2.7
+  verbatim, naive fixpoint over rule instantiations;
+* the Datalog rendition (`closure_via_datalog`) — semi-naive evaluation
+  of the compiled program.
+
+All three provably compute the same set (tested); the interesting
+output is the cost ordering and how it scales.
+"""
+
+import pytest
+
+from repro.datalog import closure_via_datalog
+from repro.generators import random_schema_with_instances, sc_chain_with_instance
+from repro.semantics import rdfs_closure, rdfs_closure_by_rules
+
+SPECS = [(4, 3, 6, 10), (8, 6, 12, 20)]
+CHAIN_SIZES = [8, 16]
+
+
+def ontology(spec):
+    classes, properties, instances, uses = spec
+    return random_schema_with_instances(
+        classes, properties, instances, uses, blank_probability=0.2, seed=13
+    )
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=["G0", "G1"])
+def test_staged_algorithm(benchmark, spec):
+    g = ontology(spec)
+    benchmark(rdfs_closure, g)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=["G0", "G1"])
+def test_rule_engine(benchmark, spec):
+    g = ontology(spec)
+    benchmark(rdfs_closure_by_rules, g)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=["G0", "G1"])
+def test_datalog_semi_naive(benchmark, spec):
+    g = ontology(spec)
+    benchmark(closure_via_datalog, g)
+
+
+@pytest.mark.parametrize("n", CHAIN_SIZES)
+def test_staged_on_chains(benchmark, n):
+    benchmark(rdfs_closure, sc_chain_with_instance(n))
+
+
+@pytest.mark.parametrize("n", CHAIN_SIZES)
+def test_datalog_on_chains(benchmark, n):
+    benchmark(closure_via_datalog, sc_chain_with_instance(n))
+
+
+def test_all_three_agree():
+    for spec in SPECS:
+        g = ontology(spec)
+        staged = rdfs_closure(g)
+        assert staged == rdfs_closure_by_rules(g)
+        assert staged == closure_via_datalog(g)
+
+
+def collect_series():
+    import time
+
+    rows = []
+    for spec in SPECS:
+        g = ontology(spec)
+        timings = []
+        for fn in (rdfs_closure, rdfs_closure_by_rules, closure_via_datalog):
+            t0 = time.perf_counter()
+            fn(g)
+            timings.append((time.perf_counter() - t0) * 1e3)
+        rows.append((len(g), *timings))
+    return rows

@@ -1,0 +1,112 @@
+"""E24 — Theorems 5.6/5.12: containment complexity, with/without premises.
+
+Series:
+
+* plain ⊑p/⊑m on chain queries of growing length (the NP regime of
+  Theorem 5.6 — these instances stay easy, showing typical-case cost);
+* the hard instances: containment encoding graph homomorphism
+  (Theorem 5.6's reduction), cost growing with the encoded graph;
+* premise containment: |Ω_q| and total time as the body grows
+  (the Π2P regime of Theorem 5.12).
+"""
+
+import pytest
+
+from repro.core import RDFGraph, Variable, triple
+from repro.generators import chain_query
+from repro.query import (
+    contained_entailment,
+    contained_standard,
+    head_body_query,
+    premise_elimination,
+)
+from repro.reductions import DiGraph, encode_graph, random_3sat
+
+CHAIN_SIZES = [2, 4, 8]
+HOM_SIZES = [4, 6, 8]
+PREMISE_BODY_SIZES = [2, 3, 4]
+
+
+@pytest.mark.parametrize("n", CHAIN_SIZES)
+def test_standard_containment_chains(benchmark, n):
+    q_long = chain_query(n)
+    q_short = chain_query(max(1, n // 2))
+    # Align heads: use the bodies as heads (select-all queries).
+    result = benchmark(contained_standard, q_long, q_long)
+    assert result is True
+
+
+@pytest.mark.parametrize("n", CHAIN_SIZES)
+def test_entailment_containment_chains(benchmark, n):
+    q = chain_query(n)
+    result = benchmark(contained_entailment, q, q)
+    assert result is True
+
+
+def _hom_containment_instance(n, seed=3):
+    """Theorem 5.6's reduction: q ⊑p q′ iff H homomorphic to H'."""
+    from repro.generators import random_digraph
+
+    h = random_digraph(n, int(1.5 * n), seed=seed)
+    h2 = random_digraph(n, 2 * n, seed=seed + 50)
+    head = [("a", "b", "c")]
+
+    def body_of(graph):
+        return [
+            (Variable(f"v{u}"), "e", Variable(f"v{v}")) for u, v in sorted(graph.edges)
+        ]
+
+    q = head_body_query(head=head, body=body_of(h2))
+    q2 = head_body_query(head=head, body=body_of(h))
+    return q, q2
+
+
+@pytest.mark.parametrize("n", HOM_SIZES)
+def test_containment_hom_encoding(benchmark, n):
+    q, q2 = _hom_containment_instance(n)
+    benchmark(contained_standard, q, q2)
+
+
+@pytest.mark.parametrize("k", PREMISE_BODY_SIZES)
+def test_premise_containment(benchmark, k):
+    body = [(f"?X{i}", "q", f"?X{i+1}") for i in range(k)] + [("?X0", "t", "s")]
+    premise = RDFGraph([triple("a", "t", "s"), triple("b", "t", "s")])
+    q = head_body_query(head=[("?X0", "sel", f"?X{k}")], body=body, premise=premise)
+    q_wide = head_body_query(
+        head=[("?X0", "sel", f"?X{k}")],
+        body=[(f"?X{i}", "q", f"?X{i+1}") for i in range(k)],
+    )
+    result = benchmark(contained_standard, q, q_wide)
+    assert result is True
+
+
+@pytest.mark.parametrize("k", PREMISE_BODY_SIZES)
+def test_premise_elimination_size(benchmark, k):
+    body = [(f"?X{i}", "q", f"?X{i+1}") for i in range(k)] + [("?X0", "t", "s")]
+    premise = RDFGraph([triple("a", "t", "s"), triple("b", "t", "s")])
+    q = head_body_query(head=[("?X0", "sel", f"?X{k}")], body=body, premise=premise)
+    members = benchmark(premise_elimination, q)
+    assert len(members) >= 1
+
+
+def collect_series():
+    import time
+
+    rows = []
+    for n in HOM_SIZES:
+        q, q2 = _hom_containment_instance(n)
+        t0 = time.perf_counter()
+        verdict = contained_standard(q, q2)
+        rows.append(("hom-encoding", n, verdict, (time.perf_counter() - t0) * 1e3))
+    for k in PREMISE_BODY_SIZES:
+        body = [(f"?X{i}", "q", f"?X{i+1}") for i in range(k)] + [("?X0", "t", "s")]
+        premise = RDFGraph([triple("a", "t", "s"), triple("b", "t", "s")])
+        q = head_body_query(
+            head=[("?X0", "sel", f"?X{k}")], body=body, premise=premise
+        )
+        t0 = time.perf_counter()
+        members = premise_elimination(q)
+        rows.append(
+            ("omega-size", k, len(members), (time.perf_counter() - t0) * 1e3)
+        )
+    return rows

@@ -1,0 +1,65 @@
+"""E11 — Theorem 3.12: leanness is coNP-complete; cores are DP-hard.
+
+Series:
+
+* leanness checks on the *hard* family — encoded odd cycles, which are
+  cores, so the procedure must refute every candidate retraction;
+* leanness on the easy family — blank stars, refuted immediately;
+* full core computation on redundancy-heavy graphs (the iterated
+  retraction of Theorem 3.10's proof).
+"""
+
+import pytest
+
+from repro.core import RDFGraph
+from repro.generators import blank_star, redundant_blank_fan
+from repro.minimize import core, is_lean
+from repro.reductions import DiGraph, encode_graph
+
+CYCLE_SIZES = [5, 7, 9]
+FAN_SIZES = [4, 8, 16]
+
+
+@pytest.mark.parametrize("n", CYCLE_SIZES)
+def test_leanness_hard_odd_cycles(benchmark, n):
+    graph = encode_graph(DiGraph.cycle(n))
+    result = benchmark(is_lean, graph)
+    assert result is True  # odd cycles are graph cores
+
+
+@pytest.mark.parametrize("n", FAN_SIZES)
+def test_leanness_easy_blank_stars(benchmark, n):
+    graph = blank_star(n)
+    result = benchmark(is_lean, graph)
+    assert result is False
+
+
+@pytest.mark.parametrize("n", FAN_SIZES)
+def test_core_computation_fans(benchmark, n):
+    graph = redundant_blank_fan(n)
+    result = benchmark(core, graph)
+    assert len(result) == 1
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_core_computation_even_cycles(benchmark, n):
+    graph = encode_graph(DiGraph.cycle(n))
+    result = benchmark(core, graph)
+    assert len(result) == 2  # collapses to K2
+
+
+def collect_series():
+    import time
+
+    rows = []
+    for n in CYCLE_SIZES:
+        graph = encode_graph(DiGraph.cycle(n))
+        t0 = time.perf_counter()
+        is_lean(graph)
+        rows.append(("lean?/odd-cycle", n, (time.perf_counter() - t0) * 1e3))
+    for n in FAN_SIZES:
+        graph = redundant_blank_fan(n)
+        t0 = time.perf_counter()
+        core(graph)
+        rows.append(("core/fan", n, (time.perf_counter() - t0) * 1e3))
+    return rows

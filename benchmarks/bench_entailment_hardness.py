@@ -1,0 +1,72 @@
+"""E4 — Theorem 2.9: simple entailment is NP-complete.
+
+Two series over the Graph-Homomorphism encoding:
+
+* **easy family** — ground targets / blank-acyclic patterns, where the
+  solver's pruning keeps the search polynomial in practice;
+* **hard family** — 3-coloring instances near the constraint-density
+  threshold (random graphs into K3), where backtracking must explore.
+
+The paper's claim is the *worst-case* separation: the hard family's
+cost grows much faster with instance size than the easy family's.
+"""
+
+import pytest
+
+from repro.generators import blank_chain, random_digraph, random_simple_rdf_graph
+from repro.reductions import DiGraph, encode_graph
+from repro.semantics import simple_entails
+
+EASY_SIZES = [10, 20, 40]
+HARD_SIZES = [6, 8, 10]
+
+
+@pytest.mark.parametrize("n", EASY_SIZES)
+def test_easy_blank_chain_entailment(benchmark, n):
+    target = random_simple_rdf_graph(4 * n, n, num_predicates=1, seed=11)
+    pattern = blank_chain(n // 2)
+    benchmark(simple_entails, target, pattern)
+
+
+@pytest.mark.parametrize("n", HARD_SIZES)
+def test_hard_coloring_entailment(benchmark, n):
+    # Random graph at edge density ~2.3n, near the 3-colorability
+    # threshold: homomorphism search into K3 must backtrack.
+    instance = random_digraph(n, int(2.3 * n), seed=5).symmetrized()
+    k3 = encode_graph(DiGraph.complete(3))
+    pattern = encode_graph(instance)
+    benchmark(simple_entails, k3, pattern)
+
+
+@pytest.mark.parametrize("n", HARD_SIZES)
+def test_hard_unsatisfiable_coloring(benchmark, n):
+    # K4 plus a random graph is never 3-colorable: the solver must
+    # exhaust the space (the truly exponential branch).
+    base = random_digraph(n, 2 * n, seed=9)
+    instance = DiGraph(edges=set(base.edges) | set(DiGraph.complete(4).edges))
+    instance = instance.symmetrized()
+    k3 = encode_graph(DiGraph.complete(3))
+    pattern = encode_graph(instance)
+    result = benchmark(simple_entails, k3, pattern)
+    assert result is False
+
+
+def collect_series():
+    import time
+
+    rows = []
+    for n in EASY_SIZES:
+        target = random_simple_rdf_graph(4 * n, n, num_predicates=1, seed=11)
+        pattern = blank_chain(n // 2)
+        t0 = time.perf_counter()
+        simple_entails(target, pattern)
+        rows.append(("easy/blank-chain", n, (time.perf_counter() - t0) * 1e3))
+    k3 = encode_graph(DiGraph.complete(3))
+    for n in HARD_SIZES:
+        base = random_digraph(n, 2 * n, seed=9)
+        instance = DiGraph(edges=set(base.edges) | set(DiGraph.complete(4).edges))
+        pattern = encode_graph(instance.symmetrized())
+        t0 = time.perf_counter()
+        simple_entails(k3, pattern)
+        rows.append(("hard/non-3-colorable", n, (time.perf_counter() - t0) * 1e3))
+    return rows

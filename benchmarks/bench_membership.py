@@ -1,0 +1,86 @@
+"""E8b — Theorem 3.6.4: closure membership without materialization.
+
+Series: time to answer ``t ∈ cl(G)`` through the :class:`ClosureOracle`
+(near-linear preprocessing + reachability) versus materializing the
+quadratic closure and probing it.  The oracle's advantage must widen
+with |G|.
+"""
+
+import pytest
+
+from repro.core import Triple, URI
+from repro.core.vocabulary import SP, TYPE
+from repro.generators import sc_chain_with_instance, sp_chain
+from repro.semantics import ClosureOracle, rdfs_closure
+
+SIZES = [16, 32, 64]
+
+
+def probe_triples(n):
+    """A bundle of membership queries spanning the chain."""
+    return [
+        Triple(URI("p0"), SP, URI(f"p{n}")),       # positive, long path
+        Triple(URI(f"p{n // 2}"), SP, URI(f"p{n}")),  # positive, half path
+        Triple(URI(f"p{n}"), SP, URI("p0")),        # negative (wrong way)
+        Triple(URI("p0"), SP, URI("p0")),           # positive, reflexive
+    ]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_membership_via_oracle(benchmark, n):
+    graph = sp_chain(n)
+    probes = probe_triples(n)
+
+    def run():
+        oracle = ClosureOracle(graph)
+        return [oracle.contains(t) for t in probes]
+
+    result = benchmark(run)
+    assert result == [True, True, False, True]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_membership_via_materialization(benchmark, n):
+    graph = sp_chain(n)
+    probes = probe_triples(n)
+
+    def run():
+        closed = rdfs_closure(graph)
+        return [t in closed for t in probes]
+
+    result = benchmark(run)
+    assert result == [True, True, False, True]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_amortized_oracle_queries(benchmark, n):
+    """Per-query cost once the oracle is built (the O(|G| log |G|) regime)."""
+    graph = sc_chain_with_instance(n)
+    oracle = ClosureOracle(graph)
+    probes = [
+        Triple(URI("item"), TYPE, URI(f"c{n}")),
+        Triple(URI("item"), TYPE, URI("zzz")),
+    ]
+    result = benchmark(lambda: [oracle.contains(t) for t in probes])
+    assert result == [True, False]
+
+
+def collect_series():
+    import time
+
+    rows = []
+    for n in SIZES:
+        graph = sp_chain(n)
+        probes = probe_triples(n)
+        t0 = time.perf_counter()
+        oracle = ClosureOracle(graph)
+        for t in probes:
+            oracle.contains(t)
+        oracle_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        closed = rdfs_closure(graph)
+        for t in probes:
+            _ = t in closed
+        materialize_time = time.perf_counter() - t0
+        rows.append((n, oracle_time * 1e3, materialize_time * 1e3))
+    return rows

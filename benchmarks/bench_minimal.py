@@ -1,0 +1,52 @@
+"""E13 — Theorem 3.16: minimal representations for the restricted class.
+
+Series: greedy redundancy elimination on redundancy-saturated
+hierarchies (transitively closed sc/sp chains with lifted instance
+data), versus the transitive-reduction primitive on the raw edge
+relations — the two pillars of the theorem's uniqueness argument.
+"""
+
+import pytest
+
+from repro.core import RDFGraph, Triple, URI
+from repro.core.vocabulary import SC, TYPE
+from repro.minimize import minimal_representation, transitive_reduction
+from repro.semantics import rdfs_closure
+
+SIZES = [4, 6, 8]
+
+
+def saturated_hierarchy(n):
+    """The closure of an sc-chain with one instance: maximally redundant."""
+    base = RDFGraph(
+        [Triple(URI(f"c{i}"), SC, URI(f"c{i+1}")) for i in range(n)]
+        + [Triple(URI("item"), TYPE, URI("c0"))]
+    )
+    return rdfs_closure(base)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_minimal_representation(benchmark, n):
+    graph = saturated_hierarchy(n)
+    result = benchmark(minimal_representation, graph)
+    # The unique minimum: the chain plus one type triple.
+    assert len(result) == n + 1
+
+
+@pytest.mark.parametrize("n", [16, 32, 64])
+def test_transitive_reduction_primitive(benchmark, n):
+    edges = {(i, j) for i in range(n) for j in range(i + 1, n)}
+    result = benchmark(transitive_reduction, edges)
+    assert len(result) == n - 1
+
+
+def collect_series():
+    import time
+
+    rows = []
+    for n in SIZES:
+        graph = saturated_hierarchy(n)
+        t0 = time.perf_counter()
+        result = minimal_representation(graph)
+        rows.append((len(graph), len(result), (time.perf_counter() - t0) * 1e3))
+    return rows

@@ -1,0 +1,64 @@
+"""E15/E16 — Theorems 3.19/3.20: computing and verifying normal forms.
+
+Series: ``nf(G) = core(cl(G))`` on ontology workloads (the production
+path every query answer takes, via ``nf(D + P)``), the cost split
+between closure and core, and the DP verification procedure
+``is_normal_form_of``.
+"""
+
+import pytest
+
+from repro.generators import random_schema_with_instances, sc_chain_with_instance
+from repro.minimize import core, is_normal_form_of, normal_form
+from repro.semantics import closure
+
+SPECS = [(3, 2, 4, 6), (5, 4, 8, 12), (8, 6, 12, 18)]
+
+
+def ontology(spec):
+    classes, properties, instances, uses = spec
+    return random_schema_with_instances(
+        classes, properties, instances, uses, blank_probability=0.3, seed=17
+    )
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=[f"O{i}" for i in range(len(SPECS))])
+def test_normal_form(benchmark, spec):
+    g = ontology(spec)
+    benchmark(normal_form, g)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=[f"O{i}" for i in range(len(SPECS))])
+def test_core_of_closure_split(benchmark, spec):
+    g = ontology(spec)
+    closed = closure(g)
+    benchmark(core, closed)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_normal_form_chains(benchmark, n):
+    benchmark(normal_form, sc_chain_with_instance(n))
+
+
+@pytest.mark.parametrize("spec", SPECS[:2], ids=["O0", "O1"])
+def test_nf_verification(benchmark, spec):
+    g = ontology(spec)
+    candidate = normal_form(g)
+    result = benchmark(is_normal_form_of, candidate, g)
+    assert result is True
+
+
+def collect_series():
+    import time
+
+    rows = []
+    for spec in SPECS:
+        g = ontology(spec)
+        t0 = time.perf_counter()
+        closed = closure(g)
+        t_cl = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        nf = core(closed)
+        t_core = (time.perf_counter() - t0) * 1e3
+        rows.append((len(g), len(closed), len(nf), t_cl, t_core))
+    return rows

@@ -1,0 +1,74 @@
+"""The pD*-lite OWL extension: closure cost on top of RDFS.
+
+Series: joint RDFS+OWL closure vs plain RDFS closure on data with
+inverse/symmetric/transitive property use and sameAs chains — the
+extension keeps the polynomial profile (ter Horst [26]); sameAs
+substitution is its quadratic-ish hot spot.
+"""
+
+import pytest
+
+from repro.core import RDFGraph, Triple, URI
+from repro.core.vocabulary import TYPE
+from repro.semantics import owl_closure, rdfs_closure
+from repro.semantics.owl_horst import INVERSE_OF, SAME_AS, SYMMETRIC, TRANSITIVE
+
+SIZES = [8, 16, 32]
+
+
+def property_workload(n):
+    triples = [
+        Triple(URI("link"), TYPE, TRANSITIVE),
+        Triple(URI("touch"), TYPE, SYMMETRIC),
+        Triple(URI("fwd"), INVERSE_OF, URI("bwd")),
+    ]
+    for i in range(n):
+        triples.append(Triple(URI(f"n{i}"), URI("link"), URI(f"n{i+1}")))
+        triples.append(Triple(URI(f"n{i}"), URI("touch"), URI(f"m{i}")))
+        triples.append(Triple(URI(f"n{i}"), URI("fwd"), URI(f"k{i}")))
+    return RDFGraph(triples)
+
+
+def same_as_chain(n):
+    triples = [
+        Triple(URI(f"alias{i}"), SAME_AS, URI(f"alias{i+1}")) for i in range(n)
+    ]
+    triples += [Triple(URI("alias0"), URI("p"), URI(f"v{j}")) for j in range(4)]
+    return RDFGraph(triples)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_owl_closure_properties(benchmark, n):
+    g = property_workload(n)
+    result = benchmark(owl_closure, g)
+    assert Triple(URI("n0"), URI("link"), URI(f"n{n}")) in result
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_rdfs_closure_baseline(benchmark, n):
+    g = property_workload(n)
+    benchmark(rdfs_closure, g)
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_same_as_chain_substitution(benchmark, n):
+    g = same_as_chain(n)
+    result = benchmark(owl_closure, g)
+    # Every alias carries every fact.
+    assert Triple(URI(f"alias{n}"), URI("p"), URI("v0")) in result
+
+
+def collect_series():
+    import time
+
+    rows = []
+    for n in SIZES:
+        g = property_workload(n)
+        t0 = time.perf_counter()
+        owl = owl_closure(g)
+        t_owl = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        rdfs = rdfs_closure(g)
+        t_rdfs = (time.perf_counter() - t0) * 1e3
+        rows.append((len(g), len(rdfs), len(owl), t_rdfs, t_owl))
+    return rows

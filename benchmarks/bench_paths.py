@@ -1,0 +1,68 @@
+"""Path-query evaluation (the future-work extension, module
+``repro.navigation``).
+
+Series: single-source reachability vs all-pairs materialization on
+growing chain/random graphs, with and without RDFS closure semantics.
+"""
+
+import pytest
+
+from repro.core import URI
+from repro.generators import random_simple_rdf_graph, sc_chain_with_instance
+from repro.navigation import evaluate_path, parse_path, reachable_from
+
+SIZES = [50, 100, 200]
+
+
+def data(n, seed=37):
+    return random_simple_rdf_graph(n, n // 4, num_predicates=2, seed=seed)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_single_source_star(benchmark, n):
+    g = data(n)
+    start = sorted(g.subjects(), key=str)[0]
+    expr = parse_path("p0*")
+    benchmark(reachable_from, expr, g, start)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_all_pairs_plus(benchmark, n):
+    g = data(n)
+    expr = parse_path("p0+")
+    benchmark(evaluate_path, expr, g)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_alternation_sequence(benchmark, n):
+    g = data(n)
+    expr = parse_path("(p0|p1)/p0")
+    benchmark(evaluate_path, expr, g)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_rdfs_navigation(benchmark, n):
+    g = sc_chain_with_instance(n)
+    expr = parse_path("type/sc*")
+    result = benchmark(evaluate_path, expr, g, rdfs=True)
+    start = URI("item")
+    classes = {y for x, y in result if x == start}
+    assert len(classes) == n + 1  # every class in the chain
+
+
+def collect_series():
+    import time
+
+    rows = []
+    for n in SIZES:
+        g = data(n)
+        start = sorted(g.subjects(), key=str)[0]
+        expr = parse_path("p0+")
+        t0 = time.perf_counter()
+        reachable_from(expr, g, start)
+        t_single = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        pairs = evaluate_path(expr, g)
+        t_all = (time.perf_counter() - t0) * 1e3
+        rows.append((n, len(pairs), t_single, t_all))
+    return rows

@@ -1,0 +1,89 @@
+"""E25 — Theorem 6.1: the headline complexity split.
+
+Two series over query-answer emptiness:
+
+* **data complexity** (fixed query, growing database): the paper proves
+  this polynomial — measured time should grow smoothly (roughly
+  linearly for our star/chain queries);
+* **query complexity** (fixed database, growing query): NP-complete via
+  the 3SAT encoding — measured time on *unsatisfiable* formulas (where
+  the solver cannot get lucky) should blow up with the variable count.
+
+This is the experiment whose "shape" result — who wins, where the
+regimes separate — the reproduction must preserve.
+"""
+
+import pytest
+
+from repro.generators import chain_query, random_ground_graph
+from repro.query import pre_answers
+from repro.reductions import (
+    CNF,
+    Clause,
+    cnf_to_rdf_query,
+    random_3sat,
+    sat_database_rdf,
+)
+
+DATA_SIZES = [50, 100, 200, 400]
+QUERY_VARIABLES = [4, 6, 8]
+
+
+def pigeonhole_like_unsat(n):
+    """An unsatisfiable 3-CNF: force x0 true and false through chains."""
+    clauses = [Clause((("x0", True), ("x0", True), ("x0", True)))]
+    clauses.append(Clause((("x0", False), ("x0", False), ("x0", False))))
+    # Padding clauses over the other variables to grow the query.
+    for i in range(1, n - 1):
+        clauses.append(
+            Clause(((f"x{i}", True), (f"x{i+1}", True), ("x0", True)))
+        )
+    return CNF(clauses=tuple(clauses))
+
+
+@pytest.mark.parametrize("size", DATA_SIZES)
+def test_data_complexity_fixed_query(benchmark, size):
+    query = chain_query(3, predicate="p0")
+    database = random_ground_graph(size, size // 3, num_predicates=1, seed=29)
+    benchmark(pre_answers, query, database)
+
+
+@pytest.mark.parametrize("n", QUERY_VARIABLES)
+def test_query_complexity_sat_instances(benchmark, n):
+    database = sat_database_rdf()
+    formula = random_3sat(n, int(4.3 * n), seed=31)
+    query = cnf_to_rdf_query(formula)
+    benchmark(pre_answers, query, database)
+
+
+@pytest.mark.parametrize("n", QUERY_VARIABLES)
+def test_query_complexity_unsat_instances(benchmark, n):
+    database = sat_database_rdf()
+    formula = pigeonhole_like_unsat(n)
+    query = cnf_to_rdf_query(formula)
+    result = benchmark(pre_answers, query, database)
+    assert result == []
+
+
+def collect_series():
+    import time
+
+    rows = []
+    query = chain_query(3, predicate="p0")
+    for size in DATA_SIZES:
+        database = random_ground_graph(size, size // 3, num_predicates=1, seed=29)
+        t0 = time.perf_counter()
+        found = pre_answers(query, database)
+        rows.append(
+            ("data-complexity", size, len(found), (time.perf_counter() - t0) * 1e3)
+        )
+    database = sat_database_rdf()
+    for n in QUERY_VARIABLES:
+        formula = random_3sat(n, int(4.3 * n), seed=31)
+        q = cnf_to_rdf_query(formula)
+        t0 = time.perf_counter()
+        found = pre_answers(q, database)
+        rows.append(
+            ("query-complexity", n, len(found), (time.perf_counter() - t0) * 1e3)
+        )
+    return rows

@@ -1,0 +1,59 @@
+"""The ρdf (reflexivity-free) fragment: closure-size and time savings.
+
+Series: full ``RDFS-cl`` vs the minimal system's ``ρ-cl`` on growing
+ontologies — the padding the full system adds is Θ(|voc|), which for
+schema-light data dominates the closure.
+"""
+
+import pytest
+
+from repro.generators import random_schema_with_instances, sc_chain_with_instance
+from repro.semantics import rdfs_closure, reflexivity_padding, rho_closure
+
+SPECS = [(4, 3, 8, 12), (8, 6, 16, 24), (12, 9, 24, 36)]
+
+
+def ontology(spec):
+    classes, properties, instances, uses = spec
+    return random_schema_with_instances(
+        classes, properties, instances, uses, blank_probability=0.2, seed=19
+    )
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=[f"O{i}" for i in range(len(SPECS))])
+def test_full_closure(benchmark, spec):
+    g = ontology(spec)
+    benchmark(rdfs_closure, g)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=[f"O{i}" for i in range(len(SPECS))])
+def test_rho_closure(benchmark, spec):
+    g = ontology(spec)
+    benchmark(rho_closure, g)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_rho_closure_chains(benchmark, n):
+    benchmark(rho_closure, sc_chain_with_instance(n))
+
+
+def test_decomposition_invariant():
+    for spec in SPECS:
+        g = ontology(spec)
+        assert rdfs_closure(g) == rho_closure(g).union(reflexivity_padding(g))
+
+
+def collect_series():
+    import time
+
+    rows = []
+    for spec in SPECS:
+        g = ontology(spec)
+        t0 = time.perf_counter()
+        full = rdfs_closure(g)
+        t_full = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        rho = rho_closure(g)
+        t_rho = (time.perf_counter() - t0) * 1e3
+        rows.append((len(g), len(full), len(rho), t_full, t_rho))
+    return rows

@@ -1,0 +1,101 @@
+"""Store ablation — incremental closure maintenance vs recomputation.
+
+The store materializes ``cl(dataset)`` and maintains it through
+insertions by semi-naive delta propagation (``extend_fixpoint``); the
+alternative is recomputing the closure from scratch after every write.
+The series measures a stream of single-triple inserts into a growing
+ontology under both strategies.
+"""
+
+import pytest
+
+from repro.core import Triple, URI
+from repro.core.vocabulary import SC, TYPE
+from repro.generators import random_schema_with_instances
+from repro.store import TripleStore
+
+BASE_SPECS = [(4, 3, 8, 12), (8, 6, 16, 24)]
+INSERTS = 8
+
+
+def base_ontology(spec):
+    classes, properties, instances, uses = spec
+    return random_schema_with_instances(
+        classes, properties, instances, uses, blank_probability=0.0, seed=23
+    )
+
+
+def insert_stream(k):
+    return [
+        Triple(URI(f"newcomer{i}"), TYPE, URI("class0")) for i in range(k)
+    ]
+
+
+@pytest.mark.parametrize("spec", BASE_SPECS, ids=["S0", "S1"])
+def test_incremental_insert_stream(benchmark, spec):
+    def run():
+        store = TripleStore()
+        store.add_all(base_ontology(spec))
+        store.closure()  # materialize once
+        for t in insert_stream(INSERTS):
+            store.add(t)  # each triggers incremental maintenance
+        return store
+
+    store = benchmark(run)
+    assert store.stats["incremental"] == INSERTS
+
+
+@pytest.mark.parametrize("spec", BASE_SPECS, ids=["S0", "S1"])
+def test_recompute_insert_stream(benchmark, spec):
+    from repro.semantics import rdfs_closure
+
+    def run():
+        graph = base_ontology(spec)
+        triples = set(graph.triples)
+        for t in insert_stream(INSERTS):
+            triples.add(t)
+            from repro.core import RDFGraph
+
+            rdfs_closure(RDFGraph(triples))  # full recompute per insert
+        return triples
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("spec", BASE_SPECS, ids=["S0", "S1"])
+def test_entailment_probe_after_stream(benchmark, spec):
+    store = TripleStore()
+    store.add_all(base_ontology(spec))
+    for t in insert_stream(INSERTS):
+        store.add(t)
+    probe = Triple(URI("newcomer0"), TYPE, URI("class0"))
+    result = benchmark(store.entails, probe)
+    assert result is True
+
+
+def collect_series():
+    import time
+
+    from repro.core import RDFGraph
+    from repro.semantics import rdfs_closure
+
+    rows = []
+    for spec in BASE_SPECS:
+        base = base_ontology(spec)
+        # Incremental.
+        store = TripleStore()
+        store.add_all(base)
+        store.closure()
+        t0 = time.perf_counter()
+        for t in insert_stream(INSERTS):
+            store.add(t)
+        t_incremental = (time.perf_counter() - t0) * 1e3
+        # Recompute.
+        triples = set(base.triples)
+        t0 = time.perf_counter()
+        for t in insert_stream(INSERTS):
+            triples.add(t)
+            rdfs_closure(RDFGraph(triples))
+        t_recompute = (time.perf_counter() - t0) * 1e3
+        rows.append((len(base), INSERTS, t_incremental, t_recompute))
+    return rows

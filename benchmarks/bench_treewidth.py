@@ -1,0 +1,79 @@
+"""Bounded-treewidth entailment (the third polynomial case of §2.4).
+
+Series: entailment of width-2 cyclic patterns (ladders of blank nodes)
+through the tree-decomposition pipeline vs the general backtracking
+solver; the acyclic pipeline cannot process these at all.
+"""
+
+import pytest
+
+from repro.core import BNode, RDFGraph, Triple, URI
+from repro.generators import random_simple_rdf_graph
+from repro.relational import (
+    simple_entails_acyclic,
+    simple_entails_treewidth,
+)
+from repro.semantics import simple_entails
+
+RUNG_COUNTS = [2, 3, 4]
+DATA_SIZE = 120
+
+
+def blank_ladder(rungs):
+    """A 2×n grid of blanks: treewidth 2, definitely cyclic."""
+    p = URI("p0")
+    triples = []
+    for i in range(rungs):
+        triples.append(Triple(BNode(f"A{i}"), p, BNode(f"A{i+1}")))
+        triples.append(Triple(BNode(f"B{i}"), p, BNode(f"B{i+1}")))
+    for i in range(rungs + 1):
+        triples.append(Triple(BNode(f"A{i}"), p, BNode(f"B{i}")))
+    return RDFGraph(triples)
+
+
+def data_graph():
+    return random_simple_rdf_graph(DATA_SIZE, 12, num_predicates=1, seed=41)
+
+
+@pytest.mark.parametrize("n", RUNG_COUNTS)
+def test_ladder_treewidth_pipeline(benchmark, n):
+    g1 = data_graph()
+    g2 = blank_ladder(n)
+    benchmark(simple_entails_treewidth, g1, g2)
+
+
+@pytest.mark.parametrize("n", RUNG_COUNTS)
+def test_ladder_backtracking(benchmark, n):
+    g1 = data_graph()
+    g2 = blank_ladder(n)
+    benchmark(simple_entails, g1, g2)
+
+
+def test_ladders_are_cyclic():
+    for n in RUNG_COUNTS:
+        with pytest.raises(ValueError):
+            simple_entails_acyclic(data_graph(), blank_ladder(n))
+
+
+def test_agreement():
+    g1 = data_graph()
+    for n in RUNG_COUNTS:
+        g2 = blank_ladder(n)
+        assert simple_entails_treewidth(g1, g2) == simple_entails(g1, g2)
+
+
+def collect_series():
+    import time
+
+    rows = []
+    g1 = data_graph()
+    for n in RUNG_COUNTS:
+        g2 = blank_ladder(n)
+        t0 = time.perf_counter()
+        verdict = simple_entails_treewidth(g1, g2)
+        t_tw = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        simple_entails(g1, g2)
+        t_back = (time.perf_counter() - t0) * 1e3
+        rows.append((n, verdict, t_tw, t_back))
+    return rows

@@ -1,0 +1,9 @@
+"""Shared benchmark configuration."""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks are ordered by module so related series group together
+    # in the pytest-benchmark report.
+    items.sort(key=lambda item: (item.module.__name__, item.name))

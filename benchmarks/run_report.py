@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment series and print the report tables.
+
+This is the harness behind EXPERIMENTS.md: each section corresponds to
+one experiment id from DESIGN.md's per-experiment index and prints the
+measured rows next to the paper's predicted shape.
+
+Run:  python benchmarks/run_report.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import bench_acyclic_entailment
+import bench_closure_ablation
+import bench_closure_growth
+import bench_containment
+import bench_core_hardness
+import bench_entailment_hardness
+import bench_membership
+import bench_minimal
+import bench_normal_form
+import bench_owl
+import bench_paths
+import bench_query_vs_data_complexity
+import bench_redundancy
+import bench_rdfs_entailment
+import bench_rho
+import bench_store
+import bench_treewidth
+
+
+def section(exp_id: str, title: str, prediction: str) -> None:
+    print(f"\n{'=' * 72}")
+    print(f"{exp_id}: {title}")
+    print(f"paper's prediction: {prediction}")
+    print("-" * 72)
+
+
+def main() -> None:
+    print("Experiment report — Foundations of Semantic Web Databases")
+
+    section("E8", "closure growth (Theorem 3.6.3)", "|cl(G)| = Θ(|G|²)")
+    print(f"{'family':20s} {'|G|':>6s} {'|cl(G)|':>8s}")
+    for family, size, closed in bench_closure_growth.collect_series():
+        print(f"{family:20s} {size:6d} {closed:8d}")
+
+    section(
+        "E8b",
+        "closure membership (Theorem 3.6.4)",
+        "oracle ≪ materialization, gap widening with |G|",
+    )
+    print(f"{'|G|':>6s} {'oracle ms':>10s} {'materialize ms':>15s}")
+    for n, t_oracle, t_mat in bench_membership.collect_series():
+        print(f"{n:6d} {t_oracle:10.3f} {t_mat:15.3f}")
+
+    section(
+        "E4",
+        "simple entailment hardness (Theorem 2.9)",
+        "hard (coloring) instances blow up; easy (acyclic) stay flat",
+    )
+    print(f"{'family':22s} {'n':>4s} {'ms':>10s}")
+    for family, n, ms in bench_entailment_hardness.collect_series():
+        print(f"{family:22s} {n:4d} {ms:10.3f}")
+
+    section(
+        "E5",
+        "blank-acyclic entailment (Section 2.4)",
+        "Yannakakis pipeline polynomial; agrees with backtracking",
+    )
+    print(f"{'chain':>6s} {'entailed':>9s} {'yannakakis ms':>14s} {'backtrack ms':>13s}")
+    for n, verdict, t_yann, t_back in bench_acyclic_entailment.collect_series():
+        print(f"{n:6d} {str(verdict):>9s} {t_yann:14.3f} {t_back:13.3f}")
+
+    section(
+        "E6",
+        "RDFS entailment (Theorem 2.10)",
+        "poly-size witness: closure (quadratic) + map search",
+    )
+    print(f"{'|G|':>6s} {'|cl|':>6s} {'verdict':>8s} {'entail ms':>10s} {'closure ms':>11s}")
+    for size, cl, verdict, t_ent, t_cl in bench_rdfs_entailment.collect_series():
+        print(f"{size:6d} {cl:6d} {str(verdict):>8s} {t_ent:10.3f} {t_cl:11.3f}")
+
+    section(
+        "E11",
+        "leanness / cores (Theorem 3.12)",
+        "coNP leanness on cores (odd cycles) costlier than easy refutations",
+    )
+    print(f"{'family':18s} {'n':>4s} {'ms':>10s}")
+    for family, n, ms in bench_core_hardness.collect_series():
+        print(f"{family:18s} {n:4d} {ms:10.3f}")
+
+    section(
+        "E13",
+        "minimal representations (Theorem 3.16)",
+        "unique minimum recovered from saturated hierarchies",
+    )
+    print(f"{'|G|':>6s} {'|min|':>6s} {'ms':>10s}")
+    for size, minimum, ms in bench_minimal.collect_series():
+        print(f"{size:6d} {minimum:6d} {ms:10.3f}")
+
+    section(
+        "E15/E16",
+        "normal forms (Theorems 3.19/3.20)",
+        "nf = core ∘ closure; closure dominates on ground-heavy data",
+    )
+    print(f"{'|G|':>6s} {'|cl|':>6s} {'|nf|':>6s} {'closure ms':>11s} {'core ms':>9s}")
+    for size, cl, nf, t_cl, t_core in bench_normal_form.collect_series():
+        print(f"{size:6d} {cl:6d} {nf:6d} {t_cl:11.3f} {t_core:9.3f}")
+
+    section(
+        "E24",
+        "containment (Theorems 5.6/5.12)",
+        "NP certificates; Ω_q grows with bodies under premises",
+    )
+    print(f"{'series':14s} {'n':>4s} {'value':>6s} {'ms':>10s}")
+    for series, n, value, ms in bench_containment.collect_series():
+        print(f"{series:14s} {n:4d} {str(value):>6s} {ms:10.3f}")
+
+    section(
+        "E25",
+        "query vs data complexity (Theorem 6.1)",
+        "polynomial in |D| at fixed q; exponential in |q| at fixed D",
+    )
+    print(f"{'series':18s} {'n':>6s} {'answers':>8s} {'ms':>12s}")
+    for series, n, count, ms in bench_query_vs_data_complexity.collect_series():
+        print(f"{series:18s} {n:6d} {count:8d} {ms:12.3f}")
+
+    section(
+        "E27",
+        "redundancy elimination (Theorems 6.2/6.3)",
+        "merge-semantics leanness polynomial; union-semantics coNP",
+    )
+    print(f"{'workload':12s} {'n':>4s} {'answers':>8s} {'union ms':>10s} {'merge ms':>10s}")
+    for workload, n, answers, t_union, t_merge in bench_redundancy.collect_series():
+        print(f"{workload:12s} {n:4d} {answers:8d} {t_union:10.3f} {t_merge:10.3f}")
+
+    section(
+        "A1",
+        "ablation: three closure implementations (DESIGN.md §5)",
+        "staged < datalog semi-naive < literal rule engine",
+    )
+    print(f"{'|G|':>6s} {'staged ms':>10s} {'rule-engine ms':>15s} {'datalog ms':>11s}")
+    for size, t_staged, t_rules, t_datalog in bench_closure_ablation.collect_series():
+        print(f"{size:6d} {t_staged:10.3f} {t_rules:15.3f} {t_datalog:11.3f}")
+
+    section(
+        "A2",
+        "ablation: incremental closure maintenance (repro.store)",
+        "delta propagation beats per-insert recomputation",
+    )
+    print(f"{'|base|':>7s} {'inserts':>8s} {'incremental ms':>15s} {'recompute ms':>13s}")
+    for size, inserts, t_inc, t_rec in bench_store.collect_series():
+        print(f"{size:7d} {inserts:8d} {t_inc:15.3f} {t_rec:13.3f}")
+
+    section(
+        "X1",
+        "extension: path queries (repro.navigation)",
+        "single-source BFS ≪ all-pairs materialization",
+    )
+    print(f"{'|G|':>6s} {'pairs':>6s} {'single-src ms':>14s} {'all-pairs ms':>13s}")
+    for n, pairs, t_single, t_all in bench_paths.collect_series():
+        print(f"{n:6d} {pairs:6d} {t_single:14.3f} {t_all:13.3f}")
+
+    section(
+        "X2",
+        "extension: bounded-treewidth entailment (§2.4 third case)",
+        "polynomial on width-2 cyclic patterns the acyclic pipeline rejects",
+    )
+    print(f"{'rungs':>6s} {'entailed':>9s} {'treewidth ms':>13s} {'backtrack ms':>13s}")
+    for n, verdict, t_tw, t_back in bench_treewidth.collect_series():
+        print(f"{n:6d} {str(verdict):>9s} {t_tw:13.3f} {t_back:13.3f}")
+
+    section(
+        "X5",
+        "extension: the ρdf (reflexivity-free) fragment [31]",
+        "ρ-closure smaller and faster; RDFS-cl = ρ-cl ∪ padding",
+    )
+    print(f"{'|G|':>6s} {'|RDFS-cl|':>10s} {'|ρ-cl|':>7s} {'full ms':>8s} {'ρ ms':>8s}")
+    for size, full, rho, t_full, t_rho in bench_rho.collect_series():
+        print(f"{size:6d} {full:10d} {rho:7d} {t_full:8.3f} {t_rho:8.3f}")
+
+    section(
+        "X6",
+        "extension: pD*-lite OWL vocabulary (ter Horst [26])",
+        "joint closure stays polynomial; sameAs substitution is the hot spot",
+    )
+    print(f"{'|G|':>6s} {'|RDFS-cl|':>10s} {'|OWL-cl|':>9s} {'rdfs ms':>8s} {'owl ms':>8s}")
+    for size, rdfs_n, owl_n, t_rdfs, t_owl in bench_owl.collect_series():
+        print(f"{size:6d} {rdfs_n:10d} {owl_n:9d} {t_rdfs:8.3f} {t_owl:8.3f}")
+
+    print("\nreport complete.")
+
+
+if __name__ == "__main__":
+    main()

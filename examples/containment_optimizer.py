@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Query-containment analysis, as a cache/optimizer would use it.
+
+Scenario: a query front-end keeps a library of answered queries and,
+given a new query, wants to know which cached answers *subsume* it.
+Containment (Section 5) is the right tool — in its two flavours:
+
+* standard containment ``⊑p`` — the cached pre-answers literally
+  include the new query's pre-answers (safe to reuse rows as-is);
+* entailment containment ``⊑m`` — the cached answer *implies* the new
+  answer (safe to reuse after deduction).
+
+The example also demonstrates premise elimination (Proposition 5.9):
+a query with a premise is decomposed into its Ω-members before testing.
+
+Run:  python examples/containment_optimizer.py
+"""
+
+from repro import RDFGraph, triple
+from repro.core import Variable
+from repro.query import (
+    contained_entailment,
+    contained_standard,
+    head_body_query,
+    premise_elimination,
+)
+
+
+def show(label: str, verdict: bool) -> None:
+    print(f"  {label:58s} {'YES' if verdict else 'no'}")
+
+
+def main() -> None:
+    # The cached queries (already answered, answers stored).
+    cache = {
+        "all-paint-edges": head_body_query(
+            head=[("?X", "paints", "?Y")], body=[("?X", "paints", "?Y")]
+        ),
+        "painters-of-exhibited-works": head_body_query(
+            head=[("?X", "paints", "?Y")],
+            body=[("?X", "paints", "?Y"), ("?Y", "exhibited", "?M")],
+        ),
+        "ground-painters-only": head_body_query(
+            head=[("?X", "paints", "?Y")],
+            body=[("?X", "paints", "?Y")],
+            constraints=[Variable("X")],
+        ),
+    }
+
+    print("=== New query 1: paintings exhibited at the Uffizi ===")
+    q1 = head_body_query(
+        head=[("?X", "paints", "?Y")],
+        body=[("?X", "paints", "?Y"), ("?Y", "exhibited", "Uffizi")],
+    )
+    print(f"  {q1}\n")
+    for name, cached in cache.items():
+        show(f"q1 ⊑p {name}?", contained_standard(q1, cached))
+    print()
+    for name, cached in cache.items():
+        show(f"q1 ⊑m {name}?", contained_entailment(q1, cached))
+    print(
+        "\n  → the optimizer may answer q1 by filtering the cached\n"
+        "    'all-paint-edges' or 'painters-of-exhibited-works' rows.\n"
+    )
+
+    print("=== New query 2: same, but with must-bind painter ===")
+    q2 = head_body_query(
+        head=[("?X", "paints", "?Y")],
+        body=[("?X", "paints", "?Y"), ("?Y", "exhibited", "Uffizi")],
+        constraints=[Variable("X")],
+    )
+    show("q2 ⊑p ground-painters-only?", contained_standard(q2, cache["ground-painters-only"]))
+    show("q1 ⊑p ground-painters-only?", contained_standard(q1, cache["ground-painters-only"]))
+    print(
+        "  → constraints matter: the unconstrained q1 may return blank\n"
+        "    painters the constrained cache entry never stored.\n"
+    )
+
+    print("=== New query 3: with a premise (hypothetical schema) ===")
+    q3 = head_body_query(
+        head=[("?X", "depicts", "?S")],
+        body=[("?X", "depicts", "?S"), ("?S", "kind", "historical")],
+        premise=RDFGraph(
+            [
+                triple("guernica-bombing", "kind", "historical"),
+                triple("last-supper", "kind", "historical"),
+            ]
+        ),
+    )
+    print(f"  {q3}\n")
+    print("  Ω-members (Proposition 5.9):")
+    members = premise_elimination(q3)
+    for member in members:
+        print(f"    {member.tableau}")
+    wide = head_body_query(
+        head=[("?X", "depicts", "?S")], body=[("?X", "depicts", "?S")]
+    )
+    show("\n  q3 ⊑p all-depicts-edges?", contained_standard(q3, wide))
+    narrow = head_body_query(
+        head=[("?X", "depicts", "?S")],
+        body=[("?X", "depicts", "?S"), ("?S", "kind", "historical")],
+    )
+    show("  q3 ⊑p depicts-historical (no premise)?", contained_standard(q3, narrow))
+    print(
+        "\n  → the premise widened q3 (it answers for the two premise\n"
+        "    subjects even when the database lacks their kind-triples),\n"
+        "    so only the *wider* cached query subsumes it."
+    )
+
+
+if __name__ == "__main__":
+    main()

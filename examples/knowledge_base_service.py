@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""A small knowledge-base service built on the paper's theory.
+
+Puts the extension modules to work together, the way a downstream
+application would:
+
+* :class:`repro.store.TripleStore` — named graphs, transactions, and
+  incrementally maintained RDFS closure;
+* :mod:`repro.navigation` — path queries over the inferred graph;
+* :mod:`repro.query.views` — derived graphs and query composition;
+* tableau queries with premises for what-if analysis.
+
+Scenario: a museum consortium's catalogue — an ontology graph, per-museum
+data graphs loaded with blank-node isolation, and an API of views.
+
+Run:  python examples/knowledge_base_service.py
+"""
+
+from repro.core import RDFGraph, URI, triple
+from repro.core.vocabulary import DOM, RANGE, SC, SP, TYPE
+from repro.navigation import parse_path, reachable_from
+from repro.query import View, ViewCatalog, head_body_query
+from repro.rdfio import parse_ntriples
+from repro.store import TripleStore
+
+ONTOLOGY = [
+    triple("painter", SC, "artist"),
+    triple("sculptor", SC, "artist"),
+    triple("oilPainting", SC, "painting"),
+    triple("painting", SC, "artifact"),
+    triple("sculpture", SC, "artifact"),
+    triple("paints", SP, "creates"),
+    triple("sculpts", SP, "creates"),
+    triple("paints", DOM, "painter"),
+    triple("paints", RANGE, "painting"),
+    triple("sculpts", DOM, "sculptor"),
+    triple("sculpts", RANGE, "sculpture"),
+    triple("exhibited", RANGE, "museum"),
+]
+
+MUSEUM_A = """
+# Museo Nacional
+frida paints lasdoscaras .
+lasdoscaras type oilPainting .
+lasdoscaras exhibited museoNacional .
+_:anon sculpts piedra .
+"""
+
+MUSEUM_B = """
+# Galleria Moderna
+boccioni sculpts forme .
+forme exhibited galleriaModerna .
+_:anon paints bozzetto .
+"""
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    store = TripleStore()
+
+    banner("Loading the ontology and two museum feeds")
+    store.add_all(ONTOLOGY, graph="ontology")
+    # load_graph keeps each feed's blank nodes apart (merge, §2.1) —
+    # both feeds use the label _:anon for different unknown artists.
+    store.load_graph(parse_ntriples(MUSEUM_A), graph="museoNacional")
+    store.load_graph(parse_ntriples(MUSEUM_B), graph="galleriaModerna")
+    print(f"  graphs: {store.graph_names()}")
+    print(f"  triples: {len(store)}, blank nodes kept apart: "
+          f"{sorted(n.value for n in store.dataset().bnodes())}")
+
+    banner("Inference (incrementally maintained closure)")
+    for probe in [
+        triple("frida", TYPE, "artist"),
+        triple("lasdoscaras", TYPE, "artifact"),
+        triple("boccioni", TYPE, "sculptor"),
+        triple("museoNacional", TYPE, "museum"),
+    ]:
+        print(f"  {probe}: {store.entails(probe)}")
+
+    banner("Transactional update with rollback")
+    try:
+        with store.transaction():
+            store.add(triple("vandal", "paints", "forgery"))
+            raise RuntimeError("validation failed: vandal is not accredited")
+    except RuntimeError as err:
+        print(f"  rolled back ({err})")
+    print(f"  vandal known as painter? "
+          f"{store.entails(triple('vandal', TYPE, 'painter'))}")
+    with store.transaction():
+        store.add(triple("remedios", "paints", "creacion"))
+    print(f"  remedios committed as painter? "
+          f"{store.entails(triple('remedios', TYPE, 'painter'))}")
+    print(f"  closure maintenance stats: {store.stats}")
+
+    banner("Path queries over the inferred graph")
+    dataset = store.dataset()
+    up = parse_path("type/sc*")
+    print("  every classification of lasdoscaras:")
+    for node in sorted(
+        reachable_from(up, dataset, URI("lasdoscaras"), rdfs=True), key=str
+    ):
+        print(f"    {node}")
+    provenance = parse_path("^exhibited/^creates")
+    print("  who has work at museoNacional (via ^exhibited/^creates, RDFS):")
+    for node in sorted(
+        reachable_from(provenance, dataset, URI("museoNacional"), rdfs=True), key=str
+    ):
+        print(f"    {node}")
+
+    banner("Views: a public API over the raw catalogue")
+    catalog = ViewCatalog(
+        [
+            View(
+                name="public_works",
+                query=head_body_query(
+                    head=[("?W", "status", "onDisplay"), ("?W", "venue", "?M")],
+                    body=[("?W", "exhibited", "?M")],
+                ),
+            ),
+            View(
+                name="attributions",
+                query=head_body_query(
+                    head=[("?W", "attributedTo", "?A")],
+                    body=[("?A", "creates", "?W")],
+                ),
+            ),
+        ]
+    )
+    # Views see the closure so `creates` includes inferred edges.
+    closed = store.closure()
+    api_query = head_body_query(
+        head=[("?A", "showsAt", "?M")],
+        body=[("?W", "attributedTo", "?A"), ("?W", "venue", "?M")],
+    )
+    print("  who shows where (composed through two views):")
+    result = catalog.query(api_query, closed)
+    for t in result.sorted_triples():
+        print(f"    {t}")
+
+    banner("What-if analysis (premise query)")
+    whatif = head_body_query(
+        head=[("?X", TYPE, "artist")],
+        body=[("?X", TYPE, "artist")],
+        premise=RDFGraph([triple("banksy", "paints", "wall")]),
+    )
+    print("  artists if banksy painted a wall:")
+    for t in store.query(whatif).sorted_triples():
+        print(f"    {t}")
+
+
+if __name__ == "__main__":
+    main()

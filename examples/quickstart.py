@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Fig. 1 art schema, end to end.
+
+Builds the running example, computes its closure and normal form,
+checks entailments (including the ones the figure's caption calls out),
+and runs a tableau query with a premise.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RDFGraph, closure, entails, normal_form, triple
+from repro.core import BNode
+from repro.core.vocabulary import TYPE
+from repro.generators import art_schema
+from repro.query import answer_union, head_body_query
+from repro.rdfio import serialize_ntriples
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The data: schema and instances at the same level (Fig. 1).
+    # ------------------------------------------------------------------
+    graph = art_schema()
+    print("=== Fig. 1 art schema ===")
+    print(serialize_ntriples(graph))
+
+    # ------------------------------------------------------------------
+    # 2. Entailment: what does the schema let us conclude?
+    # ------------------------------------------------------------------
+    conclusions = [
+        triple("Picasso", "creates", "Guernica"),   # paints ⊑ creates
+        triple("Picasso", TYPE, "painter"),          # dom(paints)
+        triple("Picasso", TYPE, "artist"),           # painter ⊑ artist
+        triple("Guernica", TYPE, "painting"),        # range(paints)
+        triple("Guernica", TYPE, "artifact"),        # painting ⊑ artifact
+    ]
+    print("=== Entailments (Theorem 2.8: map into the closure) ===")
+    for t in conclusions:
+        verdict = entails(graph, RDFGraph([t]))
+        print(f"  {t}  :  {'entailed' if verdict else 'NOT entailed'}")
+    not_entailed = triple("Picasso", TYPE, "sculptor")
+    print(f"  {not_entailed}  :  "
+          f"{'entailed' if entails(graph, RDFGraph([not_entailed])) else 'NOT entailed'}")
+
+    # ------------------------------------------------------------------
+    # 3. Representations: closure (maximal) and normal form.
+    # ------------------------------------------------------------------
+    cl = closure(graph)
+    nf = normal_form(graph)
+    print("\n=== Representations ===")
+    print(f"  graph size        : {len(graph):3d} triples")
+    print(f"  closure cl(G)     : {len(cl):3d} triples (maximal, Theorem 3.6)")
+    print(f"  normal form nf(G) : {len(nf):3d} triples (unique + syntax-free, Theorem 3.19)")
+
+    # ------------------------------------------------------------------
+    # 4. Querying: tableau query with a hypothetical premise.
+    # ------------------------------------------------------------------
+    print("\n=== Query: who creates what? ===")
+    q = head_body_query(
+        head=[("?A", "made", "?W")],
+        body=[("?A", TYPE, "artist"), ("?A", "creates", "?W")],
+    )
+    print(f"  {q}")
+    print(f"  answer: {answer_union(q, graph)}")
+
+    print("\n=== Hypothetical query (premise, Section 4.2) ===")
+    hypothetical = head_body_query(
+        head=[("?X", TYPE, "artist")],
+        body=[("?X", TYPE, "artist")],
+        premise=RDFGraph([triple("Rodin", "sculpts", "TheThinker")]),
+    )
+    print("  premise: suppose (Rodin, sculpts, TheThinker)")
+    print(f"  artists then: {answer_union(hypothetical, graph)}")
+
+    # ------------------------------------------------------------------
+    # 5. Blank nodes: existential answers via Skolemized head blanks.
+    # ------------------------------------------------------------------
+    print("\n=== Existential head (blank node in H) ===")
+    existential = head_body_query(
+        head=[(BNode("N"), "exemplifies", "?C")],
+        body=[("?X", TYPE, "?C"), ("?X", "creates", "?W")],
+    )
+    print(f"  answer: {answer_union(existential, graph)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — a reproduction of "Foundations of Semantic Web Databases".
+
+Gutierrez, Hurtado, Mendelzon, Pérez (PODS 2004; JCSS 77 (2011) 520–541).
+
+The package implements the paper's abstract RDF model, its RDFS
+semantics and deductive system, closures / cores / normal forms, the
+tableau query language with premises and constraints, the two query
+containment notions, and the complexity apparatus (reductions,
+relational substrate) supporting every theorem.
+
+Quickstart::
+
+    from repro import RDFGraph, triple, entails, normal_form
+    from repro.core import BNode, SC, TYPE
+
+    g = RDFGraph([
+        triple("sculptor", SC, "artist"),
+        triple("rodin", TYPE, "sculptor"),
+    ])
+    h = RDFGraph([triple("rodin", TYPE, "artist")])
+    assert entails(g, h)
+"""
+
+from .core import (
+    BNode,
+    Literal,
+    Map,
+    RDFGraph,
+    Triple,
+    URI,
+    Variable,
+    graph_from_triples,
+    isomorphic,
+    triple,
+)
+from .core.vocabulary import DOM, RANGE, SC, SP, TYPE
+from .minimize import core, is_lean, minimal_representation, normal_form
+from .navigation import evaluate_path, parse_path, reachable_from
+from .semantics import (
+    ClosureOracle,
+    closure,
+    construct_proof,
+    entails,
+    equivalent,
+    rdfs_closure,
+    simple_entails,
+)
+from .store import TripleStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BNode",
+    "ClosureOracle",
+    "DOM",
+    "Literal",
+    "Map",
+    "RANGE",
+    "RDFGraph",
+    "SC",
+    "SP",
+    "TYPE",
+    "Triple",
+    "TripleStore",
+    "URI",
+    "Variable",
+    "closure",
+    "evaluate_path",
+    "parse_path",
+    "reachable_from",
+    "construct_proof",
+    "core",
+    "entails",
+    "equivalent",
+    "graph_from_triples",
+    "is_lean",
+    "isomorphic",
+    "minimal_representation",
+    "normal_form",
+    "rdfs_closure",
+    "simple_entails",
+    "triple",
+    "__version__",
+]

@@ -1,0 +1,280 @@
+"""Command-line interface: the paper's operations over files.
+
+Usage examples::
+
+    repro-rdf closure data.nt              # print cl(G)
+    repro-rdf closure data.nt --rho        # reflexivity-free closure
+    repro-rdf core data.nt                 # redundancy elimination
+    repro-rdf nf data.nt                   # normal form
+    repro-rdf lean data.nt                 # leanness verdict (+ witness)
+    repro-rdf entails premise.nt goal.nt   # RDFS entailment
+    repro-rdf equivalent a.nt b.nt
+    repro-rdf query query.rq data.nt       # tableau query (CONSTRUCT/WHERE)
+    repro-rdf contains q1.rq q2.rq         # q1 ⊑p q2 (--entailment for ⊑m)
+    repro-rdf path 'type/sc*' data.nt --source Picasso --rdfs
+    repro-rdf stats data.nt                # structural profile
+    repro-rdf dot data.nt                  # Graphviz export
+
+Graph files use the N-Triples-style syntax of :mod:`repro.rdfio`;
+query files use the CONSTRUCT/WHERE syntax of
+:mod:`repro.rdfio.query_syntax`.  ``-`` reads from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.graph import RDFGraph
+from .core.terms import URI
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    return Path(path).read_text()
+
+
+def _load_graph(path: str) -> RDFGraph:
+    from .rdfio.ntriples import parse_ntriples
+
+    return parse_ntriples(_read_text(path))
+
+
+def _load_query(path: str):
+    from .rdfio.query_syntax import parse_query
+
+    return parse_query(_read_text(path))
+
+
+def _print_graph(graph: RDFGraph, out) -> None:
+    from .rdfio.ntriples import serialize_ntriples
+
+    out.write(serialize_ntriples(graph))
+
+
+def cmd_closure(args, out) -> int:
+    graph = _load_graph(args.graph)
+    if args.rho:
+        from .semantics import rho_closure
+
+        _print_graph(rho_closure(graph), out)
+    else:
+        from .semantics import closure
+
+        _print_graph(closure(graph), out)
+    return 0
+
+
+def cmd_core(args, out) -> int:
+    from .minimize import core
+
+    _print_graph(core(_load_graph(args.graph)), out)
+    return 0
+
+
+def cmd_nf(args, out) -> int:
+    from .minimize import normal_form
+
+    _print_graph(normal_form(_load_graph(args.graph)), out)
+    return 0
+
+
+def cmd_minimal(args, out) -> int:
+    from .minimize import minimal_representation
+
+    _print_graph(minimal_representation(_load_graph(args.graph)), out)
+    return 0
+
+
+def cmd_lean(args, out) -> int:
+    from .minimize import non_lean_witness
+
+    graph = _load_graph(args.graph)
+    witness = non_lean_witness(graph)
+    if witness is None:
+        out.write("lean\n")
+        return 0
+    out.write("not lean\n")
+    if args.witness:
+        out.write(f"witness: {witness}\n")
+    return 1
+
+
+def cmd_entails(args, out) -> int:
+    g1 = _load_graph(args.premise_graph)
+    g2 = _load_graph(args.conclusion_graph)
+    if args.simple:
+        from .semantics import simple_entails as decide
+    else:
+        from .semantics import entails as decide
+    verdict = decide(g1, g2)
+    out.write(("entailed" if verdict else "not entailed") + "\n")
+    return 0 if verdict else 1
+
+
+def cmd_equivalent(args, out) -> int:
+    from .semantics import equivalent
+
+    verdict = equivalent(_load_graph(args.graph_a), _load_graph(args.graph_b))
+    out.write(("equivalent" if verdict else "not equivalent") + "\n")
+    return 0 if verdict else 1
+
+
+def cmd_query(args, out) -> int:
+    from .query import answers
+
+    query = _load_query(args.query)
+    database = _load_graph(args.graph)
+    _print_graph(answers(query, database, semantics=args.semantics), out)
+    return 0
+
+
+def cmd_contains(args, out) -> int:
+    q1 = _load_query(args.query_a)
+    q2 = _load_query(args.query_b)
+    if args.entailment:
+        from .query import contained_entailment as decide
+    else:
+        from .query import contained_standard as decide
+    verdict = decide(q1, q2)
+    out.write(("contained" if verdict else "not contained") + "\n")
+    return 0 if verdict else 1
+
+
+def cmd_path(args, out) -> int:
+    from .navigation import evaluate_path, parse_path, reachable_from
+
+    expr = parse_path(args.expression)
+    graph = _load_graph(args.graph)
+    if args.source is not None:
+        nodes = reachable_from(expr, graph, URI(args.source), rdfs=args.rdfs)
+        for node in sorted(nodes, key=str):
+            out.write(f"{node}\n")
+    else:
+        pairs = evaluate_path(expr, graph, rdfs=args.rdfs)
+        for x, y in sorted(pairs, key=lambda p: (str(p[0]), str(p[1]))):
+            out.write(f"{x}\t{y}\n")
+    return 0
+
+
+def cmd_stats(args, out) -> int:
+    from .minimize import is_lean
+    from .relational import blank_treewidth_upper_bound
+
+    graph = _load_graph(args.graph)
+    out.write(f"triples:            {len(graph)}\n")
+    out.write(f"universe size:      {len(graph.universe())}\n")
+    out.write(f"blank nodes:        {len(graph.bnodes())}\n")
+    out.write(f"predicates:         {len(graph.predicates())}\n")
+    out.write(f"ground:             {graph.is_ground()}\n")
+    out.write(f"simple (Def 2.2):   {graph.is_simple()}\n")
+    out.write(f"blank cycles:       {graph.has_blank_cycle()}\n")
+    out.write(f"blank treewidth ≤:  {blank_treewidth_upper_bound(graph)}\n")
+    if len(graph) <= args.lean_limit:
+        out.write(f"lean (Def 3.7):     {is_lean(graph)}\n")
+    else:
+        out.write("lean (Def 3.7):     skipped (use --lean-limit to raise)\n")
+    return 0
+
+
+def cmd_dot(args, out) -> int:
+    from .rdfio.dot import to_dot
+
+    out.write(to_dot(_load_graph(args.graph)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rdf",
+        description="Foundations of Semantic Web Databases — operations "
+        "on RDF graphs and tableau queries.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("closure", help="print cl(G) (or the ρdf closure)")
+    p.add_argument("graph")
+    p.add_argument("--rho", action="store_true", help="reflexivity-free closure")
+    p.set_defaults(fn=cmd_closure)
+
+    p = sub.add_parser("core", help="print core(G)")
+    p.add_argument("graph")
+    p.set_defaults(fn=cmd_core)
+
+    p = sub.add_parser("nf", help="print the normal form nf(G)")
+    p.add_argument("graph")
+    p.set_defaults(fn=cmd_nf)
+
+    p = sub.add_parser("minimal", help="print a minimal representation")
+    p.add_argument("graph")
+    p.set_defaults(fn=cmd_minimal)
+
+    p = sub.add_parser("lean", help="decide leanness (exit 1 if not lean)")
+    p.add_argument("graph")
+    p.add_argument("--witness", action="store_true", help="show the retraction")
+    p.set_defaults(fn=cmd_lean)
+
+    p = sub.add_parser("entails", help="G1 ⊨ G2? (exit 1 if not)")
+    p.add_argument("premise_graph")
+    p.add_argument("conclusion_graph")
+    p.add_argument("--simple", action="store_true", help="simple semantics")
+    p.set_defaults(fn=cmd_entails)
+
+    p = sub.add_parser("equivalent", help="G1 ≡ G2? (exit 1 if not)")
+    p.add_argument("graph_a")
+    p.add_argument("graph_b")
+    p.set_defaults(fn=cmd_equivalent)
+
+    p = sub.add_parser("query", help="answer a CONSTRUCT/WHERE query")
+    p.add_argument("query")
+    p.add_argument("graph")
+    p.add_argument("--semantics", choices=("union", "merge"), default="union")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("contains", help="q1 ⊑ q2? (exit 1 if not)")
+    p.add_argument("query_a")
+    p.add_argument("query_b")
+    p.add_argument("--entailment", action="store_true", help="use ⊑m instead of ⊑p")
+    p.set_defaults(fn=cmd_contains)
+
+    p = sub.add_parser("path", help="evaluate a path expression")
+    p.add_argument("expression")
+    p.add_argument("graph")
+    p.add_argument("--source", help="single-source mode: start node")
+    p.add_argument("--rdfs", action="store_true", help="navigate the closure")
+    p.set_defaults(fn=cmd_path)
+
+    p = sub.add_parser("stats", help="structural profile of a graph")
+    p.add_argument("graph")
+    p.add_argument("--lean-limit", type=int, default=40)
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("dot", help="Graphviz DOT export")
+    p.add_argument("graph")
+    p.set_defaults(fn=cmd_dot)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args, out)
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Abstract RDF data model (Section 2 of the paper).
+
+Public surface: term types, triples, graphs, maps, homomorphism search,
+isomorphism, and the ``rdfsV`` vocabulary.
+"""
+
+from .graph import RDFGraph, graph_from_triples, triple
+from .homomorphism import (
+    count_assignments,
+    find_assignment,
+    find_map,
+    find_proper_endomorphism,
+    iter_assignments,
+    iter_maps,
+)
+from .isomorphism import canonical_form, find_isomorphism, isomorphic
+from .maps import Map, identity_map
+from .terms import (
+    BNode,
+    Literal,
+    Term,
+    Triple,
+    URI,
+    Variable,
+    fresh_bnode,
+    fresh_bnode_factory,
+)
+from .vocabulary import DOM, RANGE, RDFS_VOCABULARY, SC, SP, TYPE
+
+__all__ = [
+    "BNode",
+    "DOM",
+    "Literal",
+    "Map",
+    "RANGE",
+    "RDFGraph",
+    "RDFS_VOCABULARY",
+    "SC",
+    "SP",
+    "TYPE",
+    "Term",
+    "Triple",
+    "URI",
+    "Variable",
+    "canonical_form",
+    "count_assignments",
+    "find_assignment",
+    "find_isomorphism",
+    "find_map",
+    "find_proper_endomorphism",
+    "fresh_bnode",
+    "fresh_bnode_factory",
+    "graph_from_triples",
+    "identity_map",
+    "isomorphic",
+    "iter_assignments",
+    "iter_maps",
+    "triple",
+]

@@ -1,0 +1,398 @@
+"""RDF graphs: sets of triples with the operations of Section 2.1.
+
+An :class:`RDFGraph` is an immutable set of :class:`~repro.core.terms.Triple`
+values together with per-position indexes that make homomorphism search,
+closure computation and query matching efficient.  The class implements
+the whole vocabulary of Section 2.1:
+
+* ``universe(G)`` — all elements of ``U ∪ B`` occurring in triples;
+* ``voc(G)`` — ``universe(G) ∩ U``;
+* ground test, simple test (Definition 2.2);
+* union ``G1 ∪ G2`` and merge ``G1 + G2`` (blank-renaming union);
+* Skolemization ``G*`` and unskolemization ``H_*`` (Section 3.1);
+* blank-node-induced cycle detection (Section 2.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from .terms import (
+    BNode,
+    Literal,
+    Term,
+    Triple,
+    URI,
+    Variable,
+    fresh_bnode_factory,
+    sort_key,
+)
+from .vocabulary import RDFS_VOCABULARY
+
+__all__ = ["RDFGraph", "triple", "graph_from_triples"]
+
+#: Prefix used for Skolem constants produced by :meth:`RDFGraph.skolemize`.
+SKOLEM_PREFIX = "urn:skolem:"
+
+
+def triple(s, p, o) -> Triple:
+    """Build a triple, coercing raw strings for convenience.
+
+    Strings become URIs; use explicit :class:`BNode` / :class:`Literal` /
+    :class:`Variable` instances for the other kinds.
+    """
+
+    def coerce(t):
+        if isinstance(t, str):
+            return URI(t)
+        return t
+
+    return Triple(coerce(s), coerce(p), coerce(o))
+
+
+class RDFGraph:
+    """An RDF graph: a finite set of RDF triples (Definition 2.1).
+
+    Instances are immutable; all "mutating" operations return new graphs.
+    Equality is set equality of triples (syntactic identity), *not*
+    logical equivalence — use :func:`repro.semantics.entailment.equivalent`
+    for the latter and :func:`repro.core.isomorphism.isomorphic` for
+    equality up to blank renaming.
+    """
+
+    __slots__ = (
+        "_triples",
+        "_by_predicate",
+        "_by_subject",
+        "_by_object",
+        "_by_sp",
+        "_by_po",
+        "_by_so",
+        "_universe",
+        "_bnodes",
+        "_hash",
+    )
+
+    def __init__(self, triples: Iterable[Triple] = ()):
+        items = []
+        for t in triples:
+            if not isinstance(t, Triple):
+                t = Triple(*t)
+            if not t.is_valid_rdf():
+                raise ValueError(f"not a well-formed RDF triple: {t}")
+            items.append(t)
+        self._triples: FrozenSet[Triple] = frozenset(items)
+        self._by_predicate: Dict[Term, Set[Triple]] = {}
+        self._by_subject: Dict[Term, Set[Triple]] = {}
+        self._by_object: Dict[Term, Set[Triple]] = {}
+        self._by_sp: Dict[Tuple[Term, Term], Set[Triple]] = {}
+        self._by_po: Dict[Tuple[Term, Term], Set[Triple]] = {}
+        self._by_so: Dict[Tuple[Term, Term], Set[Triple]] = {}
+        universe: Set[Term] = set()
+        bnodes: Set[BNode] = set()
+        for t in self._triples:
+            self._by_subject.setdefault(t.s, set()).add(t)
+            self._by_predicate.setdefault(t.p, set()).add(t)
+            self._by_object.setdefault(t.o, set()).add(t)
+            self._by_sp.setdefault((t.s, t.p), set()).add(t)
+            self._by_po.setdefault((t.p, t.o), set()).add(t)
+            self._by_so.setdefault((t.s, t.o), set()).add(t)
+            for term in t:
+                universe.add(term)
+                if isinstance(term, BNode):
+                    bnodes.add(term)
+        self._universe = frozenset(universe)
+        self._bnodes = frozenset(bnodes)
+        self._hash = hash(self._triples)
+
+    # ------------------------------------------------------------------
+    # Set-like protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def triples(self) -> FrozenSet[Triple]:
+        """The underlying frozenset of triples."""
+        return self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, t) -> bool:
+        if not isinstance(t, Triple):
+            t = Triple(*t)
+        return t in self._triples
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RDFGraph):
+            return self._triples == other._triples
+        if isinstance(other, (set, frozenset)):
+            return self._triples == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "RDFGraph") -> bool:
+        return self._triples <= other._triples
+
+    def __lt__(self, other: "RDFGraph") -> bool:
+        return self._triples < other._triples
+
+    def __ge__(self, other: "RDFGraph") -> bool:
+        return self._triples >= other._triples
+
+    def __gt__(self, other: "RDFGraph") -> bool:
+        return self._triples > other._triples
+
+    def issubgraph(self, other: "RDFGraph") -> bool:
+        """True iff this graph is a subgraph (subset) of *other*."""
+        return self._triples <= other._triples
+
+    def __or__(self, other: "RDFGraph") -> "RDFGraph":
+        return self.union(other)
+
+    def __add__(self, other: "RDFGraph") -> "RDFGraph":
+        return self.merge(other)
+
+    def __sub__(self, other) -> "RDFGraph":
+        other_triples = other.triples if isinstance(other, RDFGraph) else frozenset(other)
+        return RDFGraph(self._triples - other_triples)
+
+    def __bool__(self) -> bool:
+        return bool(self._triples)
+
+    def __repr__(self) -> str:
+        return f"RDFGraph({len(self._triples)} triples)"
+
+    def __str__(self) -> str:
+        body = ", ".join(str(t) for t in self.sorted_triples())
+        return "{" + body + "}"
+
+    def sorted_triples(self):
+        """Triples in a deterministic order (for display and hashing)."""
+        return sorted(
+            self._triples, key=lambda t: (sort_key(t.s), sort_key(t.p), sort_key(t.o))
+        )
+
+    # ------------------------------------------------------------------
+    # Section 2.1 notions
+    # ------------------------------------------------------------------
+
+    def universe(self) -> FrozenSet[Term]:
+        """``universe(G)``: the elements of ``UB`` occurring in triples."""
+        return self._universe
+
+    def voc(self) -> FrozenSet[URI]:
+        """``voc(G) = universe(G) ∩ U``: the URIs occurring in G."""
+        return frozenset(t for t in self._universe if isinstance(t, URI))
+
+    def bnodes(self) -> FrozenSet[BNode]:
+        """The blank nodes occurring in G."""
+        return self._bnodes
+
+    def is_ground(self) -> bool:
+        """True iff G mentions no blank nodes."""
+        return not self._bnodes
+
+    def is_simple(self) -> bool:
+        """True iff G mentions no RDFS vocabulary (Definition 2.2)."""
+        return not (RDFS_VOCABULARY & self.voc())
+
+    def predicates(self) -> FrozenSet[Term]:
+        """The terms occurring in predicate position."""
+        return frozenset(self._by_predicate)
+
+    def subjects(self) -> FrozenSet[Term]:
+        """The terms occurring in subject position."""
+        return frozenset(self._by_subject)
+
+    def objects(self) -> FrozenSet[Term]:
+        """The terms occurring in object position."""
+        return frozenset(self._by_object)
+
+    def union(self, other: "RDFGraph") -> "RDFGraph":
+        """``G1 ∪ G2``: set-theoretic union, blank nodes shared."""
+        return RDFGraph(self._triples | other._triples)
+
+    def merge(self, other: "RDFGraph") -> "RDFGraph":
+        """``G1 + G2``: union after renaming *other*'s blanks apart.
+
+        Per Section 2.1 the merge is unique up to isomorphism; this
+        implementation renames deterministically, keeping labels that do
+        not clash.
+        """
+        clashes = self._bnodes & other._bnodes
+        if not clashes:
+            return self.union(other)
+        fresh = fresh_bnode_factory(self._bnodes | other._bnodes)
+        renaming = {n: fresh() for n in sorted(clashes, key=sort_key)}
+        return self.union(other.rename_bnodes(renaming))
+
+    def rename_bnodes(self, renaming: Dict[BNode, BNode]) -> "RDFGraph":
+        """Apply a blank-node renaming (must be injective to preserve ≅)."""
+
+        def rn(term):
+            return renaming.get(term, term) if isinstance(term, BNode) else term
+
+        return RDFGraph(Triple(rn(t.s), rn(t.p), rn(t.o)) for t in self._triples)
+
+    # ------------------------------------------------------------------
+    # Pattern access (used by the homomorphism solver and rule engine)
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> Iterable[Triple]:
+        """Triples matching the given fixed positions (None = wildcard).
+
+        This is the graph's only lookup primitive; the solver composes
+        everything else from it.  Lookups use the most selective
+        available index.
+        """
+        if s is not None and p is not None and o is not None:
+            t = Triple(s, p, o)
+            return (t,) if t in self._triples else ()
+        if s is not None and p is not None:
+            return self._by_sp.get((s, p), ())
+        if p is not None and o is not None:
+            return self._by_po.get((p, o), ())
+        if s is not None and o is not None:
+            return self._by_so.get((s, o), ())
+        if s is not None:
+            return self._by_subject.get(s, ())
+        if p is not None:
+            return self._by_predicate.get(p, ())
+        if o is not None:
+            return self._by_object.get(o, ())
+        return self._triples
+
+    def count(self, s=None, p=None, o=None) -> int:
+        """Number of triples matching the given fixed positions."""
+        found = self.match(s, p, o)
+        return len(found) if hasattr(found, "__len__") else sum(1 for _ in found)
+
+    # ------------------------------------------------------------------
+    # Skolemization (Section 3.1)
+    # ------------------------------------------------------------------
+
+    def skolemize(self) -> Tuple["RDFGraph", Dict[URI, BNode]]:
+        """Return ``(G*, inverse)``: blanks replaced by fresh constants.
+
+        ``G*`` replaces each blank ``X`` by the Skolem constant ``c_X``
+        (a URI with the reserved :data:`SKOLEM_PREFIX`); *inverse* maps
+        each Skolem constant back to its blank, for
+        :meth:`unskolemize`.
+        """
+        forward: Dict[BNode, URI] = {
+            n: URI(SKOLEM_PREFIX + n.value) for n in self._bnodes
+        }
+        inverse = {u: n for n, u in forward.items()}
+
+        def sk(term):
+            return forward.get(term, term) if isinstance(term, BNode) else term
+
+        graph = RDFGraph(Triple(sk(t.s), sk(t.p), sk(t.o)) for t in self._triples)
+        return graph, inverse
+
+    @staticmethod
+    def unskolemize(graph: "RDFGraph", inverse: Dict[URI, BNode]) -> "RDFGraph":
+        """``H_*``: replace Skolem constants by their blanks.
+
+        Triples whose predicate position would become a blank node are
+        dropped, exactly as Section 3.1 prescribes ("deleting triples
+        having blanks as predicates").
+        """
+
+        def unsk(term):
+            return inverse.get(term, term) if isinstance(term, URI) else term
+
+        result = []
+        for t in graph:
+            candidate = Triple(unsk(t.s), unsk(t.p), unsk(t.o))
+            if candidate.is_valid_rdf():
+                result.append(candidate)
+        return RDFGraph(result)
+
+    # ------------------------------------------------------------------
+    # Blank-node-induced cycles (Section 2.4)
+    # ------------------------------------------------------------------
+
+    def has_blank_cycle(self) -> bool:
+        """True iff G has a cycle induced by blank nodes (Section 2.4).
+
+        A blank-induced cycle is a sequence ``x1, ..., xn = x1`` of
+        universe elements, each consecutive pair linked by a triple in
+        either direction, with every element on the cycle a blank node.
+        Simple graphs without such cycles correspond to acyclic
+        conjunctive queries and admit polynomial entailment testing.
+
+        Following the conjunctive-query reading (blank nodes are the
+        variables, the paper's stated motivation), two blanks co-occurring
+        in more than one triple — or twice in one triple — also count as
+        a (length-2) cycle, since the corresponding query hypergraph is
+        cyclic.
+        """
+        # Build the adjacency among blank nodes only: an edge whenever
+        # some triple links two blanks (in either subject/object role).
+        adjacency: Dict[BNode, Set[BNode]] = {n: set() for n in self._bnodes}
+        edge_multiplicity: Dict[Tuple[BNode, BNode], int] = {}
+        for t in self._triples:
+            if isinstance(t.s, BNode) and isinstance(t.o, BNode):
+                if t.s == t.o:
+                    return True  # self-loop on a blank: length-1 cycle
+                adjacency[t.s].add(t.o)
+                adjacency[t.o].add(t.s)
+                key = (min(t.s, t.o), max(t.s, t.o))
+                edge_multiplicity[key] = edge_multiplicity.get(key, 0) + 1
+        if any(m > 1 for m in edge_multiplicity.values()):
+            return True  # two parallel triples between the same blanks
+        # Undirected cycle detection among blanks via DFS.
+        visited: Set[BNode] = set()
+        for start in self._bnodes:
+            if start in visited:
+                continue
+            stack = [(start, None)]
+            parents: Dict[BNode, Optional[BNode]] = {start: None}
+            while stack:
+                node, parent = stack.pop()
+                if node in visited:
+                    continue
+                visited.add(node)
+                for neighbour in adjacency[node]:
+                    if neighbour == parent:
+                        continue
+                    if neighbour in parents and neighbour in visited:
+                        return True
+                    if neighbour not in parents:
+                        parents[neighbour] = node
+                    stack.append((neighbour, node))
+        return False
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tuples(cls, tuples: Iterable[Tuple]) -> "RDFGraph":
+        """Build a graph from raw (s, p, o) tuples, coercing strings to URIs."""
+        return cls(triple(*t) for t in tuples)
+
+    def map_terms(self, fn: Callable[[Term], Term]) -> "RDFGraph":
+        """Apply *fn* to every term position; drops ill-formed results."""
+        result = []
+        for t in self._triples:
+            candidate = Triple(fn(t.s), fn(t.p), fn(t.o))
+            if candidate.is_valid_rdf():
+                result.append(candidate)
+        return RDFGraph(result)
+
+
+def graph_from_triples(*tuples) -> RDFGraph:
+    """Shorthand: ``graph_from_triples((s,p,o), ...)`` with string coercion."""
+    return RDFGraph.from_tuples(tuples)

@@ -1,0 +1,238 @@
+"""Backtracking search for maps between RDF graphs and pattern matchings.
+
+This is the single engine behind every NP-hard decision procedure in the
+library:
+
+* simple entailment ``G1 ⊨ G2`` — a map ``G2 → G1`` (Theorem 2.8.2);
+* RDFS entailment — a map ``G2 → cl(G1)`` (Theorem 2.8.1);
+* leanness / core computation — proper endomorphisms (Section 3.2);
+* query matching — valuations ``v`` with ``v(B) ⊆ nf(D + P)``
+  (Definition 4.3);
+* containment certificates — substitutions θ (Theorems 5.5/5.7/5.8).
+
+The search treats a set of *pattern triples* containing free terms
+(blank nodes and/or query variables) and enumerates assignments of those
+free terms to terms of a *target* graph such that every instantiated
+pattern triple belongs to the target.  Free-term images always come from
+actual target triples, so positional well-formedness (no literal
+subjects, no blank predicates) holds by construction.
+
+The algorithm is classic conjunctive-pattern matching: ground pattern
+triples are checked up front, then triples are matched one at a time,
+always choosing next the triple with the fewest candidate target triples
+given the current partial assignment (a fail-first heuristic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Set
+
+from .graph import RDFGraph
+from .maps import Map
+from .terms import BNode, Term, Triple, Variable
+
+__all__ = [
+    "iter_assignments",
+    "find_assignment",
+    "iter_maps",
+    "find_map",
+    "find_map_into_subgraph",
+    "find_proper_endomorphism",
+    "count_assignments",
+]
+
+#: Terms that the solver binds: blank nodes and query variables.
+FreeTerm = Term
+
+
+def _free_terms(pattern: Iterable[Triple], frozen: FrozenSet[Term]) -> Set[Term]:
+    free: Set[Term] = set()
+    for t in pattern:
+        for term in t:
+            if isinstance(term, (BNode, Variable)) and term not in frozen:
+                free.add(term)
+    return free
+
+
+def _instantiate(t: Triple, assignment: Dict[Term, Term], frozen: FrozenSet[Term]):
+    """Return (s, p, o) with bound/constant positions fixed, free ones None."""
+    out = []
+    for term in t:
+        if isinstance(term, (BNode, Variable)) and term not in frozen:
+            out.append(assignment.get(term))
+        else:
+            out.append(term)
+    return tuple(out)
+
+
+def _candidates(
+    target: RDFGraph,
+    t: Triple,
+    assignment: Dict[Term, Term],
+    frozen: FrozenSet[Term],
+) -> Iterable[Triple]:
+    s, p, o = _instantiate(t, assignment, frozen)
+    return target.match(s, p, o)
+
+
+def iter_assignments(
+    pattern: Sequence[Triple],
+    target: RDFGraph,
+    frozen: Iterable[Term] = (),
+    partial: Optional[Dict[Term, Term]] = None,
+) -> Iterator[Dict[Term, Term]]:
+    """Enumerate assignments of the pattern's free terms into *target*.
+
+    Parameters
+    ----------
+    pattern:
+        Triples possibly containing blank nodes and variables.
+    target:
+        The graph the instantiated pattern must be a subgraph of.
+    frozen:
+        Blank nodes / variables to treat as constants (not assignable).
+        Used e.g. by containment tests, which freeze the body's variables
+        of one query while matching the other's (Theorem 5.5).
+    partial:
+        A pre-commitment of some free terms.
+
+    Yields every total assignment of the free terms (deterministically
+    ordered) such that each instantiated pattern triple is in *target*.
+    """
+    frozen_set = frozenset(frozen)
+    assignment: Dict[Term, Term] = dict(partial or {})
+    pattern = list(pattern)
+
+    # Ground (and frozen/pre-assigned) triples must already be present.
+    remaining = []
+    for t in pattern:
+        s, p, o = _instantiate(t, assignment, frozen_set)
+        if s is not None and p is not None and o is not None:
+            if Triple(s, p, o) not in target:
+                return
+        else:
+            remaining.append(t)
+
+    free = _free_terms(remaining, frozen_set) - set(assignment)
+    if not remaining:
+        yield dict(assignment)
+        return
+
+    def backtrack(todo: list) -> Iterator[Dict[Term, Term]]:
+        if not todo:
+            yield dict(assignment)
+            return
+        # Fail-first: pick the pattern triple with the fewest candidates.
+        best_index = None
+        best_count = None
+        for i, t in enumerate(todo):
+            found = _candidates(target, t, assignment, frozen_set)
+            n = len(found) if hasattr(found, "__len__") else sum(1 for _ in found)
+            if best_count is None or n < best_count:
+                best_index, best_count = i, n
+                if n == 0:
+                    return
+        chosen = todo[best_index]
+        rest = todo[:best_index] + todo[best_index + 1 :]
+        s, p, o = _instantiate(chosen, assignment, frozen_set)
+        for cand in sorted(
+            _candidates(target, chosen, assignment, frozen_set),
+            key=lambda c: (str(c.s), str(c.p), str(c.o)),
+        ):
+            bound: list = []
+            ok = True
+            for want, have, got in (
+                (s, chosen.s, cand.s),
+                (p, chosen.p, cand.p),
+                (o, chosen.o, cand.o),
+            ):
+                if want is not None:
+                    if got != want:
+                        ok = False
+                        break
+                    continue
+                already = assignment.get(have)
+                if already is None:
+                    assignment[have] = got
+                    bound.append(have)
+                elif already != got:
+                    ok = False
+                    break
+            if ok:
+                yield from backtrack(rest)
+            for term in bound:
+                del assignment[term]
+
+    produced_free = free  # every yielded dict covers exactly these + partial
+    for result in backtrack(remaining):
+        # A free term occurring only in already-satisfied ground triples
+        # cannot happen (such triples had no free terms), so the result
+        # always covers `produced_free`.
+        assert produced_free <= set(result) or not produced_free
+        yield result
+
+
+def find_assignment(
+    pattern: Sequence[Triple],
+    target: RDFGraph,
+    frozen: Iterable[Term] = (),
+    partial: Optional[Dict[Term, Term]] = None,
+) -> Optional[Dict[Term, Term]]:
+    """First assignment from :func:`iter_assignments`, or None."""
+    for assignment in iter_assignments(pattern, target, frozen, partial):
+        return assignment
+    return None
+
+
+def count_assignments(
+    pattern: Sequence[Triple],
+    target: RDFGraph,
+    frozen: Iterable[Term] = (),
+) -> int:
+    """Number of assignments (used by benchmarks and answer-size tests)."""
+    return sum(1 for _ in iter_assignments(pattern, target, frozen))
+
+
+def iter_maps(source: RDFGraph, target: RDFGraph) -> Iterator[Map]:
+    """Enumerate maps ``μ : source → target`` (``μ(source) ⊆ target``)."""
+    for assignment in iter_assignments(list(source), target):
+        yield Map({n: v for n, v in assignment.items() if isinstance(n, BNode)})
+
+
+def find_map(source: RDFGraph, target: RDFGraph) -> Optional[Map]:
+    """A map ``source → target`` if one exists, else None.
+
+    By Theorem 2.8.2 this decides simple entailment: ``target ⊨ source``
+    iff this returns a map, for simple graphs.
+    """
+    for m in iter_maps(source, target):
+        return m
+    return None
+
+
+def find_map_into_subgraph(
+    graph: RDFGraph, excluded: Triple
+) -> Optional[Map]:
+    """A map ``G → G − {excluded}`` if one exists.
+
+    Since ``μ(G) ⊆ G`` and ``t ∉ μ(G)`` together say exactly
+    ``μ(G) ⊆ G − {t}``, non-leanness reduces to this search over the
+    non-ground triples ``t`` of ``G``.
+    """
+    return find_map(graph, graph - {excluded})
+
+
+def find_proper_endomorphism(graph: RDFGraph) -> Optional[Map]:
+    """A map ``μ : G → G`` with ``μ(G) ⊊ G``, or None if G is lean.
+
+    A ground triple is a fixed point of every map, so only non-ground
+    triples can be missing from ``μ(G)``; we try to exclude each in turn
+    (deterministic order), returning the first witness found.
+    """
+    for t in graph.sorted_triples():
+        if t.is_ground():
+            continue
+        found = find_map_into_subgraph(graph, t)
+        if found is not None:
+            return found
+    return None

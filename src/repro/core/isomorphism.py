@@ -1,0 +1,149 @@
+"""Isomorphism of RDF graphs (Section 2.1).
+
+``G1 ≅ G2`` iff there are maps ``μ1, μ2`` with ``μ1(G1) = G2`` and
+``μ2(G2) = G1`` — equivalently, iff the graphs are equal up to a
+bijective renaming of blank nodes.  Uniqueness statements in the paper
+(core, normal form, merge) are all "up to isomorphism", so this decision
+procedure underlies many tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from .graph import RDFGraph
+from .homomorphism import iter_assignments
+from .maps import Map
+from .terms import BNode
+
+__all__ = ["isomorphic", "find_isomorphism", "canonical_form"]
+
+
+def _blank_signature(graph: RDFGraph, node: BNode):
+    """An isomorphism-invariant profile of one blank node.
+
+    Counts, for each (position, ground-context) combination, the triples
+    the node participates in.  Used only for fast rejection; the search
+    below is exact.
+    """
+    profile = Counter()
+    for t in graph.match(s=node):
+        profile[("s", t.p if not isinstance(t.p, BNode) else None,
+                 t.o if not isinstance(t.o, BNode) else None)] += 1
+    for t in graph.match(o=node):
+        profile[("o", t.s if not isinstance(t.s, BNode) else None,
+                 t.p if not isinstance(t.p, BNode) else None)] += 1
+    return frozenset(profile.items())
+
+
+def find_isomorphism(g1: RDFGraph, g2: RDFGraph) -> Optional[Map]:
+    """A bijective blank renaming μ with ``μ(g1) = g2``, or None."""
+    if len(g1) != len(g2):
+        return None
+    b1, b2 = g1.bnodes(), g2.bnodes()
+    if len(b1) != len(b2):
+        return None
+    # Ground triples must coincide exactly (they are fixed by any map).
+    ground1 = {t for t in g1 if t.is_ground()}
+    ground2 = {t for t in g2 if t.is_ground()}
+    if ground1 != ground2:
+        return None
+    # Signature multisets must match.
+    sig1 = Counter(_blank_signature(g1, n) for n in b1)
+    sig2 = Counter(_blank_signature(g2, n) for n in b2)
+    if sig1 != sig2:
+        return None
+    target_blanks = b2
+    for assignment in iter_assignments(list(g1), g2):
+        images = [v for v in assignment.values() if isinstance(v, BNode)]
+        if len(set(images)) != len(assignment):
+            continue  # not injective, or some blank mapped to a constant
+        if set(images) != set(target_blanks):
+            continue  # not surjective onto g2's blanks
+        m = Map({n: v for n, v in assignment.items() if isinstance(n, BNode)})
+        if m.apply_graph(g1) == g2:
+            return m
+    return None
+
+
+def isomorphic(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """``G1 ≅ G2``: equality up to bijective blank renaming."""
+    return find_isomorphism(g1, g2) is not None
+
+
+def canonical_form(graph: RDFGraph) -> RDFGraph:
+    """A canonical representative of the isomorphism class of *graph*.
+
+    Blank nodes are renamed to ``_:c0, _:c1, ...`` following an
+    iterated-refinement ordering; when refinement cannot separate two
+    blanks the tie is broken by trying all orders of the ambiguous block
+    and taking the lexicographically least resulting graph.  Exponential
+    in the size of the largest ambiguous block (as expected: canonical
+    labelling subsumes graph isomorphism), but linear-ish in practice.
+    """
+    blanks = sorted(graph.bnodes(), key=lambda n: n.value)
+    if not blanks:
+        return graph
+    # Initial colouring from local signatures, then refine by neighbour
+    # colours until stable.
+    colour: Dict[BNode, tuple] = {
+        n: (repr(sorted(_blank_signature(graph, n), key=repr)),) for n in blanks
+    }
+    for _ in range(len(blanks)):
+        new_colour = {}
+        for n in blanks:
+            neighbour_profile = []
+            for t in graph.match(s=n):
+                other = t.o
+                neighbour_profile.append(
+                    ("o", str(t.p), colour.get(other, ("const", str(other))))
+                )
+            for t in graph.match(o=n):
+                other = t.s
+                neighbour_profile.append(
+                    ("s", str(t.p), colour.get(other, ("const", str(other))))
+                )
+            new_colour[n] = (colour[n], tuple(sorted(map(repr, neighbour_profile))))
+        if len(set(new_colour.values())) == len(set(colour.values())):
+            colour = new_colour
+            break
+        colour = new_colour
+
+    # Group blanks by colour; within a group the order is ambiguous.
+    groups: Dict[tuple, list] = {}
+    for n in blanks:
+        groups.setdefault(colour[n], []).append(n)
+    ordered_groups = [sorted(g, key=lambda n: n.value)
+                      for _, g in sorted(groups.items(), key=lambda kv: repr(kv[0]))]
+
+    def rename_with(order) -> RDFGraph:
+        renaming = {n: BNode(f"c{i}") for i, n in enumerate(order)}
+        return graph.rename_bnodes(renaming)
+
+    base_order = [n for group in ordered_groups for n in group]
+    ambiguous = [g for g in ordered_groups if len(g) > 1]
+    if not ambiguous:
+        return rename_with(base_order)
+
+    # Try permutations within ambiguous groups; pick the least graph.
+    import itertools
+
+    best: Optional[RDFGraph] = None
+    best_key = None
+
+    def graph_key(g: RDFGraph):
+        return tuple(str(t) for t in g.sorted_triples())
+
+    fixed_groups = [tuple(g) for g in ordered_groups]
+    permutation_spaces = [
+        itertools.permutations(g) if len(g) > 1 else [tuple(g)]
+        for g in fixed_groups
+    ]
+    for combo in itertools.product(*permutation_spaces):
+        order = [n for group in combo for n in group]
+        candidate = rename_with(order)
+        key = graph_key(candidate)
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    return best

@@ -1,0 +1,143 @@
+"""Maps between RDF graphs (Section 2.1).
+
+A *map* is a function ``μ : UB → UB`` preserving URIs (``μ(u) = u`` for
+``u ∈ U``).  Applied to a graph it replaces blank nodes; ``μ(G)`` is an
+*instance* of ``G``, and a *proper* instance if it has fewer blank nodes
+(``μ`` sends a blank to a URI or identifies two blanks).
+
+We also overload "map" as the paper does: a map ``μ : G1 → G2`` is a map
+with ``μ(G1) ⊆ G2``.  :mod:`repro.core.homomorphism` searches for such
+maps; this module provides the value type and algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from .graph import RDFGraph
+from .terms import BNode, Literal, Term, Triple, URI
+
+__all__ = ["Map", "identity_map", "apply_assignment"]
+
+
+def apply_assignment(assignment: Mapping[Term, Term], t: Triple) -> Triple:
+    """Apply a term assignment to one triple (no validity check)."""
+    return Triple(
+        assignment.get(t.s, t.s),
+        assignment.get(t.p, t.p),
+        assignment.get(t.o, t.o),
+    )
+
+
+class Map:
+    """A URI-preserving function on terms, represented by its blank part.
+
+    Only the action on blank nodes is stored; URIs and literals are fixed
+    points by definition.  Instances are immutable.
+    """
+
+    __slots__ = ("_assignment",)
+
+    def __init__(self, assignment: Mapping[BNode, Term] = ()):
+        frozen: Dict[BNode, Term] = {}
+        for source, image in dict(assignment).items():
+            if not isinstance(source, BNode):
+                raise TypeError(f"map domain must be blank nodes, got {source!r}")
+            if not isinstance(image, (URI, BNode, Literal)):
+                raise TypeError(f"map image must be a ground term, got {image!r}")
+            frozen[source] = image
+        self._assignment = frozen
+
+    @property
+    def assignment(self) -> Mapping[BNode, Term]:
+        """The explicit (blank → term) part of the map."""
+        return dict(self._assignment)
+
+    def __call__(self, value):
+        """Apply to a term, a triple, or a graph."""
+        if isinstance(value, RDFGraph):
+            return self.apply_graph(value)
+        if isinstance(value, Triple):
+            return apply_assignment(self._assignment, value)
+        if isinstance(value, BNode):
+            return self._assignment.get(value, value)
+        return value
+
+    def apply_graph(self, graph: RDFGraph) -> RDFGraph:
+        """``μ(G)``: the instance of *graph* under this map.
+
+        Raises :class:`ValueError` if some triple becomes ill-formed
+        (a blank mapped into predicate position cannot occur, because
+        predicates are URIs and URIs are fixed).
+        """
+        images = []
+        for t in graph:
+            image = apply_assignment(self._assignment, t)
+            if not image.is_valid_rdf():
+                raise ValueError(f"map produces ill-formed triple {image} from {t}")
+            images.append(image)
+        return RDFGraph(images)
+
+    def compose(self, other: "Map") -> "Map":
+        """``self ∘ other``: apply *other* first, then *self*."""
+        assignment: Dict[BNode, Term] = {}
+        for source, image in other._assignment.items():
+            assignment[source] = self(image)
+        for source, image in self._assignment.items():
+            assignment.setdefault(source, image)
+        return Map(assignment)
+
+    def restrict(self, domain: Iterable[BNode]) -> "Map":
+        """The map restricted to the given blank nodes."""
+        wanted = set(domain)
+        return Map({n: v for n, v in self._assignment.items() if n in wanted})
+
+    def is_identity_on(self, bnodes: Iterable[BNode]) -> bool:
+        """True iff every given blank is a fixed point."""
+        return all(self._assignment.get(n, n) == n for n in bnodes)
+
+    def is_injective_on(self, bnodes: Iterable[BNode]) -> bool:
+        """True iff the map is injective restricted to the given blanks."""
+        images = [self(n) for n in bnodes]
+        return len(images) == len(set(images))
+
+    def makes_proper_instance_of(self, graph: RDFGraph) -> bool:
+        """True iff ``μ(G)`` has fewer blank nodes than ``G``.
+
+        This is the paper's definition of a *proper instance*: the map
+        either sends some blank to a URI/literal or identifies two
+        blanks of the graph.
+        """
+        blanks = graph.bnodes()
+        images = {self(n) for n in blanks}
+        surviving = {v for v in images if isinstance(v, BNode)}
+        return len(surviving) < len(blanks)
+
+    def __eq__(self, other):
+        if not isinstance(other, Map):
+            return NotImplemented
+        # Normalize away explicit fixed points before comparing.
+        mine = {k: v for k, v in self._assignment.items() if k != v}
+        theirs = {k: v for k, v in other._assignment.items() if k != v}
+        return mine == theirs
+
+    def __hash__(self):
+        items = tuple(
+            sorted(
+                ((k, v) for k, v in self._assignment.items() if k != v),
+                key=lambda kv: (kv[0].value, kv[1].value),
+            )
+        )
+        return hash(items)
+
+    def __repr__(self):
+        inner = ", ".join(
+            f"{k} ↦ {v}"
+            for k, v in sorted(self._assignment.items(), key=lambda kv: kv[0].value)
+        )
+        return f"Map({{{inner}}})"
+
+
+def identity_map() -> Map:
+    """The identity map (every term a fixed point)."""
+    return Map({})

@@ -1,0 +1,272 @@
+"""Terms of the abstract RDF model.
+
+The paper (Section 2.1) assumes an infinite set ``U`` of URI references
+and an infinite set ``B`` of blank nodes, and defines an RDF triple as an
+element of ``(U ∪ B) × U × (U ∪ B)``.  This module provides the concrete
+Python value types for those sets, plus two extensions used elsewhere in
+the library:
+
+* :class:`Literal` — plain literals, allowed only in object position.
+  The paper drops literals (footnote 1) because they behave exactly like
+  constants at this level of abstraction; we keep them so realistic
+  examples read naturally, and every algorithm treats them as constants.
+* :class:`Variable` — query variables from the set ``V`` of Section 4,
+  disjoint from ``U ∪ B``.  They never appear inside plain RDF graphs,
+  only in tableau heads/bodies.
+
+All term types are immutable, hashable and totally ordered (ordering is
+by kind first, then by value) so that graphs serialize and iterate
+deterministically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import NamedTuple, Union
+
+__all__ = [
+    "URI",
+    "BNode",
+    "Literal",
+    "Variable",
+    "Term",
+    "GroundTerm",
+    "Triple",
+    "fresh_bnode",
+    "fresh_bnode_factory",
+    "is_ground_term",
+    "sort_key",
+]
+
+# Kind tags used for cross-kind total ordering.  URIs sort before blank
+# nodes, which sort before literals, which sort before variables.
+_KIND_URI = 0
+_KIND_BNODE = 1
+_KIND_LITERAL = 2
+_KIND_VARIABLE = 3
+
+
+class _Atom:
+    """Common base for all term kinds: an immutable tagged string."""
+
+    __slots__ = ("value",)
+    _kind: int = -1
+    _prefix: str = ""
+    _allow_empty: bool = False
+
+    def __init__(self, value: str):
+        if not isinstance(value, str):
+            raise TypeError(
+                f"{type(self).__name__} value must be a string, got {value!r}"
+            )
+        if not value and not self._allow_empty:
+            raise ValueError(f"{type(self).__name__} value must be non-empty")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, _value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.value == other.value
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return hash((self._kind, self.value))
+
+    def __lt__(self, other):
+        if not isinstance(other, _Atom):
+            return NotImplemented
+        return (self._kind, self.value) < (other._kind, other.value)
+
+    def __le__(self, other):
+        if not isinstance(other, _Atom):
+            return NotImplemented
+        return (self._kind, self.value) <= (other._kind, other.value)
+
+    def __gt__(self, other):
+        if not isinstance(other, _Atom):
+            return NotImplemented
+        return (self._kind, self.value) > (other._kind, other.value)
+
+    def __ge__(self, other):
+        if not isinstance(other, _Atom):
+            return NotImplemented
+        return (self._kind, self.value) >= (other._kind, other.value)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.value!r})"
+
+    def __str__(self):
+        return self._prefix + self.value
+
+    def __reduce__(self):
+        return (type(self), (self.value,))
+
+
+class URI(_Atom):
+    """An RDF URI reference: an element of the set ``U``.
+
+    In the abstract model a URI is just an opaque name; no IRI syntax is
+    enforced, so short names such as ``URI("paints")`` are legal, exactly
+    as in the paper's examples.
+    """
+
+    __slots__ = ()
+    _kind = _KIND_URI
+    _prefix = ""
+
+
+class BNode(_Atom):
+    """A blank node: an element of the set ``B = {N_j : j ∈ N}``.
+
+    Blank nodes act as existential variables in the semantics
+    (Section 2.3.1).  Two blank nodes are equal iff their labels are
+    equal; merge (:meth:`repro.core.graph.RDFGraph.merge`) renames labels
+    apart automatically.
+    """
+
+    __slots__ = ()
+    _kind = _KIND_BNODE
+    _prefix = "_:"
+
+
+class Literal(_Atom):
+    """A plain literal, allowed in object position only.
+
+    The theory treats literals exactly as constants (see DESIGN.md §6);
+    they exist so examples like ``(dept, offers, "DB")`` from Section 6.2
+    can be written down.
+    """
+
+    __slots__ = ()
+    _kind = _KIND_LITERAL
+    _prefix = ""
+    _allow_empty = True  # "" is a legitimate plain literal
+
+    def __str__(self):
+        return f'"{self.value}"'
+
+
+class Variable(_Atom):
+    """A query variable from the set ``V`` (Section 4), e.g. ``?X``.
+
+    Variables appear only in tableau heads and bodies, never in RDF
+    graphs or premises.
+    """
+
+    __slots__ = ()
+    _kind = _KIND_VARIABLE
+    _prefix = "?"
+
+    def __init__(self, value: str):
+        # Accept both "X" and "?X" spellings for convenience.
+        if isinstance(value, str) and value.startswith("?"):
+            value = value[1:]
+        super().__init__(value)
+
+
+#: Any term that may occur in a query pattern.
+Term = Union[URI, BNode, Literal, Variable]
+
+#: Any term that may occur in an RDF graph (no variables).
+GroundTerm = Union[URI, BNode, Literal]
+
+
+class Triple(NamedTuple):
+    """An RDF triple ``(s, p, o)``.
+
+    Validity per Section 2.1: ``s ∈ U ∪ B``, ``p ∈ U``, ``o ∈ U ∪ B``
+    (plus literals in object position, and variables anywhere when the
+    triple is a query pattern).  Construction does not validate so that
+    intermediate rewriting (e.g. unskolemization) can build candidate
+    triples and filter them; use :meth:`is_valid_rdf` /
+    :meth:`is_valid_pattern` to check.
+    """
+
+    s: Term
+    p: Term
+    o: Term
+
+    def is_valid_rdf(self) -> bool:
+        """True iff this is a well-formed RDF triple (no variables)."""
+        return (
+            isinstance(self.s, (URI, BNode))
+            and isinstance(self.p, URI)
+            and isinstance(self.o, (URI, BNode, Literal))
+        )
+
+    def is_valid_pattern(self) -> bool:
+        """True iff this is a well-formed query pattern.
+
+        Patterns extend RDF triples with variables in any position; a
+        blank node may not be a predicate (rule instantiations must not
+        assign blank nodes to predicate positions either, Section 2.3.2).
+        """
+        return (
+            isinstance(self.s, (URI, BNode, Variable))
+            and isinstance(self.p, (URI, Variable))
+            and isinstance(self.o, (URI, BNode, Literal, Variable))
+        )
+
+    def is_ground(self) -> bool:
+        """True iff no blank node or variable occurs in the triple."""
+        return all(isinstance(t, (URI, Literal)) for t in self)
+
+    def terms(self):
+        """Iterate the three positions (subject, predicate, object)."""
+        return iter(self)
+
+    def variables(self) -> frozenset:
+        """The set of variables occurring in this triple."""
+        return frozenset(t for t in self if isinstance(t, Variable))
+
+    def bnodes(self) -> frozenset:
+        """The set of blank nodes occurring in this triple."""
+        return frozenset(t for t in self if isinstance(t, BNode))
+
+    def __str__(self):
+        return f"({self.s}, {self.p}, {self.o})"
+
+
+_fresh_counter = itertools.count()
+
+
+def fresh_bnode(hint: str = "g") -> BNode:
+    """Return a blank node with a globally unused label.
+
+    Labels have the shape ``<hint><n>`` with a process-wide counter, so
+    independently generated fresh nodes never collide within one process.
+    """
+    return BNode(f"{hint}{next(_fresh_counter)}")
+
+
+def fresh_bnode_factory(avoid, hint: str = "b"):
+    """Return a zero-argument callable producing blank nodes not in *avoid*.
+
+    Unlike :func:`fresh_bnode` the produced labels are deterministic
+    (``b0, b1, ...`` skipping collisions), which keeps merge and
+    Skolemization reproducible across runs.
+    """
+    avoid_labels = {n.value for n in avoid if isinstance(n, BNode)}
+    counter = itertools.count()
+
+    def factory() -> BNode:
+        while True:
+            label = f"{hint}{next(counter)}"
+            if label not in avoid_labels:
+                avoid_labels.add(label)
+                return BNode(label)
+
+    return factory
+
+
+def is_ground_term(term: Term) -> bool:
+    """True iff *term* is a constant (URI or literal)."""
+    return isinstance(term, (URI, Literal))
+
+
+def sort_key(term: Term):
+    """Deterministic total-order key across all term kinds."""
+    return (term._kind, term.value)

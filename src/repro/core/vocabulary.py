@@ -1,0 +1,55 @@
+"""The RDFS vocabulary fragment ``rdfsV`` (Section 2.2).
+
+The paper isolates the five reserved predicates whose semantics is
+non-trivial and relates external data:
+
+    rdfsV = {sp, sc, type, dom, range}
+
+corresponding to ``rdfs:subPropertyOf``, ``rdfs:subClassOf``,
+``rdf:type``, ``rdfs:domain`` and ``rdfs:range``.  Groups (b)–(d) of the
+full W3C vocabulary (containers, reification, utility terms) have purely
+structural "axiomatic triple" semantics and are excluded, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from .terms import URI
+
+__all__ = [
+    "SP",
+    "SC",
+    "TYPE",
+    "DOM",
+    "RANGE",
+    "RDFS_VOCABULARY",
+    "FULL_URIS",
+]
+
+#: rdfs:subPropertyOf — reflexive and transitive over properties.
+SP = URI("sp")
+
+#: rdfs:subClassOf — reflexive and transitive over classes.
+SC = URI("sc")
+
+#: rdf:type — class membership.
+TYPE = URI("type")
+
+#: rdfs:domain — the domain class of a property.
+DOM = URI("dom")
+
+#: rdfs:range — the range class of a property.
+RANGE = URI("range")
+
+#: The fragment rdfsV studied throughout the paper.
+RDFS_VOCABULARY = frozenset({SP, SC, TYPE, DOM, RANGE})
+
+#: Mapping from the paper's short names to the normative W3C URIs, for
+#: interoperability when importing/exporting real RDF data.
+FULL_URIS = {
+    SP: URI("http://www.w3.org/2000/01/rdf-schema#subPropertyOf"),
+    SC: URI("http://www.w3.org/2000/01/rdf-schema#subClassOf"),
+    TYPE: URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+    DOM: URI("http://www.w3.org/2000/01/rdf-schema#domain"),
+    RANGE: URI("http://www.w3.org/2000/01/rdf-schema#range"),
+}

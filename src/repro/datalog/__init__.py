@@ -1,0 +1,21 @@
+"""Positive Datalog: the engine and the RDFS rules as a program.
+
+Supports the paper's two Datalog touchpoints: Section 2.3.2's deductive
+system is Datalog-expressible (``closure_via_datalog``); Section 4.2's
+premise queries are not (see ``tests/test_datalog.py`` for the
+executable contrast).
+"""
+
+from .engine import DVar, DatalogAtom, DatalogProgram, DatalogRule, evaluate_program
+from .rdfs_program import TRIPLE_RELATION, closure_via_datalog, rdfs_datalog_program
+
+__all__ = [
+    "DVar",
+    "DatalogAtom",
+    "DatalogProgram",
+    "DatalogRule",
+    "TRIPLE_RELATION",
+    "closure_via_datalog",
+    "evaluate_program",
+    "rdfs_datalog_program",
+]

@@ -1,0 +1,34 @@
+"""Workload generators for tests, examples and benchmarks."""
+
+from .random_graphs import random_digraph, random_ground_graph, random_simple_rdf_graph
+from .queries import chain_query, random_query_from_graph, star_query
+from .schemas import art_schema, random_schema_with_instances
+from .structured import (
+    blank_chain,
+    blank_star,
+    dom_range_ladder,
+    property_fanout,
+    redundant_blank_fan,
+    sc_chain,
+    sc_chain_with_instance,
+    sp_chain,
+)
+
+__all__ = [
+    "art_schema",
+    "blank_chain",
+    "blank_star",
+    "chain_query",
+    "dom_range_ladder",
+    "property_fanout",
+    "random_digraph",
+    "random_ground_graph",
+    "random_query_from_graph",
+    "random_schema_with_instances",
+    "random_simple_rdf_graph",
+    "redundant_blank_fan",
+    "sc_chain",
+    "sc_chain_with_instance",
+    "sp_chain",
+    "star_query",
+]

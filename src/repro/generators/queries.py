@@ -1,0 +1,83 @@
+"""Random tableau queries over generated data.
+
+Used by the query-answering and containment benchmarks: bodies are
+random connected patterns extracted from a data graph (so they have
+matches), with a controllable fraction of positions turned into
+variables.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Term, Triple, URI, Variable
+from ..query.tableau import PatternGraph, Query, Tableau
+
+__all__ = ["random_query_from_graph", "chain_query", "star_query"]
+
+
+def random_query_from_graph(
+    graph: RDFGraph,
+    num_triples: int,
+    variable_probability: float = 0.6,
+    seed: Optional[int] = None,
+) -> Query:
+    """A query whose body generalizes a random connected subgraph.
+
+    Walks the data graph collecting *num_triples* connected triples,
+    then abstracts subject/object terms into variables with the given
+    probability (consistently: the same term always becomes the same
+    variable).  The head repeats the body, so the query is a "select
+    the matched subgraph" query.
+    """
+    rng = random.Random(seed)
+    all_triples = graph.sorted_triples()
+    if not all_triples:
+        raise ValueError("cannot build a query over an empty graph")
+    start = rng.choice(all_triples)
+    chosen = [start]
+    frontier_terms = {start.s, start.o}
+    while len(chosen) < num_triples:
+        candidates = [
+            t
+            for term in frontier_terms
+            for t in list(graph.match(s=term)) + list(graph.match(o=term))
+            if t not in chosen
+        ]
+        if not candidates:
+            break
+        nxt = rng.choice(sorted(candidates, key=str))
+        chosen.append(nxt)
+        frontier_terms |= {nxt.s, nxt.o}
+
+    var_of = {}
+
+    def abstract(term: Term) -> Term:
+        if term in var_of:
+            return var_of[term]
+        if isinstance(term, BNode) or rng.random() < variable_probability:
+            var = Variable(f"V{len(var_of)}")
+            var_of[term] = var
+            return var
+        return term
+
+    body = [Triple(abstract(t.s), t.p, abstract(t.o)) for t in chosen]
+    return Query(tableau=Tableau(head=PatternGraph(body), body=PatternGraph(body)))
+
+
+def chain_query(length: int, predicate: str = "p") -> Query:
+    """``(?X0, p, ?X1), ..., (?X_{n-1}, p, ?Xn)`` — an acyclic body."""
+    p = URI(predicate)
+    body = [
+        Triple(Variable(f"X{i}"), p, Variable(f"X{i + 1}")) for i in range(length)
+    ]
+    return Query(tableau=Tableau(head=PatternGraph(body), body=PatternGraph(body)))
+
+
+def star_query(rays: int, predicate: str = "p") -> Query:
+    """``(?C, p, ?X1), ..., (?C, p, ?Xn)`` — a star-shaped body."""
+    p = URI(predicate)
+    body = [Triple(Variable("C"), p, Variable(f"X{i}")) for i in range(rays)]
+    return Query(tableau=Tableau(head=PatternGraph(body), body=PatternGraph(body)))

@@ -1,0 +1,82 @@
+"""Random graph workloads for tests and benchmarks.
+
+All generators take an explicit ``seed`` and are deterministic given
+it; benchmark series are therefore reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Triple, URI
+from ..reductions.standard_graphs import DiGraph
+
+__all__ = ["random_digraph", "random_simple_rdf_graph", "random_ground_graph"]
+
+
+def random_digraph(
+    num_vertices: int, num_edges: int, seed: Optional[int] = None
+) -> DiGraph:
+    """G(n, m): *num_edges* distinct directed edges, no self-loops."""
+    rng = random.Random(seed)
+    graph = DiGraph(range(num_vertices))
+    possible = num_vertices * (num_vertices - 1)
+    target = min(num_edges, possible)
+    edges = set()
+    while len(edges) < target:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            edges.add((u, v))
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def random_simple_rdf_graph(
+    num_triples: int,
+    num_nodes: int,
+    num_predicates: int = 3,
+    blank_probability: float = 0.4,
+    seed: Optional[int] = None,
+) -> RDFGraph:
+    """A random simple RDF graph with controllable blank-node density.
+
+    Each subject/object position independently becomes a blank node with
+    probability *blank_probability* (drawn from a shared pool so blanks
+    repeat, which is what creates non-trivial homomorphism structure).
+    """
+    rng = random.Random(seed)
+    uris = [URI(f"n{i}") for i in range(num_nodes)]
+    blanks = [BNode(f"N{i}") for i in range(max(1, num_nodes // 2))]
+    predicates = [URI(f"p{i}") for i in range(num_predicates)]
+
+    def node():
+        if rng.random() < blank_probability:
+            return rng.choice(blanks)
+        return rng.choice(uris)
+
+    triples = set()
+    attempts = 0
+    while len(triples) < num_triples and attempts < num_triples * 20:
+        attempts += 1
+        triples.add(Triple(node(), rng.choice(predicates), node()))
+    return RDFGraph(triples)
+
+
+def random_ground_graph(
+    num_triples: int,
+    num_nodes: int,
+    num_predicates: int = 3,
+    seed: Optional[int] = None,
+) -> RDFGraph:
+    """A random ground (blank-free) simple RDF graph."""
+    return random_simple_rdf_graph(
+        num_triples,
+        num_nodes,
+        num_predicates=num_predicates,
+        blank_probability=0.0,
+        seed=seed,
+    )

@@ -1,0 +1,105 @@
+"""RDFS schema generators, including the paper's Fig. 1 art example.
+
+:func:`art_schema` is a faithful transcription of Fig. 1 — the running
+example describing art resources, where schema (sc/sp/dom/range
+triples) and data (Picasso paints Guernica) live at the same level.
+:func:`random_schema_with_instances` generalizes its shape into a
+parameterized workload: a class DAG, a property forest with dom/range
+axioms, and typed instance data underneath.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Triple, URI
+from ..core.vocabulary import DOM, RANGE, SC, SP, TYPE
+
+__all__ = ["art_schema", "random_schema_with_instances"]
+
+
+def art_schema() -> RDFGraph:
+    """The Fig. 1 RDF graph: a schema for describing art resources.
+
+    Relations: ``sculptor`` and ``painter`` are subclasses of
+    ``artist``; ``sculpts`` and ``paints`` are subproperties of
+    ``creates`` with the appropriate domains and ranges; ``sculpture``
+    and ``painting`` are subclasses of ``artifact``; artifacts are
+    ``exhibited`` in museums; and at the data level, Picasso paints
+    Guernica.  (The figure notes some arcs are omitted to avoid
+    crowding; this transcription includes the arcs it depicts plus the
+    dom/range arcs the caption describes.)
+    """
+    return RDFGraph(
+        [
+            # Class hierarchy.
+            Triple(URI("sculptor"), SC, URI("artist")),
+            Triple(URI("painter"), SC, URI("artist")),
+            Triple(URI("sculpture"), SC, URI("artifact")),
+            Triple(URI("painting"), SC, URI("artifact")),
+            # Property hierarchy.
+            Triple(URI("sculpts"), SP, URI("creates")),
+            Triple(URI("paints"), SP, URI("creates")),
+            # Domains and ranges.
+            Triple(URI("creates"), DOM, URI("artist")),
+            Triple(URI("creates"), RANGE, URI("artifact")),
+            Triple(URI("sculpts"), DOM, URI("sculptor")),
+            Triple(URI("sculpts"), RANGE, URI("sculpture")),
+            Triple(URI("paints"), DOM, URI("painter")),
+            Triple(URI("paints"), RANGE, URI("painting")),
+            Triple(URI("exhibited"), DOM, URI("artifact")),
+            Triple(URI("exhibited"), RANGE, URI("museum")),
+            # Data: schema and instances at the same level.
+            Triple(URI("Picasso"), URI("paints"), URI("Guernica")),
+        ]
+    )
+
+
+def random_schema_with_instances(
+    num_classes: int,
+    num_properties: int,
+    num_instances: int,
+    num_uses: int,
+    blank_probability: float = 0.2,
+    seed: Optional[int] = None,
+) -> RDFGraph:
+    """A random RDFS ontology in the shape of Fig. 1.
+
+    * a random class forest (each class gets an ``sc`` edge to a random
+      earlier class — always acyclic);
+    * a random property forest via ``sp`` likewise;
+    * each property receives ``dom``/``range`` axioms pointing at random
+      classes;
+    * *num_instances* typed individuals and *num_uses* property
+      assertions between individuals, with subjects/objects optionally
+      blank.
+    """
+    rng = random.Random(seed)
+    classes = [URI(f"class{i}") for i in range(num_classes)]
+    properties = [URI(f"prop{i}") for i in range(num_properties)]
+    individuals: List = [URI(f"ind{i}") for i in range(num_instances)]
+    blanks = [BNode(f"B{i}") for i in range(max(1, num_instances // 3))]
+
+    triples = []
+    for i in range(1, num_classes):
+        parent = classes[rng.randrange(i)]
+        triples.append(Triple(classes[i], SC, parent))
+    for i in range(1, num_properties):
+        parent = properties[rng.randrange(i)]
+        triples.append(Triple(properties[i], SP, parent))
+    for p in properties:
+        triples.append(Triple(p, DOM, rng.choice(classes)))
+        triples.append(Triple(p, RANGE, rng.choice(classes)))
+
+    def node():
+        if rng.random() < blank_probability:
+            return rng.choice(blanks)
+        return rng.choice(individuals)
+
+    for ind in individuals:
+        triples.append(Triple(ind, TYPE, rng.choice(classes)))
+    for _ in range(num_uses):
+        triples.append(Triple(node(), rng.choice(properties), node()))
+    return RDFGraph(set(triples))

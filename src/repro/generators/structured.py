@@ -1,0 +1,118 @@
+"""Structured graph families with known entailment/core behaviour.
+
+These families are the building blocks of the benchmark sweeps: their
+closures, cores and homomorphism structure are known in closed form, so
+the measured curves can be checked against predictions.
+"""
+
+from __future__ import annotations
+
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Triple, URI
+from ..core.vocabulary import DOM, RANGE, SC, SP, TYPE
+
+__all__ = [
+    "sp_chain",
+    "sc_chain",
+    "sc_chain_with_instance",
+    "blank_chain",
+    "blank_star",
+    "property_fanout",
+    "redundant_blank_fan",
+    "dom_range_ladder",
+]
+
+
+def sp_chain(length: int, prefix: str = "p") -> RDFGraph:
+    """``p0 sp p1 sp ... sp p_length``: closure gains Θ(length²) triples."""
+    return RDFGraph(
+        Triple(URI(f"{prefix}{i}"), SP, URI(f"{prefix}{i + 1}"))
+        for i in range(length)
+    )
+
+
+def sc_chain(length: int, prefix: str = "c") -> RDFGraph:
+    """``c0 sc c1 sc ... sc c_length``."""
+    return RDFGraph(
+        Triple(URI(f"{prefix}{i}"), SC, URI(f"{prefix}{i + 1}"))
+        for i in range(length)
+    )
+
+
+def sc_chain_with_instance(length: int, prefix: str = "c") -> RDFGraph:
+    """An sc chain plus one typed instance at the bottom.
+
+    The closure types the instance with every class in the chain — the
+    canonical quadratic-ish growth workload for E8.
+    """
+    chain = sc_chain(length, prefix)
+    return chain.union(
+        RDFGraph([Triple(URI("item"), TYPE, URI(f"{prefix}0"))])
+    )
+
+
+def blank_chain(length: int, predicate: str = "p") -> RDFGraph:
+    """``X0 -p-> X1 -p-> ... -p-> X_length`` with all-blank nodes.
+
+    Blank-acyclic (it is a path), so entailment *into* it stays
+    polynomial via the acyclic pipeline.
+    """
+    p = URI(predicate)
+    return RDFGraph(
+        Triple(BNode(f"X{i}"), p, BNode(f"X{i + 1}")) for i in range(length)
+    )
+
+
+def blank_star(rays: int, predicate: str = "p") -> RDFGraph:
+    """A ground centre with *rays* blank successors — maximally non-lean.
+
+    Its core is a single triple, and every proper endomorphism collapses
+    blanks, making it the canonical core-computation workload.
+    """
+    p = URI(predicate)
+    return RDFGraph(
+        Triple(URI("centre"), p, BNode(f"X{i}")) for i in range(rays)
+    )
+
+
+def property_fanout(num_properties: int, num_uses: int) -> RDFGraph:
+    """Many properties under one super-property, each used many times.
+
+    Closure size: every use is lifted to the super-property, giving the
+    ``|uses| × |sp-ancestors|`` quadratic term of Theorem 3.6.3.
+    """
+    top = URI("top")
+    triples = []
+    for i in range(num_properties):
+        p = URI(f"q{i}")
+        triples.append(Triple(p, SP, top))
+        for j in range(num_uses):
+            triples.append(Triple(URI(f"s{i}_{j}"), p, URI(f"o{i}_{j}")))
+    return RDFGraph(triples)
+
+
+def redundant_blank_fan(width: int, predicate: str = "p") -> RDFGraph:
+    """``(a, p, X1), ..., (a, p, Xw), (a, p, b)``: core is ``(a, p, b)``.
+
+    Example 3.8's ``G1`` scaled up; every blank triple is redundant.
+    """
+    p = URI(predicate)
+    triples = [Triple(URI("a"), p, BNode(f"X{i}")) for i in range(width)]
+    triples.append(Triple(URI("a"), p, URI("b")))
+    return RDFGraph(triples)
+
+
+def dom_range_ladder(height: int) -> RDFGraph:
+    """Properties with dom/range axioms over an sc ladder, plus uses.
+
+    Exercises rules (5)–(7) together: each use of ``r_i`` types its
+    subject/object through the class ladder above level ``i``.
+    """
+    triples = []
+    for i in range(height):
+        triples.append(Triple(URI(f"c{i}"), SC, URI(f"c{i + 1}")))
+        triples.append(Triple(URI(f"r{i}"), DOM, URI(f"c{i}")))
+        triples.append(Triple(URI(f"r{i}"), RANGE, URI(f"c{i}")))
+        triples.append(Triple(URI(f"u{i}"), URI(f"r{i}"), URI(f"w{i}")))
+    return RDFGraph(triples)

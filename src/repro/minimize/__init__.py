@@ -1,0 +1,41 @@
+"""Normal forms and minimal/maximal representations (Section 3).
+
+Lean graphs and cores (minimal representations for simple graphs),
+closures (maximal representations), minimal representations for
+vocabulary-bearing graphs, and the normal form ``nf(G) = core(cl(G))``.
+"""
+
+from .core_graph import core, core_with_retraction, is_core_of
+from .lean import is_lean, non_lean_witness
+from .minimal import (
+    all_minimal_representations,
+    count_minimal_representations,
+    has_unique_minimal_representation,
+    is_acyclic_for,
+    minimal_representation,
+    satisfies_theorem_316_preconditions,
+    transitive_reduction,
+)
+from .naive_closure import candidate_triples, iter_naive_closures, naive_closures
+from .normal_form import is_normal_form_of, normal_form, normal_form_equivalent
+
+__all__ = [
+    "all_minimal_representations",
+    "candidate_triples",
+    "core",
+    "core_with_retraction",
+    "count_minimal_representations",
+    "has_unique_minimal_representation",
+    "is_acyclic_for",
+    "is_core_of",
+    "is_lean",
+    "is_normal_form_of",
+    "iter_naive_closures",
+    "minimal_representation",
+    "naive_closures",
+    "non_lean_witness",
+    "normal_form",
+    "normal_form_equivalent",
+    "satisfies_theorem_316_preconditions",
+    "transitive_reduction",
+]

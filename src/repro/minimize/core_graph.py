@@ -1,0 +1,57 @@
+"""The core of an RDF graph (Theorem 3.10, Theorem 3.11).
+
+Every RDF graph contains a unique (up to isomorphism) lean subgraph that
+is an instance of it — its *core*.  The computation follows the
+existence proof of Theorem 3.10: repeatedly find a proper endomorphism
+``μ`` (``μ(G) ⊊ G``) and replace ``G`` by ``μ(G)``; each application
+strictly shrinks the graph, so at most ``|G|`` iterations occur, each
+one an NP search (cores are DP-complete to verify, Theorem 3.12.2 —
+there is no easy shortcut).
+
+For *simple* graphs the core is additionally the unique minimal graph
+equivalent to ``G`` and decides equivalence up to isomorphism
+(Theorem 3.11); tests exercise both properties.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import find_proper_endomorphism
+from ..core.isomorphism import isomorphic
+from ..core.maps import Map, identity_map
+
+__all__ = ["core", "core_with_retraction", "is_core_of"]
+
+
+def core_with_retraction(graph: RDFGraph) -> Tuple[RDFGraph, Map]:
+    """``(core(G), ρ)`` where ρ is the composed retraction ``G → core(G)``.
+
+    The retraction is a map with ``ρ(G) = core(G)``; it certifies that
+    the core is an instance of ``G`` (one half of Theorem 3.10).
+    """
+    current = graph
+    retraction = identity_map()
+    while True:
+        mu = find_proper_endomorphism(current)
+        if mu is None:
+            return current, retraction
+        current = mu.apply_graph(current)
+        retraction = mu.compose(retraction)
+
+
+def core(graph: RDFGraph) -> RDFGraph:
+    """``core(G)``: the unique lean subgraph that is an instance of G."""
+    result, _retraction = core_with_retraction(graph)
+    return result
+
+
+def is_core_of(candidate: RDFGraph, graph: RDFGraph) -> bool:
+    """Is ``candidate ≅ core(graph)``?  (DP-complete, Theorem 3.12.2.)
+
+    Decided by actually computing the core and testing isomorphism —
+    matching the theorem's DP structure (an NP part: candidate is an
+    instance-subgraph; a coNP part: candidate is lean).
+    """
+    return isomorphic(candidate, core(graph))

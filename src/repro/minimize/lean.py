@@ -1,0 +1,35 @@
+"""Lean graphs (Definition 3.7, Theorem 3.12.1).
+
+A graph ``G`` is *lean* if no map ``μ`` sends ``G`` to a proper subgraph
+of itself.  Deciding leanness is coNP-complete (Theorem 3.12.1, by
+reduction from the graph-theoretic Core problem of Hell and Nešetřil);
+the decision procedure here is the complement search: try to find a
+proper endomorphism, one excluded triple at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import find_proper_endomorphism
+from ..core.maps import Map
+
+__all__ = ["is_lean", "non_lean_witness"]
+
+
+def non_lean_witness(graph: RDFGraph) -> Optional[Map]:
+    """A map μ with ``μ(G) ⊊ G`` (the NP certificate), or None if lean.
+
+    A ground triple is fixed by every map, so only graphs with
+    blank-node triples can fail to be lean; the search tries to exclude
+    each non-ground triple in deterministic order.
+    """
+    if graph.is_ground():
+        return None
+    return find_proper_endomorphism(graph)
+
+
+def is_lean(graph: RDFGraph) -> bool:
+    """Is ``G`` lean?  coNP-complete in general (Theorem 3.12.1)."""
+    return non_lean_witness(graph) is None

@@ -1,0 +1,200 @@
+"""Minimal representations of RDF graphs (Section 3.2, Theorem 3.16).
+
+A *minimal representation* of ``G`` (Definition 3.13) is a minimal
+(w.r.t. number of triples) graph equivalent to ``G`` and contained in
+``G``.  In general it is not unique — the transitivity of ``sp``/``sc``
+alone produces non-isomorphic reductions (Example 3.14), and reserved
+vocabulary in subject/object positions produces more subtle ambiguity
+(Example 3.15).  Theorem 3.16 identifies a robust class where it *is*
+unique: graphs with no reserved vocabulary in subject or object
+positions that are acyclic w.r.t. subproperty and subclass.
+
+This module provides:
+
+* :func:`transitive_reduction` — the Aho–Garey–Ullman unique transitive
+  reduction of a DAG (the engine behind sc/sp minimization);
+* :func:`minimal_representation` — a greedy redundant-triple elimination
+  that, under the preconditions of Theorem 3.16, returns *the* unique
+  minimal representation regardless of elimination order (tested);
+* :func:`all_minimal_representations` — exhaustive enumeration for
+  small graphs, used to reproduce Examples 3.14 and 3.15;
+* :func:`satisfies_theorem_316_preconditions` — the class membership
+  test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.terms import Term, Triple
+from ..core.vocabulary import RDFS_VOCABULARY, SC, SP
+from ..semantics.entailment import entails
+
+__all__ = [
+    "transitive_reduction",
+    "minimal_representation",
+    "all_minimal_representations",
+    "count_minimal_representations",
+    "has_unique_minimal_representation",
+    "satisfies_theorem_316_preconditions",
+    "is_acyclic_for",
+]
+
+
+def transitive_reduction(
+    edges: Iterable[Tuple[Term, Term]]
+) -> Set[Tuple[Term, Term]]:
+    """The unique transitive reduction of an acyclic edge relation.
+
+    Per Aho, Garey and Ullman [1], a DAG has a unique minimal edge set
+    with the same transitive closure: the edges ``(a, b)`` admitting no
+    alternative path ``a → ... → b`` of length ≥ 2.
+
+    Raises :class:`ValueError` when the relation has a (non-loop) cycle;
+    self-loops are dropped (they are never needed for reachability).
+    """
+    edge_set = {(a, b) for a, b in edges if a != b}
+    successors: Dict[Term, Set[Term]] = {}
+    for a, b in edge_set:
+        successors.setdefault(a, set()).add(b)
+
+    def reach_avoiding_direct(a: Term, b: Term) -> bool:
+        """Path a →+ b using at least two edges (skip the direct edge)."""
+        frontier = [m for m in successors.get(a, ()) if m != b]
+        seen: Set[Term] = set()
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in successors.get(node, ()):
+                if nxt == b:
+                    return True
+                frontier.append(nxt)
+        return False
+
+    # Cycle check (DFS, three colours).
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Term, int] = {}
+    nodes = set()
+    for a, b in edge_set:
+        nodes.add(a)
+        nodes.add(b)
+    for start in nodes:
+        if colour.get(start, WHITE) != WHITE:
+            continue
+        stack = [(start, iter(successors.get(start, ())))]
+        colour[start] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                state = colour.get(nxt, WHITE)
+                if state == GREY:
+                    raise ValueError("relation has a cycle; reduction not unique")
+                if state == WHITE:
+                    colour[nxt] = GREY
+                    stack.append((nxt, iter(successors.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+
+    return {(a, b) for a, b in edge_set if not reach_avoiding_direct(a, b)}
+
+
+def is_acyclic_for(graph: RDFGraph, predicate: Term) -> bool:
+    """Is the edge relation of *predicate* acyclic (ignoring self-loops)?"""
+    edges = {(t.s, t.o) for t in graph.match(p=predicate) if t.s != t.o}
+    try:
+        transitive_reduction(edges)
+    except ValueError:
+        return False
+    return True
+
+
+def satisfies_theorem_316_preconditions(graph: RDFGraph) -> bool:
+    """No reserved vocabulary in subject/object position; sp/sc acyclic."""
+    for t in graph:
+        if t.s in RDFS_VOCABULARY or t.o in RDFS_VOCABULARY:
+            return False
+    return is_acyclic_for(graph, SP) and is_acyclic_for(graph, SC)
+
+
+def _removable(graph: RDFGraph, t: Triple) -> bool:
+    """Can *t* be dropped while preserving equivalence?
+
+    Since ``G − {t} ⊆ G`` we always have ``G ⊨ G − {t}``; the triple is
+    redundant iff ``G − {t} ⊨ G``, which (because the rest of G is
+    literally present) reduces to ``G − {t} ⊨ {t}``.
+    """
+    return entails(graph - {t}, RDFGraph([t]))
+
+
+def minimal_representation(graph: RDFGraph) -> RDFGraph:
+    """Greedy redundancy elimination: drop derivable triples until none.
+
+    Under the preconditions of Theorem 3.16 the result is *the* unique
+    minimal representation of ``G`` and does not depend on the
+    elimination order.  Outside that class the result is an irredundant
+    equivalent subgraph — one of possibly several minimal
+    representations (Examples 3.14, 3.15); use
+    :func:`all_minimal_representations` to enumerate them.
+    """
+    current = graph
+    changed = True
+    while changed:
+        changed = False
+        for t in current.sorted_triples():
+            if _removable(current, t):
+                current = current - {t}
+                changed = True
+    return current
+
+
+def all_minimal_representations(graph: RDFGraph) -> List[RDFGraph]:
+    """All minimum-size equivalent subgraphs of ``G`` (small graphs only).
+
+    Exhaustively explores single-triple removals (every equivalent
+    subgraph is reachable this way because subgraph equivalence is
+    preserved along the removal chain: for ``G' ⊆ G'' ⊆ G`` with
+    ``G' ≡ G``, also ``G'' ≡ G``), collects the irredundant ones, and
+    returns those of minimum cardinality.  Exponential; intended for the
+    worked examples and randomized tests.
+    """
+    seen: Set[FrozenSet[Triple]] = set()
+    irredundant: List[RDFGraph] = []
+
+    def explore(current: RDFGraph):
+        key = current.triples
+        if key in seen:
+            return
+        seen.add(key)
+        shrunk = False
+        for t in current.sorted_triples():
+            if _removable(current, t):
+                shrunk = True
+                explore(current - {t})
+        if not shrunk:
+            irredundant.append(current)
+
+    explore(graph)
+    best = min(len(g) for g in irredundant)
+    return [g for g in irredundant if len(g) == best]
+
+
+def count_minimal_representations(graph: RDFGraph) -> int:
+    """Number of distinct minimal representations (small graphs only)."""
+    return len(all_minimal_representations(graph))
+
+
+def has_unique_minimal_representation(graph: RDFGraph) -> bool:
+    """True iff the minimal representation is unique (up to identity).
+
+    Representations are subgraphs of the same graph, so distinctness is
+    plain set inequality; Examples 3.14/3.15 exhibit graphs where this
+    returns False even though uniqueness-up-to-isomorphism also fails.
+    """
+    return count_minimal_representations(graph) == 1

@@ -1,0 +1,89 @@
+"""The naive closure of Definition 3.1 and its non-uniqueness.
+
+Definition 3.1 attempts the standard database notion: a *naive closure*
+of ``G`` is a maximal set of triples over ``universe(G)`` plus the
+reserved vocabulary that contains ``G`` and is equivalent to it.
+Example 3.2 shows this is not unique — a blank node lets two different
+maximal extensions exist — which motivates the semantic closure of
+Definition 3.5.
+
+This module makes the counterexample executable: it enumerates naive
+closures of small graphs by greedy saturation over candidate triples,
+and checks Lemma 3.3 (``RDFS-cl(G)`` is contained in every naive
+closure).  Exponential; for worked examples and tests only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Set
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Literal, Triple, URI
+from ..core.vocabulary import RDFS_VOCABULARY
+from ..semantics.entailment import equivalent
+
+__all__ = ["candidate_triples", "iter_naive_closures", "naive_closures"]
+
+
+def candidate_triples(graph: RDFGraph) -> List[Triple]:
+    """All well-formed triples over ``universe(G)`` ∪ rdfsV.
+
+    This is the space within which Definition 3.1 takes maximal
+    equivalent extensions; cubic in the universe size.
+    """
+    universe = set(graph.universe()) | set(RDFS_VOCABULARY)
+    subjects = [t for t in universe if isinstance(t, (URI, BNode))]
+    predicates = [t for t in universe if isinstance(t, URI)]
+    objects = [t for t in universe if isinstance(t, (URI, BNode, Literal))]
+    out = []
+    for s, p, o in itertools.product(
+        sorted(subjects, key=str), sorted(predicates, key=str), sorted(objects, key=str)
+    ):
+        out.append(Triple(s, p, o))
+    return out
+
+
+def iter_naive_closures(graph: RDFGraph) -> Iterator[RDFGraph]:
+    """Enumerate the maximal equivalent extensions of *graph*.
+
+    Strategy: a triple is *individually addable* if ``G ∪ {t} ≡ G``.
+    Distinct naive closures arise only when addable triples conflict
+    (adding one makes another no longer addable), so we saturate
+    greedily under every order of the initially-conflicting triples and
+    deduplicate.  Exhaustive for the small universes this is meant for.
+    """
+    base = candidate_triples(graph)
+
+    def addable(current: RDFGraph, t: Triple) -> bool:
+        return t not in current and equivalent(current.union(RDFGraph([t])), graph)
+
+    initially_addable = [t for t in base if addable(graph, t)]
+
+    def saturate(current: RDFGraph, order: List[Triple]) -> RDFGraph:
+        changed = True
+        while changed:
+            changed = False
+            for t in order:
+                if addable(current, t):
+                    current = current.union(RDFGraph([t]))
+                    changed = True
+        return current
+
+    seen: Set[frozenset] = set()
+    # Different priority orders of the addable triples can reach
+    # different maximal sets; try each single triple as the leader.
+    orders = [initially_addable]
+    for first in initially_addable:
+        rest = [t for t in initially_addable if t != first]
+        orders.append([first] + rest)
+    for order in orders:
+        result = saturate(graph, order)
+        if result.triples not in seen:
+            seen.add(result.triples)
+            yield result
+
+
+def naive_closures(graph: RDFGraph) -> List[RDFGraph]:
+    """All distinct naive closures found (small graphs only)."""
+    return list(iter_naive_closures(graph))

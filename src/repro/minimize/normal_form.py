@@ -1,0 +1,56 @@
+"""Normal forms for RDF graphs (Section 3.3).
+
+``nf(G) = core(cl(G))`` (Definition 3.18) is the representation with the
+two desiderata the closure and the core individually lack:
+
+1. uniqueness up to isomorphism, and
+2. syntax independence — ``G ≡ H`` iff ``nf(G) ≅ nf(H)``
+   (Theorem 3.19).
+
+Verifying that a given graph is the normal form of another is
+DP-complete (Theorem 3.20); :func:`is_normal_form_of` decides it by the
+theorem's own split (a map-existence NP part plus a leanness coNP part).
+"""
+
+from __future__ import annotations
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import find_map
+from ..core.isomorphism import isomorphic
+from ..semantics.closure import closure
+from .core_graph import core
+from .lean import is_lean
+
+__all__ = ["normal_form", "is_normal_form_of", "normal_form_equivalent"]
+
+
+def normal_form(graph: RDFGraph) -> RDFGraph:
+    """``nf(G) = core(cl(G))`` — unique and syntax independent."""
+    return core(closure(graph))
+
+
+def is_normal_form_of(candidate: RDFGraph, graph: RDFGraph) -> bool:
+    """Is ``candidate ≅ nf(graph)``?  (DP-complete, Theorem 3.20.)
+
+    Follows the membership argument of the theorem: check there is a
+    map ``cl(G) → candidate`` and a map ``candidate → cl(G)`` (so the
+    candidate is equivalent to the closure), and that the candidate is
+    lean; then uniqueness of the core makes candidate ≅ nf(G).
+    """
+    closed = closure(graph)
+    if find_map(closed, candidate) is None:
+        return False
+    if find_map(candidate, closed) is None:
+        return False
+    if not is_lean(candidate):
+        return False
+    return isomorphic(candidate, core(closed))
+
+
+def normal_form_equivalent(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """Decide ``G1 ≡ G2`` through normal forms (Theorem 3.19.2).
+
+    Provided as a cross-check of :func:`repro.semantics.entailment.equivalent`;
+    both must agree on every input (tested).
+    """
+    return isomorphic(normal_form(g1), normal_form(g2))

@@ -1,0 +1,37 @@
+"""Navigational (path) queries — the paper's future-work extensions.
+
+Regular path expressions over RDF graphs, optionally interpreted over
+the RDFS closure, with both all-pairs and single-source evaluation and
+a SPARQL-property-path-flavoured concrete syntax.
+"""
+
+from .parser import PathSyntaxError, parse_path
+from .paths import (
+    Alt,
+    Inv,
+    Opt,
+    PathExpression,
+    Plus,
+    Pred,
+    Seq,
+    Star,
+    evaluate_path,
+    path_exists,
+    reachable_from,
+)
+
+__all__ = [
+    "Alt",
+    "Inv",
+    "Opt",
+    "PathExpression",
+    "PathSyntaxError",
+    "Plus",
+    "Pred",
+    "Seq",
+    "Star",
+    "evaluate_path",
+    "parse_path",
+    "path_exists",
+    "reachable_from",
+]

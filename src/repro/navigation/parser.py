@@ -1,0 +1,122 @@
+"""A small concrete syntax for path expressions.
+
+Grammar (SPARQL-property-path flavoured)::
+
+    path     := alt
+    alt      := seq ('|' seq)*
+    seq      := postfix ('/' postfix)*
+    postfix  := primary ('*' | '+' | '?')*
+    primary  := '^' postfix | '(' path ')' | name | '<' uri '>'
+
+Examples: ``paints/exhibited``, ``(sc)+``, ``^creates``, ``a|b``,
+``(knows|^knows)*``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..core.terms import URI
+from .paths import Alt, Inv, Opt, PathExpression, Plus, Pred, Seq, Star
+
+__all__ = ["parse_path", "PathSyntaxError"]
+
+
+class PathSyntaxError(ValueError):
+    """A syntax error in a path expression."""
+
+
+_TOKEN = re.compile(
+    r"\s*(\^|\(|\)|\||/|\*|\+|\?|<[^<>\s]+>|[A-Za-z_][\w.:#-]*)"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        if text[position:].strip() == "":
+            break
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise PathSyntaxError(f"cannot tokenize at: {text[position:]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self):
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def take(self):
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def expect(self, token: str):
+        got = self.take()
+        if got != token:
+            raise PathSyntaxError(f"expected {token!r}, got {got!r}")
+
+    def parse_alt(self) -> PathExpression:
+        left = self.parse_seq()
+        while self.peek() == "|":
+            self.take()
+            left = Alt(left, self.parse_seq())
+        return left
+
+    def parse_seq(self) -> PathExpression:
+        left = self.parse_postfix()
+        while self.peek() == "/":
+            self.take()
+            left = Seq(left, self.parse_postfix())
+        return left
+
+    def parse_postfix(self) -> PathExpression:
+        expr = self.parse_primary()
+        while self.peek() in ("*", "+", "?"):
+            token = self.take()
+            if token == "*":
+                expr = Star(expr)
+            elif token == "+":
+                expr = Plus(expr)
+            else:
+                expr = Opt(expr)
+        return expr
+
+    def parse_primary(self) -> PathExpression:
+        token = self.peek()
+        if token is None:
+            raise PathSyntaxError("unexpected end of expression")
+        if token == "^":
+            self.take()
+            return Inv(self.parse_postfix())
+        if token == "(":
+            self.take()
+            inner = self.parse_alt()
+            self.expect(")")
+            return inner
+        if token in (")", "|", "/", "*", "+", "?"):
+            raise PathSyntaxError(f"unexpected {token!r}")
+        self.take()
+        if token.startswith("<") and token.endswith(">"):
+            return Pred(URI(token[1:-1]))
+        return Pred(URI(token))
+
+
+def parse_path(text: str) -> PathExpression:
+    """Parse a path expression from its concrete syntax."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise PathSyntaxError("empty path expression")
+    parser = _Parser(tokens)
+    expr = parser.parse_alt()
+    if parser.peek() is not None:
+        raise PathSyntaxError(f"trailing tokens: {parser.tokens[parser.position:]}")
+    return expr

@@ -1,0 +1,270 @@
+"""Path expressions over RDF graphs (the paper's future-work list).
+
+The conclusions of the paper name "connectedness, reachability, paths,
+recursion" as the extensions the model was built to support; this
+module implements the regular-path core that later work (nSPARQL [35],
+SPARQL 1.1 property paths) standardized:
+
+* ``Pred(p)`` — one ``p``-step forward;
+* ``Inv(e)`` — reverse traversal;
+* ``Seq(e1, e2)``, ``Alt(e1, e2)`` — concatenation and alternation;
+* ``Star(e)`` / ``Plus(e)`` / ``Opt(e)`` — reflexive-transitive,
+  transitive, and optional closure.
+
+Evaluation is over the *pairs semantics*: ``eval(e, G) ⊆ UB × UB``.
+With ``rdfs=True`` the graph is first closed, so e.g. ``Pred(sc)+``
+navigates the inferred hierarchy — the "inclusion of RDFS vocabulary"
+item from the paper's open-issues list.  Reachability is computed by
+BFS on demand, so single-source queries do not materialize the full
+relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.terms import Term, URI
+from ..semantics.closure import closure as rdfs_closure_of
+
+__all__ = [
+    "PathExpression",
+    "Pred",
+    "Inv",
+    "Seq",
+    "Alt",
+    "Star",
+    "Plus",
+    "Opt",
+    "evaluate_path",
+    "reachable_from",
+    "path_exists",
+]
+
+
+class PathExpression:
+    """Base class for path expressions; composable via operators.
+
+    ``a / b`` is sequence, ``a | b`` alternation, ``~a`` inversion;
+    ``a.star()``, ``a.plus()``, ``a.opt()`` are the closures.
+    """
+
+    def __truediv__(self, other: "PathExpression") -> "Seq":
+        return Seq(self, _coerce(other))
+
+    def __or__(self, other: "PathExpression") -> "Alt":
+        return Alt(self, _coerce(other))
+
+    def __invert__(self) -> "Inv":
+        return Inv(self)
+
+    def star(self) -> "Star":
+        return Star(self)
+
+    def plus(self) -> "Plus":
+        return Plus(self)
+
+    def opt(self) -> "Opt":
+        return Opt(self)
+
+
+def _coerce(value) -> PathExpression:
+    if isinstance(value, PathExpression):
+        return value
+    if isinstance(value, URI):
+        return Pred(value)
+    if isinstance(value, str):
+        return Pred(URI(value))
+    raise TypeError(f"not a path expression: {value!r}")
+
+
+@dataclass(frozen=True)
+class Pred(PathExpression):
+    """One forward step along predicate ``p``."""
+
+    predicate: URI
+
+    def __post_init__(self):
+        if isinstance(self.predicate, str):
+            object.__setattr__(self, "predicate", URI(self.predicate))
+
+    def __str__(self):
+        return self.predicate.value
+
+
+@dataclass(frozen=True)
+class Inv(PathExpression):
+    """Reverse traversal of the inner expression."""
+
+    inner: PathExpression
+
+    def __str__(self):
+        return f"^({self.inner})"
+
+
+@dataclass(frozen=True)
+class Seq(PathExpression):
+    """Concatenation ``left / right``."""
+
+    left: PathExpression
+    right: PathExpression
+
+    def __str__(self):
+        return f"({self.left}/{self.right})"
+
+
+@dataclass(frozen=True)
+class Alt(PathExpression):
+    """Alternation ``left | right``."""
+
+    left: PathExpression
+    right: PathExpression
+
+    def __str__(self):
+        return f"({self.left}|{self.right})"
+
+
+@dataclass(frozen=True)
+class Star(PathExpression):
+    """Reflexive-transitive closure ``e*``."""
+
+    inner: PathExpression
+
+    def __str__(self):
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True)
+class Plus(PathExpression):
+    """Transitive closure ``e+``."""
+
+    inner: PathExpression
+
+    def __str__(self):
+        return f"({self.inner})+"
+
+
+@dataclass(frozen=True)
+class Opt(PathExpression):
+    """Zero-or-one ``e?``."""
+
+    inner: PathExpression
+
+    def __str__(self):
+        return f"({self.inner})?"
+
+
+def _prepare(graph: RDFGraph, rdfs: bool) -> RDFGraph:
+    return rdfs_closure_of(graph) if rdfs else graph
+
+
+def _pairs(expr: PathExpression, graph: RDFGraph) -> Set[Tuple[Term, Term]]:
+    if isinstance(expr, Pred):
+        return {(t.s, t.o) for t in graph.match(p=expr.predicate)}
+    if isinstance(expr, Inv):
+        return {(y, x) for x, y in _pairs(expr.inner, graph)}
+    if isinstance(expr, Seq):
+        left = _pairs(expr.left, graph)
+        right = _pairs(expr.right, graph)
+        by_source: Dict[Term, Set[Term]] = {}
+        for x, y in right:
+            by_source.setdefault(x, set()).add(y)
+        return {
+            (x, z) for x, y in left for z in by_source.get(y, ())
+        }
+    if isinstance(expr, Alt):
+        return _pairs(expr.left, graph) | _pairs(expr.right, graph)
+    if isinstance(expr, Plus):
+        base = _pairs(expr.inner, graph)
+        succ: Dict[Term, Set[Term]] = {}
+        for x, y in base:
+            succ.setdefault(x, set()).add(y)
+        out: Set[Tuple[Term, Term]] = set()
+        for start in succ:
+            seen: Set[Term] = set()
+            stack = list(succ[start])
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(succ.get(node, ()))
+            out.update((start, node) for node in seen)
+        return out
+    if isinstance(expr, Star):
+        out = _pairs(Plus(expr.inner), graph)
+        for node in graph.universe():
+            out.add((node, node))
+        return out
+    if isinstance(expr, Opt):
+        out = set(_pairs(expr.inner, graph))
+        for node in graph.universe():
+            out.add((node, node))
+        return out
+    raise TypeError(f"unknown path expression: {expr!r}")
+
+
+def evaluate_path(
+    expr: PathExpression, graph: RDFGraph, rdfs: bool = False
+) -> FrozenSet[Tuple[Term, Term]]:
+    """All pairs ``(x, y)`` connected by the path in ``G`` (or ``cl(G)``)."""
+    return frozenset(_pairs(_coerce(expr), _prepare(graph, rdfs)))
+
+
+def reachable_from(
+    expr: PathExpression, graph: RDFGraph, start: Term, rdfs: bool = False
+) -> FrozenSet[Term]:
+    """Single-source variant: ``{y : (start, y) ∈ ⟦e⟧}`` via BFS.
+
+    For ``Plus``/``Star`` of simple steps this avoids materializing the
+    quadratic pair relation.
+    """
+    expr = _coerce(expr)
+    graph = _prepare(graph, rdfs)
+
+    def step_targets(e: PathExpression, sources: Set[Term]) -> Set[Term]:
+        if isinstance(e, Pred):
+            out: Set[Term] = set()
+            for s in sources:
+                out.update(t.o for t in graph.match(s=s, p=e.predicate))
+            return out
+        if isinstance(e, Inv) and isinstance(e.inner, Pred):
+            out = set()
+            for s in sources:
+                out.update(t.s for t in graph.match(p=e.inner.predicate, o=s))
+            return out
+        if isinstance(e, Seq):
+            return step_targets(e.right, step_targets(e.left, sources))
+        if isinstance(e, Alt):
+            return step_targets(e.left, sources) | step_targets(e.right, sources)
+        if isinstance(e, Opt):
+            return sources | step_targets(e.inner, sources)
+        if isinstance(e, (Star, Plus)):
+            frontier = set(sources)
+            seen = set(sources) if isinstance(e, Star) else set()
+            current = set(sources)
+            while True:
+                nxt = step_targets(e.inner, current) - seen
+                if isinstance(e, Plus):
+                    nxt -= seen
+                if not nxt:
+                    return seen
+                seen |= nxt
+                current = nxt
+        # General inverse: fall back to the pair semantics.
+        pairs = _pairs(e, graph)
+        return {y for x, y in pairs if x in sources}
+
+    return frozenset(step_targets(expr, {start}))
+
+
+def path_exists(
+    expr: PathExpression,
+    graph: RDFGraph,
+    start: Term,
+    end: Term,
+    rdfs: bool = False,
+) -> bool:
+    """Is there an ``e``-path from *start* to *end*?"""
+    return end in reachable_from(expr, graph, start, rdfs=rdfs)

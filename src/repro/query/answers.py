@@ -1,0 +1,164 @@
+"""Answers to queries: pre-answers, union and merge semantics (Section 4.1).
+
+For a query ``q = (H, B, P, C)`` and database ``D``:
+
+* :func:`pre_answers` — the set ``preans(q, D)`` of *single answers*
+  ``v(H)``, over all matchings ``v`` of ``B`` in ``nf(D + P)``
+  satisfying ``C`` and yielding well-formed graphs (Definition 4.3).
+  Blank nodes in the head are replaced by Skolem terms
+  ``f_N(v(?X1), ..., v(?Xk))`` over *all* body variables, implemented
+  as deterministic hashed blank labels — the same valuation always
+  produces the same blank, across databases, as Proposition 4.5
+  requires.
+* :func:`answer_union` — ``ans∪(q, D)``: the union of single answers.
+  The more intuitive semantics: it admits an identity query (Note 4.7)
+  and preserves blank-node "bridges" between single answers.
+* :func:`answer_merge` — ``ans+(q, D)``: the merge (blanks of distinct
+  single answers renamed apart), useful when combining several sources,
+  at the cost of not having a data-independent identity query.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Term, Triple, Variable
+from .matching import Valuation, iter_matchings, matching_target
+from .tableau import Query
+
+__all__ = [
+    "skolem_term",
+    "single_answer",
+    "pre_answers",
+    "answer_union",
+    "answer_merge",
+    "answers",
+    "identity_query",
+]
+
+#: Label prefix of Skolem blank nodes — a namespace disjoint (by
+#: construction) from user blank labels in queries and databases.
+SKOLEM_BLANK_PREFIX = "sk!"
+
+
+def skolem_term(head_blank: BNode, valuation: Valuation, body_variables) -> BNode:
+    """``f_N(v(?X1), ..., v(?Xk))`` as a deterministic blank node.
+
+    The Skolem function for head blank ``N`` is realized as a collision-
+    resistant hash of ``N`` and the values of all body variables in
+    sorted variable order.  Determinism across calls and databases is
+    exactly the hypothesis of Proposition 4.5 ("the same Skolem function
+    is used for every blank node in H when querying any database").
+    """
+    ordered = sorted(body_variables, key=lambda v: v.value)
+    payload = repr((head_blank.value, tuple((v.value, repr(valuation.get(v))) for v in ordered)))
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+    return BNode(f"{SKOLEM_BLANK_PREFIX}{head_blank.value}!{digest}")
+
+
+def single_answer(query: Query, valuation: Valuation) -> Optional[RDFGraph]:
+    """``v(H)``: instantiate the head, Skolemizing its blank nodes.
+
+    Returns None when the instantiated head is not a well-formed RDF
+    graph (e.g. a variable in subject position bound to a literal),
+    which Definition 4.3 excludes from the pre-answer set.
+    """
+    body_vars = query.body.variables()
+
+    def image(term: Term) -> Term:
+        if isinstance(term, Variable):
+            return valuation[term]
+        if isinstance(term, BNode):
+            return skolem_term(term, valuation, body_vars)
+        return term
+
+    triples = []
+    for t in query.head:
+        candidate = Triple(image(t.s), image(t.p), image(t.o))
+        if not candidate.is_valid_rdf():
+            return None
+        triples.append(candidate)
+    return RDFGraph(triples)
+
+
+def pre_answers(
+    query: Query, database: RDFGraph, target: Optional[RDFGraph] = None
+) -> List[RDFGraph]:
+    """``preans(q, D)``: the set of single answers (Definition 4.3).
+
+    Returned as a deduplicated, deterministically-ordered list.
+    ``target`` lets callers supply a precomputed ``nf(D + P)`` (e.g. a
+    store's cached normal form for premise-free queries).
+    """
+    if target is None:
+        target = matching_target(database, query.premise)
+    seen = set()
+    out: List[RDFGraph] = []
+    for valuation in iter_matchings(query, database, target=target):
+        answer = single_answer(query, valuation)
+        if answer is None or answer.triples in seen:
+            continue
+        seen.add(answer.triples)
+        out.append(answer)
+    out.sort(key=lambda g: tuple(str(t) for t in g.sorted_triples()))
+    return out
+
+
+def answer_union(
+    query: Query, database: RDFGraph, target: Optional[RDFGraph] = None
+) -> RDFGraph:
+    """``ans∪(q, D)``: union of all single answers (shared blanks kept)."""
+    result = RDFGraph()
+    for answer in pre_answers(query, database, target=target):
+        result = result.union(answer)
+    return result
+
+
+def answer_merge(
+    query: Query, database: RDFGraph, target: Optional[RDFGraph] = None
+) -> RDFGraph:
+    """``ans+(q, D)``: merge of all single answers (blanks renamed apart).
+
+    Unique up to isomorphism; this implementation renames the blanks of
+    the i-th single answer with an ``a{i}_`` prefix, deterministically.
+    """
+    result = RDFGraph()
+    for index, answer in enumerate(pre_answers(query, database, target=target)):
+        renaming = {
+            n: BNode(f"a{index}_{n.value}")
+            for n in answer.bnodes()
+        }
+        result = result.union(answer.rename_bnodes(renaming))
+    return result
+
+
+def answers(
+    query: Query,
+    database: RDFGraph,
+    semantics: str = "union",
+    target: Optional[RDFGraph] = None,
+) -> RDFGraph:
+    """Dispatch between the two answer semantics (default: union).
+
+    The paper adopts union semantics "unless stated otherwise"
+    (Section 4.1); so do we.
+    """
+    if semantics == "union":
+        return answer_union(query, database, target=target)
+    if semantics == "merge":
+        return answer_merge(query, database, target=target)
+    raise ValueError(f"unknown semantics {semantics!r}; use 'union' or 'merge'")
+
+
+def identity_query() -> Query:
+    """The identity query ``(?X, ?Y, ?Z) ← (?X, ?Y, ?Z)`` (Note 4.7).
+
+    Under union semantics ``ans∪(q, D) ≡ D`` for every database; under
+    merge semantics this fails whenever a blank bridges two triples.
+    """
+    from .tableau import head_body_query
+
+    t = [("?X", "?Y", "?Z")]
+    return head_body_query(head=t, body=t)

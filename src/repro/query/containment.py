@@ -1,0 +1,316 @@
+"""Query containment (Section 5).
+
+Two containment notions (Definition 5.1):
+
+* **standard** ``q ⊑p q′`` — every pre-answer of ``q`` appears (up to
+  isomorphism) among the pre-answers of ``q′``, on every database;
+* **entailment-based** ``q ⊑m q′`` — ``ans(q′, D) ⊨ ans(q, D)`` for
+  every database.
+
+``⊑p`` implies ``⊑m`` (Proposition 5.2) but not conversely
+(Example 5.3).  Both are decided via the certificate characterizations:
+
+* Theorem 5.5 (no premises): substitutions θ of ``q′``'s body variables
+  with ``θ(B′) ⊆ nf(B)`` (body variables of ``q`` frozen as constants),
+  plus a head condition — isomorphism for ``⊑p``; a *union* of
+  substituted heads entailing ``H`` for ``⊑m``;
+* Theorem 5.7: the same with the constraint condition ``θ(C′) ⊆ C``;
+* Theorem 5.8 (premise on the right, simple queries): ``θ(B′) ⊆ P′ + B``;
+* Proposition 5.9 + 5.11 (premise on the left, simple queries):
+  eliminate the premise into the finite union ``Ω_q`` and test each
+  member.
+
+Complexity: NP-complete without premises (Theorem 5.6); NP-hard and in
+Π2P with premises (Theorem 5.12).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import iter_assignments
+from ..core.isomorphism import isomorphic
+from ..core.terms import BNode, Literal, Term, Triple, URI, Variable
+from ..minimize.normal_form import normal_form
+from ..semantics.entailment import entails
+from .tableau import PatternGraph, Query, Tableau
+
+__all__ = [
+    "contained_standard",
+    "contained_entailment",
+    "premise_elimination",
+    "body_substitutions",
+]
+
+#: Reserved URI prefix for frozen query variables.
+_FROZEN_PREFIX = "urn:frozen-var:"
+
+
+def _freeze_term(term: Term) -> Term:
+    if isinstance(term, Variable):
+        return URI(_FROZEN_PREFIX + term.value)
+    return term
+
+
+def _thaw_term(term: Term) -> Term:
+    if isinstance(term, URI) and term.value.startswith(_FROZEN_PREFIX):
+        return Variable(term.value[len(_FROZEN_PREFIX):])
+    return term
+
+
+def _freeze_pattern(pattern: PatternGraph) -> RDFGraph:
+    """Variables → reserved URIs, giving a plain RDF graph."""
+    return RDFGraph(
+        Triple(_freeze_term(t.s), _freeze_term(t.p), _freeze_term(t.o))
+        for t in pattern
+    )
+
+
+def _freeze_triples(triples) -> RDFGraph:
+    return RDFGraph(
+        Triple(_freeze_term(t.s), _freeze_term(t.p), _freeze_term(t.o))
+        for t in triples
+    )
+
+
+def _apply_substitution(theta: Dict[Variable, Term], pattern: PatternGraph):
+    """θ applied to a pattern graph; unbound variables stay variables."""
+    out = []
+    for t in pattern:
+        out.append(
+            Triple(
+                theta.get(t.s, t.s) if isinstance(t.s, Variable) else t.s,
+                theta.get(t.p, t.p) if isinstance(t.p, Variable) else t.p,
+                theta.get(t.o, t.o) if isinstance(t.o, Variable) else t.o,
+            )
+        )
+    return out
+
+
+def body_substitutions(
+    container: Query, containee_body_target: RDFGraph, contained: Query
+) -> Iterator[Dict[Variable, Term]]:
+    """All substitutions θ with ``θ(B_container) ⊆ target``.
+
+    ``target`` is ``nf(B)`` (Theorem 5.5) or ``P′ + B`` (Theorem 5.8)
+    with the *contained* query's body variables frozen; θ's images are
+    thawed back so frozen variables reappear as :class:`Variable`.
+    """
+    body = list(container.body)
+    for assignment in iter_assignments(body, containee_body_target):
+        yield {
+            v: _thaw_term(t)
+            for v, t in assignment.items()
+            if isinstance(v, Variable)
+        }
+
+
+def _constraint_condition(
+    theta: Dict[Variable, Term],
+    container_constraints: FrozenSet[Variable],
+    contained_constraints: FrozenSet[Variable],
+    strict: bool,
+) -> bool:
+    """Condition (c) of Theorem 5.7: ``θ(C′) ⊆ C``.
+
+    With ``strict=False`` (the default used by the public functions) a
+    constrained variable may also land on a *constant*, which is always
+    non-blank and therefore semantically safe — the literal statement of
+    the theorem only allows constrained variables of the contained
+    query, which is the reading ``strict=True`` enforces.
+    """
+    for x in container_constraints:
+        image = theta.get(x, x)
+        if isinstance(image, Variable):
+            if image not in contained_constraints:
+                return False
+        elif isinstance(image, (URI, Literal)):
+            if strict:
+                return False
+        else:  # a blank node: never guaranteed non-blank
+            return False
+    return True
+
+
+def _head_iso(theta: Dict[Variable, Term], container: Query, contained: Query) -> bool:
+    """Condition (b) for ⊑p: ``θ(H′) ≅ H`` (variables frozen, blanks free)."""
+    substituted = _apply_substitution(theta, container.head)
+    return isomorphic(
+        _freeze_triples(substituted), _freeze_pattern(contained.head)
+    )
+
+
+def _heads_union_entails(
+    thetas: List[Dict[Variable, Term]], container: Query, contained: Query
+) -> bool:
+    """Condition (b) for ⊑m: ``⋃_j θ_j(H′) ⊨ H`` (variables frozen).
+
+    Using *all* valid substitutions is sound and complete: entailment is
+    monotone in the left-hand graph, so if some subset of substituted
+    heads entails ``H`` then the full union does.
+    """
+    union = RDFGraph()
+    for theta in thetas:
+        union = union.union(_freeze_triples(_apply_substitution(theta, container.head)))
+    return entails(union, _freeze_pattern(contained.head))
+
+
+def _standard_target(contained: Query) -> RDFGraph:
+    """``nf(B)`` with the body's variables frozen (Theorem 5.5)."""
+    return normal_form(_freeze_pattern(contained.body))
+
+
+def _premise_target(contained: Query, container: Query) -> RDFGraph:
+    """``P′ + B`` with B's variables frozen (Theorem 5.8, simple queries)."""
+    return _freeze_pattern(contained.body) + container.premise
+
+
+def premise_elimination(query: Query) -> List[Query]:
+    """``Ω_q``: rewrite a simple query with premise into premise-free ones.
+
+    Proposition 5.9: ``q ≡ ⋃ q_μ`` over all ``q_μ = (μ(H), μ(B − R), ∅)``
+    where ``R ⊆ B`` and ``μ : R → P`` is a matching of the sub-body R
+    into the premise such that ``μ(B − R)`` has no blank nodes.
+    Exponential in ``|B|`` (the source of the Π2P upper bound of
+    Theorem 5.12).
+    """
+    if not query.premise:
+        return [query]
+    body = list(query.body)
+    results: List[Query] = []
+    seen: Set[Tuple] = set()
+    indices = range(len(body))
+    for r in range(len(body) + 1):
+        for chosen in itertools.combinations(indices, r):
+            r_triples = [body[i] for i in chosen]
+            rest = [body[i] for i in indices if i not in chosen]
+            if not r_triples:
+                candidates: List[Dict[Variable, Term]] = [{}]
+            else:
+                candidates = [
+                    {v: t for v, t in a.items() if isinstance(v, Variable)}
+                    for a in iter_assignments(r_triples, query.premise)
+                ]
+            for mu in candidates:
+                new_body = _apply_substitution(mu, PatternGraph(rest))
+                if any(
+                    isinstance(term, BNode) for t in new_body for term in t
+                ):
+                    continue  # μ(B − R) must be blank-free
+                # Constraints on variables μ already bound: a binding to
+                # a blank of P violates the must-bind condition (drop
+                # the member); otherwise the constraint is discharged.
+                if any(
+                    isinstance(mu.get(x), BNode) for x in query.constraints
+                ):
+                    continue
+                remaining_constraints = frozenset(
+                    x for x in query.constraints if x not in mu
+                )
+                new_head = _apply_substitution(mu, query.head)
+                key = (frozenset(new_head), frozenset(new_body), remaining_constraints)
+                if key in seen:
+                    continue
+                seen.add(key)
+                results.append(
+                    Query(
+                        tableau=Tableau(
+                            head=PatternGraph(new_head),
+                            body=PatternGraph(new_body),
+                        ),
+                        premise=RDFGraph(),
+                        constraints=remaining_constraints,
+                    )
+                )
+    return results
+
+
+def _check_premise_support(q: Query, q2: Query):
+    if (q.premise or q2.premise) and not (q.is_simple() and q2.is_simple()):
+        raise NotImplementedError(
+            "containment with premises is characterized only for simple "
+            "queries (Section 5.4); rdfs vocabulary would need the open "
+            "extension the paper leaves for future work"
+        )
+    if q2.premise and (q.constraints or q2.constraints):
+        # The paper omits this combination ("for the sake of simplicity");
+        # a left-side premise composes fine (Ω_q adjusts the constraint
+        # set per member), but Theorem 5.8's P′ + B target has no
+        # constraint story.
+        raise NotImplementedError(
+            "containment with a premise on the containing side plus "
+            "constraints is omitted in the paper (Section 5.4); "
+            "eliminate one of the two first"
+        )
+
+
+def _contained_standard_no_left_premise(
+    q: Query, q2: Query, strict_constraints: bool
+) -> bool:
+    """q ⊑p q2 where q has no premise (Theorems 5.5/5.7/5.8)."""
+    if q2.premise:
+        target = _premise_target(q, q2)
+    else:
+        target = _standard_target(q)
+    for theta in body_substitutions(q2, target, q):
+        if not _constraint_condition(
+            theta, q2.constraints, q.constraints, strict_constraints
+        ):
+            continue
+        if _head_iso(theta, q2, q):
+            return True
+    return False
+
+
+def _contained_entailment_no_left_premise(
+    q: Query, q2: Query, strict_constraints: bool
+) -> bool:
+    """q ⊑m q2 where q has no premise (Theorems 5.5/5.7/5.8)."""
+    if q2.premise:
+        target = _premise_target(q, q2)
+    else:
+        target = _standard_target(q)
+    thetas = [
+        theta
+        for theta in body_substitutions(q2, target, q)
+        if _constraint_condition(
+            theta, q2.constraints, q.constraints, strict_constraints
+        )
+    ]
+    if not thetas:
+        return False
+    return _heads_union_entails(thetas, q2, q)
+
+
+def contained_standard(q: Query, q2: Query, strict_constraints: bool = False) -> bool:
+    """Standard containment ``q ⊑p q2`` (Definition 5.1.1).
+
+    NP-complete without premises (Theorem 5.6.1); NP-hard / in Π2P with
+    premises (Theorem 5.12.1).  ``strict_constraints`` selects the
+    literal reading of Theorem 5.7's condition (c) — see
+    :func:`_constraint_condition`.
+    """
+    _check_premise_support(q, q2)
+    if q.premise:
+        return all(
+            _contained_standard_no_left_premise(qm, q2, strict_constraints)
+            for qm in premise_elimination(q)
+        )
+    return _contained_standard_no_left_premise(q, q2, strict_constraints)
+
+
+def contained_entailment(q: Query, q2: Query, strict_constraints: bool = False) -> bool:
+    """Entailment-based containment ``q ⊑m q2`` (Definition 5.1.2).
+
+    NP-complete without premises (Theorem 5.6.2); NP-hard / in Π2P with
+    premises (Theorem 5.12.2).
+    """
+    _check_premise_support(q, q2)
+    if q.premise:
+        return all(
+            _contained_entailment_no_left_premise(qm, q2, strict_constraints)
+            for qm in premise_elimination(q)
+        )
+    return _contained_entailment_no_left_premise(q, q2, strict_constraints)

@@ -1,0 +1,63 @@
+"""Matchings of query bodies into databases (Section 4.1).
+
+A *valuation* is a function ``v : V → UB``; it *satisfies* a constraint
+set ``C`` if ``v(x)`` is non-blank for every ``x ∈ C``.  A *matching* of
+the body ``B`` in database ``D`` is a valuation with
+``v(B) ⊆ nf(D + P)`` — the normal form, not the raw database, so that
+answers are invariant under equivalence of databases (Note 4.4 explains
+why a closure alone would not do, and why the laxer condition
+``D ⊨ v(B)`` would yield infinitely many answers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import iter_assignments
+from ..core.terms import BNode, Term, Variable
+from ..minimize.normal_form import normal_form
+from .tableau import Query
+
+__all__ = ["Valuation", "satisfies_constraints", "iter_matchings", "matching_target"]
+
+#: A valuation: total on the body's variables once produced by matching.
+Valuation = Dict[Variable, Term]
+
+
+def satisfies_constraints(valuation: Valuation, constraints) -> bool:
+    """``v ⊨ C``: every constrained variable bound to a non-blank term."""
+    return all(not isinstance(valuation.get(x), BNode) for x in constraints)
+
+
+def matching_target(database: RDFGraph, premise: RDFGraph) -> RDFGraph:
+    """``nf(D + P)``: the graph bodies are matched against.
+
+    The premise is *merged* (not unioned) into the database — its blank
+    nodes are hypothetical and must not capture the database's
+    (Section 4.2) — and the normal form is taken per Definition 4.3.
+    """
+    combined = database + premise if premise else database
+    return normal_form(combined)
+
+
+def iter_matchings(
+    query: Query,
+    database: RDFGraph,
+    target: Optional[RDFGraph] = None,
+) -> Iterator[Valuation]:
+    """All matchings of the query body in the database, constraints applied.
+
+    ``target`` lets callers precompute/carry ``nf(D + P)`` (e.g. the
+    answer builder needs the same graph); by default it is computed
+    here.  Valuations are yielded in a deterministic order.
+    """
+    if target is None:
+        target = matching_target(database, query.premise)
+    body = list(query.body)
+    for assignment in iter_assignments(body, target):
+        valuation: Valuation = {
+            v: t for v, t in assignment.items() if isinstance(v, Variable)
+        }
+        if satisfies_constraints(valuation, query.constraints):
+            yield valuation

@@ -1,0 +1,181 @@
+"""Tableau queries with path expressions in predicate position.
+
+The nSPARQL direction from the paper's conclusions: body atoms may
+navigate, not just match.  A :class:`PathQuery` is a tableau whose body
+atoms are either ordinary pattern triples or *path atoms*
+``(s, e, o)`` with ``e`` a :class:`~repro.navigation.PathExpression`;
+the semantics extends Definition 4.3 by letting a path atom match any
+pair in ``⟦e⟧`` over ``nf(D + P)``.
+
+Evaluation reduces to the ordinary machinery: each path atom's pair
+relation is materialized under a reserved virtual predicate, the
+augmented graph is matched with the shared homomorphism solver, and the
+head is instantiated exactly as for plain queries (Skolemized blanks
+included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import iter_assignments
+from ..core.terms import BNode, Literal, Term, Triple, URI, Variable
+from ..navigation.paths import PathExpression, evaluate_path
+from .answers import single_answer
+from .matching import matching_target, satisfies_constraints
+from .tableau import PatternGraph, Query, Tableau
+
+__all__ = ["PathAtom", "PathQuery", "path_atom"]
+
+#: Reserved prefix for materialized path relations.
+_VIRTUAL_PREFIX = "urn:path-atom:"
+
+
+@dataclass(frozen=True)
+class PathAtom:
+    """A body atom ``(s, e, o)`` whose predicate is a path expression."""
+
+    s: Term
+    path: PathExpression
+    o: Term
+
+    def __post_init__(self):
+        for position in (self.s, self.o):
+            if not isinstance(position, (URI, BNode, Literal, Variable)):
+                raise TypeError(f"bad path-atom endpoint: {position!r}")
+        if isinstance(self.s, BNode) or isinstance(self.o, BNode):
+            raise ValueError("path atoms, like bodies, use variables not blanks")
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(
+            t for t in (self.s, self.o) if isinstance(t, Variable)
+        )
+
+    def __str__(self):
+        return f"({self.s}, {self.path}, {self.o})"
+
+
+def path_atom(s, path, o) -> PathAtom:
+    """Convenience constructor; accepts ``?var`` strings and path text."""
+    from ..navigation.parser import parse_path
+    from .tableau import pattern
+
+    def coerce(t):
+        if isinstance(t, str):
+            return Variable(t[1:]) if t.startswith("?") else URI(t)
+        return t
+
+    if isinstance(path, str):
+        path = parse_path(path)
+    return PathAtom(s=coerce(s), path=path, o=coerce(o))
+
+
+@dataclass(frozen=True)
+class PathQuery:
+    """A tableau query whose body may contain path atoms.
+
+    ``head`` is an ordinary pattern graph (blanks allowed, Skolemized in
+    answers); every head variable must occur in some body atom.
+    """
+
+    head: PatternGraph
+    plain_body: PatternGraph
+    path_atoms: Tuple[PathAtom, ...]
+    premise: RDFGraph = field(default_factory=RDFGraph)
+    constraints: FrozenSet[Variable] = frozenset()
+
+    def __post_init__(self):
+        body_vars = set(self.plain_body.variables())
+        for atom in self.path_atoms:
+            body_vars |= atom.variables()
+        missing = self.head.variables() - body_vars
+        if missing:
+            raise ValueError(
+                f"head variables not bound by the body: "
+                f"{sorted(v.value for v in missing)}"
+            )
+        stray = set(self.constraints) - self.head.variables()
+        if stray:
+            raise ValueError("constraints must be head variables")
+
+    # -- evaluation ------------------------------------------------------
+
+    def _augmented(self, database: RDFGraph) -> Tuple[RDFGraph, List[Triple]]:
+        """Materialize path relations; return (graph, full body patterns)."""
+        target = matching_target(database, self.premise)
+        work = target
+        body = list(self.plain_body)
+        for index, atom in enumerate(self.path_atoms):
+            predicate = URI(f"{_VIRTUAL_PREFIX}{index}")
+            pairs = evaluate_path(atom.path, target)
+            triples = []
+            for x, y in pairs:
+                candidate = Triple(x, predicate, y)
+                if candidate.is_valid_rdf():
+                    triples.append(candidate)
+            work = work.union(RDFGraph(triples))
+            body.append(Triple(atom.s, predicate, atom.o))
+        return work, body
+
+    def pre_answers(self, database: RDFGraph) -> List[RDFGraph]:
+        """Single answers, extending Definition 4.3 to path atoms."""
+        work, body = self._augmented(database)
+        # Reuse the plain-query head instantiation via a shim Query whose
+        # body variable set matches (for Skolem argument ordering).
+        variables = set()
+        for t in body:
+            variables |= t.variables()
+        shim_body = PatternGraph(
+            [Triple(v, URI("urn:shim"), v) for v in sorted(variables, key=str)]
+        )
+        shim = Query(
+            tableau=Tableau(head=self.head, body=shim_body),
+            premise=RDFGraph(),
+            constraints=self.constraints,
+        )
+        seen = set()
+        out: List[RDFGraph] = []
+        for assignment in iter_assignments(body, work):
+            valuation = {
+                v: t for v, t in assignment.items() if isinstance(v, Variable)
+            }
+            if not satisfies_constraints(valuation, self.constraints):
+                continue
+            answer = single_answer(shim, valuation)
+            if answer is None or answer.triples in seen:
+                continue
+            seen.add(answer.triples)
+            out.append(answer)
+        out.sort(key=lambda g: tuple(str(t) for t in g.sorted_triples()))
+        return out
+
+    def answer_union(self, database: RDFGraph) -> RDFGraph:
+        out = RDFGraph()
+        for answer in self.pre_answers(database):
+            out = out.union(answer)
+        return out
+
+    def __str__(self):
+        atoms = ", ".join(
+            [str(t) for t in self.plain_body] + [str(a) for a in self.path_atoms]
+        )
+        return f"{self.head} ← {atoms}"
+
+
+def build_path_query(
+    head: Iterable,
+    plain_body: Iterable = (),
+    path_atoms: Iterable[PathAtom] = (),
+    premise: Optional[RDFGraph] = None,
+    constraints: Iterable[Variable] = (),
+) -> PathQuery:
+    """Convenience constructor mirroring :func:`head_body_query`."""
+    return PathQuery(
+        head=PatternGraph(head),
+        plain_body=PatternGraph(plain_body),
+        path_atoms=tuple(path_atoms),
+        premise=premise if premise is not None else RDFGraph(),
+        constraints=frozenset(constraints),
+    )

@@ -1,0 +1,96 @@
+"""Redundancy elimination in answers (Section 6.2).
+
+Answers of RDF queries routinely contain redundancies even when the
+database is lean and the query's head and body are lean (the paper's
+``G1``/``G2`` example).  The cost of eliminating them depends on the
+answer semantics:
+
+* **union semantics** — deciding whether ``ans∪(q, D)`` is lean is
+  coNP-complete in ``|D|`` (Theorem 6.2): blanks of different single
+  answers may interact arbitrarily, so only the general leanness check
+  applies;
+* **merge semantics** — polynomial (Theorem 6.3): single answers have
+  pairwise-disjoint blanks, so every endomorphism of the merged answer
+  decomposes into *single maps* (one per single answer), and a proper
+  endomorphism exists iff some single answer maps into the merged
+  answer while avoiding one of its own non-ground triples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import find_assignment
+from ..core.terms import BNode
+from ..minimize.core_graph import core
+from ..minimize.lean import is_lean
+from .answers import answer_merge, answer_union, pre_answers
+from .tableau import Query
+
+__all__ = [
+    "union_answer_is_lean",
+    "merge_answer_is_lean",
+    "merge_is_lean_given_answers",
+    "reduced_answer",
+]
+
+
+def union_answer_is_lean(query: Query, database: RDFGraph) -> bool:
+    """Is ``ans∪(q, D)`` lean?  coNP-complete in |D| (Theorem 6.2)."""
+    return is_lean(answer_union(query, database))
+
+
+def merge_is_lean_given_answers(single_answers: List[RDFGraph]) -> bool:
+    """Theorem 6.3's polynomial algorithm, on pre-merged single answers.
+
+    The merged answer ``A`` is non-lean iff some single answer ``G_k``
+    admits a map into ``A − {t}`` for one of its own non-ground triples
+    ``t``:
+
+    * (⇐) extend the map by the identity on every other single answer
+      (blanks are disjoint, so the union of single maps is a function);
+      the union misses ``t`` (no other answer contains ``t``, as ``t``
+      holds blanks owned by ``G_k``), hence is proper.
+    * (⇒) a proper endomorphism of ``A`` misses some non-ground
+      ``t ∈ G_k``; its restriction to ``G_k`` is the wanted single map.
+
+    Each search is a homomorphism test from a *query-sized* graph, so
+    for a fixed query the whole procedure is polynomial in ``|D|``.
+    """
+    merged = RDFGraph()
+    relabelled: List[RDFGraph] = []
+    for index, answer in enumerate(single_answers):
+        renaming = {n: BNode(f"a{index}_{n.value}") for n in answer.bnodes()}
+        renamed = answer.rename_bnodes(renaming)
+        relabelled.append(renamed)
+        merged = merged.union(renamed)
+    for single in relabelled:
+        for t in single.sorted_triples():
+            if t.is_ground():
+                continue
+            target = merged - {t}
+            if find_assignment(list(single), target) is not None:
+                return False
+    return True
+
+
+def merge_answer_is_lean(query: Query, database: RDFGraph) -> bool:
+    """Is ``ans+(q, D)`` lean?  Polynomial in |D| (Theorem 6.3)."""
+    return merge_is_lean_given_answers(pre_answers(query, database))
+
+
+def reduced_answer(
+    query: Query, database: RDFGraph, semantics: str = "union"
+) -> RDFGraph:
+    """The answer with redundancy eliminated: its core.
+
+    This is the paper's "naive approach" — compute the answer, then a
+    lean equivalent — which Theorem 6.2 shows is worst-case optimal for
+    union semantics.
+    """
+    if semantics == "union":
+        return core(answer_union(query, database))
+    if semantics == "merge":
+        return core(answer_merge(query, database))
+    raise ValueError(f"unknown semantics {semantics!r}; use 'union' or 'merge'")

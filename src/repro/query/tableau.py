@@ -1,0 +1,195 @@
+"""Tableau queries (Definition 4.1).
+
+A *tableau* is a pair ``(H, B)`` of pattern graphs (triples over
+``UB ∪ V``) where the body ``B`` has no blank nodes and every variable
+of the head ``H`` occurs in ``B``.  A *query* is a tableau plus a
+premise graph ``P`` (over ``UB``, no variables) and a constraint set
+``C`` of variables that must bind to non-blank terms (the paper's
+analogue of SQL's ``IS NOT NULL``; DQL's "must-bind" variables).
+
+Blank nodes are allowed in the head (they become Skolemized existentials
+in answers, Section 4.1) but are pointless in the body, where a variable
+plays the same role (Note 4.2); bodies therefore reject them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Literal, Triple, URI, Variable
+
+__all__ = ["PatternGraph", "Tableau", "Query", "pattern", "head_body_query"]
+
+
+def pattern(s, p, o) -> Triple:
+    """Build a pattern triple; strings prefixed ``?`` become variables.
+
+    Other strings become URIs; pass explicit :class:`BNode` /
+    :class:`Literal` instances for those kinds.
+    """
+
+    def coerce(t):
+        if isinstance(t, str):
+            return Variable(t[1:]) if t.startswith("?") else URI(t)
+        return t
+
+    t = Triple(coerce(s), coerce(p), coerce(o))
+    if not t.is_valid_pattern():
+        raise ValueError(f"not a well-formed pattern triple: {t}")
+    return t
+
+
+class PatternGraph:
+    """An RDF graph with some positions replaced by variables.
+
+    A thin, immutable container used for tableau heads and bodies; the
+    matching machinery works on its triples directly.
+    """
+
+    __slots__ = ("_triples",)
+
+    def __init__(self, triples: Iterable):
+        items = []
+        for t in triples:
+            if not isinstance(t, Triple):
+                t = pattern(*t)
+            if not t.is_valid_pattern():
+                raise ValueError(f"not a well-formed pattern triple: {t}")
+            items.append(t)
+        self._triples: Tuple[Triple, ...] = tuple(
+            sorted(set(items), key=lambda t: (str(t.s), str(t.p), str(t.o)))
+        )
+
+    @property
+    def triples(self) -> Tuple[Triple, ...]:
+        return self._triples
+
+    def variables(self) -> FrozenSet[Variable]:
+        out = set()
+        for t in self._triples:
+            out |= t.variables()
+        return frozenset(out)
+
+    def bnodes(self) -> FrozenSet[BNode]:
+        out = set()
+        for t in self._triples:
+            out |= t.bnodes()
+        return frozenset(out)
+
+    def is_variable_free(self) -> bool:
+        return not self.variables()
+
+    def to_graph(self) -> RDFGraph:
+        """Convert to an :class:`RDFGraph`; fails if variables remain."""
+        return RDFGraph(self._triples)
+
+    def __iter__(self):
+        return iter(self._triples)
+
+    def __len__(self):
+        return len(self._triples)
+
+    def __eq__(self, other):
+        if not isinstance(other, PatternGraph):
+            return NotImplemented
+        return set(self._triples) == set(other._triples)
+
+    def __hash__(self):
+        return hash(frozenset(self._triples))
+
+    def __str__(self):
+        return ", ".join(str(t) for t in self._triples)
+
+    def __repr__(self):
+        return f"PatternGraph([{self}])"
+
+
+@dataclass(frozen=True)
+class Tableau:
+    """``H ← B``: a head and a body (Section 4)."""
+
+    head: PatternGraph
+    body: PatternGraph
+
+    def __post_init__(self):
+        if self.body.bnodes():
+            raise ValueError(
+                "tableau bodies may not contain blank nodes (Note 4.2); "
+                "use variables instead"
+            )
+        missing = self.head.variables() - self.body.variables()
+        if missing:
+            raise ValueError(
+                f"head variables not bound by the body: "
+                f"{sorted(v.value for v in missing)}"
+            )
+
+    def __str__(self):
+        return f"{self.head} ← {self.body}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A query ``(H, B, P, C)`` (Definition 4.1).
+
+    ``premise`` defaults to the empty graph and ``constraints`` to the
+    empty set, matching the paper's notational conventions.
+    """
+
+    tableau: Tableau
+    premise: RDFGraph = field(default_factory=RDFGraph)
+    constraints: FrozenSet[Variable] = frozenset()
+
+    def __post_init__(self):
+        object.__setattr__(self, "constraints", frozenset(self.constraints))
+        if self.premise.voc() and not isinstance(self.premise, RDFGraph):
+            raise TypeError("premise must be an RDFGraph")
+        stray = self.constraints - self.head.variables()
+        if stray:
+            raise ValueError(
+                "constraints must be variables occurring in the head: "
+                f"stray {sorted(v.value for v in stray)}"
+            )
+
+    @property
+    def head(self) -> PatternGraph:
+        return self.tableau.head
+
+    @property
+    def body(self) -> PatternGraph:
+        return self.tableau.body
+
+    def is_simple(self) -> bool:
+        """No RDFS vocabulary anywhere (the class of Section 5.4)."""
+        from ..core.vocabulary import RDFS_VOCABULARY
+
+        used = set()
+        for t in tuple(self.head) + tuple(self.body):
+            used.update(x for x in t if isinstance(x, URI))
+        used |= set(self.premise.voc())
+        return not (used & RDFS_VOCABULARY)
+
+    def __str__(self):
+        parts = [str(self.tableau)]
+        if self.premise:
+            parts.append(f"premise {self.premise}")
+        if self.constraints:
+            names = ", ".join(sorted(v.value for v in self.constraints))
+            parts.append(f"constraints {{{names}}}")
+        return "; ".join(parts)
+
+
+def head_body_query(
+    head: Iterable,
+    body: Iterable,
+    premise: Optional[RDFGraph] = None,
+    constraints: Iterable[Variable] = (),
+) -> Query:
+    """Convenience constructor from raw head/body triple iterables."""
+    return Query(
+        tableau=Tableau(head=PatternGraph(head), body=PatternGraph(body)),
+        premise=premise if premise is not None else RDFGraph(),
+        constraints=frozenset(constraints),
+    )

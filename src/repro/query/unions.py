@@ -1,0 +1,121 @@
+"""Union queries (Propositions 5.9/5.11 made first-class).
+
+Premise elimination already produces unions of queries; this module
+gives them a proper type with answers and *exact* containment tests:
+
+* ``⋃ q_i ⊑ q′``  ⟺  every ``q_i ⊑ q′``  (Proposition 5.11, both
+  flavours);
+* ``q ⊑p ⋃ q_i``  ⟺  some ``q_i`` standard-contains ``q``
+  (the canonical-database argument of Theorem 5.5's "only if" picks a
+  single member);
+* ``q ⊑m ⋃ q_i``  — substitutions may be drawn from *different*
+  members (their substituted heads union up before the entailment
+  check), so the test pools certificates across members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.graph import RDFGraph
+from ..semantics.entailment import entails
+from .answers import answers as single_answers
+from .containment import (
+    _apply_substitution,
+    _constraint_condition,
+    _freeze_pattern,
+    _freeze_triples,
+    _standard_target,
+    body_substitutions,
+    contained_entailment,
+    contained_standard,
+    premise_elimination,
+)
+from .tableau import Query
+
+__all__ = ["UnionQuery", "union_contained_standard", "union_contained_entailment"]
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A finite union of queries, answered member-wise."""
+
+    members: Tuple[Query, ...]
+
+    def __post_init__(self):
+        if not self.members:
+            raise ValueError("a union query needs at least one member")
+
+    @classmethod
+    def of(cls, *queries: Query) -> "UnionQuery":
+        return cls(members=tuple(queries))
+
+    @classmethod
+    def from_premise_query(cls, query: Query) -> "UnionQuery":
+        """The Ω_q expansion as a union query (Proposition 5.9)."""
+        return cls(members=tuple(premise_elimination(query)))
+
+    def answers(self, database: RDFGraph, semantics: str = "union") -> RDFGraph:
+        out = RDFGraph()
+        for member in self.members:
+            out = out.union(single_answers(member, database, semantics=semantics))
+        return out
+
+    def __len__(self):
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __str__(self):
+        return " ∪ ".join(f"({m.tableau})" for m in self.members)
+
+
+def union_contained_standard(q, q2) -> bool:
+    """``q ⊑p q2`` where either side may be a :class:`UnionQuery`."""
+    if isinstance(q, UnionQuery):
+        return all(union_contained_standard(member, q2) for member in q)
+    if isinstance(q2, UnionQuery):
+        return any(contained_standard(q, member) for member in q2)
+    return contained_standard(q, q2)
+
+
+def union_contained_entailment(q, q2) -> bool:
+    """``q ⊑m q2`` where either side may be a :class:`UnionQuery`.
+
+    For a union on the right, certificates pool: the substituted heads
+    of *all* members' valid substitutions union up before the final
+    entailment check — strictly more complete than testing members
+    separately.
+    """
+    if isinstance(q, UnionQuery):
+        return all(union_contained_entailment(member, q2) for member in q)
+    if not isinstance(q2, UnionQuery):
+        return contained_entailment(q, q2)
+    if q.premise:
+        return all(
+            union_contained_entailment(member, q2)
+            for member in premise_elimination(q)
+        )
+    target = _standard_target(q)
+    pooled = RDFGraph()
+    found_any = False
+    for member in q2.members:
+        if member.premise:
+            raise NotImplementedError(
+                "premises inside right-hand union members are not supported; "
+                "expand them with UnionQuery.from_premise_query first"
+            )
+        for theta in body_substitutions(member, target, q):
+            if not _constraint_condition(
+                theta, member.constraints, q.constraints, strict=False
+            ):
+                continue
+            found_any = True
+            pooled = pooled.union(
+                _freeze_triples(_apply_substitution(theta, member.head))
+            )
+    if not found_any:
+        return False
+    return entails(pooled, _freeze_pattern(q.head))

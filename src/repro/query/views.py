@@ -1,0 +1,173 @@
+"""Views and query composition over RDF databases.
+
+The paper's compositionality requirement (Section 4.1 — "we need to
+output results in the same format as input data") is exactly what makes
+views work: a query's answer is an RDF graph, so it can serve as (part
+of) the database of the next query.  This module packages that:
+
+* :class:`View` — a named query; :meth:`View.materialize` computes its
+  answer graph over a database;
+* :class:`ViewCatalog` — a set of views; ``extended_database`` merges
+  every materialized view into the base data (blank-safe), after which
+  downstream queries may match view-produced triples — composition /
+  subquerying from the paper's future-work list;
+* view-aware containment: a query over the extended database is a
+  query with the views' *definitions* folded in, so `q1 ⊑ q2 given V`
+  reduces to plain containment of the unfolded queries when the view
+  heads are disjoint from base predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.terms import Triple, URI, Variable
+from .answers import answers
+from .tableau import PatternGraph, Query, Tableau
+
+__all__ = ["View", "ViewCatalog", "unfold_query"]
+
+
+@dataclass(frozen=True)
+class View:
+    """A named query whose answer acts as a derived graph."""
+
+    name: str
+    query: Query
+
+    def materialize(self, database: RDFGraph, semantics: str = "union") -> RDFGraph:
+        """The view's extension over *database*."""
+        return answers(self.query, database, semantics=semantics)
+
+    def head_predicates(self) -> frozenset:
+        """The URIs the view produces in predicate position."""
+        return frozenset(
+            t.p for t in self.query.head if isinstance(t.p, URI)
+        )
+
+    def __str__(self):
+        return f"view {self.name}: {self.query.tableau}"
+
+
+class ViewCatalog:
+    """A collection of views over one base vocabulary."""
+
+    def __init__(self, views: Iterable[View] = ()):
+        self._views: Dict[str, View] = {}
+        for view in views:
+            self.add(view)
+
+    def add(self, view: View) -> None:
+        if view.name in self._views:
+            raise ValueError(f"duplicate view name {view.name!r}")
+        self._views[view.name] = view
+
+    def __getitem__(self, name: str) -> View:
+        return self._views[name]
+
+    def __iter__(self):
+        return iter(sorted(self._views.values(), key=lambda v: v.name))
+
+    def __len__(self):
+        return len(self._views)
+
+    def extended_database(
+        self, database: RDFGraph, semantics: str = "union"
+    ) -> RDFGraph:
+        """Base data merged with every materialized view.
+
+        Views are materialized against the *base* database (no
+        view-over-view recursion; compose catalogs explicitly for
+        layering) and merged in, keeping any Skolem blanks apart from
+        the base blanks.
+        """
+        extended = database
+        for view in self:
+            extension = view.materialize(database, semantics=semantics)
+            extended = extended + extension
+        return extended
+
+    def query(
+        self, q: Query, database: RDFGraph, semantics: str = "union"
+    ) -> RDFGraph:
+        """Answer *q* over the base plus all views."""
+        return answers(q, self.extended_database(database), semantics=semantics)
+
+
+def _rename_apart(query: Query, suffix: str) -> Tuple[List[Triple], List[Triple]]:
+    """The query's head/body with variables renamed by *suffix*."""
+
+    def rn(term):
+        return Variable(f"{term.value}_{suffix}") if isinstance(term, Variable) else term
+
+    head = [Triple(rn(t.s), rn(t.p), rn(t.o)) for t in query.head]
+    body = [Triple(rn(t.s), rn(t.p), rn(t.o)) for t in query.body]
+    return head, body
+
+
+def unfold_query(q: Query, catalog: ViewCatalog) -> Query:
+    """Replace view-predicate body atoms by the views' definitions.
+
+    Standard conjunctive-query view unfolding: a body triple whose
+    predicate is produced by exactly one single-triple-headed view is
+    unified with that view's head and replaced by the view's body
+    (variables renamed apart).  Triples over base predicates pass
+    through.  Raises :class:`ValueError` for ambiguous or non-atomic
+    view heads — the catalog author should keep view heads single-triple
+    for unfolding to be well-defined.
+    """
+    producers: Dict[URI, View] = {}
+    for view in catalog:
+        for p in view.head_predicates():
+            if p in producers:
+                raise ValueError(f"predicate {p} produced by multiple views")
+            producers[p] = view
+
+    new_body: List[Triple] = []
+    counter = 0
+    for t in q.body:
+        view = producers.get(t.p) if isinstance(t.p, URI) else None
+        if view is None:
+            new_body.append(t)
+            continue
+        head_triples = list(view.query.head)
+        if len(head_triples) != 1:
+            raise ValueError(
+                f"view {view.name!r} has a non-atomic head; cannot unfold"
+            )
+        counter += 1
+        v_head, v_body = _rename_apart(view.query, f"u{counter}")
+        (head_triple,) = v_head
+        # Unify the body atom (t.s, _, t.o) with the view head.
+        substitution: Dict[Variable, object] = {}
+
+        def unify(view_term, query_term):
+            if isinstance(view_term, Variable):
+                existing = substitution.get(view_term)
+                if existing is not None and existing != query_term:
+                    raise ValueError(
+                        f"cannot unfold: conflicting bindings for {view_term}"
+                    )
+                substitution[view_term] = query_term
+            elif view_term != query_term:
+                raise ValueError(
+                    f"cannot unfold: head constant {view_term} ≠ {query_term}"
+                )
+
+        unify(head_triple.s, t.s)
+        unify(head_triple.o, t.o)
+        for bt in v_body:
+            new_body.append(
+                Triple(
+                    substitution.get(bt.s, bt.s),
+                    substitution.get(bt.p, bt.p),
+                    substitution.get(bt.o, bt.o),
+                )
+            )
+    return Query(
+        tableau=Tableau(head=q.tableau.head, body=PatternGraph(new_body)),
+        premise=q.premise,
+        constraints=q.constraints,
+    )

@@ -1,0 +1,6 @@
+"""Concrete syntax: N-Triples-style parsing/serialization and DOT export."""
+
+from .dot import to_dot
+from .ntriples import ParseError, parse_ntriples, serialize_ntriples
+
+__all__ = ["ParseError", "parse_ntriples", "serialize_ntriples", "to_dot"]

@@ -1,0 +1,50 @@
+"""Graphviz DOT export, in the paper's drawing style.
+
+Fig. 1 and the worked examples draw each triple ``(s, p, o)`` as an arc
+``s --p--> o``; this module reproduces that rendering (blank nodes as
+unfilled circles) so generated graphs can be inspected visually.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Literal, Term
+
+__all__ = ["to_dot"]
+
+
+def _node_id(term: Term, ids: Dict[Term, str]) -> str:
+    if term not in ids:
+        ids[term] = f"n{len(ids)}"
+    return ids[term]
+
+
+def _label(term: Term) -> str:
+    text = str(term).replace("\\", "\\\\").replace('"', '\\"')
+    return text
+
+
+def to_dot(graph: RDFGraph, name: str = "G") -> str:
+    """The DOT source for *graph* (arc labels = predicates)."""
+    ids: Dict[Term, str] = {}
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    nodes = sorted(
+        {t.s for t in graph} | {t.o for t in graph}, key=str
+    )
+    for term in nodes:
+        node = _node_id(term, ids)
+        if isinstance(term, BNode):
+            shape = 'shape=circle, label="", xlabel="{}"'.format(_label(term))
+        elif isinstance(term, Literal):
+            shape = f'shape=box, label="{_label(term)}"'
+        else:
+            shape = f'shape=ellipse, label="{_label(term)}"'
+        lines.append(f"  {node} [{shape}];")
+    for t in graph.sorted_triples():
+        s = _node_id(t.s, ids)
+        o = _node_id(t.o, ids)
+        lines.append(f'  {s} -> {o} [label="{_label(t.p)}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

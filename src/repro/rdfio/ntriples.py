@@ -1,0 +1,151 @@
+"""A minimal N-Triples-style reader/writer for the abstract fragment.
+
+The concrete syntax is a simplification of W3C N-Triples adapted to the
+paper's abstract model (short URIs without angle brackets are allowed):
+
+* ``<http://...>`` or a bare name — a URI;
+* ``_:label`` — a blank node;
+* ``"text"`` — a plain literal (object position only);
+* one triple per line, terminated by an optional ``.``;
+* ``#`` starts a comment.
+
+Round-tripping is exact: ``parse(serialize(G)) == G``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Literal, Term, Triple, URI
+
+__all__ = ["parse_ntriples", "serialize_ntriples", "ParseError"]
+
+
+class ParseError(ValueError):
+    """A syntax error in the N-Triples-style input, with line context."""
+
+    def __init__(self, message: str, line_number: int, line: str):
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        <[^<>\s]*>            # angle-bracketed URI
+      | _:[A-Za-z0-9_.!\-]+   # blank node
+      | "(?:[^"\\]|\\.)*"     # literal with escapes
+      | [^\s"<>]+             # bare name (short URI) or the final dot
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+_UNESCAPE_RE = re.compile(r"\\(u[0-9A-Fa-f]{4}|.)")
+_NAMED_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+#: Characters that must be \u-escaped: everything str.splitlines treats
+#: as a line boundary (which would break the line-oriented syntax).
+_LINE_BREAKERS = "\x0b\x0c\x1c\x1d\x1e\x85\u2028\u2029"
+
+
+def _unescape(text: str) -> str:
+    def substitute(match: "re.Match") -> str:
+        token = match.group(1)
+        if token.startswith("u"):
+            return chr(int(token[1:], 16))
+        return _NAMED_ESCAPES.get(token, token)
+
+    return _UNESCAPE_RE.sub(substitute, text)
+
+
+def _escape(text: str) -> str:
+    out = (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace("\t", "\\t")
+    )
+    for ch in _LINE_BREAKERS:
+        out = out.replace(ch, f"\\u{ord(ch):04X}")
+    return out
+
+
+def _parse_term(token: str) -> Term:
+    if token.startswith("<") and token.endswith(">"):
+        return URI(token[1:-1])
+    if token.startswith("_:"):
+        return BNode(token[2:])
+    if token.startswith('"') and token.endswith('"'):
+        return Literal(_unescape(token[1:-1]))
+    return URI(token)
+
+
+def _tokenize(line: str, line_number: int) -> List[str]:
+    tokens = []
+    position = 0
+    while position < len(line):
+        remainder = line[position:]
+        if remainder.strip() == "" or remainder.lstrip().startswith("#"):
+            break
+        match = _TOKEN.match(line, position)
+        if match is None:
+            raise ParseError("cannot tokenize", line_number, line)
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+def parse_ntriples(text: str) -> RDFGraph:
+    """Parse a graph from the N-Triples-style concrete syntax."""
+    triples = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        tokens = _tokenize(line, line_number)
+        if tokens and tokens[-1] == ".":
+            tokens = tokens[:-1]
+        if len(tokens) != 3:
+            raise ParseError(
+                f"expected 3 terms, found {len(tokens)}", line_number, line
+            )
+        try:
+            s, p, o = (_parse_term(t) for t in tokens)
+        except ValueError as err:  # e.g. the empty URI "<>"
+            raise ParseError(str(err), line_number, line) from err
+        t = Triple(s, p, o)
+        if not t.is_valid_rdf():
+            raise ParseError("ill-formed triple", line_number, line)
+        triples.append(t)
+    return RDFGraph(triples)
+
+
+def _serialize_term(term: Term) -> str:
+    if isinstance(term, URI):
+        # Bare names need angle brackets only when they could be
+        # mis-tokenized (contain quotes/brackets — excluded by URI rules
+        # here — or start like a blank/literal or equal the dot).
+        if term.value == "." or term.value.startswith("_:"):
+            return f"<{term.value}>"
+        if any(ch.isspace() for ch in term.value):
+            return f"<{term.value}>"
+        return term.value
+    if isinstance(term, BNode):
+        return f"_:{term.value}"
+    if isinstance(term, Literal):
+        return f'"{_escape(term.value)}"'
+    raise TypeError(f"cannot serialize {term!r}")
+
+
+def serialize_ntriples(graph: RDFGraph) -> str:
+    """Serialize a graph, one triple per line, deterministically ordered."""
+    lines = [
+        f"{_serialize_term(t.s)} {_serialize_term(t.p)} {_serialize_term(t.o)} ."
+        for t in graph.sorted_triples()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")

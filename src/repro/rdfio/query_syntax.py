@@ -1,0 +1,220 @@
+"""A textual surface syntax for tableau queries.
+
+The paper writes queries as ``H ← B`` tableaux with premise and
+constraint annotations; this module provides a parseable rendition so
+queries can live in files and be fed to the CLI::
+
+    CONSTRUCT { ?A creates ?Y . }
+    WHERE     { ?A type Flemish . ?A paints ?Y . }
+    PREMISE   { son sp relative . }
+    BOUND     ?A
+
+* ``CONSTRUCT { ... }`` — the head ``H`` (triples; blank nodes allowed);
+* ``WHERE { ... }`` — the body ``B`` (no blank nodes, Note 4.2);
+* ``PREMISE { ... }`` — the premise graph ``P`` (optional);
+* ``BOUND ?X, ?Y`` — the must-bind constraint set ``C`` (optional).
+
+Terms follow the N-Triples-style syntax of
+:mod:`repro.rdfio.ntriples`, extended with ``?var`` variables.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Literal, Term, Triple, URI, Variable
+from ..query.tableau import PatternGraph, Query, Tableau
+
+__all__ = ["parse_query", "serialize_query", "QuerySyntaxError"]
+
+
+class QuerySyntaxError(ValueError):
+    """A syntax error in the query surface syntax."""
+
+
+_SECTION = re.compile(
+    r"(CONSTRUCT|WHERE|PREMISE|BOUND)\s*", re.IGNORECASE
+)
+_TERM = re.compile(
+    r"""
+    \s*(
+        \?[A-Za-z_][A-Za-z0-9_]*   # variable
+      | <[^<>\s]*>                 # angle URI
+      | _:[A-Za-z0-9_.!\-]+        # blank node
+      | "(?:[^"\\]|\\.)*"          # literal
+      | \.                         # triple terminator
+      | [^\s"<>{}?]+               # bare name
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        # Remove '#' comments, respecting quoted literals.
+        out = []
+        in_string = False
+        i = 0
+        while i < len(line):
+            ch = line[i]
+            if ch == '"' and (i == 0 or line[i - 1] != "\\"):
+                in_string = not in_string
+            if ch == "#" and not in_string:
+                break
+            out.append(ch)
+            i += 1
+        lines.append("".join(out))
+    return "\n".join(lines)
+
+
+def _parse_term(token: str) -> Term:
+    if token.startswith("?"):
+        return Variable(token[1:])
+    if token.startswith("<") and token.endswith(">"):
+        return URI(token[1:-1])
+    if token.startswith("_:"):
+        return BNode(token[2:])
+    if token.startswith('"') and token.endswith('"'):
+        from .ntriples import _unescape
+
+        return Literal(_unescape(token[1:-1]))
+    return URI(token)
+
+
+def _parse_triple_block(block: str, allow_variables: bool) -> List[Triple]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(block):
+        if block[position:].strip() == "":
+            break
+        match = _TERM.match(block, position)
+        if match is None:
+            raise QuerySyntaxError(f"cannot tokenize: {block[position:position+30]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    # Split into triples on '.' terminators.
+    def build(parts: List[str]) -> Triple:
+        if len(parts) != 3:
+            raise QuerySyntaxError(f"expected 3 terms per triple, got {parts}")
+        try:
+            return Triple(*(_parse_term(t) for t in parts))
+        except ValueError as err:  # e.g. the empty URI "<>"
+            raise QuerySyntaxError(str(err)) from err
+
+    triples: List[Triple] = []
+    current: List[str] = []
+    for token in tokens:
+        if token == ".":
+            if current:
+                triples.append(build(current))
+                current = []
+        else:
+            current.append(token)
+    if current:
+        triples.append(build(current))
+    for t in triples:
+        if not t.is_valid_pattern():
+            raise QuerySyntaxError(f"ill-formed pattern triple: {t}")
+        if not allow_variables and t.variables():
+            raise QuerySyntaxError(f"variables not allowed here: {t}")
+    return triples
+
+
+def _extract_sections(text: str) -> Dict[str, str]:
+    """Split the input into its keyword sections."""
+    sections: Dict[str, str] = {}
+    matches = list(_SECTION.finditer(text))
+    if not matches:
+        raise QuerySyntaxError("expected a CONSTRUCT { ... } WHERE { ... } query")
+    for i, match in enumerate(matches):
+        keyword = match.group(1).upper()
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        body = text[match.end():end].strip()
+        if keyword in sections:
+            raise QuerySyntaxError(f"duplicate {keyword} section")
+        sections[keyword] = body
+    return sections
+
+
+def _braced(body: str, keyword: str) -> str:
+    body = body.strip()
+    if not (body.startswith("{") and body.endswith("}")):
+        raise QuerySyntaxError(f"{keyword} expects a {{ ... }} block")
+    return body[1:-1]
+
+
+def parse_query(text: str) -> Query:
+    """Parse the surface syntax into a :class:`repro.query.Query`."""
+    text = _strip_comments(text)
+    sections = _extract_sections(text)
+    if "CONSTRUCT" not in sections or "WHERE" not in sections:
+        raise QuerySyntaxError("both CONSTRUCT and WHERE sections are required")
+
+    head = _parse_triple_block(_braced(sections["CONSTRUCT"], "CONSTRUCT"), True)
+    body = _parse_triple_block(_braced(sections["WHERE"], "WHERE"), True)
+
+    premise = RDFGraph()
+    if "PREMISE" in sections:
+        triples = _parse_triple_block(_braced(sections["PREMISE"], "PREMISE"), False)
+        premise = RDFGraph(triples)
+
+    constraints = frozenset()
+    if "BOUND" in sections:
+        names = [
+            token.strip()
+            for token in sections["BOUND"].replace(",", " ").split()
+            if token.strip()
+        ]
+        parsed = []
+        for name in names:
+            if not name.startswith("?"):
+                raise QuerySyntaxError(f"BOUND expects variables, got {name!r}")
+            parsed.append(Variable(name[1:]))
+        constraints = frozenset(parsed)
+
+    try:
+        return Query(
+            tableau=Tableau(head=PatternGraph(head), body=PatternGraph(body)),
+            premise=premise,
+            constraints=constraints,
+        )
+    except ValueError as err:
+        raise QuerySyntaxError(str(err)) from err
+
+
+def _serialize_term(term: Term) -> str:
+    if isinstance(term, Variable):
+        return f"?{term.value}"
+    from .ntriples import _serialize_term as nt_term
+
+    return nt_term(term)
+
+
+def _serialize_block(triples) -> str:
+    inner = " ".join(
+        f"{_serialize_term(t.s)} {_serialize_term(t.p)} {_serialize_term(t.o)} ."
+        for t in triples
+    )
+    return "{ " + inner + " }"
+
+
+def serialize_query(query: Query) -> str:
+    """Render a query back into the surface syntax (round-trips)."""
+    parts = [
+        "CONSTRUCT " + _serialize_block(query.head),
+        "WHERE " + _serialize_block(query.body),
+    ]
+    if query.premise:
+        parts.append(
+            "PREMISE " + _serialize_block(query.premise.sorted_triples())
+        )
+    if query.constraints:
+        names = ", ".join(
+            f"?{v.value}" for v in sorted(query.constraints, key=lambda v: v.value)
+        )
+        parts.append("BOUND " + names)
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,70 @@
+"""Executable hardness reductions (Theorems 2.9, 3.12, 5.6, 6.1).
+
+Each reduction is implemented in both directions where feasible and is
+used twice: as a correctness test (the reduction agrees with a direct
+combinatorial solver) and as a benchmark workload generator (the
+reduction's hard instances exhibit the claimed complexity).
+"""
+
+from .coloring import (
+    brute_force_chromatic_number,
+    contains_triangle,
+    is_3_colorable_via_rdf,
+    is_k_colorable_via_rdf,
+    triangle_equivalence_instance,
+)
+from .core_problems import (
+    graph_core_direct,
+    graph_core_via_rdf,
+    has_proper_retract_via_rdf,
+    is_graph_core_via_rdf,
+)
+from .homomorphism import (
+    find_graph_homomorphism,
+    homomorphic_direct,
+    homomorphic_via_rdf,
+    homomorphically_equivalent_via_rdf,
+)
+from .sat import (
+    CNF,
+    Clause,
+    brute_force_satisfiable,
+    cnf_to_cq,
+    cnf_to_rdf_query,
+    random_3sat,
+    sat_database_rdf,
+    sat_database_relational,
+    satisfiable_via_cq,
+    satisfiable_via_rdf_query,
+)
+from .standard_graphs import EDGE_PREDICATE, DiGraph, decode_graph, encode_graph
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "DiGraph",
+    "EDGE_PREDICATE",
+    "brute_force_chromatic_number",
+    "brute_force_satisfiable",
+    "cnf_to_cq",
+    "cnf_to_rdf_query",
+    "contains_triangle",
+    "decode_graph",
+    "encode_graph",
+    "find_graph_homomorphism",
+    "graph_core_direct",
+    "graph_core_via_rdf",
+    "has_proper_retract_via_rdf",
+    "homomorphic_direct",
+    "homomorphic_via_rdf",
+    "homomorphically_equivalent_via_rdf",
+    "is_3_colorable_via_rdf",
+    "is_graph_core_via_rdf",
+    "is_k_colorable_via_rdf",
+    "random_3sat",
+    "sat_database_rdf",
+    "sat_database_relational",
+    "satisfiable_via_cq",
+    "satisfiable_via_rdf_query",
+    "triangle_equivalence_instance",
+]

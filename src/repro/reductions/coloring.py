@@ -1,0 +1,74 @@
+"""Colorability through homomorphisms into cliques (Theorem 2.9.2).
+
+``H`` is k-colorable iff ``H`` (symmetrized, loop-free) is homomorphic
+to ``K_k``.  The paper uses the ``K_3`` case: ``H`` is homomorphically
+equivalent to a triangle iff ``H`` contains a triangle and is
+3-colorable — the NP-hardness engine for simple-graph *equivalence*.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .homomorphism import find_graph_homomorphism, homomorphic_via_rdf
+from .standard_graphs import DiGraph
+
+__all__ = [
+    "is_k_colorable_via_rdf",
+    "is_3_colorable_via_rdf",
+    "contains_triangle",
+    "triangle_equivalence_instance",
+    "brute_force_chromatic_number",
+]
+
+
+def is_k_colorable_via_rdf(graph: DiGraph, k: int) -> bool:
+    """k-colorability decided through the RDF entailment reduction."""
+    return homomorphic_via_rdf(graph.symmetrized(), DiGraph.complete(k))
+
+
+def is_3_colorable_via_rdf(graph: DiGraph) -> bool:
+    """3-colorability: homomorphism into ``K_3`` via RDF entailment."""
+    return is_k_colorable_via_rdf(graph, 3)
+
+
+def contains_triangle(graph: DiGraph) -> bool:
+    """Does the symmetrized graph contain a triangle?
+
+    Equivalently: is ``K_3`` homomorphic to it (cliques are cores, so a
+    homomorphic image of ``K_3`` is a triangle).
+    """
+    sym = graph.symmetrized()
+    edges = sym.edges
+    vertices = sorted(sym.vertices, key=repr)
+    for a, b, c in itertools.combinations(vertices, 3):
+        if (
+            (a, b) in edges
+            and (b, c) in edges
+            and (a, c) in edges
+        ):
+            return True
+    return False
+
+
+def triangle_equivalence_instance(graph: DiGraph) -> bool:
+    """The Theorem 2.9.2 predicate: hom-equivalent to ``K_3``.
+
+    True iff the graph contains a triangle *and* is 3-colorable; tests
+    assert this equals
+    :func:`repro.reductions.homomorphism.homomorphically_equivalent_via_rdf`
+    against ``K_3``.
+    """
+    return contains_triangle(graph) and is_3_colorable_via_rdf(graph)
+
+
+def brute_force_chromatic_number(graph: DiGraph) -> int:
+    """χ(H) by direct search — ground truth for the reduction tests."""
+    sym = graph.symmetrized()
+    vertices = sorted(sym.vertices, key=repr)
+    if not vertices:
+        return 0
+    for k in range(1, len(vertices) + 1):
+        if find_graph_homomorphism(sym, DiGraph.complete(k)) is not None:
+            return k
+    return len(vertices)  # pragma: no cover - loop always returns

@@ -1,0 +1,86 @@
+"""Graph Homomorphism via RDF entailment (Theorem 2.9).
+
+Given digraphs ``H, H′``: ``H`` is homomorphic to ``H′`` iff
+``enc(H′) ⊨ enc(H)``.  This is both
+
+* the NP-hardness reduction for simple entailment/equivalence, and
+* a reference implementation of graph homomorphism (plus a direct
+  combinatorial one, for cross-validation in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..semantics.entailment import simple_entails, simple_equivalent
+from .standard_graphs import DiGraph, encode_graph
+
+__all__ = [
+    "homomorphic_via_rdf",
+    "homomorphically_equivalent_via_rdf",
+    "find_graph_homomorphism",
+    "homomorphic_direct",
+]
+
+
+def homomorphic_via_rdf(h1: DiGraph, h2: DiGraph) -> bool:
+    """Is ``H1`` homomorphic to ``H2``?  Decided by RDF entailment."""
+    return simple_entails(encode_graph(h2), encode_graph(h1))
+
+
+def homomorphically_equivalent_via_rdf(h1: DiGraph, h2: DiGraph) -> bool:
+    """Are ``H1, H2`` homomorphically equivalent?  Via ``≡`` of encodings.
+
+    The reduction behind Theorem 2.9.2 — e.g. with ``H1 = K3`` this
+    decides "``H2`` contains a triangle and is 3-colorable".
+    """
+    return simple_equivalent(encode_graph(h1), encode_graph(h2))
+
+
+def find_graph_homomorphism(h1: DiGraph, h2: DiGraph) -> Optional[Dict]:
+    """A homomorphism ``h : V1 → V2``, by direct backtracking.
+
+    Independent of the RDF machinery: used to cross-validate the
+    reduction.
+    """
+    vertices = sorted(h1.vertices, key=repr)
+    targets = sorted(h2.vertices, key=repr)
+    edges2 = h2.edges
+    out_edges: Dict[object, list] = {}
+    in_edges: Dict[object, list] = {}
+    for u, v in h1.edges:
+        out_edges.setdefault(u, []).append(v)
+        in_edges.setdefault(v, []).append(u)
+
+    assignment: Dict = {}
+
+    def consistent(vertex, image) -> bool:
+        for w in out_edges.get(vertex, ()):
+            if w in assignment and (image, assignment[w]) not in edges2:
+                return False
+        for w in in_edges.get(vertex, ()):
+            if w in assignment and (assignment[w], image) not in edges2:
+                return False
+        return True
+
+    def backtrack(i: int) -> Optional[Dict]:
+        if i == len(vertices):
+            return dict(assignment)
+        vertex = vertices[i]
+        for image in targets:
+            if consistent(vertex, image):
+                assignment[vertex] = image
+                result = backtrack(i + 1)
+                if result is not None:
+                    return result
+                del assignment[vertex]
+        return None
+
+    if not vertices:
+        return {}
+    return backtrack(0)
+
+
+def homomorphic_direct(h1: DiGraph, h2: DiGraph) -> bool:
+    """Direct combinatorial homomorphism test (no RDF involved)."""
+    return find_graph_homomorphism(h1, h2) is not None

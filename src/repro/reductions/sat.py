@@ -1,0 +1,213 @@
+"""3SAT reductions for the query-complexity lower bound (Theorem 6.1).
+
+Theorem 6.1 proves query-complexity NP-completeness of query-answer
+emptiness by reducing 3SAT to conjunctive-query evaluation over a
+*fixed* database.  Both halves are implemented:
+
+* the relational rendition: one ternary relation per clause sign
+  pattern, holding the 7 satisfying Boolean triples; the formula
+  becomes a Boolean CQ; the database never changes;
+* the RDF rendition: the same relations reified as triples (one node
+  per satisfying assignment, three projection predicates), so the
+  formula becomes a tableau query body and emptiness of
+  ``preans(q, D_SAT)`` decides satisfiability.
+
+A brute-force DPLL-free satisfiability check provides ground truth for
+tests; :func:`random_3sat` generates benchmark workloads (the hardness
+benchmark sweeps the clause/variable ratio through the ~4.26 phase
+transition where backtracking blows up).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.terms import Triple, URI, Variable
+from ..query.tableau import PatternGraph, Query, Tableau
+from .. import relational
+
+__all__ = [
+    "Clause",
+    "CNF",
+    "random_3sat",
+    "brute_force_satisfiable",
+    "cnf_to_cq",
+    "sat_database_relational",
+    "cnf_to_rdf_query",
+    "sat_database_rdf",
+    "satisfiable_via_cq",
+    "satisfiable_via_rdf_query",
+]
+
+#: Truth-value constants shared by both renditions.
+TRUE = URI("val:1")
+FALSE = URI("val:0")
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A 3-clause: three (variable, polarity) literals.
+
+    ``polarity`` True means the positive literal.
+    """
+
+    literals: Tuple[Tuple[str, bool], Tuple[str, bool], Tuple[str, bool]]
+
+    def variables(self) -> Tuple[str, str, str]:
+        return tuple(v for v, _sign in self.literals)
+
+    def signs(self) -> Tuple[bool, bool, bool]:
+        return tuple(sign for _v, sign in self.literals)
+
+    def satisfied_by(self, assignment: Dict[str, bool]) -> bool:
+        return any(assignment[v] == sign for v, sign in self.literals)
+
+    def __str__(self):
+        body = " ∨ ".join(("" if s else "¬") + v for v, s in self.literals)
+        return f"({body})"
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A 3-CNF formula."""
+
+    clauses: Tuple[Clause, ...]
+
+    def variables(self) -> List[str]:
+        out = []
+        for c in self.clauses:
+            for v in c.variables():
+                if v not in out:
+                    out.append(v)
+        return out
+
+    def satisfied_by(self, assignment: Dict[str, bool]) -> bool:
+        return all(c.satisfied_by(assignment) for c in self.clauses)
+
+    def __str__(self):
+        return " ∧ ".join(str(c) for c in self.clauses)
+
+
+def random_3sat(
+    num_variables: int, num_clauses: int, seed: Optional[int] = None
+) -> CNF:
+    """A uniformly random 3-CNF over ``x0..x{n-1}`` (distinct vars/clause)."""
+    rng = random.Random(seed)
+    names = [f"x{i}" for i in range(num_variables)]
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(names, 3)
+        literals = tuple((v, rng.random() < 0.5) for v in chosen)
+        clauses.append(Clause(literals=literals))
+    return CNF(clauses=tuple(clauses))
+
+
+def brute_force_satisfiable(formula: CNF) -> bool:
+    """Ground-truth satisfiability by exhaustive assignment search."""
+    names = formula.variables()
+    for bits in itertools.product((False, True), repeat=len(names)):
+        if formula.satisfied_by(dict(zip(names, bits))):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Relational rendition
+# ---------------------------------------------------------------------------
+
+
+def _sign_relation_name(signs: Tuple[bool, bool, bool]) -> str:
+    return "C" + "".join("1" if s else "0" for s in signs)
+
+
+def sat_database_relational() -> "relational.Database":
+    """The fixed database: per sign pattern, the 7 satisfying triples."""
+    db = relational.Database()
+    for signs in itertools.product((False, True), repeat=3):
+        name = _sign_relation_name(signs)
+        for values in itertools.product((False, True), repeat=3):
+            if any(v == s for v, s in zip(values, signs)):
+                db.add(name, tuple(TRUE if v else FALSE for v in values))
+    return db
+
+
+def cnf_to_cq(formula: CNF) -> "relational.ConjunctiveQuery":
+    """The Boolean CQ that holds on the fixed database iff φ is SAT."""
+    atoms = []
+    for clause in formula.clauses:
+        terms = tuple(relational.CQVariable(v) for v in clause.variables())
+        atoms.append(
+            relational.Atom(relation=_sign_relation_name(clause.signs()), terms=terms)
+        )
+    return relational.ConjunctiveQuery(atoms=tuple(atoms))
+
+
+def satisfiable_via_cq(formula: CNF) -> bool:
+    """SAT decided by CQ evaluation over the fixed database."""
+    return relational.evaluate_boolean(cnf_to_cq(formula), sat_database_relational())
+
+
+# ---------------------------------------------------------------------------
+# RDF rendition
+# ---------------------------------------------------------------------------
+
+
+def sat_database_rdf() -> RDFGraph:
+    """The fixed RDF database reifying the eight clause relations.
+
+    For sign pattern ``s`` and each of its 7 satisfying value triples
+    ``(v1, v2, v3)`` there is a witness node ``w`` with triples
+    ``(w, s:pos1, v1), (w, s:pos2, v2), (w, s:pos3, v3)``.
+    """
+    triples = []
+    for signs in itertools.product((False, True), repeat=3):
+        name = _sign_relation_name(signs)
+        for values in itertools.product((False, True), repeat=3):
+            if not any(v == s for v, s in zip(values, signs)):
+                continue
+            witness = URI(
+                f"w:{name}:" + "".join("1" if v else "0" for v in values)
+            )
+            for position, value in enumerate(values, start=1):
+                triples.append(
+                    Triple(
+                        witness,
+                        URI(f"{name}:pos{position}"),
+                        TRUE if value else FALSE,
+                    )
+                )
+    return RDFGraph(triples)
+
+
+def cnf_to_rdf_query(formula: CNF) -> Query:
+    """The tableau query whose answer over ``sat_database_rdf()`` is
+    non-empty iff φ is satisfiable.
+
+    Per clause ``j`` a fresh witness variable ``?Cj`` joins the clause's
+    three variable positions; the head reports the satisfying
+    assignment (one triple per formula variable).
+    """
+    body = []
+    for j, clause in enumerate(formula.clauses):
+        name = _sign_relation_name(clause.signs())
+        witness = Variable(f"C{j}")
+        for position, var_name in enumerate(clause.variables(), start=1):
+            body.append(
+                Triple(witness, URI(f"{name}:pos{position}"), Variable(var_name))
+            )
+    head = [
+        Triple(URI(f"var:{name}"), URI("assigned"), Variable(name))
+        for name in formula.variables()
+    ]
+    return Query(tableau=Tableau(head=PatternGraph(head), body=PatternGraph(body)))
+
+
+def satisfiable_via_rdf_query(formula: CNF) -> bool:
+    """SAT decided by RDF query-answer non-emptiness (Theorem 6.1)."""
+    from ..query.answers import pre_answers
+
+    return bool(pre_answers(cnf_to_rdf_query(formula), sat_database_rdf()))

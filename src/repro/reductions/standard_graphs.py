@@ -1,0 +1,127 @@
+"""Encoding standard digraphs as simple RDF graphs (Section 2.4).
+
+``enc(H)``: each vertex ``v`` becomes a blank node ``X_v``; each edge
+``(u, v)`` becomes the triple ``(X_u, e, X_v)`` for a distinguished URI
+``e``.  The paper's bridge between graph theory and RDF:
+
+* ``H1`` homomorphic to ``H2``  ⟺  there is a map
+  ``enc(H1) → enc(H2)``  ⟺  ``enc(H2) ⊨ enc(H1)``;
+* ``H1 ≅ H2``  ⟺  ``enc(H1) ≅ enc(H2)``.
+
+These equivalences power the NP-hardness results (Theorems 2.9, 3.12,
+5.6) and this module's executable reductions.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Triple, URI
+
+__all__ = ["DiGraph", "EDGE_PREDICATE", "encode_graph", "decode_graph"]
+
+#: The distinguished edge predicate ``e`` of the encoding.
+EDGE_PREDICATE = URI("e")
+
+Vertex = object
+Edge = Tuple[Vertex, Vertex]
+
+
+class DiGraph:
+    """A standard directed graph ``H = (V, E)`` with hashable vertices.
+
+    Minimal on purpose: the reductions only need vertices, edges,
+    homomorphism-compatible iteration, and symmetrization (undirected
+    problems such as 3-colorability encode each edge both ways).
+    """
+
+    def __init__(self, vertices: Iterable[Vertex] = (), edges: Iterable[Edge] = ()):
+        self._vertices: Set[Vertex] = set(vertices)
+        self._edges: Set[Edge] = set()
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_vertex(self, v: Vertex) -> None:
+        self._vertices.add(v)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        self._vertices.add(u)
+        self._vertices.add(v)
+        self._edges.add((u, v))
+
+    @property
+    def vertices(self) -> FrozenSet[Vertex]:
+        return frozenset(self._vertices)
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        return frozenset(self._edges)
+
+    def symmetrized(self) -> "DiGraph":
+        """Both orientations of every edge (undirected reading)."""
+        g = DiGraph(self._vertices)
+        for u, v in self._edges:
+            g.add_edge(u, v)
+            g.add_edge(v, u)
+        return g
+
+    @classmethod
+    def complete(cls, n: int) -> "DiGraph":
+        """``K_n`` with both edge orientations and no self-loops."""
+        g = cls(range(n))
+        for u in range(n):
+            for v in range(n):
+                if u != v:
+                    g.add_edge(u, v)
+        return g
+
+    @classmethod
+    def cycle(cls, n: int, directed: bool = False) -> "DiGraph":
+        """The n-cycle ``C_n`` (symmetric edges unless ``directed``)."""
+        g = cls(range(n))
+        for i in range(n):
+            g.add_edge(i, (i + 1) % n)
+        return g if directed else g.symmetrized()
+
+    @classmethod
+    def path(cls, n: int, directed: bool = True) -> "DiGraph":
+        """The path on ``n`` vertices."""
+        g = cls(range(n))
+        for i in range(n - 1):
+            g.add_edge(i, i + 1)
+        return g if directed else g.symmetrized()
+
+    def __len__(self):
+        return len(self._vertices)
+
+    def __repr__(self):
+        return f"DiGraph({len(self._vertices)} vertices, {len(self._edges)} edges)"
+
+
+def _blank_for(vertex: Vertex) -> BNode:
+    return BNode(f"v!{vertex!r}")
+
+
+def encode_graph(graph: DiGraph) -> RDFGraph:
+    """``enc(H) = {(X_u, e, X_v) : (u, v) ∈ E}``.
+
+    Isolated vertices do not appear in the encoding (RDF graphs have no
+    vertex set separate from their triples) — harmless for the
+    homomorphism problems, since an isolated vertex can always map
+    anywhere.
+    """
+    return RDFGraph(
+        Triple(_blank_for(u), EDGE_PREDICATE, _blank_for(v))
+        for u, v in graph.edges
+    )
+
+
+def decode_graph(rdf_graph: RDFGraph) -> DiGraph:
+    """Inverse of :func:`encode_graph` on graphs of the encoded shape."""
+    g = DiGraph()
+    for t in rdf_graph:
+        if t.p != EDGE_PREDICATE:
+            raise ValueError(f"not an enc() image: unexpected predicate {t.p}")
+        g.add_edge(t.s, t.o)
+    return g

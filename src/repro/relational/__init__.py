@@ -1,0 +1,61 @@
+"""Relational substrate: conjunctive queries, acyclicity, Yannakakis.
+
+Backs the Section 2.4 correspondence between simple RDF entailment and
+Boolean conjunctive query evaluation, including the polynomial
+special case for blank-acyclic graphs.
+"""
+
+from .acyclic import JoinTree, build_join_tree, is_acyclic
+from .bridge import (
+    blank_treewidth_upper_bound,
+    graph_to_boolean_cq,
+    graph_to_database,
+    simple_entails_acyclic,
+    simple_entails_treewidth,
+    simple_entails_via_cq,
+)
+from .cq import Atom, CQVariable, ConjunctiveQuery
+from .database import Database
+from .evaluation import evaluate, evaluate_boolean, iter_valuations
+from .schema import Relation, Schema
+from .treewidth import (
+    TreeDecomposition,
+    evaluate_boolean_treewidth,
+    exact_treewidth,
+    min_fill_order,
+    primal_graph,
+    tree_decomposition,
+    treewidth_upper_bound,
+)
+from .yannakakis import evaluate_acyclic, evaluate_boolean_acyclic, semijoin
+
+__all__ = [
+    "Atom",
+    "CQVariable",
+    "ConjunctiveQuery",
+    "Database",
+    "JoinTree",
+    "Relation",
+    "Schema",
+    "TreeDecomposition",
+    "blank_treewidth_upper_bound",
+    "build_join_tree",
+    "evaluate",
+    "evaluate_acyclic",
+    "evaluate_boolean",
+    "evaluate_boolean_acyclic",
+    "evaluate_boolean_treewidth",
+    "exact_treewidth",
+    "graph_to_boolean_cq",
+    "graph_to_database",
+    "is_acyclic",
+    "iter_valuations",
+    "min_fill_order",
+    "primal_graph",
+    "semijoin",
+    "simple_entails_acyclic",
+    "simple_entails_treewidth",
+    "simple_entails_via_cq",
+    "tree_decomposition",
+    "treewidth_upper_bound",
+]

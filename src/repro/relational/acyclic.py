@@ -1,0 +1,150 @@
+"""Acyclicity of conjunctive queries: GYO reduction and join trees.
+
+A conjunctive query is *acyclic* iff its hypergraph (one hyperedge per
+atom, vertices = variables) reduces to nothing under GYO ear removal,
+iff it has a join tree.  Section 2.4 uses this notion: a simple RDF
+graph without blank-induced cycles yields an acyclic Boolean CQ, whose
+evaluation — hence the entailment test — is polynomial [40].
+
+This module builds the join tree that
+:mod:`repro.relational.yannakakis` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .cq import Atom, ConjunctiveQuery
+
+__all__ = ["JoinTree", "build_join_tree", "is_acyclic"]
+
+
+@dataclass
+class JoinTree:
+    """A join tree: atoms as nodes, children grouped under parents.
+
+    The defining property (checked by :meth:`verify`): for every
+    variable, the atoms containing it form a connected subtree.
+    """
+
+    root: Atom
+    children: Dict[Atom, List[Atom]] = field(default_factory=dict)
+
+    def nodes(self) -> List[Atom]:
+        out: List[Atom] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(self.children.get(node, ()))
+        return out
+
+    def postorder(self) -> List[Atom]:
+        """Children before parents — the order Yannakakis' upward pass uses."""
+        out: List[Atom] = []
+
+        def visit(node: Atom):
+            for child in self.children.get(node, ()):
+                visit(child)
+            out.append(node)
+
+        visit(self.root)
+        return out
+
+    def parent_of(self, node: Atom) -> Optional[Atom]:
+        for parent, kids in self.children.items():
+            if node in kids:
+                return parent
+        return None
+
+    def verify(self) -> bool:
+        """Check the running-intersection (connected subtree) property."""
+        nodes = self.nodes()
+        variables = set()
+        for atom in nodes:
+            variables |= atom.variables()
+        for var in variables:
+            holders = {a for a in nodes if var in a.variables()}
+            # BFS within holders starting from any one of them.
+            start = next(iter(holders))
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                neighbours = list(self.children.get(node, ()))
+                parent = self.parent_of(node)
+                if parent is not None:
+                    neighbours.append(parent)
+                for n in neighbours:
+                    if n in holders and n not in seen:
+                        seen.add(n)
+                        frontier.append(n)
+            if seen != holders:
+                return False
+        return True
+
+
+def build_join_tree(query: ConjunctiveQuery) -> Optional[JoinTree]:
+    """A join tree of the query, or None when the query is cyclic.
+
+    Classic ear removal: an atom ``A`` is an *ear* with witness ``B``
+    when every variable ``A`` shares with the rest of the query also
+    occurs in ``B``; remove ears (hanging each under its witness) until
+    one atom remains.  Success ⟺ acyclicity (GYO).
+    """
+    atoms = list(dict.fromkeys(query.atoms))  # dedupe, keep order
+    if not atoms:
+        return None
+    if len(atoms) == 1:
+        return JoinTree(root=atoms[0])
+
+    children: Dict[Atom, List[Atom]] = {}
+    remaining = list(atoms)
+    removed_under: List[Tuple[Atom, Atom]] = []  # (ear, witness)
+
+    progress = True
+    while len(remaining) > 1 and progress:
+        progress = False
+        for ear in list(remaining):
+            others = [a for a in remaining if a is not ear]
+            shared = set()
+            other_vars = set()
+            for a in others:
+                other_vars |= a.variables()
+            shared = ear.variables() & other_vars
+            witness = None
+            for b in others:
+                if shared <= b.variables():
+                    witness = b
+                    break
+            if witness is not None:
+                remaining.remove(ear)
+                removed_under.append((ear, witness))
+                progress = True
+                break
+    if len(remaining) != 1:
+        return None
+
+    root = remaining[0]
+    tree = JoinTree(root=root, children=children)
+    # Attach ears in reverse removal order so witnesses are in the tree.
+    placed = {root}
+    pending = list(reversed(removed_under))
+    while pending:
+        advanced = False
+        for pair in list(pending):
+            ear, witness = pair
+            if witness in placed:
+                children.setdefault(witness, []).append(ear)
+                placed.add(ear)
+                pending.remove(pair)
+                advanced = True
+        if not advanced:  # pragma: no cover - witnesses always placeable
+            return None
+    return tree
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """Is the query's hypergraph (GYO-)acyclic?"""
+    return build_join_tree(query) is not None

@@ -1,0 +1,118 @@
+"""The RDF ↔ relational correspondence of Section 2.4.
+
+For a simple RDF graph ``G``:
+
+* ``D_G`` — a relational database with a binary relation ``R_p`` per
+  predicate ``p ∈ voc(G)`` holding ``{(s, o) : (s, p, o) ∈ G}``; the
+  active domain is ``universe(G)`` (blank nodes included, as plain
+  values);
+* ``Q_G`` — the Boolean conjunctive query conjoining ``R_p(s, o)`` per
+  triple, with the blank nodes of ``G`` as existential variables.
+
+The paper's key observation: ``D_{G1} ⊨ Q_{G2}`` iff there is a map
+``G2 → G1`` iff ``G1 ⊨ G2`` (simple entailment).  When ``G2`` has no
+blank-induced cycles, ``Q_{G2}`` is an acyclic CQ and Yannakakis'
+algorithm decides entailment in polynomial time —
+:func:`simple_entails_acyclic` wires that pipeline together.
+"""
+
+from __future__ import annotations
+
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Term
+from .acyclic import build_join_tree
+from .cq import Atom, CQVariable, ConjunctiveQuery
+from .database import Database
+from .evaluation import evaluate_boolean
+from .yannakakis import evaluate_boolean_acyclic
+
+__all__ = [
+    "graph_to_database",
+    "graph_to_boolean_cq",
+    "simple_entails_via_cq",
+    "simple_entails_acyclic",
+    "simple_entails_treewidth",
+    "blank_treewidth_upper_bound",
+]
+
+
+def _relation_name(predicate: Term) -> str:
+    return f"R_{predicate.value}"
+
+
+def graph_to_database(graph: RDFGraph) -> Database:
+    """``D_G``: one binary relation per predicate (Section 2.4)."""
+    db = Database()
+    for t in graph:
+        db.add(_relation_name(t.p), (t.s, t.o))
+    return db
+
+
+def graph_to_boolean_cq(graph: RDFGraph) -> ConjunctiveQuery:
+    """``Q_G``: the Boolean CQ with blank nodes as variables."""
+
+    def term_to_cq(term: Term):
+        if isinstance(term, BNode):
+            return CQVariable(term.value)
+        return term
+
+    atoms = tuple(
+        Atom(relation=_relation_name(t.p), terms=(term_to_cq(t.s), term_to_cq(t.o)))
+        for t in graph.sorted_triples()
+    )
+    return ConjunctiveQuery(atoms=atoms)
+
+
+def simple_entails_via_cq(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """``G1 ⊨ G2`` decided as ``D_{G1} ⊨ Q_{G2}`` (naive evaluation).
+
+    Cross-validates :func:`repro.semantics.entailment.simple_entails`:
+    both must agree on all simple graphs (tested, incl. property tests).
+    """
+    return evaluate_boolean(graph_to_boolean_cq(g2), graph_to_database(g1))
+
+
+def simple_entails_acyclic(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """Polynomial entailment test for blank-acyclic ``G2`` (Section 2.4).
+
+    Requires ``Q_{G2}`` to be an acyclic CQ — guaranteed whenever ``G2``
+    has no cycles induced by blank nodes
+    (:meth:`repro.core.graph.RDFGraph.has_blank_cycle`), and checked
+    directly on the hypergraph, which is strictly more permissive.
+    Raises :class:`ValueError` on cyclic inputs.
+    """
+    cq = graph_to_boolean_cq(g2)
+    tree = build_join_tree(cq)
+    if tree is None:
+        raise ValueError(
+            "G2 induces a cyclic conjunctive query; use simple_entails "
+            "(the general NP procedure) instead"
+        )
+    return evaluate_boolean_acyclic(cq, graph_to_database(g1), tree=tree)
+
+
+def blank_treewidth_upper_bound(graph: RDFGraph) -> int:
+    """Treewidth (upper bound) of the graph's blank structure.
+
+    The width of ``Q_G``'s primal graph under the min-fill heuristic;
+    blank-acyclic graphs have width ≤ 1.
+    """
+    from .treewidth import treewidth_upper_bound
+
+    return max(0, treewidth_upper_bound(graph_to_boolean_cq(graph)))
+
+
+def simple_entails_treewidth(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """Entailment through a tree decomposition of ``Q_{G2}`` (§2.4).
+
+    Polynomial whenever the blank structure of ``G2`` has bounded
+    treewidth — strictly generalizing :func:`simple_entails_acyclic`
+    (blank-acyclic means treewidth ≤ 1).  Always terminates with the
+    correct answer; the bound degrades to ``|G1|^{w+1}`` for width w.
+    """
+    from .treewidth import evaluate_boolean_treewidth
+
+    return evaluate_boolean_treewidth(
+        graph_to_boolean_cq(g2), graph_to_database(g1)
+    )

@@ -1,0 +1,77 @@
+"""Conjunctive queries over relational schemas.
+
+A conjunctive query is a set of atoms ``R(t1, ..., tk)`` whose terms
+are constants or variables, plus an (optionally empty) tuple of head
+variables; Boolean queries have an empty head.  Section 2.4 associates
+a Boolean CQ ``Q_G`` to every simple RDF graph ``G`` (blank nodes become
+existential variables) — see :mod:`repro.relational.bridge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Tuple, Union
+
+__all__ = ["CQVariable", "Atom", "ConjunctiveQuery"]
+
+
+@dataclass(frozen=True, order=True)
+class CQVariable:
+    """An existential/head variable of a conjunctive query."""
+
+    name: str
+
+    def __str__(self):
+        return f"${self.name}"
+
+
+CQTerm = Union[CQVariable, Hashable]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``R(t1, ..., tk)``: one conjunct."""
+
+    relation: str
+    terms: Tuple[CQTerm, ...]
+
+    def variables(self) -> FrozenSet[CQVariable]:
+        return frozenset(t for t in self.terms if isinstance(t, CQVariable))
+
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def __str__(self):
+        inner = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query: atoms plus head variables (empty = Boolean)."""
+
+    atoms: Tuple[Atom, ...]
+    head: Tuple[CQVariable, ...] = ()
+
+    def __post_init__(self):
+        body_vars = self.variables()
+        stray = [v for v in self.head if v not in body_vars]
+        if stray:
+            raise ValueError(f"head variables not in body: {stray}")
+
+    def variables(self) -> FrozenSet[CQVariable]:
+        out = set()
+        for atom in self.atoms:
+            out |= atom.variables()
+        return frozenset(out)
+
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def relations(self) -> FrozenSet[str]:
+        return frozenset(a.relation for a in self.atoms)
+
+    def __str__(self):
+        head = ", ".join(str(v) for v in self.head)
+        body = " ∧ ".join(str(a) for a in self.atoms)
+        return f"({head}) ← {body}" if self.head else f"() ← {body}"

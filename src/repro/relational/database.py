@@ -1,0 +1,63 @@
+"""Relational database instances: finite sets of tuples per relation.
+
+Instances are the targets of conjunctive-query evaluation
+(:mod:`repro.relational.evaluation`, :mod:`repro.relational.yannakakis`).
+The active domain may contain arbitrary hashable values; Section 2.4's
+``D_G`` construction puts RDF terms (including blank nodes) in it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+from .schema import Relation, Schema
+
+__all__ = ["Database"]
+
+Value = Hashable
+Row = Tuple[Value, ...]
+
+
+class Database:
+    """A finite relational instance."""
+
+    def __init__(self):
+        self._schema = Schema()
+        self._tables: Dict[str, Set[Row]] = {}
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def add(self, relation_name: str, row: Iterable[Value]) -> None:
+        """Insert one tuple, registering the relation on first use."""
+        row = tuple(row)
+        self._schema.add(Relation(relation_name, len(row)))
+        self._tables.setdefault(relation_name, set()).add(row)
+
+    def rows(self, relation_name: str) -> FrozenSet[Row]:
+        """All tuples of a relation (empty if unknown)."""
+        return frozenset(self._tables.get(relation_name, ()))
+
+    def relations(self) -> Iterator[Relation]:
+        return iter(self._schema)
+
+    def active_domain(self) -> FrozenSet[Value]:
+        out: Set[Value] = set()
+        for rows in self._tables.values():
+            for row in rows:
+                out.update(row)
+        return frozenset(out)
+
+    def size(self) -> int:
+        """Total number of tuples."""
+        return sum(len(rows) for rows in self._tables.values())
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __repr__(self):
+        parts = ", ".join(
+            f"{name}:{len(rows)}" for name, rows in sorted(self._tables.items())
+        )
+        return f"Database({parts})"

@@ -1,0 +1,89 @@
+"""Naive conjunctive-query evaluation (backtracking join).
+
+This is the general-purpose evaluator: NP-complete in combined
+complexity (Theorem 6.1's query-complexity half reduces 3SAT to it),
+polynomial in data complexity for a fixed query [42].  The acyclic
+special case gets the dedicated polynomial algorithm in
+:mod:`repro.relational.yannakakis`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from .cq import Atom, CQVariable, ConjunctiveQuery
+from .database import Database
+
+__all__ = ["iter_valuations", "evaluate", "evaluate_boolean"]
+
+Binding = Dict[CQVariable, object]
+
+
+def _candidates(db: Database, atom: Atom, binding: Binding) -> Iterator[Tuple]:
+    wanted = []
+    for term in atom.terms:
+        if isinstance(term, CQVariable):
+            wanted.append(binding.get(term))
+        else:
+            wanted.append(term)
+    for row in db.rows(atom.relation):
+        if len(row) != len(wanted):
+            continue
+        if all(w is None or w == r for w, r in zip(wanted, row)):
+            yield row
+
+
+def iter_valuations(query: ConjunctiveQuery, db: Database) -> Iterator[Binding]:
+    """All satisfying assignments of the query's variables.
+
+    Backtracking with a fail-first atom order (fewest candidates under
+    the current partial binding), mirroring the RDF homomorphism solver.
+    """
+    atoms = list(query.atoms)
+
+    def backtrack(todo: List[Atom], binding: Binding) -> Iterator[Binding]:
+        if not todo:
+            yield dict(binding)
+            return
+        best_i, best_count = None, None
+        for i, atom in enumerate(todo):
+            n = sum(1 for _ in _candidates(db, atom, binding))
+            if best_count is None or n < best_count:
+                best_i, best_count = i, n
+                if n == 0:
+                    return
+        atom = todo[best_i]
+        rest = todo[:best_i] + todo[best_i + 1 :]
+        for row in sorted(_candidates(db, atom, binding), key=repr):
+            bound = []
+            ok = True
+            for term, value in zip(atom.terms, row):
+                if isinstance(term, CQVariable):
+                    seen = binding.get(term)
+                    if seen is None:
+                        binding[term] = value
+                        bound.append(term)
+                    elif seen != value:
+                        ok = False
+                        break
+            if ok:
+                yield from backtrack(rest, binding)
+            for v in bound:
+                del binding[v]
+
+    yield from backtrack(atoms, {})
+
+
+def evaluate(query: ConjunctiveQuery, db: Database) -> FrozenSet[Tuple]:
+    """The answer relation: head-variable projections of all valuations."""
+    out = set()
+    for binding in iter_valuations(query, db):
+        out.add(tuple(binding[v] for v in query.head))
+    return frozenset(out)
+
+
+def evaluate_boolean(query: ConjunctiveQuery, db: Database) -> bool:
+    """``D ⊨ Q`` for Boolean Q: some valuation exists."""
+    for _binding in iter_valuations(query, db):
+        return True
+    return False

@@ -1,0 +1,63 @@
+"""Relational schemas: relation names with fixed arities.
+
+The relational substrate backs Section 2.4's correspondence between
+simple RDF graphs and conjunctive queries: every predicate ``p`` of a
+graph becomes a binary relation ``R_p``.  The substrate itself is
+general (any arity) so the conjunctive-query machinery (GYO reduction,
+Yannakakis) is usable — and testable — beyond the binary case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator
+
+__all__ = ["Relation", "Schema"]
+
+
+@dataclass(frozen=True, order=True)
+class Relation:
+    """A relation name with its arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self):
+        if self.arity < 1:
+            raise ValueError("arity must be positive")
+
+    def __str__(self):
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """A set of relations, indexed by name."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._by_name: Dict[str, Relation] = {}
+        for rel in relations:
+            self.add(rel)
+
+    def add(self, relation: Relation) -> None:
+        existing = self._by_name.get(relation.name)
+        if existing is not None and existing != relation:
+            raise ValueError(
+                f"conflicting arities for {relation.name}: "
+                f"{existing.arity} vs {relation.arity}"
+            )
+        self._by_name[relation.name] = relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._by_name[name]
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(sorted(self._by_name.values()))
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __repr__(self):
+        return f"Schema({sorted(self._by_name)})"

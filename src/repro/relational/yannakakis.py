@@ -1,0 +1,181 @@
+"""Yannakakis' algorithm for acyclic conjunctive queries [40].
+
+For Boolean acyclic CQs the algorithm is a single bottom-up semijoin
+pass over a join tree: each node's candidate tuple set is filtered to
+those joinable with every (already-reduced) child; the query holds iff
+the root ends up non-empty.  Total time is polynomial in query +
+database size — this is the engine behind the polynomial entailment
+test for blank-acyclic RDF graphs (Section 2.4, exercised by benchmark
+E5).
+
+Non-Boolean heads are supported through the standard full reducer
+(bottom-up then top-down semijoins) followed by joins along the tree,
+projecting early onto head + connecting variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .acyclic import JoinTree, build_join_tree
+from .cq import Atom, CQVariable, ConjunctiveQuery
+from .database import Database
+
+__all__ = ["evaluate_boolean_acyclic", "evaluate_acyclic", "semijoin"]
+
+Row = Tuple
+VarTuple = Tuple[CQVariable, ...]
+
+
+def _atom_relation(db: Database, atom: Atom) -> Tuple[VarTuple, Set[Row]]:
+    """The atom's candidate bindings as (variable columns, rows).
+
+    Selects rows compatible with the atom's constants and repeated
+    variables, projecting to one column per distinct variable (in first
+    occurrence order).
+    """
+    columns: List[CQVariable] = []
+    for term in atom.terms:
+        if isinstance(term, CQVariable) and term not in columns:
+            columns.append(term)
+    rows: Set[Row] = set()
+    for row in db.rows(atom.relation):
+        if len(row) != len(atom.terms):
+            continue
+        binding: Dict[CQVariable, object] = {}
+        ok = True
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, CQVariable):
+                if term in binding and binding[term] != value:
+                    ok = False
+                    break
+                binding[term] = value
+            elif term != value:
+                ok = False
+                break
+        if ok:
+            rows.add(tuple(binding[c] for c in columns))
+    return tuple(columns), rows
+
+
+def semijoin(
+    left_cols: VarTuple,
+    left_rows: Set[Row],
+    right_cols: VarTuple,
+    right_rows: Set[Row],
+) -> Set[Row]:
+    """``left ⋉ right``: the left rows joinable with some right row."""
+    shared = [c for c in left_cols if c in right_cols]
+    if not shared:
+        return set(left_rows) if right_rows else set()
+    left_idx = [left_cols.index(c) for c in shared]
+    right_idx = [right_cols.index(c) for c in shared]
+    keys = {tuple(r[i] for i in right_idx) for r in right_rows}
+    return {r for r in left_rows if tuple(r[i] for i in left_idx) in keys}
+
+
+def evaluate_boolean_acyclic(
+    query: ConjunctiveQuery, db: Database, tree: Optional[JoinTree] = None
+) -> bool:
+    """``D ⊨ Q`` for an acyclic Boolean query, in polynomial time.
+
+    Raises :class:`ValueError` if the query is cyclic and no tree is
+    supplied.
+    """
+    if tree is None:
+        tree = build_join_tree(query)
+        if tree is None:
+            raise ValueError("query is cyclic; use the general evaluator")
+    relations: Dict[Atom, Tuple[VarTuple, Set[Row]]] = {
+        atom: _atom_relation(db, atom) for atom in tree.nodes()
+    }
+    for node in tree.postorder():
+        cols, rows = relations[node]
+        for child in tree.children.get(node, ()):
+            ccols, crows = relations[child]
+            rows = semijoin(cols, rows, ccols, crows)
+        relations[node] = (cols, rows)
+        if not rows:
+            return False
+    _root_cols, root_rows = relations[tree.root]
+    return bool(root_rows)
+
+
+def _join(
+    left_cols: VarTuple, left_rows: Set[Row], right_cols: VarTuple, right_rows: Set[Row]
+) -> Tuple[VarTuple, Set[Row]]:
+    """Natural join on shared variables."""
+    shared = [c for c in left_cols if c in right_cols]
+    out_cols = tuple(left_cols) + tuple(c for c in right_cols if c not in left_cols)
+    right_extra_idx = [i for i, c in enumerate(right_cols) if c not in left_cols]
+    left_idx = [left_cols.index(c) for c in shared]
+    right_idx = [right_cols.index(c) for c in shared]
+    index: Dict[Row, List[Row]] = {}
+    for r in right_rows:
+        index.setdefault(tuple(r[i] for i in right_idx), []).append(r)
+    rows: Set[Row] = set()
+    for l in left_rows:
+        for r in index.get(tuple(l[i] for i in left_idx), ()):
+            rows.add(tuple(l) + tuple(r[i] for i in right_extra_idx))
+    return out_cols, rows
+
+
+def evaluate_acyclic(
+    query: ConjunctiveQuery, db: Database, tree: Optional[JoinTree] = None
+) -> FrozenSet[Row]:
+    """Full Yannakakis evaluation of an acyclic query with a head.
+
+    Bottom-up and top-down semijoin passes (the full reducer) followed
+    by bottom-up joins with early projection to head ∪ connecting
+    variables; output-polynomial.
+    """
+    if tree is None:
+        tree = build_join_tree(query)
+        if tree is None:
+            raise ValueError("query is cyclic; use the general evaluator")
+    relations: Dict[Atom, Tuple[VarTuple, Set[Row]]] = {
+        atom: _atom_relation(db, atom) for atom in tree.nodes()
+    }
+    # Upward semijoins.
+    for node in tree.postorder():
+        cols, rows = relations[node]
+        for child in tree.children.get(node, ()):
+            ccols, crows = relations[child]
+            rows = semijoin(cols, rows, ccols, crows)
+        relations[node] = (cols, rows)
+    # Downward semijoins.
+    for node in reversed(tree.postorder()):
+        cols, rows = relations[node]
+        for child in tree.children.get(node, ()):
+            ccols, crows = relations[child]
+            relations[child] = (ccols, semijoin(ccols, crows, cols, rows))
+    # Bottom-up joins with projection.
+    head = set(query.head)
+
+    def needed_above(node: Atom) -> Set[CQVariable]:
+        parent = tree.parent_of(node)
+        keep: Set[CQVariable] = set(head)
+        while parent is not None:
+            keep |= parent.variables()
+            parent = tree.parent_of(parent)
+        return keep
+
+    def combine(node: Atom) -> Tuple[VarTuple, Set[Row]]:
+        cols, rows = relations[node]
+        for child in tree.children.get(node, ()):
+            ccols, crows = combine(child)
+            cols, rows = _join(cols, rows, ccols, crows)
+        keep = (head | node.variables()) & set(cols)
+        keep |= needed_above(node) & set(cols)
+        keep_cols = tuple(c for c in cols if c in keep)
+        idx = [cols.index(c) for c in keep_cols]
+        return keep_cols, {tuple(r[i] for i in idx) for r in rows}
+
+    cols, rows = combine(tree.root)
+    missing = [v for v in query.head if v not in cols]
+    if missing:
+        # Head variables absent from the data (empty result) or the
+        # query was Boolean: project what exists.
+        return frozenset() if rows == set() else frozenset({()})
+    idx = [cols.index(v) for v in query.head]
+    return frozenset(tuple(r[i] for i in idx) for r in rows)

@@ -1,0 +1,73 @@
+"""Entailment between RDF graphs (Sections 2.3–2.4).
+
+The map-based characterizations of Theorem 2.8 are the production
+decision procedures:
+
+* :func:`simple_entails` — ``G1 ⊨ G2`` for simple graphs: a map
+  ``G2 → G1`` (Theorem 2.8.2);
+* :func:`entails` — full RDFS entailment: a map ``G2 → cl(G1)``
+  (Theorem 2.8.1);
+* :func:`equivalent` — ``G1 ≡ G2``: entailment both ways.
+
+Both NP-hard directions route through the shared backtracking solver in
+:mod:`repro.core.homomorphism`, so the hardness benchmarks (Theorem 2.9)
+measure this exact code path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import find_map
+from ..core.maps import Map
+from .closure import closure
+
+__all__ = [
+    "simple_entails",
+    "entails",
+    "equivalent",
+    "simple_equivalent",
+    "entailment_witness",
+]
+
+
+def simple_entails(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """``G1 ⊨ G2`` under simple semantics: ∃ map ``G2 → G1``.
+
+    Correct (sound and complete) whenever both graphs are simple
+    (Definition 2.2).  Callers that want RDFS vocabulary handled must
+    use :func:`entails`.  Also used deliberately on vocabulary-bearing
+    graphs by Section 5.4 ("simple queries": rdfs graphs treated as
+    simple graphs wherever they appear).
+    """
+    return find_map(g2, g1) is not None
+
+
+def entailment_witness(g1: RDFGraph, g2: RDFGraph) -> Optional[Map]:
+    """The map ``G2 → cl(G1)`` witnessing ``G1 ⊨ G2``, or None."""
+    return find_map(g2, closure(g1))
+
+
+def entails(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """RDFS entailment ``G1 ⊨ G2`` (Theorem 2.8.1).
+
+    NP-complete in general (Theorem 2.10); the witness is the closure
+    derivation plus the map, see :func:`repro.semantics.proof.construct_proof`.
+    """
+    if g2.issubgraph(g1):
+        return True
+    return entailment_witness(g1, g2) is not None
+
+
+def equivalent(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """``G1 ≡ G2``: each entails the other."""
+    return entails(g1, g2) and entails(g2, g1)
+
+
+def simple_equivalent(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """Equivalence under simple semantics (maps both ways).
+
+    NP-complete (Theorem 2.9.2).
+    """
+    return simple_entails(g1, g2) and simple_entails(g2, g1)

@@ -1,0 +1,115 @@
+"""Canonical (Herbrand-style) models built from closures (Section 3.1).
+
+The Skolemization idea of Section 3.1 yields, for every RDF graph ``G``,
+a canonical interpretation whose resources are the terms of the
+Skolemized closure and whose extensions read the closure triples off
+directly.  Its two key properties, verified by the test suite:
+
+* it *is* an RDFS interpretation (all structural conditions hold,
+  because the closure is closed under rules (2)–(13));
+* it is a *minimal* model: ``canonical_model(G1) ⊨ G2`` iff
+  ``G1 ⊨ G2`` — which gives a second, model-theoretic decision
+  procedure for entailment, cross-validating the map-based one of
+  Theorem 2.8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.terms import Term, URI
+from ..core.vocabulary import RDFS_VOCABULARY, SC, SP, TYPE
+from .closure import rdfs_closure
+from .interpretation import Interpretation
+
+__all__ = ["canonical_model", "entails_by_model", "find_countermodel"]
+
+
+def canonical_model(graph: RDFGraph) -> Interpretation:
+    """The canonical interpretation of ``G``, built from ``cl(G*)``.
+
+    Resources are the terms of the Skolemized closure (plus the reserved
+    vocabulary); ``Int`` is the identity on URIs; ``Prop`` / ``Class`` /
+    ``PExt`` / ``CExt`` are read off the closure triples:
+
+    * ``Prop  = {p : (p, sp, p) ∈ cl}`` (every property is sp-reflexive
+      in a closure, by rules (8)–(11));
+    * ``Class = {c : (c, sc, c) ∈ cl}`` (rules (12)–(13));
+    * ``PExt(p) = {(s, o) : (s, p, o) ∈ cl}``;
+    * ``CExt(c) = {x : (x, type, c) ∈ cl}``.
+    """
+    skolemized, _inverse = graph.skolemize()
+    closed = rdfs_closure(skolemized)
+
+    res: Set[Term] = set(closed.universe()) | set(RDFS_VOCABULARY)
+    prop: Set[Term] = set()
+    klass: Set[Term] = set()
+    pext: Dict[Term, Set[Tuple[Term, Term]]] = {}
+    cext: Dict[Term, Set[Term]] = {}
+
+    for t in closed:
+        pext.setdefault(t.p, set()).add((t.s, t.o))
+        if t.p == SP and t.s == t.o:
+            prop.add(t.s)
+        if t.p == SC and t.s == t.o:
+            klass.add(t.s)
+        if t.p == TYPE:
+            cext.setdefault(t.o, set()).add(t.s)
+
+    # Every reserved word is a property even over the empty graph
+    # (rule 9 puts (p, sp, p) in every closure).
+    prop |= set(RDFS_VOCABULARY)
+    for p in RDFS_VOCABULARY:
+        pext.setdefault(p, set())
+    for p in prop:
+        pext.setdefault(SP, set()).add((p, p))
+    for c in klass:
+        pext.setdefault(SC, set()).add((c, c))
+        cext.setdefault(c, set())
+
+    int_map: Dict[URI, Term] = {u: u for u in res if isinstance(u, URI)}
+    for u in RDFS_VOCABULARY:
+        int_map.setdefault(u, u)
+
+    return Interpretation(
+        res=res,
+        prop=prop,
+        klass=klass,
+        pext=pext,
+        cext=cext,
+        int_map=int_map,
+    )
+
+
+def entails_by_model(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """Model-theoretic entailment check via the canonical model.
+
+    ``G1 ⊨ G2`` iff the canonical model of ``G1`` satisfies ``G2``
+    (soundness: the canonical model is a model of ``G1``; completeness:
+    it is minimal).  Exponential in the blanks of ``G2`` — used for
+    cross-validation on small graphs, not production entailment (use
+    :func:`repro.semantics.entailment.entails`).
+    """
+    from .interpretation import satisfies_simple
+
+    model = canonical_model(g1)
+    return satisfies_simple(model, g2)
+
+
+def find_countermodel(g1: RDFGraph, g2: RDFGraph):
+    """An interpretation witnessing ``G1 ⊭ G2``, or None if entailed.
+
+    The canonical model of ``G1`` is minimal, so whenever the
+    entailment fails it is itself a countermodel: it satisfies ``G1``
+    (and all of ``G1``'s consequences) but not ``G2``.  This makes
+    non-entailment *semantically auditable* — the returned
+    interpretation can be checked independently with
+    :func:`repro.semantics.models`.
+    """
+    from .interpretation import satisfies_simple
+
+    model = canonical_model(g1)
+    if satisfies_simple(model, g2):
+        return None
+    return model

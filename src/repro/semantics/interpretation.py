@@ -1,0 +1,249 @@
+"""RDF model theory (Section 2.3.1).
+
+An RDF interpretation is a tuple ``I = (Res, Prop, Class, PExt, CExt,
+Int)``.  This module provides a finite, executable rendition: the
+carrier sets are finite Python sets (sufficient for checking entailment
+over finite graphs via canonical models, see
+:mod:`repro.semantics.herbrand`), and :func:`models` implements the full
+definition of ``I ⊨ G``, including the existential search for a blank
+assignment ``A : B → Res``.
+
+The definition's conditions are factored into two parts:
+
+* :meth:`Interpretation.is_rdfs_interpretation` — the structural
+  conditions on ``I`` alone (properties-and-classes, subproperty,
+  subclass, typing);
+* :func:`satisfies_simple` — the *simple interpretation* condition,
+  which is the only one referring to the graph.
+
+As the paper notes (Note 2.3), resources may serve simultaneously as
+predicates and as individuals — ``Prop`` need not be disjoint from
+``Res`` — which is why the structure is not a standard FO model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional, Set, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Literal, Term, URI
+from ..core.vocabulary import DOM, RANGE, SC, SP, TYPE
+
+__all__ = ["Interpretation", "satisfies_simple", "models", "find_blank_assignment"]
+
+#: Resources are arbitrary hashable Python values.
+Resource = Hashable
+
+
+@dataclass
+class Interpretation:
+    """An RDF interpretation ``I = (Res, Prop, Class, PExt, CExt, Int)``.
+
+    Parameters mirror the paper exactly:
+
+    * ``res`` — non-empty set of resources (the domain);
+    * ``prop`` — set of property names (not necessarily ⊆ or ⊇ ``res``);
+    * ``klass`` — distinguished subset of ``res`` denoting classes;
+    * ``pext`` — extension of each property name: ``Prop → 2^(Res×Res)``;
+    * ``cext`` — extension of each class: ``Class → 2^Res``;
+    * ``int_map`` — interpretation of URIs: ``U → Res ∪ Prop`` (partial
+      in practice; URIs outside its domain make satisfaction fail).
+    """
+
+    res: Set[Resource]
+    prop: Set[Resource]
+    klass: Set[Resource]
+    pext: Dict[Resource, Set[Tuple[Resource, Resource]]]
+    cext: Dict[Resource, Set[Resource]]
+    int_map: Dict[URI, Resource]
+
+    def __post_init__(self):
+        if not self.res:
+            raise ValueError("Res must be non-empty")
+
+    # -- basic access -----------------------------------------------------
+
+    def interpret(self, term: Term) -> Optional[Resource]:
+        """``Int`` on URIs and literals; None when undefined."""
+        if isinstance(term, URI):
+            return self.int_map.get(term)
+        if isinstance(term, Literal):
+            # Literals denote themselves; they must be resources to occur.
+            return term if term in self.res else None
+        return None
+
+    def property_extension(self, resource: Resource) -> Set[Tuple[Resource, Resource]]:
+        return self.pext.get(resource, set())
+
+    def class_extension(self, resource: Resource) -> Set[Resource]:
+        return self.cext.get(resource, set())
+
+    # -- structural RDFS conditions (Section 2.3.1) ----------------------
+
+    def structural_violations(self) -> list:
+        """Every violated structural condition, as human-readable strings.
+
+        Empty list ⇔ ``I`` satisfies the properties-and-classes,
+        subproperty, subclass and typing conditions.
+        """
+        problems = []
+        interpreted = {v: self.int_map.get(v) for v in (SP, SC, TYPE, DOM, RANGE)}
+
+        # Properties and classes.
+        for name, value in interpreted.items():
+            if value is None or value not in self.prop:
+                problems.append(f"Int({name}) must be in Prop")
+        i_sp = interpreted[SP]
+        i_sc = interpreted[SC]
+        i_type = interpreted[TYPE]
+        i_dom = interpreted[DOM]
+        i_range = interpreted[RANGE]
+
+        dom_pairs = self.property_extension(i_dom) if i_dom is not None else set()
+        range_pairs = self.property_extension(i_range) if i_range is not None else set()
+        for x, y in dom_pairs | range_pairs:
+            if x not in self.prop:
+                problems.append(f"dom/range subject {x!r} not in Prop")
+            if y not in self.klass:
+                problems.append(f"dom/range object {y!r} not in Class")
+
+        # Subproperty: transitive and reflexive over Prop; inclusion.
+        sp_pairs = self.property_extension(i_sp) if i_sp is not None else set()
+        for p in self.prop:
+            if (p, p) not in sp_pairs:
+                problems.append(f"PExt(sp) not reflexive at {p!r}")
+        for (x, y) in sp_pairs:
+            for (y2, z) in sp_pairs:
+                if y2 == y and (x, z) not in sp_pairs:
+                    problems.append(f"PExt(sp) not transitive at {x!r},{y!r},{z!r}")
+            if x not in self.prop or y not in self.prop:
+                problems.append(f"sp pair ({x!r},{y!r}) outside Prop")
+            elif not self.property_extension(x) <= self.property_extension(y):
+                problems.append(f"PExt({x!r}) ⊄ PExt({y!r}) despite sp")
+
+        # Subclass: transitive and reflexive over Class; inclusion.
+        sc_pairs = self.property_extension(i_sc) if i_sc is not None else set()
+        for c in self.klass:
+            if (c, c) not in sc_pairs:
+                problems.append(f"PExt(sc) not reflexive at {c!r}")
+        for (x, y) in sc_pairs:
+            for (y2, z) in sc_pairs:
+                if y2 == y and (x, z) not in sc_pairs:
+                    problems.append(f"PExt(sc) not transitive at {x!r},{y!r},{z!r}")
+            if x not in self.klass or y not in self.klass:
+                problems.append(f"sc pair ({x!r},{y!r}) outside Class")
+            elif not self.class_extension(x) <= self.class_extension(y):
+                problems.append(f"CExt({x!r}) ⊄ CExt({y!r}) despite sc")
+
+        # Typing.
+        type_pairs = self.property_extension(i_type) if i_type is not None else set()
+        for (x, y) in type_pairs:
+            if y not in self.klass or x not in self.class_extension(y):
+                problems.append(f"type pair ({x!r},{y!r}) violates typing iff")
+        for y in self.klass:
+            for x in self.class_extension(y):
+                if (x, y) not in type_pairs:
+                    problems.append(f"CExt witness ({x!r},{y!r}) missing from type")
+        for (x, y) in dom_pairs:
+            for (u, _v) in self.property_extension(x):
+                if u not in self.class_extension(y):
+                    problems.append(f"dom violated: {u!r} ∉ CExt({y!r})")
+        for (x, y) in range_pairs:
+            for (_u, v) in self.property_extension(x):
+                if v not in self.class_extension(y):
+                    problems.append(f"range violated: {v!r} ∉ CExt({y!r})")
+        return problems
+
+    def is_rdfs_interpretation(self) -> bool:
+        """True iff all structural conditions hold."""
+        return not self.structural_violations()
+
+
+def _extended_interpret(
+    interpretation: Interpretation,
+    assignment: Mapping[BNode, Resource],
+    term: Term,
+) -> Optional[Resource]:
+    """``Int_A``: the extension of Int by a blank assignment A."""
+    if isinstance(term, BNode):
+        return assignment.get(term)
+    return interpretation.interpret(term)
+
+
+def find_blank_assignment(
+    interpretation: Interpretation, graph: RDFGraph
+) -> Optional[Dict[BNode, Resource]]:
+    """A function ``A : B → Res`` witnessing the simple condition, or None.
+
+    Backtracking over the graph's blank nodes; candidates per blank are
+    narrowed by the triples it participates in.  Exponential in the
+    number of blanks in the worst case — fine for the finite canonical
+    models this module is used with.
+    """
+    blanks = sorted(graph.bnodes(), key=lambda n: n.value)
+
+    # Pre-check ground positions and collect per-triple constraints.
+    constraints = []
+    for t in graph:
+        p_res = interpretation.interpret(t.p)
+        if p_res is None or p_res not in interpretation.prop:
+            if not isinstance(t.p, BNode):
+                return None
+        constraints.append(t)
+
+    def backtrack(i: int, assignment: Dict[BNode, Resource]):
+        if i == len(blanks):
+            for t in constraints:
+                p_res = _extended_interpret(interpretation, assignment, t.p)
+                s_res = _extended_interpret(interpretation, assignment, t.s)
+                o_res = _extended_interpret(interpretation, assignment, t.o)
+                if p_res is None or s_res is None or o_res is None:
+                    return None
+                if p_res not in interpretation.prop:
+                    return None
+                if (s_res, o_res) not in interpretation.property_extension(p_res):
+                    return None
+            return dict(assignment)
+        node = blanks[i]
+        for candidate in sorted(interpretation.res, key=repr):
+            assignment[node] = candidate
+            # Quick local check: every fully-instantiated triple holds.
+            ok = True
+            for t in graph.match(s=node):
+                s_res = candidate
+                p_res = _extended_interpret(interpretation, assignment, t.p)
+                o_res = _extended_interpret(interpretation, assignment, t.o)
+                if p_res is not None and o_res is not None:
+                    if (s_res, o_res) not in interpretation.property_extension(p_res):
+                        ok = False
+                        break
+            if ok:
+                for t in graph.match(o=node):
+                    o_res = candidate
+                    p_res = _extended_interpret(interpretation, assignment, t.p)
+                    s_res = _extended_interpret(interpretation, assignment, t.s)
+                    if p_res is not None and s_res is not None:
+                        if (s_res, o_res) not in interpretation.property_extension(p_res):
+                            ok = False
+                            break
+            if ok:
+                result = backtrack(i + 1, assignment)
+                if result is not None:
+                    return result
+            del assignment[node]
+        return None
+
+    return backtrack(0, {})
+
+
+def satisfies_simple(interpretation: Interpretation, graph: RDFGraph) -> bool:
+    """The *simple interpretation* condition: ∃A making every triple true."""
+    return find_blank_assignment(interpretation, graph) is not None
+
+
+def models(interpretation: Interpretation, graph: RDFGraph) -> bool:
+    """``I ⊨ G``: I is an RDFS interpretation satisfying G simply."""
+    return interpretation.is_rdfs_interpretation() and satisfies_simple(
+        interpretation, graph
+    )

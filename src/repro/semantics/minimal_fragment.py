@@ -1,0 +1,178 @@
+"""The reflexivity-free (ρdf-style) deductive system of Muñoz et al. [31].
+
+The paper's deductive system carries two reflexivity groups (E and F)
+whose only job is to pad closures with ``(x, sp, x)`` / ``(x, sc, x)``
+triples.  The companion work it builds on — "Minimal deductive systems
+for RDF" [31] — shows that dropping them yields a smaller, *minimal*
+system that agrees with the full semantics on all non-reflexive
+conclusions.  This module implements that fragment:
+
+* :func:`rho_closure` — the fixpoint of the reflexivity-free rules:
+  sp/sc transitivity, sp inheritance, type lifting, and dom/range
+  typing in both the direct and the through-sp (Marin) forms (the
+  direct forms are special cases of rules (6)/(7) in the full system,
+  reachable there only through reflexivity);
+* :func:`rho_entails` — entailment relative to the minimal system;
+* :func:`reflexivity_padding` — exactly the triples the full system
+  adds on top (tested: ``RDFS-cl(G) = ρ-cl(G) ∪ padding(G)``).
+
+The practical payoff is size: ρ-closures skip the ``Θ(|voc|)`` padding,
+which for schema-light data is most of the closure.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import find_map
+from ..core.terms import BNode, Literal, Term, Triple, URI
+from ..core.vocabulary import DOM, RANGE, RDFS_VOCABULARY, SC, SP, TYPE
+from .closure import _transitive_pairs
+
+__all__ = [
+    "rho_closure",
+    "rho_entails",
+    "rho_equivalent",
+    "reflexivity_padding",
+    "is_reflexivity_free",
+]
+
+
+def _rho_round(triples: Set[Triple]) -> Set[Triple]:
+    """One bulk emission of the reflexivity-free rule consequences."""
+    new: Set[Triple] = set()
+
+    sp_edges = {(t.s, t.o) for t in triples if t.p == SP}
+    sc_edges = {(t.s, t.o) for t in triples if t.p == SC}
+    sp_closure = _transitive_pairs(sp_edges)
+    sc_closure = _transitive_pairs(sc_edges)
+
+    # sp / sc transitivity.
+    for a, b in sp_closure:
+        new.add(Triple(a, SP, b))
+    for a, b in sc_closure:
+        if isinstance(a, (URI, BNode)) and isinstance(b, (URI, BNode)):
+            new.add(Triple(a, SC, b))
+
+    # sp inheritance.
+    sp_super = {}
+    for a, b in sp_closure:
+        sp_super.setdefault(a, set()).add(b)
+    for t in triples:
+        for b in sp_super.get(t.p, ()):
+            if isinstance(b, URI):
+                new.add(Triple(t.s, b, t.o))
+
+    # type lifting along sc.
+    sc_super = {}
+    for a, b in sc_closure:
+        sc_super.setdefault(a, set()).add(b)
+    for t in triples:
+        if t.p != TYPE:
+            continue
+        for b in sc_super.get(t.o, ()):
+            if isinstance(b, (URI, BNode)):
+                new.add(Triple(t.s, TYPE, b))
+
+    # dom/range typing: direct and through sp.
+    sp_sub = {}
+    for a, b in sp_closure:
+        sp_sub.setdefault(b, set()).add(a)
+    by_predicate = {}
+    for t in triples:
+        by_predicate.setdefault(t.p, []).append(t)
+    for axiom in triples:
+        if axiom.p not in (DOM, RANGE):
+            continue
+        if isinstance(axiom.o, Literal):
+            continue
+        properties = {axiom.s} | sp_sub.get(axiom.s, set())
+        for c in properties:
+            for used in by_predicate.get(c, ()):
+                if axiom.p == DOM:
+                    new.add(Triple(used.s, TYPE, axiom.o))
+                elif isinstance(used.o, (URI, BNode)):
+                    new.add(Triple(used.o, TYPE, axiom.o))
+
+    return new - triples
+
+
+def rho_closure(graph: RDFGraph) -> RDFGraph:
+    """The reflexivity-free closure (the minimal system's fixpoint)."""
+    triples: Set[Triple] = set(graph.triples)
+    while True:
+        new = _rho_round(triples)
+        if not new:
+            return RDFGraph(triples)
+        triples |= new
+
+
+def is_reflexivity_free(graph: RDFGraph) -> bool:
+    """The class on which ρ-entailment is complete for full RDFS.
+
+    No ``(x, sp, x)`` / ``(x, sc, x)`` triples, and no *blank node* in
+    an sp/sc triple: a blank there acts as an existential that a
+    reflexive closure triple could witness (e.g. ``(b, sp, X)`` is
+    entailed by any graph mentioning ``b`` as an sp endpoint, through
+    rule (11)'s ``(b, sp, b)``), which the minimal system deliberately
+    cannot see.
+    """
+    for t in graph:
+        if t.p in (SP, SC):
+            if t.s == t.o:
+                return False
+            if isinstance(t.s, BNode) or isinstance(t.o, BNode):
+                return False
+    return True
+
+
+def reflexivity_padding(graph: RDFGraph) -> RDFGraph:
+    """The triples groups E/F add on top of the ρ-closure.
+
+    Computed over the ρ-closure (reflexivity rules fire on derived
+    triples too): rule (8) for every predicate, rule (9) for the
+    reserved words, rule (10) for dom/range subjects, rules (11)/(13)
+    for sp/sc endpoints, rule (12) for dom/range/type objects.
+    """
+    closed = rho_closure(graph)
+    padding: Set[Triple] = set()
+    sp_reflexive: Set[Term] = set(RDFS_VOCABULARY)
+    sc_reflexive: Set[Term] = set()
+    for t in closed:
+        sp_reflexive.add(t.p)
+        if t.p in (DOM, RANGE):
+            sp_reflexive.add(t.s)
+            sc_reflexive.add(t.o)
+        if t.p == TYPE:
+            sc_reflexive.add(t.o)
+        if t.p == SP:
+            sp_reflexive.add(t.s)
+            sp_reflexive.add(t.o)
+        if t.p == SC:
+            sc_reflexive.add(t.s)
+            sc_reflexive.add(t.o)
+    for a in sp_reflexive:
+        if not isinstance(a, Literal):
+            padding.add(Triple(a, SP, a))
+    for a in sc_reflexive:
+        if isinstance(a, (URI, BNode)):
+            padding.add(Triple(a, SC, a))
+    return RDFGraph(padding)
+
+
+def rho_entails(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """Entailment in the minimal system: a map ``G2 → ρ-cl(G1)``.
+
+    Sound for the full semantics; complete whenever ``G2`` is
+    reflexivity-free (tested against :func:`repro.semantics.entails` on
+    random reflexivity-free conclusions).
+    """
+    if g2.issubgraph(g1):
+        return True
+    return find_map(g2, rho_closure(g1)) is not None
+
+
+def rho_equivalent(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """Equivalence in the minimal system."""
+    return rho_entails(g1, g2) and rho_entails(g2, g1)

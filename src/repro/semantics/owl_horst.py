@@ -1,0 +1,208 @@
+"""A pD*-style OWL property vocabulary, after ter Horst [26].
+
+The paper's related work singles out ter Horst's extension of the RDFS
+deductive machinery "to some vocabulary of OWL" with the same
+completeness/complexity profile.  This module implements the
+property-centric core of that extension (the fragment that keeps the
+closure polynomial and entailment characterized by closure + map):
+
+* ``owl:inverseOf``   — ``(p, inv, q), (x, p, y) ⟹ (y, q, x)`` (and
+  symmetrically, since ``inv`` is itself symmetric);
+* ``owl:SymmetricProperty``  — ``(p, type, Sym), (x, p, y) ⟹ (y, p, x)``;
+* ``owl:TransitiveProperty`` — ``(p, type, Trans), (x, p, y), (y, p, z)
+  ⟹ (x, p, z)``;
+* ``owl:FunctionalProperty`` / ``owl:InverseFunctionalProperty`` —
+  produce ``owl:sameAs`` conclusions;
+* ``owl:sameAs`` — an equivalence relation substitutable in subject and
+  object positions (pD*'s rules rdfp6/7/11; predicate substitution is
+  deliberately excluded, as in pD*).
+
+``owl_closure`` layers these rules on top of the RDFS closure to a
+joint fixpoint; ``owl_entails`` is closure + map, exactly the
+Theorem 2.8 recipe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import find_map
+from ..core.terms import Literal, Term, Triple, URI
+from ..core.vocabulary import TYPE
+from .closure import rdfs_closure
+
+__all__ = [
+    "INVERSE_OF",
+    "SYMMETRIC",
+    "TRANSITIVE",
+    "FUNCTIONAL",
+    "INVERSE_FUNCTIONAL",
+    "SAME_AS",
+    "OWL_VOCABULARY",
+    "owl_closure",
+    "owl_entails",
+    "same_as_classes",
+]
+
+INVERSE_OF = URI("inverseOf")
+SYMMETRIC = URI("SymmetricProperty")
+TRANSITIVE = URI("TransitiveProperty")
+FUNCTIONAL = URI("FunctionalProperty")
+INVERSE_FUNCTIONAL = URI("InverseFunctionalProperty")
+SAME_AS = URI("sameAs")
+
+OWL_VOCABULARY = frozenset(
+    {INVERSE_OF, SYMMETRIC, TRANSITIVE, FUNCTIONAL, INVERSE_FUNCTIONAL, SAME_AS}
+)
+
+
+def _owl_round(triples: Set[Triple]) -> Set[Triple]:
+    """One bulk emission of the pD*-lite property rules."""
+    new: Set[Triple] = set()
+
+    inverse_pairs: Set[Tuple[Term, Term]] = set()
+    symmetric: Set[Term] = set()
+    transitive: Set[Term] = set()
+    functional: Set[Term] = set()
+    inverse_functional: Set[Term] = set()
+    for t in triples:
+        if t.p == INVERSE_OF:
+            inverse_pairs.add((t.s, t.o))
+            inverse_pairs.add((t.o, t.s))  # inverseOf is symmetric
+        elif t.p == TYPE:
+            if t.o == SYMMETRIC:
+                symmetric.add(t.s)
+            elif t.o == TRANSITIVE:
+                transitive.add(t.s)
+            elif t.o == FUNCTIONAL:
+                functional.add(t.s)
+            elif t.o == INVERSE_FUNCTIONAL:
+                inverse_functional.add(t.s)
+
+    by_predicate: Dict[Term, list] = {}
+    for t in triples:
+        by_predicate.setdefault(t.p, []).append(t)
+
+    def emit(s, p, o):
+        candidate = Triple(s, p, o)
+        if candidate.is_valid_rdf():
+            new.add(candidate)
+
+    # inverseOf (rdfp8ax/bx).
+    for p, q in inverse_pairs:
+        for t in by_predicate.get(p, ()):
+            if not isinstance(t.o, Literal) and isinstance(q, URI):
+                emit(t.o, q, t.s)
+
+    # SymmetricProperty (rdfp3).
+    for p in symmetric:
+        for t in by_predicate.get(p, ()):
+            if not isinstance(t.o, Literal) and isinstance(p, URI):
+                emit(t.o, p, t.s)
+
+    # TransitiveProperty (rdfp4).
+    for p in transitive:
+        successors: Dict[Term, Set[Term]] = {}
+        for t in by_predicate.get(p, ()):
+            successors.setdefault(t.s, set()).add(t.o)
+        for x, mids in successors.items():
+            for y in mids:
+                for z in successors.get(y, ()):
+                    emit(x, p, z)
+
+    # FunctionalProperty (rdfp1): same subject ⇒ objects sameAs.
+    for p in functional:
+        by_subject: Dict[Term, Set[Term]] = {}
+        for t in by_predicate.get(p, ()):
+            by_subject.setdefault(t.s, set()).add(t.o)
+        for values in by_subject.values():
+            values = sorted(values, key=str)
+            for i, a in enumerate(values):
+                for b in values[i + 1 :]:
+                    if not isinstance(a, Literal) and not isinstance(b, Literal):
+                        emit(a, SAME_AS, b)
+
+    # InverseFunctionalProperty (rdfp2): same object ⇒ subjects sameAs.
+    for p in inverse_functional:
+        by_object: Dict[Term, Set[Term]] = {}
+        for t in by_predicate.get(p, ()):
+            by_object.setdefault(t.o, set()).add(t.s)
+        for values in by_object.values():
+            values = sorted(values, key=str)
+            for i, a in enumerate(values):
+                for b in values[i + 1 :]:
+                    emit(a, SAME_AS, b)
+
+    # sameAs: symmetric + transitive (rdfp6/7)...
+    same_pairs = {(t.s, t.o) for t in triples if t.p == SAME_AS}
+    for a, b in list(same_pairs):
+        emit(b, SAME_AS, a)
+        same_pairs.add((b, a))
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(same_pairs):
+            for c, d in list(same_pairs):
+                if b == c and (a, d) not in same_pairs:
+                    same_pairs.add((a, d))
+                    emit(a, SAME_AS, d)
+                    changed = True
+    # ... and substitution in subject/object positions (rdfp11).
+    same_map: Dict[Term, Set[Term]] = {}
+    for a, b in same_pairs:
+        same_map.setdefault(a, set()).add(b)
+    for t in triples:
+        for s2 in same_map.get(t.s, ()):
+            emit(s2, t.p, t.o)
+        for o2 in same_map.get(t.o, ()):
+            emit(t.s, t.p, o2)
+
+    return new - triples
+
+
+def owl_closure(graph: RDFGraph) -> RDFGraph:
+    """Joint fixpoint of the RDFS rules and the pD*-lite OWL rules."""
+    current: Set[Triple] = set(graph.triples)
+    while True:
+        after_rdfs = set(rdfs_closure(RDFGraph(current)).triples)
+        produced = _owl_round(after_rdfs)
+        if not produced and after_rdfs == current:
+            return RDFGraph(current)
+        current = after_rdfs | produced
+
+
+def owl_entails(g1: RDFGraph, g2: RDFGraph) -> bool:
+    """Entailment under RDFS + pD*-lite: a map ``G2 → owl_closure(G1)``."""
+    if g2.issubgraph(g1):
+        return True
+    return find_map(g2, owl_closure(g1)) is not None
+
+
+def same_as_classes(graph: RDFGraph):
+    """The sameAs equivalence classes of the closure (sorted lists)."""
+    closed = owl_closure(graph)
+    parent: Dict[Term, Term] = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for t in closed:
+        if t.p == SAME_AS:
+            union(t.s, t.o)
+    groups: Dict[Term, list] = {}
+    for x in list(parent):
+        groups.setdefault(find(x), []).append(x)
+    return sorted(
+        (sorted(members, key=str) for members in groups.values()),
+        key=lambda g: str(g[0]),
+    )

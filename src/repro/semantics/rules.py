@@ -1,0 +1,218 @@
+"""The deductive system for RDFS entailment (Section 2.3.2).
+
+Thirteen rules in six groups.  Group A (rule 1, the existential rule) is
+a map application and lives in :mod:`repro.semantics.proof`; rules
+(2)–(13) are triple-production rules represented here as
+:class:`Rule` objects with premise patterns, conclusion patterns and an
+optional parameter ranging over reserved vocabulary (rules 9, 10, 12).
+
+An *instantiation* of a rule uniformly replaces its variables by
+elements of ``UB`` such that all resulting triples are well-formed (in
+particular, no blank node lands in a predicate position) — this is
+exactly the paper's side condition.
+
+The :func:`apply_rules_to_fixpoint` engine computes
+``RDFS-cl(G)`` (Definition 2.7) directly from the rules.  It is the
+*reference* implementation: slow but literally the paper's definition.
+The optimized algorithm in :mod:`repro.semantics.closure` is validated
+against it in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import iter_assignments
+from ..core.maps import apply_assignment
+from ..core.terms import Term, Triple, Variable
+from ..core.vocabulary import DOM, RANGE, RDFS_VOCABULARY, SC, SP, TYPE
+
+__all__ = [
+    "Rule",
+    "RuleInstantiation",
+    "ALL_RULES",
+    "RULES_BY_NAME",
+    "iter_rule_instantiations",
+    "apply_rules_once",
+    "apply_rules_to_fixpoint",
+]
+
+# Rule variables (capital letters, as in the paper).
+_A = Variable("A")
+_B = Variable("B")
+_C = Variable("C")
+_X = Variable("X")
+_Y = Variable("Y")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One deductive rule: premises / conclusions, with rule variables."""
+
+    name: str
+    group: str
+    premises: Tuple[Triple, ...]
+    conclusions: Tuple[Triple, ...]
+
+    def variables(self) -> frozenset:
+        out = set()
+        for t in self.premises + self.conclusions:
+            out |= t.variables()
+        return frozenset(out)
+
+    def __str__(self):
+        prem = " ".join(str(t) for t in self.premises) or "⊤"
+        conc = " ".join(str(t) for t in self.conclusions)
+        return f"[{self.name}] {prem} / {conc}"
+
+
+@dataclass(frozen=True)
+class RuleInstantiation:
+    """A rule together with a variable assignment; a single proof step."""
+
+    rule: Rule
+    assignment: Tuple[Tuple[Variable, Term], ...]
+
+    @property
+    def assignment_dict(self) -> Dict[Variable, Term]:
+        return dict(self.assignment)
+
+    def premise_triples(self) -> Tuple[Triple, ...]:
+        a = self.assignment_dict
+        return tuple(apply_assignment(a, t) for t in self.rule.premises)
+
+    def conclusion_triples(self) -> Tuple[Triple, ...]:
+        a = self.assignment_dict
+        return tuple(apply_assignment(a, t) for t in self.rule.conclusions)
+
+    def is_well_formed(self) -> bool:
+        """The paper's instantiation condition: all triples well-formed."""
+        return all(
+            t.is_valid_rdf()
+            for t in self.premise_triples() + self.conclusion_triples()
+        )
+
+    def __str__(self):
+        binding = ", ".join(f"{v}={x}" for v, x in self.assignment)
+        return f"{self.rule.name}{{{binding}}}"
+
+
+def _rule(name, group, premises, conclusions) -> Rule:
+    return Rule(
+        name=name,
+        group=group,
+        premises=tuple(Triple(*t) for t in premises),
+        conclusions=tuple(Triple(*t) for t in conclusions),
+    )
+
+
+# GROUP B (Subproperty).
+RULE_2 = _rule("(2)", "B", [(_A, SP, _B), (_B, SP, _C)], [(_A, SP, _C)])
+RULE_3 = _rule("(3)", "B", [(_A, SP, _B), (_X, _A, _Y)], [(_X, _B, _Y)])
+
+# GROUP C (Subclass).
+RULE_4 = _rule("(4)", "C", [(_A, SC, _B), (_B, SC, _C)], [(_A, SC, _C)])
+
+# GROUP D (Typing).
+RULE_5 = _rule("(5)", "D", [(_A, SC, _B), (_X, TYPE, _A)], [(_X, TYPE, _B)])
+RULE_6 = _rule(
+    "(6)", "D", [(_A, DOM, _B), (_C, SP, _A), (_X, _C, _Y)], [(_X, TYPE, _B)]
+)
+RULE_7 = _rule(
+    "(7)", "D", [(_A, RANGE, _B), (_C, SP, _A), (_X, _C, _Y)], [(_Y, TYPE, _B)]
+)
+
+# GROUP E (Subproperty reflexivity).
+RULE_8 = _rule("(8)", "E", [(_X, _A, _Y)], [(_A, SP, _A)])
+# Rule (9) is premise-free with p ranging over rdfsV; one Rule per p.
+RULES_9 = tuple(
+    _rule(f"(9:{p.value})", "E", [], [(p, SP, p)])
+    for p in sorted(RDFS_VOCABULARY, key=lambda u: u.value)
+)
+RULES_10 = tuple(
+    _rule(f"(10:{p.value})", "E", [(_A, p, _X)], [(_A, SP, _A)])
+    for p in (DOM, RANGE)
+)
+RULE_11 = _rule("(11)", "E", [(_A, SP, _B)], [(_A, SP, _A), (_B, SP, _B)])
+
+# GROUP F (Subclass reflexivity).
+RULES_12 = tuple(
+    _rule(f"(12:{p.value})", "F", [(_X, p, _A)], [(_A, SC, _A)])
+    for p in (DOM, RANGE, TYPE)
+)
+RULE_13 = _rule("(13)", "F", [(_A, SC, _B)], [(_A, SC, _A), (_B, SC, _B)])
+
+#: All triple-production rules (2)–(13), in the paper's order.
+ALL_RULES: Tuple[Rule, ...] = (
+    (RULE_2, RULE_3, RULE_4, RULE_5, RULE_6, RULE_7, RULE_8)
+    + RULES_9
+    + RULES_10
+    + (RULE_11,)
+    + RULES_12
+    + (RULE_13,)
+)
+
+RULES_BY_NAME: Dict[str, Rule] = {r.name: r for r in ALL_RULES}
+
+
+def iter_rule_instantiations(
+    rule: Rule, graph: RDFGraph
+) -> Iterator[RuleInstantiation]:
+    """All well-formed instantiations of *rule* whose premises hold in *graph*.
+
+    Premise matching reuses the homomorphism solver (rule variables are
+    the free terms); the well-formedness filter then drops instantiations
+    that would put a blank node in a predicate position of a conclusion.
+    """
+    if not rule.premises:
+        inst = RuleInstantiation(rule=rule, assignment=())
+        if inst.is_well_formed():
+            yield inst
+        return
+    for assignment in iter_assignments(rule.premises, graph):
+        pairs = tuple(
+            sorted(assignment.items(), key=lambda kv: kv[0].value)
+        )
+        inst = RuleInstantiation(rule=rule, assignment=pairs)
+        if inst.is_well_formed():
+            yield inst
+
+
+def apply_rules_once(
+    graph: RDFGraph, rules: Sequence[Rule] = ALL_RULES
+) -> Dict[Triple, RuleInstantiation]:
+    """One round: every conclusion derivable by one rule application.
+
+    Returns a mapping from each *new* triple to one instantiation that
+    produces it (the first in deterministic order), which the proof
+    generator uses to justify each step.
+    """
+    produced: Dict[Triple, RuleInstantiation] = {}
+    for rule in rules:
+        for inst in iter_rule_instantiations(rule, graph):
+            for t in inst.conclusion_triples():
+                if t not in graph and t not in produced:
+                    produced[t] = inst
+    return produced
+
+
+def apply_rules_to_fixpoint(
+    graph: RDFGraph, rules: Sequence[Rule] = ALL_RULES
+) -> Tuple[RDFGraph, List[Tuple[Triple, RuleInstantiation]]]:
+    """Iterate rules (2)–(13) to fixpoint: the closure ``RDFS-cl(G)``.
+
+    Returns the closed graph and a derivation trace: for each derived
+    triple (in derivation order) one rule instantiation justifying it.
+    The trace is a valid proof skeleton in the sense of Definition 2.5.
+    """
+    current = graph
+    trace: List[Tuple[Triple, RuleInstantiation]] = []
+    while True:
+        produced = apply_rules_once(current, rules)
+        if not produced:
+            return current, trace
+        for t in sorted(produced, key=lambda t: str(t)):
+            trace.append((t, produced[t]))
+        current = current.union(RDFGraph(produced.keys()))

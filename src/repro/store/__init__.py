@@ -1,0 +1,9 @@
+"""A transactional RDF store built on the paper's theory.
+
+Named graphs, transactions, incremental RDFS-closure maintenance, and
+query answering with the tableau semantics of Section 4.
+"""
+
+from .triple_store import DEFAULT_GRAPH, TransactionError, TripleStore
+
+__all__ = ["DEFAULT_GRAPH", "TransactionError", "TripleStore"]

@@ -1,0 +1,6 @@
+"""Shared utilities: fixpoint iteration and deterministic orderings."""
+
+from .fixpoint import fixpoint
+from .orderings import triple_sort_key
+
+__all__ = ["fixpoint", "triple_sort_key"]

@@ -1,0 +1,48 @@
+"""Generic semi-naive fixpoint iteration.
+
+Several procedures in the library (the rule engine's closure, transitive
+closures in the optimized closure algorithm) are monotone operators on
+finite sets; this helper iterates them to their least fixpoint while
+passing the per-round delta so implementations can be incremental.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Set, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["fixpoint"]
+
+
+def fixpoint(
+    seed: Iterable[T],
+    step: Callable[[Set[T], Set[T]], Iterable[T]],
+    max_rounds: int = 10_000_000,
+) -> Set[T]:
+    """Least fixpoint of a monotone operator.
+
+    Parameters
+    ----------
+    seed:
+        Initial elements.
+    step:
+        ``step(all_so_far, delta)`` returns candidate new elements; only
+        those not already present are added.  ``delta`` is the set of
+        elements added in the previous round (the whole seed on round 1),
+        enabling semi-naive evaluation.
+    max_rounds:
+        Safety bound; a :class:`RuntimeError` is raised if exceeded,
+        which would indicate a non-monotone *step*.
+    """
+    everything: Set[T] = set(seed)
+    delta: Set[T] = set(everything)
+    rounds = 0
+    while delta:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("fixpoint did not converge (non-monotone step?)")
+        produced = set(step(everything, delta)) - everything
+        everything |= produced
+        delta = produced
+    return everything

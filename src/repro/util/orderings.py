@@ -1,0 +1,17 @@
+"""Deterministic orderings for terms and triples.
+
+Every algorithm in the library that picks "some" element (a retraction,
+a rule instantiation, a candidate match) does so in the order defined
+here, which makes all outputs reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from ..core.terms import Triple, sort_key
+
+__all__ = ["triple_sort_key"]
+
+
+def triple_sort_key(t: Triple):
+    """Total-order key on triples: by subject, then predicate, then object."""
+    return (sort_key(t.s), sort_key(t.p), sort_key(t.o))

@@ -1,0 +1,113 @@
+"""Shared fixtures: the paper's worked examples as pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BNode, RDFGraph, Triple, URI, triple
+from repro.core.vocabulary import DOM, SC, SP, TYPE
+from repro.generators import art_schema
+
+
+@pytest.fixture
+def fig1():
+    """The Fig. 1 art-schema graph."""
+    return art_schema()
+
+
+@pytest.fixture
+def example_3_2():
+    """Example 3.2: a graph with two non-isomorphic naive closures.
+
+    Triples: (a, p, c), (a, p, X), (a, p, b), (c, r, d), (b, q, d) —
+    drawn so that X can stand for either c (gaining (X, r, d)) or b
+    (gaining (X, q, d)), but not both.
+    """
+    X = BNode("X")
+    return RDFGraph(
+        [
+            triple("a", "p", "c"),
+            triple("a", "p", X),
+            triple("a", "p", "b"),
+            triple("c", "r", "d"),
+            triple("b", "q", "d"),
+        ]
+    )
+
+
+@pytest.fixture
+def example_3_8_g1():
+    """Example 3.8's G1 — not lean."""
+    return RDFGraph(
+        [triple("a", "p", BNode("X")), triple("a", "p", BNode("Y"))]
+    )
+
+
+@pytest.fixture
+def example_3_8_g2():
+    """Example 3.8's G2 — lean (X has a q-edge, Y an r-edge to b)."""
+    X, Y = BNode("X"), BNode("Y")
+    return RDFGraph(
+        [
+            triple("a", "p", X),
+            triple("a", "p", Y),
+            triple(X, "q", Y),
+            triple(Y, "r", "b"),
+        ]
+    )
+
+
+@pytest.fixture
+def example_3_14():
+    """Example 3.14: the sp cycle b ↔ c, both below a.
+
+    Deleting either (b, sp, a) or (c, sp, a) — but not both — yields a
+    minimal representation; the two are non-isomorphic reductions.
+    """
+    return RDFGraph(
+        [
+            triple("b", SP, "a"),
+            triple("c", SP, "a"),
+            triple("b", SP, "c"),
+            triple("c", SP, "b"),
+        ]
+    )
+
+
+@pytest.fixture
+def example_3_15():
+    """Example 3.15: acyclic but two minimal representations."""
+    return RDFGraph(
+        [
+            triple("a", SC, "b"),
+            triple(TYPE, DOM, "a"),
+            triple("x", TYPE, "a"),
+            triple("x", TYPE, "b"),
+        ]
+    )
+
+
+@pytest.fixture
+def example_3_17_g():
+    """Example 3.17's G: sc chain a→b→c with a blank shortcut via N."""
+    N = BNode("N")
+    return RDFGraph(
+        [
+            triple("a", SC, "b"),
+            triple("b", SC, "c"),
+            triple("a", SC, N),
+            triple(N, SC, "c"),
+        ]
+    )
+
+
+@pytest.fixture
+def example_3_17_h():
+    """Example 3.17's H: the chain with the ground shortcut (a, sc, c)."""
+    return RDFGraph(
+        [
+            triple("a", SC, "b"),
+            triple("b", SC, "c"),
+            triple("a", SC, "c"),
+        ]
+    )

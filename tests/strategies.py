@@ -1,0 +1,85 @@
+"""Hypothesis strategies for RDF terms, triples, graphs and queries.
+
+Sizes are kept small: almost every interesting procedure in the library
+is NP-hard, and hypothesis shrinking multiplies the number of runs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import BNode, Literal, RDFGraph, Triple, URI, Variable
+from repro.core.vocabulary import DOM, RANGE, SC, SP, TYPE
+
+_URI_NAMES = ["a", "b", "c", "d", "p", "q", "r"]
+_BLANK_NAMES = ["X", "Y", "Z", "W"]
+
+
+def uris(names=_URI_NAMES):
+    return st.sampled_from([URI(n) for n in names])
+
+
+def bnodes(names=_BLANK_NAMES):
+    return st.sampled_from([BNode(n) for n in names])
+
+
+def rdfs_predicates():
+    return st.sampled_from([SP, SC, TYPE, DOM, RANGE])
+
+
+def subjects():
+    return st.one_of(uris(), bnodes())
+
+
+def objects():
+    return st.one_of(uris(), bnodes())
+
+
+def simple_triples():
+    """Triples with no RDFS vocabulary."""
+    return st.builds(Triple, subjects(), uris(["p", "q", "r"]), objects())
+
+
+def ground_simple_triples():
+    return st.builds(Triple, uris(), uris(["p", "q", "r"]), uris())
+
+
+def rdfs_triples():
+    """Triples that may use the reserved vocabulary as predicate."""
+    return st.builds(
+        Triple,
+        subjects(),
+        st.one_of(uris(["p", "q", "r"]), rdfs_predicates()),
+        objects(),
+    )
+
+
+def tame_rdfs_triples():
+    """RDFS triples without reserved words in subject/object position.
+
+    This is the well-behaved class most of the paper's positive results
+    quantify over (cf. Theorem 3.16's preconditions).
+    """
+    return rdfs_triples()
+
+
+def simple_graphs(max_size: int = 6):
+    return st.lists(simple_triples(), min_size=0, max_size=max_size).map(RDFGraph)
+
+
+def nonempty_simple_graphs(max_size: int = 6):
+    return st.lists(simple_triples(), min_size=1, max_size=max_size).map(RDFGraph)
+
+
+def ground_graphs(max_size: int = 6):
+    return st.lists(ground_simple_triples(), min_size=0, max_size=max_size).map(
+        RDFGraph
+    )
+
+
+def rdfs_graphs(max_size: int = 5):
+    return st.lists(rdfs_triples(), min_size=0, max_size=max_size).map(RDFGraph)
+
+
+def small_rdfs_graphs(max_size: int = 4):
+    return st.lists(rdfs_triples(), min_size=0, max_size=max_size).map(RDFGraph)

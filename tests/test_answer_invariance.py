@@ -1,0 +1,102 @@
+"""Tests for Proposition 4.5 and Theorem 4.6 (answer invariance)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import BNode, RDFGraph, Variable, isomorphic, triple
+from repro.core.vocabulary import SC, SP, TYPE
+from repro.query import answer_merge, answer_union, head_body_query
+from repro.semantics import entails, equivalent
+
+from .strategies import simple_graphs
+
+
+def q_select_p():
+    return head_body_query(head=[("?X", "p", "?Y")], body=[("?X", "p", "?Y")])
+
+
+class TestProposition45Monotonicity:
+    def test_union_monotone_on_entailment(self):
+        q = q_select_p()
+        d = RDFGraph([triple("a", "p", BNode("X"))])
+        d_stronger = RDFGraph([triple("a", "p", "b")])
+        assert entails(d_stronger, d)
+        assert entails(answer_union(q, d_stronger), answer_union(q, d))
+
+    def test_merge_monotone_on_entailment(self):
+        q = q_select_p()
+        d = RDFGraph([triple("a", "p", BNode("X"))])
+        d_stronger = RDFGraph([triple("a", "p", "b"), triple("a", "p", "c")])
+        assert entails(answer_merge(q, d_stronger), answer_merge(q, d))
+
+    def test_union_entails_merge(self):
+        # Proposition 4.5.2: ans∪(q, D) ⊨ ans+(q, D).
+        X = BNode("X")
+        d = RDFGraph([triple(X, "p", "a"), triple(X, "p", "b")])
+        q = q_select_p()
+        assert entails(answer_union(q, d), answer_merge(q, d))
+
+    def test_merge_does_not_always_entail_union(self):
+        # The converse fails when a blank bridges single answers
+        # (Note 4.7's discussion).
+        X = BNode("X")
+        d = RDFGraph([triple(X, "p", "a"), triple(X, "p", "b")])
+        q = q_select_p()
+        assert not entails(answer_merge(q, d), answer_union(q, d))
+
+    def test_rdfs_monotonicity(self):
+        q = head_body_query(head=[("?X", TYPE, "?C")], body=[("?X", TYPE, "?C")])
+        d = RDFGraph([triple("x", TYPE, "a")])
+        d_stronger = RDFGraph([triple("x", TYPE, "a"), triple("a", SC, "b")])
+        assert entails(
+            answer_union(q, d_stronger), answer_union(q, d)
+        )
+
+
+class TestTheorem46EquivalenceInvariance:
+    def test_equivalent_databases_same_answers(self):
+        q = q_select_p()
+        X = BNode("X")
+        d1 = RDFGraph([triple("a", "p", "b"), triple("a", "p", X)])
+        d2 = RDFGraph([triple("a", "p", "b")])
+        assert equivalent(d1, d2)
+        assert isomorphic(answer_union(q, d1), answer_union(q, d2))
+
+    def test_equivalent_via_rdfs_semantics(self):
+        q = head_body_query(head=[("?X", SC, "?Y")], body=[("?X", SC, "?Y")])
+        d1 = RDFGraph(
+            [triple("a", SC, "b"), triple("b", SC, "c"), triple("a", SC, "c")]
+        )
+        d2 = RDFGraph([triple("a", SC, "b"), triple("b", SC, "c")])
+        assert equivalent(d1, d2)
+        assert isomorphic(answer_union(q, d1), answer_union(q, d2))
+
+    def test_example_3_17_databases(self, example_3_17_g, example_3_17_h):
+        # The motivating case of Note 4.4: G and H are equivalent but a
+        # (non-normalized) closure-based matching would differ.
+        q = head_body_query(head=[("?X", SC, "?Y")], body=[("?X", SC, "?Y")])
+        assert isomorphic(
+            answer_union(q, example_3_17_g), answer_union(q, example_3_17_h)
+        )
+
+    def test_renamed_blanks_isomorphic_answers(self):
+        q = q_select_p()
+        X = BNode("X")
+        d1 = RDFGraph([triple(X, "p", "a"), triple(X, "q", "b")])
+        d2 = d1.rename_bnodes({X: BNode("Y")})
+        assert isomorphic(answer_union(q, d1), answer_union(q, d2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(simple_graphs(max_size=4))
+    def test_invariance_under_adding_redundancy(self, d):
+        # D ∪ (instance of part of D) is equivalent to D; answers must
+        # be isomorphic.
+        q = q_select_p()
+        from repro.core import find_proper_endomorphism
+
+        mu = find_proper_endomorphism(d)
+        if mu is None:
+            return
+        d_equiv = d.union(mu.apply_graph(d))
+        assert equivalent(d, d_equiv)
+        assert isomorphic(answer_union(q, d), answer_union(q, d_equiv))

@@ -1,0 +1,204 @@
+"""Tests for query answers (Definition 4.3, Notes 4.4/4.7)."""
+
+import pytest
+
+from repro.core import BNode, Literal, RDFGraph, Triple, URI, Variable, isomorphic, triple
+from repro.core.vocabulary import SC, SP, TYPE
+from repro.query import (
+    answer_merge,
+    answer_union,
+    answers,
+    head_body_query,
+    identity_query,
+    iter_matchings,
+    pre_answers,
+    single_answer,
+)
+from repro.semantics import equivalent
+
+
+def db(*tuples):
+    return RDFGraph.from_tuples(tuples)
+
+
+class TestMatching:
+    def test_simple_matching(self):
+        q = head_body_query(head=[("?X", "p", "b")], body=[("?X", "p", "b")])
+        d = db(("a", "p", "b"), ("c", "p", "b"), ("a", "q", "b"))
+        images = {v[Variable("X")] for v in iter_matchings(q, d)}
+        assert images == {URI("a"), URI("c")}
+
+    def test_matching_against_normal_form(self):
+        # The body matches derived triples, not just stored ones.
+        q = head_body_query(head=[("?X", TYPE, "artist")], body=[("?X", TYPE, "artist")])
+        d = db(("painter", SC, "artist"), ("vangogh", TYPE, "painter"))
+        images = {v[Variable("X")] for v in iter_matchings(q, d)}
+        assert URI("vangogh") in images
+
+    def test_constraints_filter_blank_bindings(self):
+        # X carries an extra q-edge so nf(D) keeps it (it is not
+        # subsumed by b).
+        X = BNode("X")
+        d = RDFGraph(
+            [triple("a", "p", X), triple(X, "q", "c"), triple("a", "p", "b")]
+        )
+        unconstrained = head_body_query(
+            head=[("?Y", "p2", "c")], body=[("a", "p", "?Y")]
+        )
+        constrained = head_body_query(
+            head=[("?Y", "p2", "c")],
+            body=[("a", "p", "?Y")],
+            constraints=[Variable("Y")],
+        )
+        all_images = {v[Variable("Y")] for v in iter_matchings(unconstrained, d)}
+        ground_images = {v[Variable("Y")] for v in iter_matchings(constrained, d)}
+        assert X in all_images
+        assert ground_images == {URI("b")}
+
+    def test_matching_nf_collapses_redundant_blanks(self):
+        # nf(D) is the core of the closure: a blank subsumed by a ground
+        # triple disappears from the matching target (Note 4.4).
+        X = BNode("X")
+        d = RDFGraph([triple("a", "p", X), triple("a", "p", "b")])
+        q = head_body_query(head=[("a", "p", "?Y")], body=[("a", "p", "?Y")])
+        images = {v[Variable("Y")] for v in iter_matchings(q, d)}
+        assert images == {URI("b")}
+
+
+class TestPreAnswers:
+    def test_definition_4_3(self):
+        q = head_body_query(
+            head=[("?A", "creates", "?Y")],
+            body=[("?A", TYPE, "Flemish"), ("?A", "paints", "?Y")],
+        )
+        d = db(
+            ("rubens", TYPE, "Flemish"),
+            ("rubens", "paints", "venus"),
+            ("picasso", "paints", "guernica"),
+        )
+        answers_found = pre_answers(q, d)
+        assert [str(a) for a in answers_found] == ["{(rubens, creates, venus)}"]
+
+    def test_ill_formed_instantiations_dropped(self):
+        # ?X bound to a literal cannot occupy a subject position in the head.
+        d = RDFGraph([triple("a", "p", Literal("text"))])
+        q = head_body_query(head=[("?Y", "q", "c")], body=[("a", "p", "?Y")])
+        assert pre_answers(q, d) == []
+
+    def test_skolem_head_blanks_deterministic(self):
+        N = BNode("N")
+        q = head_body_query(head=[(N, "knows", "?X")], body=[("?X", "p", "b")])
+        d = db(("a", "p", "b"))
+        first = pre_answers(q, d)
+        second = pre_answers(q, d)
+        assert first == second
+        assert len(first) == 1
+        blank = next(iter(first[0].bnodes()))
+        assert blank.value.startswith("sk!")
+
+    def test_skolem_blanks_differ_per_valuation(self):
+        N = BNode("N")
+        q = head_body_query(head=[(N, "knows", "?X")], body=[("?X", "p", "b")])
+        d = db(("a", "p", "b"), ("c", "p", "b"))
+        found = pre_answers(q, d)
+        assert len(found) == 2
+        blanks = {next(iter(a.bnodes())) for a in found}
+        assert len(blanks) == 2  # different valuations → different blanks
+
+    def test_premise_extends_database(self):
+        q = head_body_query(
+            head=[("?X", "relative", "Peter")],
+            body=[("?X", "relative", "Peter")],
+            premise=RDFGraph([triple("son", SP, "relative")]),
+        )
+        d = db(("john", "son", "Peter"))
+        assert [str(a) for a in pre_answers(q, d)] == ["{(john, relative, Peter)}"]
+
+    def test_premise_blanks_kept_apart_from_database(self):
+        X = BNode("X")
+        q = head_body_query(
+            head=[("?Y", "q2", "c")],
+            body=[("hub", "p", "?Y"), ("?Y", "r", "?Z")],
+            premise=RDFGraph([triple(X, "r", "s")]),
+        )
+        # The database uses the same blank label X for a different node;
+        # merge semantics of D + P must rename, so the premise's X never
+        # unifies with the database's X through the label.
+        d = RDFGraph([triple("hub", "p", X)])
+        found = pre_answers(q, d)
+        assert found == []
+
+
+class TestAnswerSemantics:
+    def test_union_keeps_bridging_blanks(self):
+        X = BNode("X")
+        d = RDFGraph([triple(X, "p1", "a"), triple(X, "p2", "b")])
+        q = head_body_query(
+            head=[("?N", "feature", "?V")], body=[("?N", "?P", "?V")]
+        )
+        union = answer_union(q, d)
+        # The same blank X bridges the two single answers.
+        assert len(union.bnodes()) == 1
+
+    def test_merge_renames_blanks_apart(self):
+        X = BNode("X")
+        d = RDFGraph([triple(X, "p1", "a"), triple(X, "p2", "b")])
+        q = head_body_query(
+            head=[("?N", "feature", "?V")], body=[("?N", "?P", "?V")]
+        )
+        merged = answer_merge(q, d)
+        assert len(merged.bnodes()) == 2
+
+    def test_note_4_7_identity_query_union(self):
+        X = BNode("X")
+        d = RDFGraph([triple(X, "b", "c"), triple(X, "b", "d")])
+        iq = identity_query()
+        assert equivalent(answer_union(iq, d), d)
+
+    def test_note_4_7_merge_is_weaker(self):
+        X = BNode("X")
+        d = RDFGraph([triple(X, "b", "c"), triple(X, "b", "d")])
+        iq = identity_query()
+        merged = answer_merge(iq, d)
+        # The merge {(X,b,c), (Y,b,d)} (plus nf reflexivity padding) is
+        # entailed by D but not equivalent: no map from D into it
+        # identifies the two now-distinct blanks.
+        assert equivalent(merged, d) is False
+        from repro.semantics import entails
+
+        assert entails(d, merged)
+        blank_triples = [t for t in merged if not t.is_ground()]
+        assert len(blank_triples) == 2
+        assert len({t.s for t in blank_triples}) == 2  # blanks split apart
+
+    def test_semantics_dispatch(self):
+        d = db(("a", "p", "b"))
+        q = identity_query()
+        assert answers(q, d, semantics="union") == answer_union(q, d)
+        assert answers(q, d, semantics="merge") == answer_merge(q, d)
+        with pytest.raises(ValueError):
+            answers(q, d, semantics="nope")
+
+    def test_semantics_agree_on_ground_databases(self):
+        d = db(("a", "p", "b"), ("b", "p", "c"))
+        q = head_body_query(head=[("?X", "p", "?Y")], body=[("?X", "p", "?Y")])
+        assert answer_union(q, d) == answer_merge(q, d)
+
+    def test_union_of_example_from_section_6_2(self):
+        # Query (?Z, p, ?U) ← (?Z, p, ?U) over the lean G2 of Example 3.8
+        # produces the non-lean G1-like answer.
+        from repro.minimize import is_lean
+
+        X, Y = BNode("X"), BNode("Y")
+        d = RDFGraph(
+            [
+                triple("a", "p", X),
+                triple("a", "p", Y),
+                triple(X, "q", Y),
+                triple(Y, "r", "b"),
+            ]
+        )
+        q = head_body_query(head=[("?Z", "p", "?U")], body=[("?Z", "p", "?U")])
+        assert is_lean(d)
+        result = answer_union(q, d)
+        assert not is_lean(result)

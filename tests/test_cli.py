@@ -1,0 +1,179 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+DATA = """
+painter sc artist .
+paints dom painter .
+Picasso paints Guernica .
+"""
+
+SIMPLE_BLANKY = """
+a p b .
+a p _:X .
+"""
+
+QUERY = """
+CONSTRUCT { ?X status known-artist . }
+WHERE { ?X type artist . }
+"""
+
+WIDE_QUERY = """
+CONSTRUCT { ?X status known-artist . }
+WHERE { ?X type ?C . }
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, content in [
+        ("data.nt", DATA),
+        ("blanky.nt", SIMPLE_BLANKY),
+        ("goal.nt", "Picasso type artist .\n"),
+        ("badgoal.nt", "Picasso type sculptor .\n"),
+        ("q.rq", QUERY),
+        ("wide.rq", WIDE_QUERY),
+    ]:
+        p = tmp_path / name
+        p.write_text(content)
+        paths[name] = str(p)
+    return paths
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestGraphCommands:
+    def test_closure(self, files):
+        code, text = run(["closure", files["data.nt"]])
+        assert code == 0
+        assert "Picasso type artist ." in text
+
+    def test_rho_closure_smaller(self, files):
+        _, full = run(["closure", files["data.nt"]])
+        _, rho = run(["closure", files["data.nt"], "--rho"])
+        assert len(rho.splitlines()) < len(full.splitlines())
+        assert "Picasso type artist ." in rho
+
+    def test_core(self, files):
+        code, text = run(["core", files["blanky.nt"]])
+        assert code == 0
+        assert text.strip() == "a p b ."
+
+    def test_nf(self, files):
+        code, text = run(["nf", files["blanky.nt"]])
+        assert code == 0
+        assert "a p b ." in text
+        assert "_:" not in text
+
+    def test_minimal(self, files):
+        code, text = run(["minimal", files["data.nt"]])
+        assert code == 0
+        assert len(text.splitlines()) == 3  # already minimal
+
+    def test_lean_verdicts(self, files):
+        code, text = run(["lean", files["data.nt"]])
+        assert code == 0 and "lean" in text
+        code, text = run(["lean", files["blanky.nt"], "--witness"])
+        assert code == 1
+        assert "not lean" in text and "witness" in text
+
+    def test_stats(self, files):
+        code, text = run(["stats", files["blanky.nt"]])
+        assert code == 0
+        assert "triples:            2" in text
+        assert "blank nodes:        1" in text
+        assert "lean (Def 3.7):     False" in text
+
+    def test_dot(self, files):
+        code, text = run(["dot", files["data.nt"]])
+        assert code == 0
+        assert text.startswith("digraph")
+
+
+class TestDecisionCommands:
+    def test_entails_positive(self, files):
+        code, text = run(["entails", files["data.nt"], files["goal.nt"]])
+        assert code == 0 and "entailed" in text
+
+    def test_entails_negative_exit_code(self, files):
+        code, text = run(["entails", files["data.nt"], files["badgoal.nt"]])
+        assert code == 1 and "not entailed" in text
+
+    def test_entails_simple_mode(self, files):
+        code, _ = run(["entails", "--simple", files["data.nt"], files["goal.nt"]])
+        assert code == 1  # needs RDFS reasoning
+
+    def test_equivalent(self, files):
+        code, _ = run(["equivalent", files["data.nt"], files["data.nt"]])
+        assert code == 0
+        code, _ = run(["equivalent", files["data.nt"], files["goal.nt"]])
+        assert code == 1
+
+    def test_contains(self, files):
+        code, text = run(["contains", files["q.rq"], files["wide.rq"]])
+        assert code == 0 and "contained" in text
+        code, text = run(["contains", files["wide.rq"], files["q.rq"]])
+        assert code == 1
+
+    def test_contains_entailment_flag(self, files):
+        code, _ = run(
+            ["contains", "--entailment", files["q.rq"], files["wide.rq"]]
+        )
+        assert code == 0
+
+
+class TestQueryAndPath:
+    def test_query(self, files):
+        code, text = run(["query", files["q.rq"], files["data.nt"]])
+        assert code == 0
+        assert text.strip() == "Picasso status known-artist ."
+
+    def test_query_merge_semantics(self, files):
+        code, _ = run(
+            ["query", files["q.rq"], files["data.nt"], "--semantics", "merge"]
+        )
+        assert code == 0
+
+    def test_path_all_pairs(self, files):
+        code, text = run(["path", "paints", files["data.nt"]])
+        assert code == 0
+        assert "Picasso\tGuernica" in text
+
+    def test_path_single_source_rdfs(self, files):
+        code, text = run(
+            ["path", "type/sc*", files["data.nt"], "--source", "Picasso", "--rdfs"]
+        )
+        assert code == 0
+        assert "artist" in text and "painter" in text
+
+
+class TestErrors:
+    def test_missing_file(self):
+        code, _ = run(["closure", "/nonexistent/file.nt"])
+        assert code == 2
+
+    def test_bad_graph_syntax(self, tmp_path):
+        bad = tmp_path / "bad.nt"
+        bad.write_text("a p\n")
+        code, _ = run(["closure", str(bad)])
+        assert code == 2
+
+    def test_bad_query_syntax(self, tmp_path, files):
+        bad = tmp_path / "bad.rq"
+        bad.write_text("SELECT nothing")
+        code, _ = run(["query", str(bad), files["data.nt"]])
+        assert code == 2
+
+    def test_bad_path_expression(self, files):
+        code, _ = run(["path", "((", files["data.nt"]])
+        assert code == 2

@@ -1,0 +1,265 @@
+"""Tests for closures (Definitions 2.7/3.5, Lemmas 3.3/3.4, Theorem 3.6)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import BNode, RDFGraph, Triple, URI, isomorphic, triple
+from repro.core.vocabulary import DOM, RANGE, RDFS_VOCABULARY, SC, SP, TYPE
+from repro.generators import (
+    art_schema,
+    dom_range_ladder,
+    property_fanout,
+    random_schema_with_instances,
+    sc_chain_with_instance,
+    sp_chain,
+)
+from repro.minimize.naive_closure import naive_closures
+from repro.semantics import (
+    ClosureOracle,
+    closure,
+    closure_delta,
+    rdfs_closure,
+    rdfs_closure_by_rules,
+)
+
+from .strategies import rdfs_graphs
+
+
+class TestFastVsRules:
+    """The staged algorithm must agree with the literal rule engine."""
+
+    def test_empty_graph(self):
+        assert rdfs_closure(RDFGraph()) == rdfs_closure_by_rules(RDFGraph())
+        # Rule (9): the five reserved reflexive sp triples.
+        assert rdfs_closure(RDFGraph()) == RDFGraph(
+            [triple(p, SP, p) for p in RDFS_VOCABULARY]
+        )
+
+    def test_art_schema(self):
+        g = art_schema()
+        assert rdfs_closure(g) == rdfs_closure_by_rules(g)
+
+    def test_dom_range_ladder(self):
+        g = dom_range_ladder(3)
+        assert rdfs_closure(g) == rdfs_closure_by_rules(g)
+
+    def test_property_fanout(self):
+        g = property_fanout(3, 2)
+        assert rdfs_closure(g) == rdfs_closure_by_rules(g)
+
+    def test_reserved_vocabulary_in_object_position(self):
+        # A subproperty of sp itself: the pathological case needing a
+        # second staging round.
+        g = RDFGraph(
+            [
+                triple("meta", SP, SP),
+                triple("a", "meta", "b"),
+                triple("b", "meta", "c"),
+            ]
+        )
+        fast = rdfs_closure(g)
+        slow = rdfs_closure_by_rules(g)
+        assert fast == slow
+        # (a, meta, b) lifts to (a, sp, b); with (b, sp, c) transitivity
+        # gives (a, sp, c).
+        assert triple("a", SP, "b") in fast
+        assert triple("a", SP, "c") in fast
+
+    def test_subproperty_of_sc(self):
+        g = RDFGraph(
+            [
+                triple("isa", SP, SC),
+                triple("cat", "isa", "animal"),
+                triple("x", TYPE, "cat"),
+            ]
+        )
+        fast = rdfs_closure(g)
+        assert fast == rdfs_closure_by_rules(g)
+        assert triple("cat", SC, "animal") in fast
+        assert triple("x", TYPE, "animal") in fast
+
+    def test_subproperty_of_type(self):
+        g = RDFGraph(
+            [
+                triple("instanceof", SP, TYPE),
+                triple("x", "instanceof", "c"),
+                triple("c", SC, "d"),
+            ]
+        )
+        fast = rdfs_closure(g)
+        assert fast == rdfs_closure_by_rules(g)
+        assert triple("x", TYPE, "d") in fast
+
+    def test_blank_property_via_dom(self):
+        X = BNode("X")
+        g = RDFGraph(
+            [triple(X, DOM, "c"), triple("q", SP, X), triple("s", "q", "o")]
+        )
+        fast = rdfs_closure(g)
+        assert fast == rdfs_closure_by_rules(g)
+        assert triple("s", TYPE, "c") in fast
+
+    @settings(max_examples=40, deadline=None)
+    @given(rdfs_graphs(max_size=4))
+    def test_random_agreement(self, g):
+        assert rdfs_closure(g) == rdfs_closure_by_rules(g)
+
+    def test_random_schemas_agreement(self):
+        for seed in range(5):
+            g = random_schema_with_instances(4, 3, 4, 6, seed=seed)
+            assert rdfs_closure(g) == rdfs_closure_by_rules(g)
+
+
+class TestClosureProperties:
+    def test_contains_original(self):
+        g = art_schema()
+        assert g.issubgraph(rdfs_closure(g))
+
+    def test_idempotent(self):
+        g = art_schema()
+        once = rdfs_closure(g)
+        assert rdfs_closure(once) == once
+
+    def test_monotone(self):
+        g1 = RDFGraph([triple("a", SC, "b")])
+        g2 = g1.union(RDFGraph([triple("b", SC, "c")]))
+        assert rdfs_closure(g1).issubgraph(rdfs_closure(g2))
+
+    def test_cl_equals_rdfs_cl_theorem_3_6_2(self):
+        # cl (Skolemize-close-unskolemize) = RDFS-cl, on blank graphs.
+        X = BNode("X")
+        g = RDFGraph(
+            [triple("a", SC, X), triple(X, SC, "c"), triple("i", TYPE, "a")]
+        )
+        assert closure(g) == rdfs_closure(g)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rdfs_graphs(max_size=4))
+    def test_cl_equals_rdfs_cl_random(self, g):
+        assert closure(g) == rdfs_closure(g)
+
+    def test_lemma_3_4(self):
+        # RDFS-cl(G) = (RDFS-cl(G*))_*.
+        X = BNode("X")
+        g = RDFGraph([triple("a", SP, X), triple("s", "a", "o")])
+        sk, inverse = g.skolemize()
+        via_skolem = RDFGraph.unskolemize(rdfs_closure(sk), inverse)
+        assert via_skolem == rdfs_closure(g)
+
+    def test_closure_delta(self):
+        g = RDFGraph([triple("a", SC, "b"), triple("x", TYPE, "a")])
+        delta = closure_delta(g)
+        assert triple("x", TYPE, "b") in delta
+        assert triple("x", TYPE, "a") not in delta
+
+    def test_quadratic_size_shape(self):
+        # |cl(chain of n sp triples)| grows ~ n²/2 (the transitive pairs).
+        sizes = {}
+        for n in (4, 8, 16):
+            sizes[n] = len(rdfs_closure(sp_chain(n)))
+        # Doubling n should roughly quadruple the derived part.
+        growth1 = sizes[8] / sizes[4]
+        growth2 = sizes[16] / sizes[8]
+        assert growth1 > 2.0
+        assert growth2 > 2.5
+
+    def test_entailment_equivalence_with_closure(self):
+        from repro.semantics import equivalent
+
+        g = art_schema()
+        assert equivalent(g, rdfs_closure(g))
+
+
+class TestNaiveClosure:
+    def test_example_3_2_two_closures(self, example_3_2):
+        closures = naive_closures(example_3_2)
+        assert len(closures) >= 2
+        # The two closures differ on which of (X,r,d)/(X,q,d) they add.
+        X = BNode("X")
+        has_r = any(triple(X, "r", "d") in c for c in closures)
+        has_q = any(triple(X, "q", "d") in c for c in closures)
+        assert has_r and has_q
+        assert not any(
+            triple(X, "r", "d") in c and triple(X, "q", "d") in c for c in closures
+        )
+
+    def test_lemma_3_3_rdfs_cl_contained_in_naive_closures(self, example_3_2):
+        cl = rdfs_closure(example_3_2)
+        for naive in naive_closures(example_3_2):
+            assert cl.issubgraph(naive)
+
+    def test_ground_graph_unique_naive_closure(self):
+        g = RDFGraph([triple("a", SC, "b"), triple("x", TYPE, "a")])
+        closures = naive_closures(g)
+        assert len(closures) == 1
+        # For ground graphs the naive closure is exactly RDFS-cl.
+        assert closures[0] == rdfs_closure(g)
+
+    def test_naive_closures_equivalent_to_original(self, example_3_2):
+        from repro.semantics import equivalent
+
+        for naive in naive_closures(example_3_2):
+            assert equivalent(naive, example_3_2)
+
+
+class TestClosureOracle:
+    def test_matches_materialized_closure(self):
+        g = art_schema()
+        oracle = ClosureOracle(g)
+        materialized = rdfs_closure(g)
+        for t in materialized:
+            assert oracle.contains(t), f"oracle misses {t}"
+
+    def test_rejects_non_members(self):
+        g = art_schema()
+        oracle = ClosureOracle(g)
+        assert not oracle.contains(triple("Guernica", TYPE, "artist"))
+        assert not oracle.contains(triple("Picasso", "sculpts", "Guernica"))
+        assert not oracle.contains(triple("artist", SC, "sculptor"))
+
+    def test_in_operator(self):
+        g = art_schema()
+        oracle = ClosureOracle(g)
+        assert triple("Picasso", TYPE, "artist") in oracle
+
+    def test_complete_on_random_graphs(self):
+        for seed in range(5):
+            g = random_schema_with_instances(4, 3, 4, 6, seed=seed)
+            oracle = ClosureOracle(g)
+            materialized = rdfs_closure(g)
+            for t in materialized:
+                assert oracle.contains(t)
+
+    def test_sound_on_random_graphs(self):
+        import itertools
+
+        for seed in range(3):
+            g = random_schema_with_instances(3, 2, 3, 4, seed=seed)
+            oracle = ClosureOracle(g)
+            materialized = rdfs_closure(g)
+            universe = sorted(materialized.universe(), key=str)[:6]
+            predicates = sorted(
+                set(materialized.predicates()) | {SP, SC, TYPE}, key=str
+            )
+            for s, p, o in itertools.product(universe, predicates, universe):
+                t = Triple(s, p, o)
+                if not t.is_valid_rdf():
+                    continue
+                assert oracle.contains(t) == (t in materialized), t
+
+    def test_pathological_vocabulary_falls_back(self):
+        g = RDFGraph(
+            [triple("meta", SP, SP), triple("a", "meta", "b"), triple("b", "meta", "c")]
+        )
+        oracle = ClosureOracle(g)
+        materialized = rdfs_closure(g)
+        for t in materialized:
+            assert oracle.contains(t)
+        assert oracle.contains(triple("a", SP, "c"))
+
+    @settings(max_examples=25, deadline=None)
+    @given(rdfs_graphs(max_size=4))
+    def test_oracle_agrees_with_closure_random(self, g):
+        oracle = ClosureOracle(g)
+        for t in rdfs_closure(g):
+            assert oracle.contains(t)

@@ -1,0 +1,275 @@
+"""Tests for query containment (Section 5, Theorems 5.5–5.8)."""
+
+import pytest
+
+from repro.core import BNode, RDFGraph, Variable, triple
+from repro.core.vocabulary import SC, SP, TYPE
+from repro.query import (
+    answer_union,
+    contained_entailment,
+    contained_standard,
+    head_body_query,
+    pre_answers,
+)
+from repro.semantics import entails
+
+
+def simple_query(head, body, **kw):
+    return head_body_query(head=head, body=body, **kw)
+
+
+class TestBasicContainment:
+    def test_identical_queries_contained_both_ways(self):
+        q = simple_query([("?X", "p", "?Y")], [("?X", "p", "?Y")])
+        assert contained_standard(q, q)
+        assert contained_entailment(q, q)
+
+    def test_body_specialization(self):
+        # q asks for p-edges into b; q2 asks for any p-edge. q ⊑ q2
+        # requires matching heads, so keep heads aligned via θ.
+        q = simple_query([("?X", "e", "?X")], [("?X", "p", "b")])
+        q2 = simple_query([("?X", "e", "?X")], [("?X", "p", "?Y")])
+        assert contained_standard(q, q2)
+        assert not contained_standard(q2, q)
+
+    def test_conjunctive_query_classic(self):
+        # Classic CQ containment: longer chains are contained in
+        # shorter ones with the same head.
+        q_long = simple_query(
+            [("?X", "sel", "?X")],
+            [("?X", "p", "?Y"), ("?Y", "p", "?Z")],
+        )
+        q_short = simple_query([("?X", "sel", "?X")], [("?X", "p", "?Y")])
+        assert contained_standard(q_long, q_short)
+        assert not contained_standard(q_short, q_long)
+
+    def test_proposition_5_2_p_implies_m(self):
+        q = simple_query([("?X", "sel", "?X")], [("?X", "p", "?Y"), ("?Y", "q", "b")])
+        q2 = simple_query([("?X", "sel", "?X")], [("?X", "p", "?Y")])
+        assert contained_standard(q, q2)
+        assert contained_entailment(q, q2)
+
+    def test_disjoint_queries_not_contained(self):
+        q = simple_query([("?X", "sel", "a")], [("?X", "p", "a")])
+        q2 = simple_query([("?X", "sel", "b")], [("?X", "q", "b")])
+        assert not contained_standard(q, q2)
+        assert not contained_entailment(q, q2)
+
+
+class TestExample53:
+    """The three witnesses that ⊑m is strictly weaker than ⊑p."""
+
+    def make_sc_queries(self):
+        chain = [("?X", SC, "?Y"), ("?Y", SC, "?Z")]
+        chain_with_shortcut = chain + [("?X", SC, "?Z")]
+        q = simple_query(chain, chain)
+        q2 = simple_query(chain_with_shortcut, chain_with_shortcut)
+        return q, q2
+
+    def test_rdfs_heads_mutually_m_contained(self):
+        q, q2 = self.make_sc_queries()
+        assert contained_entailment(q, q2)
+        assert contained_entailment(q2, q)
+
+    def test_rdfs_heads_not_p_contained(self):
+        q, q2 = self.make_sc_queries()
+        assert not contained_standard(q, q2)
+        assert not contained_standard(q2, q)
+
+    def test_blank_head_example(self):
+        body = [("?X", "p", "?W")]
+        q = simple_query([("?X", "q", "c")], body)
+        q2 = simple_query([("?X", "q", BNode("Y"))], body)
+        # q′ ⊑m q but q′ ⋢p q (paper's middle example).
+        assert contained_entailment(q2, q)
+        assert not contained_standard(q2, q)
+        # The reverse fails in both senses: a blank object does not
+        # entail the constant c.
+        assert not contained_standard(q, q2)
+        assert not contained_entailment(q, q2)
+
+    def test_projected_head_example(self):
+        body = [("?X", "q", "?Y"), ("?Z", "p", "?Y")]
+        q = simple_query(body, body)
+        q2 = simple_query([("?Z", "p", "?Y")], body)
+        # q′ ⊑m q but q′ ⋢p q (paper's last example).
+        assert contained_entailment(q2, q)
+        assert not contained_standard(q2, q)
+
+
+class TestSemanticJustification:
+    """Containment verdicts must match the answer-level definitions."""
+
+    DATABASES = [
+        RDFGraph([triple("a", "p", "b")]),
+        RDFGraph([triple("a", "p", "b"), triple("b", "p", "c")]),
+        RDFGraph([triple("a", "p", "b"), triple("b", "q", "b")]),
+        RDFGraph([triple("a", "p", BNode("X")), triple(BNode("X"), "p", "c")]),
+    ]
+
+    def check_m_containment_on(self, q, q2):
+        return all(
+            entails(answer_union(q2, d), answer_union(q, d)) for d in self.DATABASES
+        )
+
+    def test_m_verdict_matches_answers(self):
+        q_long = simple_query(
+            [("?X", "sel", "?X")], [("?X", "p", "?Y"), ("?Y", "p", "?Z")]
+        )
+        q_short = simple_query([("?X", "sel", "?X")], [("?X", "p", "?Y")])
+        assert contained_entailment(q_long, q_short)
+        assert self.check_m_containment_on(q_long, q_short)
+        # The reverse containment fails, witnessed on some database.
+        assert not contained_entailment(q_short, q_long)
+        assert not self.check_m_containment_on(q_short, q_long)
+
+    def test_p_verdict_matches_preanswers(self):
+        from repro.core import isomorphic
+
+        q = simple_query([("?X", "sel", "?X")], [("?X", "p", "?Y"), ("?Y", "q", "b")])
+        q2 = simple_query([("?X", "sel", "?X")], [("?X", "p", "?Y")])
+        assert contained_standard(q, q2)
+        for d in self.DATABASES:
+            for answer in pre_answers(q, d):
+                assert any(
+                    isomorphic(answer, other) for other in pre_answers(q2, d)
+                )
+
+
+class TestConstraints:
+    def test_constrained_contained_in_unconstrained(self):
+        body = [("?X", "p", "?Y")]
+        q = simple_query([("?Y", "sel", "c")], body, constraints=[Variable("Y")])
+        q2 = simple_query([("?Y", "sel", "c")], body)
+        # Fewer answers ⊆ more answers.
+        assert contained_standard(q, q2)
+
+    def test_unconstrained_not_contained_in_constrained(self):
+        body = [("?X", "p", "?Y")]
+        q = simple_query([("?Y", "sel", "c")], body)
+        q2 = simple_query([("?Y", "sel", "c")], body, constraints=[Variable("Y")])
+        assert not contained_standard(q, q2)
+        assert not contained_entailment(q, q2)
+
+    def test_matching_constraints_contained(self):
+        body = [("?X", "p", "?Y")]
+        q = simple_query([("?Y", "sel", "c")], body, constraints=[Variable("Y")])
+        assert contained_standard(q, q)
+
+    def test_constrained_variable_to_constant_non_strict(self):
+        # q binds the head position to the constant b (never blank), so
+        # mapping q2's constrained variable onto it is semantically safe.
+        q = simple_query([("b", "sel", "c")], [("?X", "p", "b")])
+        q2 = simple_query(
+            [("?Y", "sel", "c")], [("?X", "p", "?Y")], constraints=[Variable("Y")]
+        )
+        assert contained_standard(q, q2)  # default: non-strict
+        assert not contained_standard(q, q2, strict_constraints=True)
+
+    def test_strict_reading_still_accepts_variable_images(self):
+        body = [("?X", "p", "?Y")]
+        q = simple_query([("?Y", "sel", "c")], body, constraints=[Variable("Y")])
+        q2 = simple_query([("?Y", "sel", "c")], body, constraints=[Variable("Y")])
+        assert contained_standard(q, q2, strict_constraints=True)
+
+
+class TestPremiseContainment:
+    """Theorem 5.8: premise on the containing side, simple queries."""
+
+    def test_premise_widens_the_container(self):
+        # q2 with premise knows (a, t, s); q's body requires it of data.
+        q = simple_query(
+            [("?X", "sel", "?X")], [("?X", "q", "a")]
+        )
+        q2 = head_body_query(
+            head=[("?X", "sel", "?X")],
+            body=[("?X", "q", "?Y"), ("?Y", "t", "s")],
+            premise=RDFGraph([triple("a", "t", "s")]),
+        )
+        # Every answer of q is an answer of q2 (θ: Y→a uses the premise).
+        assert contained_standard(q, q2)
+        assert contained_entailment(q, q2)
+
+    def test_without_premise_not_contained(self):
+        q = simple_query([("?X", "sel", "?X")], [("?X", "q", "a")])
+        q2_no_premise = simple_query(
+            [("?X", "sel", "?X")], [("?X", "q", "?Y"), ("?Y", "t", "s")]
+        )
+        assert not contained_standard(q, q2_no_premise)
+
+    def test_premise_on_left_via_omega(self):
+        # q has a premise; its Ω-expansion must each be contained in q2.
+        q = head_body_query(
+            head=[("?X", "sel", "?X")],
+            body=[("?X", "q", "?Y"), ("?Y", "t", "s")],
+            premise=RDFGraph([triple("a", "t", "s")]),
+        )
+        q2 = simple_query([("?X", "sel", "?X")], [("?X", "q", "?Y")])
+        assert contained_standard(q, q2)
+        assert contained_entailment(q, q2)
+
+    def test_premise_left_not_contained_when_omega_escapes(self):
+        q = head_body_query(
+            head=[("?X", "sel", "?X")],
+            body=[("?X", "q", "?Y"), ("?Y", "t", "s")],
+            premise=RDFGraph([triple("a", "t", "s")]),
+        )
+        # q2 requires r-edges; the Ω-expansion members don't have them.
+        q2 = simple_query([("?X", "sel", "?X")], [("?X", "r", "?Y")])
+        assert not contained_standard(q, q2)
+
+    def test_rdfs_premise_rejected(self):
+        q = head_body_query(
+            head=[("?X", "sel", "?X")],
+            body=[("?X", "q", "?Y")],
+            premise=RDFGraph([triple("son", SP, "relative")]),
+        )
+        q2 = simple_query([("?X", "sel", "?X")], [("?X", "q", "?Y")])
+        with pytest.raises(NotImplementedError):
+            contained_standard(q, q2)
+
+    def test_left_premise_with_constraints_supported(self):
+        q = head_body_query(
+            head=[("?X", "sel", "?X")],
+            body=[("?X", "q", "?Y")],
+            premise=RDFGraph([triple("a", "t", "s")]),
+            constraints=[Variable("X")],
+        )
+        q2 = simple_query([("?X", "sel", "?X")], [("?X", "q", "?Y")])
+        # Ω_q carries the constraints through; the plain wide query
+        # (no constraints) contains the constrained one.
+        assert contained_standard(q, q2)
+
+    def test_right_premise_with_constraints_rejected(self):
+        q = simple_query([("?X", "sel", "?X")], [("?X", "q", "?Y")],
+                         constraints=[Variable("X")])
+        q2 = head_body_query(
+            head=[("?X", "sel", "?X")],
+            body=[("?X", "q", "?Y")],
+            premise=RDFGraph([triple("a", "t", "s")]),
+        )
+        with pytest.raises(NotImplementedError):
+            contained_standard(q, q2)
+
+
+class TestRDFSBodies:
+    def test_transitive_body_matching_through_nf(self):
+        # q2's body with the explicit shortcut is contained in the chain
+        # query under ⊑m because nf(B) closes the chain.
+        chain = [("?X", SC, "?Y"), ("?Y", SC, "?Z")]
+        shortcut_head = [("?X", SC, "?Z")]
+        q = simple_query(shortcut_head, chain)
+        q2 = simple_query(shortcut_head, shortcut_head)
+        # Every q-match yields an X sc Z (derived); q2 finds it directly
+        # in nf(D) too: q ⊑p q2 via θ mapping q2's body into nf(chain).
+        assert contained_standard(q, q2)
+
+    def test_dom_reasoning_in_containment(self):
+        q = simple_query(
+            [("?X", TYPE, "c")],
+            [("p", "dom", "c"), ("?X", "p", "?Y")],
+        )
+        q2 = simple_query([("?X", TYPE, "c")], [("?X", TYPE, "c")])
+        # nf(B) of q contains (?X, type, c) by rule (6), so q2's body
+        # maps into it with matching head.
+        assert contained_standard(q, q2)

@@ -1,0 +1,174 @@
+"""Randomized semantic verification of the containment procedures.
+
+The containment deciders (Theorems 5.5/5.7/5.8) are certificate-based;
+these tests check their verdicts against the *definitions* (5.1) on a
+panel of randomly generated small queries and databases:
+
+* if the decider says ``q ⊑p q′``, then on every panel database every
+  pre-answer of ``q`` must appear (up to ≅) among ``q′``'s;
+* if the decider says ``q ⋢m q′``, some panel database should exhibit
+  ``ans(q′, D) ⊭ ans(q, D)`` — not guaranteed by a finite panel, so
+  the negative direction is only sanity-checked on curated databases
+  built from the queries' own frozen bodies (the canonical databases of
+  the proofs, which *are* guaranteed witnesses).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import BNode, RDFGraph, Triple, URI, Variable, isomorphic
+from repro.query import (
+    contained_entailment,
+    contained_standard,
+    head_body_query,
+    pre_answers,
+    answer_union,
+)
+from repro.query.containment import _freeze_pattern
+from repro.semantics import entails
+
+
+def random_query(rng, num_body=2, num_preds=2, num_consts=2):
+    """A small random query with a random sub-head."""
+    preds = [f"p{i}" for i in range(num_preds)]
+    consts = [f"c{i}" for i in range(num_consts)]
+    variables = [f"?V{i}" for i in range(3)]
+
+    def term():
+        pool = variables + consts
+        return rng.choice(pool)
+
+    body = []
+    for _ in range(num_body):
+        body.append((term(), rng.choice(preds), term()))
+    # Head: a random nonempty subset of the body (always well-formed).
+    k = rng.randrange(1, len(body) + 1)
+    head = rng.sample(body, k)
+    return head_body_query(head=head, body=body)
+
+
+def database_panel(rng, count=4):
+    preds = [URI(f"p{i}") for i in range(2)]
+    consts = [URI(f"c{i}") for i in range(3)]
+    blanks = [BNode("D1"), BNode("D2")]
+    panel = []
+    for _ in range(count):
+        triples = set()
+        for _ in range(rng.randrange(2, 6)):
+            s = rng.choice(consts + blanks)
+            o = rng.choice(consts + blanks)
+            triples.add(Triple(s, rng.choice(preds), o))
+        panel.append(RDFGraph(triples))
+    return panel
+
+
+class TestStandardContainmentSoundness:
+    def test_positive_verdicts_hold_on_panel(self):
+        rng = random.Random(77)
+        panel = database_panel(rng, count=5)
+        checked = 0
+        pairs = []
+        for _ in range(40):
+            # Random pairs, plus constructed positives: a query versus
+            # itself with an extra body atom (a specialization, which
+            # is always ⊑p the original).
+            pairs.append((random_query(rng), random_query(rng)))
+            base = random_query(rng)
+            extra = list(base.body) + [
+                Triple(Variable("V0"), URI("p0"), URI("c0"))
+            ]
+            specialized = head_body_query(head=list(base.head), body=extra)
+            pairs.append((specialized, base))
+        for trial, (q1, q2) in enumerate(pairs):
+            if not contained_standard(q1, q2):
+                continue
+            checked += 1
+            for d in panel:
+                answers1 = pre_answers(q1, d)
+                answers2 = pre_answers(q2, d)
+                for a in answers1:
+                    assert any(isomorphic(a, b) for b in answers2), (
+                        f"trial {trial}: ⊑p verdict violated on {d}"
+                    )
+        assert checked >= 5  # the generator must produce some positives
+
+    def test_self_containment_always(self):
+        rng = random.Random(5)
+        for _ in range(15):
+            q = random_query(rng)
+            assert contained_standard(q, q)
+            assert contained_entailment(q, q)
+
+
+class TestEntailmentContainmentSoundness:
+    def test_positive_verdicts_hold_on_panel(self):
+        rng = random.Random(99)
+        panel = database_panel(rng, count=5)
+        checked = 0
+        for trial in range(40):
+            q1 = random_query(rng)
+            q2 = random_query(rng)
+            if not contained_entailment(q1, q2):
+                continue
+            checked += 1
+            for d in panel:
+                a1 = answer_union(q1, d)
+                a2 = answer_union(q2, d)
+                assert entails(a2, a1), f"trial {trial}: ⊑m violated on {d}"
+        assert checked >= 3
+
+    def test_p_implies_m_randomized(self):
+        rng = random.Random(13)
+        for _ in range(30):
+            q1 = random_query(rng)
+            q2 = random_query(rng)
+            if contained_standard(q1, q2):
+                assert contained_entailment(q1, q2)
+
+
+class TestNegativeVerdictsWitnessed:
+    def test_canonical_database_refutes_non_containment(self):
+        """⋢m verdicts are witnessed by the frozen-body database.
+
+        The "only if" proofs build ``D_B = v(B)``; on a ⋢m verdict the
+        entailment must actually fail there.
+        """
+        rng = random.Random(21)
+        tested = 0
+        for _ in range(40):
+            q1 = random_query(rng)
+            q2 = random_query(rng)
+            if contained_entailment(q1, q2):
+                continue
+            tested += 1
+            canonical = _freeze_pattern(q1.body)
+            a1 = answer_union(q1, canonical)
+            a2 = answer_union(q2, canonical)
+            assert not entails(a2, a1), (
+                f"decider said ⋢m but the canonical database agrees:\n"
+                f"q1={q1}\nq2={q2}"
+            )
+        assert tested >= 5
+
+    def test_canonical_database_refutes_non_p_containment(self):
+        rng = random.Random(31)
+        tested = 0
+        for _ in range(40):
+            q1 = random_query(rng)
+            q2 = random_query(rng)
+            if contained_standard(q1, q2):
+                continue
+            tested += 1
+            canonical = _freeze_pattern(q1.body)
+            answers1 = pre_answers(q1, canonical)
+            answers2 = pre_answers(q2, canonical)
+            missing = [
+                a for a in answers1 if not any(isomorphic(a, b) for b in answers2)
+            ]
+            assert missing, (
+                f"decider said ⋢p but every canonical pre-answer appears:\n"
+                f"q1={q1}\nq2={q2}"
+            )
+        assert tested >= 5

@@ -1,0 +1,150 @@
+"""Tests for cores (Theorems 3.10, 3.11, 3.12.2)."""
+
+from hypothesis import given, settings
+
+from repro.core import BNode, RDFGraph, isomorphic, triple
+from repro.minimize import core, core_with_retraction, is_core_of, is_lean
+from repro.reductions import (
+    DiGraph,
+    graph_core_direct,
+    graph_core_via_rdf,
+    is_graph_core_via_rdf,
+)
+from repro.semantics import equivalent, simple_entails, simple_equivalent
+
+from .strategies import simple_graphs
+
+
+class TestCoreBasics:
+    def test_lean_graph_is_its_own_core(self, example_3_8_g2):
+        assert core(example_3_8_g2) == example_3_8_g2
+
+    def test_example_3_8_g1_core(self, example_3_8_g1):
+        c = core(example_3_8_g1)
+        assert len(c) == 1
+        assert is_lean(c)
+
+    def test_ground_graph_core_is_itself(self):
+        g = RDFGraph([triple("a", "p", "b"), triple("c", "q", "d")])
+        assert core(g) == g
+
+    def test_core_is_subgraph_instance(self):
+        X = BNode("X")
+        g = RDFGraph([triple("a", "p", "b"), triple("a", "p", X)])
+        c, retraction = core_with_retraction(g)
+        assert c.issubgraph(g)
+        assert retraction.apply_graph(g) == c
+
+    def test_core_idempotent(self, example_3_8_g1):
+        c = core(example_3_8_g1)
+        assert core(c) == c
+
+    def test_redundant_fan(self):
+        from repro.generators import redundant_blank_fan
+
+        g = redundant_blank_fan(5)
+        assert core(g) == RDFGraph([triple("a", "p", "b")])
+
+    def test_blank_star_collapses(self):
+        from repro.generators import blank_star
+
+        assert len(core(blank_star(6))) == 1
+
+
+class TestTheorem310Uniqueness:
+    def test_unique_up_to_isomorphism(self):
+        # Two different retraction orders must give isomorphic cores.
+        X, Y, Z = BNode("X"), BNode("Y"), BNode("Z")
+        g = RDFGraph(
+            [
+                triple("a", "p", X),
+                triple("a", "p", Y),
+                triple("a", "p", Z),
+                triple("a", "p", "b"),
+            ]
+        )
+        c1 = core(g)
+        # Rename blanks (changes deterministic ordering) and re-core.
+        renamed = g.rename_bnodes({X: BNode("M"), Y: BNode("N"), Z: BNode("O")})
+        c2 = core(renamed)
+        assert isomorphic(c1, c2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(simple_graphs(max_size=5))
+    def test_core_equivalent_to_graph(self, g):
+        c = core(g)
+        assert simple_equivalent(c, g)
+
+    @settings(max_examples=40, deadline=None)
+    @given(simple_graphs(max_size=5))
+    def test_core_is_lean_instance_subgraph(self, g):
+        c, retraction = core_with_retraction(g)
+        assert is_lean(c)
+        assert c.issubgraph(g)
+        assert retraction.apply_graph(g) == c
+
+    @settings(max_examples=25, deadline=None)
+    @given(simple_graphs(max_size=4))
+    def test_renaming_invariance(self, g):
+        blanks = sorted(g.bnodes(), key=lambda n: n.value)
+        renaming = {n: BNode(f"zz{i}") for i, n in enumerate(blanks)}
+        assert isomorphic(core(g), core(g.rename_bnodes(renaming)))
+
+
+class TestTheorem311SimpleGraphs:
+    @settings(max_examples=30, deadline=None)
+    @given(simple_graphs(max_size=4), simple_graphs(max_size=4))
+    def test_equivalence_iff_isomorphic_cores(self, g1, g2):
+        assert simple_equivalent(g1, g2) == isomorphic(core(g1), core(g2))
+
+    @settings(max_examples=30, deadline=None)
+    @given(simple_graphs(max_size=4))
+    def test_core_is_minimal(self, g):
+        # No strictly smaller equivalent subgraph exists.
+        c = core(g)
+        import itertools
+
+        for smaller_size in range(len(c)):
+            for subset in itertools.combinations(c.triples, smaller_size):
+                candidate = RDFGraph(subset)
+                assert not simple_equivalent(candidate, g)
+
+
+class TestIsCoreOf:
+    def test_positive(self, example_3_8_g1):
+        candidate = RDFGraph([triple("a", "p", BNode("W"))])
+        assert is_core_of(candidate, example_3_8_g1)
+
+    def test_negative_not_lean(self, example_3_8_g1):
+        assert not is_core_of(example_3_8_g1, example_3_8_g1)
+
+    def test_negative_wrong_graph(self, example_3_8_g1):
+        candidate = RDFGraph([triple("z", "q", "w")])
+        assert not is_core_of(candidate, example_3_8_g1)
+
+
+class TestGraphTheoreticCores:
+    """Theorem 3.12.2's encoding, cross-validated against direct search."""
+
+    def test_even_cycle_core_is_k2(self):
+        c = graph_core_via_rdf(DiGraph.cycle(6))
+        assert len(c.edges) == 2  # K2 with both orientations
+
+    def test_odd_cycle_is_its_own_core(self):
+        c5 = DiGraph.cycle(5)
+        c = graph_core_via_rdf(c5)
+        assert len(c.edges) == len(c5.edges)
+
+    def test_matches_direct_computation(self):
+        from repro.generators import random_digraph
+
+        for seed in range(6):
+            h = random_digraph(4, 5, seed=seed)
+            via_rdf = graph_core_via_rdf(h)
+            direct = graph_core_direct(h)
+            assert len(via_rdf.edges) == len(direct.edges)
+
+    def test_core_identification(self):
+        assert is_graph_core_via_rdf(DiGraph.complete(2), DiGraph.cycle(6))
+        assert not is_graph_core_via_rdf(DiGraph.cycle(6), DiGraph.cycle(6))
+        assert is_graph_core_via_rdf(DiGraph.cycle(5), DiGraph.cycle(5))

@@ -1,0 +1,162 @@
+"""Tests for the Datalog engine and the RDFS program (Section 4.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import BNode, RDFGraph, triple
+from repro.core.vocabulary import SC, SP, TYPE
+from repro.datalog import (
+    DVar,
+    DatalogAtom,
+    DatalogProgram,
+    DatalogRule,
+    TRIPLE_RELATION,
+    closure_via_datalog,
+    evaluate_program,
+    rdfs_datalog_program,
+)
+from repro.datalog.engine import extend_fixpoint
+from repro.generators import art_schema, random_schema_with_instances
+from repro.semantics import rdfs_closure
+
+from .strategies import rdfs_graphs
+
+X, Y, Z = DVar("x"), DVar("y"), DVar("z")
+
+
+def reach_program():
+    return DatalogProgram(
+        rules=(
+            DatalogRule(
+                head=DatalogAtom("reach", (X, Y)), body=(DatalogAtom("edge", (X, Y)),)
+            ),
+            DatalogRule(
+                head=DatalogAtom("reach", (X, Z)),
+                body=(DatalogAtom("reach", (X, Y)), DatalogAtom("edge", (Y, Z))),
+            ),
+        )
+    )
+
+
+class TestEngine:
+    def test_transitive_closure(self):
+        facts = [("edge", (i, i + 1)) for i in range(10)]
+        out = evaluate_program(reach_program(), facts)
+        assert len(out["reach"]) == 10 * 11 // 2
+        assert (0, 10) in out["reach"]
+
+    def test_cycle(self):
+        facts = [("edge", (0, 1)), ("edge", (1, 2)), ("edge", (2, 0))]
+        out = evaluate_program(reach_program(), facts)
+        assert len(out["reach"]) == 9  # complete on 3 nodes incl. loops
+
+    def test_constants_in_rules(self):
+        program = DatalogProgram(
+            rules=(
+                DatalogRule(
+                    head=DatalogAtom("special", (X,)),
+                    body=(DatalogAtom("edge", ("hub", X)),),
+                ),
+            )
+        )
+        out = evaluate_program(program, [("edge", ("hub", "a")), ("edge", ("b", "c"))])
+        assert out["special"] == {("a",)}
+
+    def test_repeated_variables(self):
+        program = DatalogProgram(
+            rules=(
+                DatalogRule(
+                    head=DatalogAtom("loop", (X,)),
+                    body=(DatalogAtom("edge", (X, X)),),
+                ),
+            )
+        )
+        out = evaluate_program(program, [("edge", (1, 1)), ("edge", (1, 2))])
+        assert out["loop"] == {(1,)}
+
+    def test_range_restriction_enforced(self):
+        with pytest.raises(ValueError):
+            DatalogRule(
+                head=DatalogAtom("r", (X, Y)), body=(DatalogAtom("e", (X,)),)
+            )
+
+    def test_factlike_rules(self):
+        program = DatalogProgram(
+            rules=(DatalogRule(head=DatalogAtom("axiom", ("a",)), body=()),)
+        )
+        out = evaluate_program(program, [])
+        assert out["axiom"] == {("a",)}
+
+    def test_multi_body_join(self):
+        program = DatalogProgram(
+            rules=(
+                DatalogRule(
+                    head=DatalogAtom("tri", (X, Y, Z)),
+                    body=(
+                        DatalogAtom("edge", (X, Y)),
+                        DatalogAtom("edge", (Y, Z)),
+                        DatalogAtom("edge", (Z, X)),
+                    ),
+                ),
+            )
+        )
+        facts = [("edge", (0, 1)), ("edge", (1, 2)), ("edge", (2, 0))]
+        out = evaluate_program(program, facts)
+        assert (0, 1, 2) in out["tri"]
+        assert len(out["tri"]) == 3  # rotations
+
+    def test_extend_fixpoint_matches_recompute(self):
+        base = [("edge", (i, i + 1)) for i in range(6)]
+        extra = [("edge", (6, 7)), ("edge", (2, 9))]
+        closed = evaluate_program(reach_program(), base)
+        closed_facts = [
+            (rel, row) for rel, rows in closed.items() for row in rows
+        ]
+        incremental = extend_fixpoint(reach_program(), closed_facts, extra)
+        from_scratch = evaluate_program(reach_program(), base + extra)
+        assert incremental["reach"] == from_scratch["reach"]
+
+    def test_rule_str(self):
+        rule = reach_program().rules[1]
+        assert ":-" in str(rule)
+
+
+class TestRDFSProgram:
+    def test_program_shape(self):
+        program = rdfs_datalog_program()
+        # (2)–(8) are 7 rules; (9) = 5 axioms; (10) = 2; (11) = 2;
+        # (12) = 3; (13) = 2.
+        assert len(program.rules) == 7 + 5 + 2 + 2 + 3 + 2
+        assert program.idb_relations() == {TRIPLE_RELATION}
+
+    def test_agrees_on_art_schema(self):
+        g = art_schema()
+        assert closure_via_datalog(g) == rdfs_closure(g)
+
+    def test_agrees_on_blank_graphs(self):
+        g = RDFGraph(
+            [triple("a", SC, BNode("X")), triple(BNode("X"), SC, "c"),
+             triple("i", TYPE, "a")]
+        )
+        assert closure_via_datalog(g) == rdfs_closure(g)
+
+    def test_agrees_on_pathological_vocabulary(self):
+        g = RDFGraph(
+            [triple("meta", SP, SP), triple("a", "meta", "b"),
+             triple("b", "meta", "c")]
+        )
+        assert closure_via_datalog(g) == rdfs_closure(g)
+
+    def test_agrees_on_random_schemas(self):
+        for seed in range(5):
+            g = random_schema_with_instances(4, 3, 4, 6, seed=seed)
+            assert closure_via_datalog(g) == rdfs_closure(g), seed
+
+    @settings(max_examples=30, deadline=None)
+    @given(rdfs_graphs(max_size=4))
+    def test_agrees_random(self, g):
+        assert closure_via_datalog(g) == rdfs_closure(g)
+
+    def test_empty_graph_axioms(self):
+        closed = closure_via_datalog(RDFGraph())
+        assert len(closed) == 5  # rule (9)'s reserved reflexives

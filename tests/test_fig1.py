@@ -1,0 +1,103 @@
+"""E1: the Fig. 1 art schema — the paper's running example, end to end."""
+
+from repro.core import BNode, RDFGraph, Variable, triple
+from repro.core.vocabulary import DOM, RANGE, SC, SP, TYPE
+from repro.minimize import minimal_representation, normal_form
+from repro.query import answer_union, head_body_query, pre_answers
+from repro.semantics import ClosureOracle, closure, entails
+
+
+class TestSchemaInferences:
+    """Every inference the figure's caption and text call out."""
+
+    def test_paints_is_creating(self, fig1):
+        assert entails(fig1, RDFGraph([triple("Picasso", "creates", "Guernica")]))
+
+    def test_painter_typing_via_dom(self, fig1):
+        assert entails(fig1, RDFGraph([triple("Picasso", TYPE, "painter")]))
+
+    def test_painting_typing_via_range(self, fig1):
+        assert entails(fig1, RDFGraph([triple("Guernica", TYPE, "painting")]))
+
+    def test_lifted_typing_through_sc(self, fig1):
+        assert entails(fig1, RDFGraph([triple("Picasso", TYPE, "artist")]))
+        assert entails(fig1, RDFGraph([triple("Guernica", TYPE, "artifact")]))
+
+    def test_domain_of_superproperty_applies(self, fig1):
+        # creates dom artist + paints sp creates → Picasso type artist
+        # directly by rule (6), independently of the painter chain.
+        oracle = ClosureOracle(fig1)
+        assert oracle.contains(triple("Picasso", TYPE, "artist"))
+
+    def test_schema_level_entailments(self, fig1):
+        assert entails(fig1, RDFGraph([triple("sculpts", SP, "creates")]))
+        assert entails(fig1, RDFGraph([triple("sculptor", SC, "artist")]))
+
+    def test_no_overreach(self, fig1):
+        for wrong in [
+            triple("Picasso", TYPE, "sculptor"),
+            triple("Picasso", "sculpts", "Guernica"),
+            triple("Guernica", TYPE, "museum"),
+            triple("artist", SC, "sculptor"),
+        ]:
+            assert not entails(fig1, RDFGraph([wrong])), wrong
+
+    def test_node_and_arc_labels_intersect(self, fig1):
+        # "paints is both a node label and an arc label."
+        assert triple("paints", DOM, "painter") in fig1  # node position
+        from repro.core import URI
+        assert fig1.count(p=URI("paints")) == 1  # arc position
+
+
+class TestNormalization:
+    def test_closure_size(self, fig1):
+        cl = closure(fig1)
+        assert len(cl) > len(fig1)
+        assert fig1.issubgraph(cl)
+
+    def test_schema_is_already_minimal(self, fig1):
+        assert minimal_representation(fig1) == fig1
+
+    def test_normal_form_is_ground(self, fig1):
+        assert not normal_form(fig1).bnodes()
+
+
+class TestQueriesOverFig1:
+    def test_flemish_style_query(self, fig1):
+        # "Artifacts created by artists", via the inferred creates edges.
+        q = head_body_query(
+            head=[("?A", "made", "?W")],
+            body=[("?A", TYPE, "artist"), ("?A", "creates", "?W")],
+        )
+        result = answer_union(q, fig1)
+        assert result == RDFGraph([triple("Picasso", "made", "Guernica")])
+
+    def test_what_kinds_of_things_exist(self, fig1):
+        q = head_body_query(
+            head=[("?X", TYPE, "?C")], body=[("?X", TYPE, "?C")]
+        )
+        result = answer_union(q, fig1)
+        assert triple("Picasso", TYPE, "painter") in result
+        assert triple("Guernica", TYPE, "painting") in result
+
+    def test_hypothetical_sculptor(self, fig1):
+        # Premise: suppose Rodin sculpts The Thinker.
+        q = head_body_query(
+            head=[("?X", TYPE, "sculptor")],
+            body=[("?X", TYPE, "sculptor")],
+            premise=RDFGraph([triple("Rodin", "sculpts", "TheThinker")]),
+        )
+        result = answer_union(q, fig1)
+        assert triple("Rodin", TYPE, "sculptor") in result
+        assert triple("Picasso", TYPE, "sculptor") not in result
+
+    def test_blank_head_reports_existence(self, fig1):
+        q = head_body_query(
+            head=[(BNode("N"), "exemplifies", "?C")],
+            body=[("?X", TYPE, "?C"), ("?X", "creates", "?W")],
+        )
+        result = answer_union(q, fig1)
+        # One Skolem witness per (creator class, artifact) valuation.
+        from repro.core import URI
+        assert result.count(p=URI("exemplifies")) >= 2
+        assert result.bnodes()

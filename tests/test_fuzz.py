@@ -1,0 +1,156 @@
+"""Fuzz / failure-injection tests: malformed inputs must fail cleanly.
+
+Every parser and engine entry point is fed adversarial input; the
+contract is "raise the documented exception type or succeed" — never
+crash with an unrelated error, never hang, never silently mis-parse.
+"""
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RDFGraph, Triple, URI, triple
+from repro.navigation import PathSyntaxError, parse_path
+from repro.rdfio import ParseError, parse_ntriples, serialize_ntriples
+from repro.rdfio.query_syntax import QuerySyntaxError, parse_query
+from repro.util.fixpoint import fixpoint
+
+
+class TestNTriplesFuzz:
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=80))
+    def test_never_crashes(self, text):
+        try:
+            parse_ntriples(text)
+        except ParseError:
+            pass  # the documented failure mode
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="abc_:<>\"\\. \n?", max_size=60))
+    def test_structured_noise(self, text):
+        try:
+            parse_ntriples(text)
+        except ParseError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=40))
+    def test_parse_of_serialized_literal_roundtrips(self, value):
+        if not value:
+            return
+        from repro.core import Literal
+
+        g = RDFGraph([Triple(URI("a"), URI("p"), Literal(value))])
+        assert parse_ntriples(serialize_ntriples(g)) == g
+
+    def test_truncated_inputs(self):
+        full = 'a p "literal with spaces" .'
+        for cut in range(1, len(full)):
+            try:
+                parse_ntriples(full[:cut])
+            except ParseError:
+                pass
+
+
+class TestPathFuzz:
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="abp/|*+?^()< >", max_size=30))
+    def test_never_crashes(self, text):
+        try:
+            parse_path(text)
+        except PathSyntaxError:
+            pass
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=30))
+    def test_arbitrary_text(self, text):
+        try:
+            parse_path(text)
+        except PathSyntaxError:
+            pass
+
+
+class TestQuerySyntaxFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(st.text(max_size=120))
+    def test_never_crashes(self, text):
+        try:
+            parse_query(text)
+        except QuerySyntaxError:
+            pass
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.text(
+            alphabet="CONSTRUCTWHEREPREMISEBOUND {}?abp. \n", max_size=100
+        )
+    )
+    def test_keyword_noise(self, text):
+        try:
+            parse_query(text)
+        except QuerySyntaxError:
+            pass
+
+
+class TestEngineGuards:
+    def test_fixpoint_nonmonotone_detected(self):
+        # A "step" that keeps inventing fresh elements must hit the
+        # safety bound instead of spinning forever.
+        counter = iter(range(1, 10**9))  # never returns the seed
+
+        def bad_step(_all, _delta):
+            return {next(counter)}
+
+        with pytest.raises(RuntimeError):
+            fixpoint({0}, bad_step, max_rounds=50)
+
+    def test_graph_rejects_garbage_rows(self):
+        with pytest.raises((ValueError, TypeError)):
+            RDFGraph([("only-two", "items")])
+
+    def test_store_rejects_malformed(self):
+        from repro.core import BNode, Literal
+        from repro.store import TripleStore
+
+        store = TripleStore()
+        with pytest.raises(ValueError):
+            store.add(Triple(Literal("l"), URI("p"), URI("o")))
+        with pytest.raises(ValueError):
+            store.add(Triple(URI("s"), BNode("X"), URI("o")))
+
+    def test_query_answers_on_empty_database(self):
+        from repro.query import answer_union, head_body_query, identity_query
+        from repro.semantics import equivalent
+
+        # The identity query over ∅ returns nf(∅) — the five axiomatic
+        # rule-(9) triples — which is *equivalent* to ∅ (they are valid).
+        identity_result = answer_union(identity_query(), RDFGraph())
+        assert equivalent(identity_result, RDFGraph())
+        q = head_body_query(head=[("?X", "p", "b")], body=[("?X", "p", "b")])
+        assert len(answer_union(q, RDFGraph())) == 0
+
+    def test_closure_oracle_on_empty_graph(self):
+        from repro.semantics import ClosureOracle
+        from repro.core.vocabulary import SP
+
+        oracle = ClosureOracle(RDFGraph())
+        assert oracle.contains(triple(SP, SP, SP))
+        assert not oracle.contains(triple("a", "p", "b"))
+
+    def test_deeply_nested_path_expressions(self):
+        text = "(" * 30 + "p" + ")" * 30
+        expr = parse_path(text)
+        from repro.navigation import Pred
+
+        assert expr == Pred(URI("p"))
+
+    def test_long_chain_parse(self):
+        text = "/".join(["p"] * 200)
+        expr = parse_path(text)
+        # Evaluates without recursion issues on a small graph.
+        from repro.navigation import evaluate_path
+
+        assert evaluate_path(expr, RDFGraph([triple("a", "p", "b")])) == frozenset()

@@ -1,0 +1,145 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.core import RDFGraph
+from repro.core.vocabulary import DOM, RANGE, SC, SP, TYPE
+from repro.generators import (
+    art_schema,
+    blank_chain,
+    blank_star,
+    chain_query,
+    dom_range_ladder,
+    property_fanout,
+    random_digraph,
+    random_ground_graph,
+    random_query_from_graph,
+    random_schema_with_instances,
+    random_simple_rdf_graph,
+    redundant_blank_fan,
+    sc_chain,
+    sc_chain_with_instance,
+    sp_chain,
+    star_query,
+)
+from repro.minimize import satisfies_theorem_316_preconditions
+
+
+class TestRandomGenerators:
+    def test_deterministic_given_seed(self):
+        assert random_simple_rdf_graph(8, 5, seed=42) == random_simple_rdf_graph(
+            8, 5, seed=42
+        )
+        assert random_digraph(5, 6, seed=1).edges == random_digraph(5, 6, seed=1).edges
+
+    def test_different_seeds_differ(self):
+        g1 = random_simple_rdf_graph(10, 6, seed=1)
+        g2 = random_simple_rdf_graph(10, 6, seed=2)
+        assert g1 != g2
+
+    def test_requested_sizes(self):
+        assert len(random_simple_rdf_graph(10, 8, seed=0)) == 10
+        assert len(random_digraph(6, 8, seed=0).edges) == 8
+
+    def test_edge_cap(self):
+        # Cannot have more than n(n-1) directed edges.
+        g = random_digraph(3, 100, seed=0)
+        assert len(g.edges) == 6
+
+    def test_ground_graph_has_no_blanks(self):
+        assert random_ground_graph(10, 6, seed=3).is_ground()
+
+    def test_blank_probability_extremes(self):
+        all_blank = random_simple_rdf_graph(8, 6, blank_probability=1.0, seed=0)
+        assert not [t for t in all_blank if not t.bnodes()]
+
+    def test_simple_graphs_are_simple(self):
+        assert random_simple_rdf_graph(10, 6, seed=5).is_simple()
+
+
+class TestStructuredFamilies:
+    def test_sp_chain(self):
+        g = sp_chain(5)
+        assert len(g) == 5
+        assert all(t.p == SP for t in g)
+
+    def test_sc_chain_with_instance(self):
+        g = sc_chain_with_instance(4)
+        assert len(g) == 5
+        assert g.count(p=TYPE) == 1
+
+    def test_blank_chain_is_acyclic(self):
+        assert not blank_chain(6).has_blank_cycle()
+
+    def test_blank_star_not_lean(self):
+        from repro.minimize import is_lean
+
+        assert not is_lean(blank_star(3))
+
+    def test_property_fanout_size(self):
+        g = property_fanout(3, 4)
+        assert len(g) == 3 + 3 * 4
+
+    def test_redundant_fan_core_size(self):
+        from repro.minimize import core
+
+        assert len(core(redundant_blank_fan(7))) == 1
+
+    def test_dom_range_ladder_well_formed(self):
+        g = dom_range_ladder(3)
+        assert g.count(p=DOM) == 3
+        assert g.count(p=RANGE) == 3
+
+
+class TestSchemas:
+    def test_art_schema_shape(self):
+        g = art_schema()
+        assert len(g) == 15
+        assert g.count(p=SC) == 4
+        assert g.count(p=SP) == 2
+        assert g.count(p=DOM) == 4
+        assert g.count(p=RANGE) == 4
+
+    def test_art_schema_satisfies_316(self):
+        assert satisfies_theorem_316_preconditions(art_schema())
+
+    def test_random_schema_acyclic_hierarchies(self):
+        from repro.minimize import is_acyclic_for
+
+        for seed in range(4):
+            g = random_schema_with_instances(5, 4, 5, 8, seed=seed)
+            assert is_acyclic_for(g, SC)
+            assert is_acyclic_for(g, SP)
+
+    def test_random_schema_deterministic(self):
+        assert random_schema_with_instances(
+            4, 3, 4, 5, seed=9
+        ) == random_schema_with_instances(4, 3, 4, 5, seed=9)
+
+
+class TestQueryGenerators:
+    def test_chain_query_shape(self):
+        q = chain_query(4)
+        assert len(list(q.body)) == 4
+        assert len(q.body.variables()) == 5
+
+    def test_star_query_shape(self):
+        q = star_query(3)
+        assert len(q.body.variables()) == 4
+
+    def test_random_query_has_matches(self):
+        from repro.query import pre_answers
+
+        g = random_ground_graph(12, 6, seed=4)
+        q = random_query_from_graph(g, 3, seed=4)
+        assert pre_answers(q, g)  # the source subgraph itself matches
+
+    def test_random_query_over_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            random_query_from_graph(RDFGraph(), 2, seed=0)
+
+    def test_random_query_deterministic(self):
+        g = random_ground_graph(12, 6, seed=4)
+        assert str(random_query_from_graph(g, 3, seed=7)) == str(
+            random_query_from_graph(g, 3, seed=7)
+        )

@@ -1,0 +1,191 @@
+"""Unit tests for the backtracking solver (:mod:`repro.core.homomorphism`)."""
+
+import pytest
+
+from repro.core import (
+    BNode,
+    RDFGraph,
+    Triple,
+    URI,
+    Variable,
+    count_assignments,
+    find_assignment,
+    find_map,
+    find_proper_endomorphism,
+    iter_assignments,
+    iter_maps,
+    triple,
+)
+from repro.core.homomorphism import find_map_into_subgraph
+
+
+def g(*tuples):
+    return RDFGraph.from_tuples(tuples)
+
+
+class TestAssignments:
+    def test_ground_pattern_membership(self):
+        target = g(("a", "p", "b"))
+        assert find_assignment([triple("a", "p", "b")], target) == {}
+        assert find_assignment([triple("a", "p", "c")], target) is None
+
+    def test_single_variable(self):
+        target = g(("a", "p", "b"), ("a", "p", "c"))
+        found = list(iter_assignments([Triple(URI("a"), URI("p"), Variable("x"))], target))
+        images = {a[Variable("x")] for a in found}
+        assert images == {URI("b"), URI("c")}
+
+    def test_variable_in_predicate_position(self):
+        target = g(("a", "p", "b"), ("a", "q", "b"))
+        found = list(
+            iter_assignments([Triple(URI("a"), Variable("p"), URI("b"))], target)
+        )
+        assert {a[Variable("p")] for a in found} == {URI("p"), URI("q")}
+
+    def test_join_consistency(self):
+        target = g(("a", "p", "b"), ("b", "p", "c"), ("b", "p", "a"))
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        pattern = [Triple(x, URI("p"), y), Triple(y, URI("p"), z)]
+        found = list(iter_assignments(pattern, target))
+        # Chains: a→b→c, a→b→a, b→a→b.
+        chains = {(a[x].value, a[y].value, a[z].value) for a in found}
+        assert chains == {("a", "b", "c"), ("a", "b", "a"), ("b", "a", "b")}
+
+    def test_repeated_variable_within_triple(self):
+        target = g(("a", "p", "a"), ("a", "p", "b"))
+        x = Variable("x")
+        found = list(iter_assignments([Triple(x, URI("p"), x)], target))
+        assert [a[x] for a in found] == [URI("a")]
+
+    def test_frozen_terms_act_as_constants(self):
+        X = BNode("X")
+        target = g(("a", "p", "b"))
+        pattern = [Triple(X, URI("p"), URI("b"))]
+        assert find_assignment(pattern, target) is not None
+        # Frozen: X is not assignable, and (X, p, b) is not in target.
+        assert find_assignment(pattern, target, frozen=[X]) is None
+
+    def test_partial_assignment_respected(self):
+        target = g(("a", "p", "b"), ("c", "p", "b"))
+        x = Variable("x")
+        found = list(
+            iter_assignments([Triple(x, URI("p"), URI("b"))], target, partial={x: URI("c")})
+        )
+        assert len(found) == 1 and found[0][x] == URI("c")
+
+    def test_count_assignments(self):
+        target = g(("a", "p", "b"), ("a", "p", "c"), ("a", "p", "d"))
+        x = Variable("x")
+        assert count_assignments([Triple(URI("a"), URI("p"), x)], target) == 3
+
+    def test_empty_pattern(self):
+        assert find_assignment([], g(("a", "p", "b"))) == {}
+
+    def test_deterministic_order(self):
+        target = g(("a", "p", "b"), ("a", "p", "c"))
+        x = Variable("x")
+        runs = [
+            [a[x].value for a in iter_assignments([Triple(URI("a"), URI("p"), x)], target)]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestMaps:
+    def test_find_map_exists(self):
+        X = BNode("X")
+        source = RDFGraph([triple("a", "p", X)])
+        target = g(("a", "p", "b"))
+        m = find_map(source, target)
+        assert m is not None
+        assert m.apply_graph(source).issubgraph(target)
+
+    def test_find_map_none(self):
+        source = g(("a", "q", "b"))
+        target = g(("a", "p", "b"))
+        assert find_map(source, target) is None
+
+    def test_iter_maps_all(self):
+        X = BNode("X")
+        source = RDFGraph([triple("a", "p", X)])
+        target = g(("a", "p", "b"), ("a", "p", "c"))
+        images = {m(X) for m in iter_maps(source, target)}
+        assert images == {URI("b"), URI("c")}
+
+    def test_map_to_blank_target(self):
+        X, Y = BNode("X"), BNode("Y")
+        source = RDFGraph([triple("a", "p", X)])
+        target = RDFGraph([triple("a", "p", Y)])
+        m = find_map(source, target)
+        assert m is not None and m(X) == Y
+
+    def test_blank_cannot_land_on_literal_in_subject(self):
+        from repro.core import Literal
+
+        X = BNode("X")
+        # X appears in subject position; the only target triple has a URI
+        # subject, so X must map there (never to a literal).
+        source = RDFGraph([triple(X, "p", "b")])
+        target = RDFGraph([triple("a", "p", "b"), triple("a", "q", Literal("l"))])
+        m = find_map(source, target)
+        assert m(X) == URI("a")
+
+
+class TestProperEndomorphisms:
+    def test_lean_graph_has_none(self):
+        X = BNode("X")
+        graph = RDFGraph([triple("a", "p", X), triple(X, "q", "b")])
+        assert find_proper_endomorphism(graph) is None
+
+    def test_non_lean_graph(self):
+        X = BNode("X")
+        graph = RDFGraph([triple("a", "p", "b"), triple("a", "p", X)])
+        m = find_proper_endomorphism(graph)
+        assert m is not None
+        assert m.apply_graph(graph) < graph
+
+    def test_ground_graph_has_none(self):
+        assert find_proper_endomorphism(g(("a", "p", "b"), ("c", "p", "d"))) is None
+
+    def test_find_map_into_subgraph(self):
+        X = BNode("X")
+        graph = RDFGraph([triple("a", "p", "b"), triple("a", "p", X)])
+        m = find_map_into_subgraph(graph, triple("a", "p", X))
+        assert m is not None and m(X) == URI("b")
+        assert find_map_into_subgraph(graph, triple("a", "p", "b")) is None
+
+
+class TestSolverStress:
+    def test_path_into_cycle(self):
+        # Directed path of blanks maps into a directed 3-cycle of blanks.
+        def path(n):
+            return RDFGraph(
+                [triple(BNode(f"P{i}"), "e", BNode(f"P{i+1}")) for i in range(n)]
+            )
+
+        cycle = RDFGraph(
+            [
+                triple(BNode("C0"), "e", BNode("C1")),
+                triple(BNode("C1"), "e", BNode("C2")),
+                triple(BNode("C2"), "e", BNode("C0")),
+            ]
+        )
+        assert find_map(path(7), cycle) is not None
+
+    def test_cycle_into_path_fails(self):
+        cycle = RDFGraph(
+            [
+                triple(BNode("C0"), "e", BNode("C1")),
+                triple(BNode("C1"), "e", BNode("C0")),
+            ]
+        )
+        path = RDFGraph([triple(BNode("P0"), "e", BNode("P1"))])
+        assert find_map(cycle, path) is None
+
+    def test_all_homomorphisms_count(self):
+        # Blank edge into a target with m edges: one map per edge
+        # orientation match.
+        X, Y = BNode("X"), BNode("Y")
+        source = RDFGraph([triple(X, "e", Y)])
+        target = g(("a", "e", "b"), ("b", "e", "c"), ("c", "e", "a"))
+        assert sum(1 for _ in iter_maps(source, target)) == 3

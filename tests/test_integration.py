@@ -1,0 +1,189 @@
+"""Cross-module integration scenarios.
+
+Each test chains several subsystems end to end, the way the examples
+do, asserting on final observable results — a regression net over the
+module boundaries.
+"""
+
+import pytest
+
+from repro.core import BNode, RDFGraph, URI, Variable, isomorphic, triple
+from repro.core.vocabulary import DOM, RANGE, SC, SP, TYPE
+from repro.generators import art_schema
+from repro.minimize import core, normal_form
+from repro.navigation import parse_path, reachable_from
+from repro.query import (
+    View,
+    ViewCatalog,
+    answer_union,
+    build_path_query,
+    contained_standard,
+    head_body_query,
+    path_atom,
+    premise_elimination,
+)
+from repro.rdfio import parse_ntriples, serialize_ntriples
+from repro.rdfio.query_syntax import parse_query, serialize_query
+from repro.semantics import closure, entails, equivalent, rho_closure
+from repro.store import TripleStore
+
+
+class TestFileToAnswerPipeline:
+    """parse → store → reason → query → serialize, all via text."""
+
+    DATA = """
+    painter sc artist .
+    paints sp creates .
+    paints dom painter .
+    frida paints autorretrato .
+    _:unknown paints mural .
+    """
+
+    QUERY = """
+    CONSTRUCT { ?X profession painter . }
+    WHERE { ?X type painter . }
+    BOUND ?X
+    """
+
+    def test_pipeline(self):
+        store = TripleStore()
+        store.add_all(parse_ntriples(self.DATA))
+        q = parse_query(self.QUERY)
+        result = store.query(q)
+        # The BOUND constraint drops the blank painter.
+        assert result == RDFGraph([triple("frida", "profession", "painter")])
+        text = serialize_ntriples(result)
+        assert parse_ntriples(text) == result
+
+    def test_pipeline_without_constraint_sees_blank(self):
+        store = TripleStore()
+        store.add_all(parse_ntriples(self.DATA))
+        q = parse_query(
+            "CONSTRUCT { ?X profession painter . } WHERE { ?X type painter . }"
+        )
+        result = store.query(q)
+        assert len(result) == 2
+        assert result.bnodes()
+
+
+class TestNormalizationThenQuery:
+    def test_equivalent_stores_give_isomorphic_answers(self):
+        # Two syntactically different but equivalent datasets.
+        d1 = RDFGraph(
+            [
+                triple("a", SC, "b"),
+                triple("b", SC, "c"),
+                triple("a", SC, "c"),
+                triple("x", TYPE, "a"),
+            ]
+        )
+        N = BNode("N")
+        d2 = RDFGraph(
+            [
+                triple("a", SC, "b"),
+                triple("b", SC, "c"),
+                triple("a", SC, N),
+                triple(N, SC, "c"),
+                triple("x", TYPE, "a"),
+            ]
+        )
+        assert equivalent(d1, d2)
+        q = head_body_query(head=[("?X", TYPE, "?C")], body=[("?X", TYPE, "?C")])
+        assert isomorphic(answer_union(q, d1), answer_union(q, d2))
+
+    def test_core_then_closure_roundtrip(self):
+        g = art_schema()
+        assert equivalent(core(closure(g)), g)
+        assert equivalent(closure(core(g)), g)
+
+
+class TestPathsOverStoreOverViews:
+    def test_three_layer_stack(self):
+        store = TripleStore()
+        store.add_all(art_schema())
+        store.add(triple("Rodin", "sculpts", "TheThinker"))
+        closed = store.closure()
+
+        catalog = ViewCatalog(
+            [
+                View(
+                    name="makers",
+                    query=head_body_query(
+                        head=[("?A", "madeSomething", "true")],
+                        body=[("?A", "creates", "?W")],
+                    ),
+                )
+            ]
+        )
+        from repro.navigation import evaluate_path
+
+        extended = catalog.extended_database(closed)
+        # Navigate from the view-produced triples.
+        expr = parse_path("madeSomething")
+        makers = {x for x, _y in evaluate_path(expr, extended)}
+        assert URI("Picasso") in makers
+        assert URI("Rodin") in makers
+
+    def test_path_query_over_store_closure(self):
+        store = TripleStore()
+        store.add_all(art_schema())
+        q = build_path_query(
+            head=[("?X", "kind", "?C")],
+            path_atoms=[path_atom("?X", "type/sc+", "?C")],
+        )
+        result = q.answer_union(store.dataset())
+        assert triple("Picasso", "kind", "artist") in result
+
+
+class TestPremiseEliminationRoundTrip:
+    def test_omega_members_serialize_and_reparse(self):
+        q = head_body_query(
+            head=[("?X", "p", "?Y")],
+            body=[("?X", "q", "?Y"), ("?Y", "t", "s")],
+            premise=RDFGraph([triple("a", "t", "s")]),
+        )
+        for member in premise_elimination(q):
+            text = serialize_query(member)
+            assert parse_query(text) == member
+
+    def test_omega_containment_consistency(self):
+        q = head_body_query(
+            head=[("?X", "p", "?Y")],
+            body=[("?X", "q", "?Y"), ("?Y", "t", "s")],
+            premise=RDFGraph([triple("a", "t", "s")]),
+        )
+        wide = head_body_query(head=[("?X", "p", "?Y")], body=[("?X", "q", "?Y")])
+        # The full decider and the member-wise decomposition agree.
+        member_wise = all(
+            contained_standard(m, wide) for m in premise_elimination(q)
+        )
+        assert contained_standard(q, wide) == member_wise
+
+
+class TestRhoVsFullInStore:
+    def test_rho_closure_of_store_dataset(self):
+        store = TripleStore()
+        store.add_all(art_schema())
+        rho = rho_closure(store.dataset())
+        full = store.closure()
+        assert rho.issubgraph(full)
+        # Every informative (non-reflexive) conclusion agrees.
+        for t in full:
+            if t.p in (SP, SC) and t.s == t.o:
+                continue
+            assert t in rho, t
+
+
+class TestProofAuditTrail:
+    def test_entailment_with_checkable_proof_and_countermodel(self):
+        from repro.semantics import construct_proof, find_countermodel
+
+        g = art_schema()
+        good = RDFGraph([triple("Guernica", TYPE, "artifact")])
+        bad = RDFGraph([triple("Guernica", TYPE, "museum")])
+        proof = construct_proof(g, good)
+        assert proof is not None and proof.verify()
+        assert find_countermodel(g, good) is None
+        assert construct_proof(g, bad) is None
+        model = find_countermodel(g, bad)
+        assert model is not None and model.is_rdfs_interpretation()

@@ -1,0 +1,191 @@
+"""Tests for the model theory (Section 2.3.1) and canonical models."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import BNode, RDFGraph, URI, triple
+from repro.core.vocabulary import DOM, RANGE, SC, SP, TYPE
+from repro.generators import art_schema
+from repro.semantics import (
+    Interpretation,
+    canonical_model,
+    entails,
+    models,
+    satisfies_simple,
+)
+from repro.semantics.interpretation import find_blank_assignment
+
+from .strategies import rdfs_graphs
+
+
+def tiny_interpretation():
+    """A hand-built RDFS interpretation over a two-element world."""
+    a, b = "ra", "rb"
+    p = "rp"
+    c, d = "rc", "rd"
+    sp_r, sc_r, type_r, dom_r, range_r = "r_sp", "r_sc", "r_type", "r_dom", "r_range"
+    prop = {p, sp_r, sc_r, type_r, dom_r, range_r}
+    klass = {c, d}
+    res = {a, b, c, d, p} | prop | klass
+    pext = {
+        p: {(a, b)},
+        sp_r: {(q, q) for q in prop},
+        sc_r: {(c, c), (d, d), (c, d)},
+        type_r: {(a, c), (a, d)},
+        dom_r: set(),
+        range_r: set(),
+    }
+    cext = {c: {a}, d: {a}}
+    int_map = {
+        URI("a"): a,
+        URI("b"): b,
+        URI("p"): p,
+        URI("c"): c,
+        URI("d"): d,
+        SP: sp_r,
+        SC: sc_r,
+        TYPE: type_r,
+        DOM: dom_r,
+        RANGE: range_r,
+    }
+    return Interpretation(
+        res=res, prop=prop, klass=klass, pext=pext, cext=cext, int_map=int_map
+    )
+
+
+class TestStructuralConditions:
+    def test_tiny_interpretation_is_rdfs(self):
+        interp = tiny_interpretation()
+        assert interp.structural_violations() == []
+        assert interp.is_rdfs_interpretation()
+
+    def test_broken_sp_reflexivity_detected(self):
+        interp = tiny_interpretation()
+        interp.pext["r_sp"] = set()  # drop reflexivity
+        assert any("reflexive" in v for v in interp.structural_violations())
+
+    def test_broken_sc_transitivity_detected(self):
+        interp = tiny_interpretation()
+        interp.klass.add("re")
+        interp.cext["re"] = {"ra"}
+        interp.pext["r_sc"] |= {("re", "re"), ("rd", "re")}
+        # rc sc rd sc re but (rc, re) missing → transitivity violation.
+        violations = interp.structural_violations()
+        assert any("transitive" in v for v in violations)
+
+    def test_subclass_extension_inclusion_enforced(self):
+        interp = tiny_interpretation()
+        interp.cext["rd"] = set()  # rc sc rd but CExt(rc) ⊄ CExt(rd)
+        violations = interp.structural_violations()
+        assert any("despite sc" in v or "typing" in v for v in violations)
+
+    def test_typing_iff_enforced(self):
+        interp = tiny_interpretation()
+        interp.pext["r_type"].add(("rb", "rc"))  # rb typed rc without CExt
+        assert any("typing" in v for v in interp.structural_violations())
+
+    def test_dom_violation_detected(self):
+        interp = tiny_interpretation()
+        interp.pext["r_dom"] = {("rp", "rd")}
+        interp.cext["rd"] = set()
+        interp.pext["r_type"] = set()
+        interp.klass.discard("rc")
+        interp.pext["r_sc"] = {("rd", "rd")}
+        assert any("dom violated" in v for v in interp.structural_violations())
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Interpretation(
+                res=set(), prop=set(), klass=set(), pext={}, cext={}, int_map={}
+            )
+
+
+class TestSatisfaction:
+    def test_ground_triple_satisfied(self):
+        interp = tiny_interpretation()
+        assert satisfies_simple(interp, RDFGraph([triple("a", "p", "b")]))
+
+    def test_ground_triple_not_satisfied(self):
+        interp = tiny_interpretation()
+        assert not satisfies_simple(interp, RDFGraph([triple("b", "p", "a")]))
+
+    def test_blank_existential(self):
+        interp = tiny_interpretation()
+        assert satisfies_simple(interp, RDFGraph([triple("a", "p", BNode("X"))]))
+        assert satisfies_simple(interp, RDFGraph([triple(BNode("X"), "p", BNode("Y"))]))
+
+    def test_blank_consistency_across_triples(self):
+        interp = tiny_interpretation()
+        X = BNode("X")
+        # X must be simultaneously object of p from a, and typed c:
+        # (a,p,b) and type(a,c) exist but b is not typed — unsatisfiable.
+        g = RDFGraph([triple("a", "p", X), triple(X, TYPE, "c")])
+        assert not satisfies_simple(interp, g)
+
+    def test_find_blank_assignment_witness(self):
+        interp = tiny_interpretation()
+        X = BNode("X")
+        g = RDFGraph([triple("a", "p", X)])
+        assignment = find_blank_assignment(interp, g)
+        assert assignment == {X: "rb"}
+
+    def test_unknown_uri_unsatisfied(self):
+        interp = tiny_interpretation()
+        assert not satisfies_simple(interp, RDFGraph([triple("zzz", "p", "b")]))
+
+    def test_models_requires_both(self):
+        interp = tiny_interpretation()
+        assert models(interp, RDFGraph([triple("a", "p", "b")]))
+        interp.pext["r_sp"] = set()
+        assert not models(interp, RDFGraph([triple("a", "p", "b")]))
+
+
+class TestCanonicalModel:
+    def test_is_rdfs_interpretation(self, fig1):
+        assert canonical_model(fig1).is_rdfs_interpretation()
+
+    def test_satisfies_its_graph(self, fig1):
+        assert satisfies_simple(canonical_model(fig1), fig1)
+
+    def test_empty_graph_model(self):
+        model = canonical_model(RDFGraph())
+        assert model.is_rdfs_interpretation()
+
+    @settings(max_examples=25, deadline=None)
+    @given(rdfs_graphs(max_size=4))
+    def test_canonical_model_is_model_random(self, g):
+        model = canonical_model(g)
+        assert model.is_rdfs_interpretation()
+        assert satisfies_simple(model, g)
+
+    def test_minimality_gives_entailment(self, fig1):
+        # The canonical model satisfies exactly the entailed graphs.
+        good = RDFGraph([triple("Picasso", TYPE, "artist")])
+        bad = RDFGraph([triple("Picasso", TYPE, "sculptor")])
+        model = canonical_model(fig1)
+        assert satisfies_simple(model, good) == entails(fig1, good)
+        assert satisfies_simple(model, bad) == entails(fig1, bad)
+
+
+class TestCountermodels:
+    def test_countermodel_on_non_entailment(self, fig1):
+        from repro.core import RDFGraph, triple
+        from repro.core.vocabulary import TYPE
+        from repro.semantics import find_countermodel, satisfies_simple
+
+        bad = RDFGraph([triple("Picasso", TYPE, "sculptor")])
+        model = find_countermodel(fig1, bad)
+        assert model is not None
+        # The countermodel is a genuine RDFS model of fig1 ...
+        assert model.is_rdfs_interpretation()
+        assert satisfies_simple(model, fig1)
+        # ... that does not satisfy the bad conclusion.
+        assert not satisfies_simple(model, bad)
+
+    def test_no_countermodel_on_entailment(self, fig1):
+        from repro.core import RDFGraph, triple
+        from repro.core.vocabulary import TYPE
+        from repro.semantics import find_countermodel
+
+        good = RDFGraph([triple("Picasso", TYPE, "artist")])
+        assert find_countermodel(fig1, good) is None

@@ -1,0 +1,126 @@
+"""Unit tests for RDF graph isomorphism and canonical forms."""
+
+from repro.core import (
+    BNode,
+    RDFGraph,
+    URI,
+    canonical_form,
+    find_isomorphism,
+    isomorphic,
+    triple,
+)
+
+
+def g(*tuples):
+    return RDFGraph.from_tuples(tuples)
+
+
+class TestIsomorphic:
+    def test_identical_graphs(self):
+        graph = g(("a", "p", "b"))
+        assert isomorphic(graph, graph)
+
+    def test_blank_renaming(self):
+        g1 = RDFGraph([triple("a", "p", BNode("X"))])
+        g2 = RDFGraph([triple("a", "p", BNode("Y"))])
+        assert isomorphic(g1, g2)
+
+    def test_ground_graphs_iso_iff_equal(self):
+        g1 = g(("a", "p", "b"))
+        g2 = g(("a", "p", "c"))
+        assert not isomorphic(g1, g2)
+        assert isomorphic(g1, g(("a", "p", "b")))
+
+    def test_different_sizes(self):
+        g1 = RDFGraph([triple("a", "p", BNode("X"))])
+        g2 = RDFGraph([triple("a", "p", BNode("X")), triple("a", "p", "b")])
+        assert not isomorphic(g1, g2)
+
+    def test_different_blank_counts(self):
+        X, Y = BNode("X"), BNode("Y")
+        g1 = RDFGraph([triple(X, "p", X)])
+        g2 = RDFGraph([triple(X, "p", Y)])
+        assert not isomorphic(g1, g2)
+
+    def test_hom_equivalent_but_not_isomorphic(self):
+        # (a,p,X),(a,p,b) maps onto (a,p,b) and back, but sizes differ.
+        X = BNode("X")
+        g1 = RDFGraph([triple("a", "p", X), triple("a", "p", "b")])
+        g2 = g(("a", "p", "b"))
+        assert not isomorphic(g1, g2)
+
+    def test_structure_matters(self):
+        X, Y = BNode("X"), BNode("Y")
+        chain = RDFGraph([triple(X, "p", Y)])
+        loop = RDFGraph([triple(X, "p", X)])
+        assert not isomorphic(chain, loop)
+
+    def test_swap_two_blanks(self):
+        X, Y = BNode("X"), BNode("Y")
+        g1 = RDFGraph([triple(X, "p", Y), triple(Y, "q", X)])
+        A, B = BNode("A"), BNode("B")
+        g2 = RDFGraph([triple(B, "p", A), triple(A, "q", B)])
+        assert isomorphic(g1, g2)
+
+    def test_witness_map_is_exact(self):
+        X = BNode("X")
+        g1 = RDFGraph([triple("a", "p", X)])
+        g2 = RDFGraph([triple("a", "p", BNode("Y"))])
+        m = find_isomorphism(g1, g2)
+        assert m is not None
+        assert m.apply_graph(g1) == g2
+
+    def test_symmetric_blanks(self):
+        # Two interchangeable blanks: iso must still be found.
+        X, Y = BNode("X"), BNode("Y")
+        g1 = RDFGraph([triple("a", "p", X), triple("a", "p", Y)])
+        A, B = BNode("A"), BNode("B")
+        g2 = RDFGraph([triple("a", "p", A), triple("a", "p", B)])
+        assert isomorphic(g1, g2)
+
+    def test_non_iso_same_signature(self):
+        # 6-cycle vs two 3-cycles of blanks: same local degrees.
+        def cycle(names):
+            n = len(names)
+            return [
+                triple(BNode(names[i]), "e", BNode(names[(i + 1) % n]))
+                for i in range(n)
+            ]
+
+        six = RDFGraph(cycle(["a", "b", "c", "d", "e", "f"]))
+        two_threes = RDFGraph(cycle(["u", "v", "w"]) + cycle(["x", "y", "z"]))
+        assert not isomorphic(six, two_threes)
+
+
+class TestCanonicalForm:
+    def test_invariant_under_renaming(self):
+        X, Y = BNode("X"), BNode("Y")
+        g1 = RDFGraph([triple(X, "p", Y), triple(Y, "q", "b")])
+        g2 = g1.rename_bnodes({X: BNode("M"), Y: BNode("N")})
+        assert canonical_form(g1) == canonical_form(g2)
+
+    def test_ground_graph_unchanged(self):
+        graph = g(("a", "p", "b"))
+        assert canonical_form(graph) == graph
+
+    def test_canonical_iff_isomorphic(self):
+        X, Y = BNode("X"), BNode("Y")
+        g1 = RDFGraph([triple("a", "p", X), triple("a", "p", Y), triple(X, "q", Y)])
+        g2 = g1.rename_bnodes({X: BNode("Q"), Y: BNode("R")})
+        g3 = RDFGraph([triple("a", "p", X), triple("a", "p", Y), triple(Y, "q", X)])
+        assert canonical_form(g1) == canonical_form(g2)
+        # g3 is actually isomorphic to g1 via the swap X↔Y.
+        assert canonical_form(g1) == canonical_form(g3)
+
+    def test_non_isomorphic_get_different_forms(self):
+        X, Y = BNode("X"), BNode("Y")
+        g1 = RDFGraph([triple(X, "p", Y)])
+        g2 = RDFGraph([triple(X, "p", X)])
+        assert canonical_form(g1) != canonical_form(g2)
+
+    def test_symmetric_blanks_canonicalize(self):
+        X, Y, Z = BNode("X"), BNode("Y"), BNode("Z")
+        g1 = RDFGraph([triple("a", "p", X), triple("a", "p", Y), triple("a", "p", Z)])
+        g2 = RDFGraph([triple("a", "p", BNode("u")), triple("a", "p", BNode("v")),
+                       triple("a", "p", BNode("w"))])
+        assert canonical_form(g1) == canonical_form(g2)

@@ -1,0 +1,121 @@
+"""Tests for lean graphs (Definition 3.7, Example 3.8, Theorem 3.12.1)."""
+
+from hypothesis import given, settings
+
+from repro.core import BNode, RDFGraph, triple
+from repro.minimize import is_lean, non_lean_witness
+from repro.reductions import DiGraph, encode_graph, has_proper_retract_via_rdf
+
+from .strategies import simple_graphs
+
+
+class TestExamples:
+    def test_example_3_8_g1_not_lean(self, example_3_8_g1):
+        assert not is_lean(example_3_8_g1)
+
+    def test_example_3_8_g2_lean(self, example_3_8_g2):
+        assert is_lean(example_3_8_g2)
+
+    def test_witness_is_proper(self, example_3_8_g1):
+        witness = non_lean_witness(example_3_8_g1)
+        assert witness is not None
+        image = witness.apply_graph(example_3_8_g1)
+        assert image < example_3_8_g1
+
+    def test_lean_graph_has_no_witness(self, example_3_8_g2):
+        assert non_lean_witness(example_3_8_g2) is None
+
+
+class TestBasicCases:
+    def test_ground_graphs_are_lean(self):
+        g = RDFGraph([triple("a", "p", "b"), triple("b", "p", "c")])
+        assert is_lean(g)
+
+    def test_empty_graph_is_lean(self):
+        assert is_lean(RDFGraph())
+
+    def test_single_blank_triple_lean(self):
+        # (a, p, X) alone: no proper subgraph to map onto.
+        assert is_lean(RDFGraph([triple("a", "p", BNode("X"))]))
+
+    def test_blank_subsumed_by_ground(self):
+        g = RDFGraph([triple("a", "p", "b"), triple("a", "p", BNode("X"))])
+        assert not is_lean(g)
+
+    def test_blank_with_extra_property_not_subsumed(self):
+        X = BNode("X")
+        g = RDFGraph(
+            [triple("a", "p", "b"), triple("a", "p", X), triple(X, "q", "c")]
+        )
+        # X cannot map to b: b has no q-edge to c.
+        assert is_lean(g)
+
+    def test_blank_with_matching_extra_property_subsumed(self):
+        X = BNode("X")
+        g = RDFGraph(
+            [
+                triple("a", "p", "b"),
+                triple("b", "q", "c"),
+                triple("a", "p", X),
+                triple(X, "q", "c"),
+            ]
+        )
+        assert not is_lean(g)
+
+    def test_two_interlocked_blanks(self):
+        X, Y = BNode("X"), BNode("Y")
+        # X→Y and Y→X through p: maps collapse both onto one loop only
+        # if one exists; here there is none, so lean.
+        g = RDFGraph([triple(X, "p", Y), triple(Y, "p", X)])
+        assert is_lean(g)
+
+    def test_blank_loop_absorbs_blank_cycle(self):
+        X, Y, Z = BNode("X"), BNode("Y"), BNode("Z")
+        g = RDFGraph([triple(X, "p", Y), triple(Y, "p", X), triple(Z, "p", Z)])
+        # X, Y can both map onto the loop Z.
+        assert not is_lean(g)
+
+    def test_rdfs_graph_leanness_is_syntactic(self):
+        from repro.core.vocabulary import SC
+
+        # Leanness looks only at maps, not at rdfs semantics: the chain
+        # with a redundant-in-semantics shortcut is still lean.
+        g = RDFGraph(
+            [triple("a", SC, "b"), triple("b", SC, "c"), triple("a", SC, "c")]
+        )
+        assert is_lean(g)
+
+
+class TestGraphCoreCorrespondence:
+    """Theorem 3.12.1's encoding: Core(H) ⟺ enc(H) not lean."""
+
+    def test_even_cycles_have_retracts(self):
+        assert has_proper_retract_via_rdf(DiGraph.cycle(6))
+        assert not is_lean(encode_graph(DiGraph.cycle(4)))
+
+    def test_odd_cycles_are_cores(self):
+        assert not has_proper_retract_via_rdf(DiGraph.cycle(5))
+        assert is_lean(encode_graph(DiGraph.cycle(3)))
+
+    def test_cliques_are_cores(self):
+        assert is_lean(encode_graph(DiGraph.complete(3)))
+
+    def test_path_retracts(self):
+        # A symmetric path of length ≥ 2 retracts onto one edge.
+        assert has_proper_retract_via_rdf(DiGraph.path(4, directed=False))
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(simple_graphs(max_size=5))
+    def test_witness_iff_not_lean(self, g):
+        witness = non_lean_witness(g)
+        assert (witness is None) == is_lean(g)
+        if witness is not None:
+            assert witness.apply_graph(g) < g
+
+    @settings(max_examples=40, deadline=None)
+    @given(simple_graphs(max_size=5))
+    def test_ground_graphs_always_lean(self, g):
+        if g.is_ground():
+            assert is_lean(g)

@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.core.maps` (maps and instances, Section 2.1)."""
+
+import pytest
+
+from repro.core import BNode, Literal, Map, RDFGraph, Triple, URI, identity_map, triple
+
+
+class TestMapBasics:
+    def test_identity_on_uris(self):
+        m = Map({BNode("X"): URI("a")})
+        assert m(URI("u")) == URI("u")
+        assert m(Literal("l")) == Literal("l")
+
+    def test_action_on_blanks(self):
+        m = Map({BNode("X"): URI("a")})
+        assert m(BNode("X")) == URI("a")
+        assert m(BNode("Y")) == BNode("Y")  # unmentioned blanks fixed
+
+    def test_domain_must_be_blanks(self):
+        with pytest.raises(TypeError):
+            Map({URI("a"): URI("b")})
+
+    def test_image_must_be_ground_term(self):
+        from repro.core import Variable
+
+        with pytest.raises(TypeError):
+            Map({BNode("X"): Variable("v")})
+
+    def test_apply_triple(self):
+        m = Map({BNode("X"): URI("a")})
+        t = triple(BNode("X"), "p", "b")
+        assert m(t) == triple("a", "p", "b")
+
+    def test_apply_graph(self):
+        X, Y = BNode("X"), BNode("Y")
+        m = Map({X: URI("a"), Y: X})
+        graph = RDFGraph([triple(X, "p", Y)])
+        assert m(graph) == RDFGraph([triple("a", "p", X)])
+
+    def test_apply_graph_can_shrink(self):
+        X, Y = BNode("X"), BNode("Y")
+        m = Map({X: URI("a"), Y: URI("a")})
+        graph = RDFGraph([triple("c", "p", X), triple("c", "p", Y)])
+        assert len(m(graph)) == 1
+
+    def test_equality_ignores_explicit_fixed_points(self):
+        assert Map({BNode("X"): BNode("X")}) == Map({})
+        assert hash(Map({BNode("X"): BNode("X")})) == hash(Map({}))
+
+    def test_identity_map(self):
+        graph = RDFGraph([triple(BNode("X"), "p", "b")])
+        assert identity_map()(graph) == graph
+
+
+class TestComposition:
+    def test_compose_order(self):
+        X, Y = BNode("X"), BNode("Y")
+        first = Map({X: Y})
+        second = Map({Y: URI("a")})
+        composed = second.compose(first)  # second ∘ first
+        assert composed(X) == URI("a")
+
+    def test_compose_keeps_outer_assignments(self):
+        X, Y = BNode("X"), BNode("Y")
+        outer = Map({Y: URI("b")})
+        inner = Map({X: URI("a")})
+        composed = outer.compose(inner)
+        assert composed(X) == URI("a")
+        assert composed(Y) == URI("b")
+
+
+class TestInstances:
+    def test_proper_instance_blank_to_uri(self):
+        X = BNode("X")
+        graph = RDFGraph([triple("a", "p", X)])
+        m = Map({X: URI("b")})
+        assert m.makes_proper_instance_of(graph)
+
+    def test_proper_instance_identifying_blanks(self):
+        X, Y = BNode("X"), BNode("Y")
+        graph = RDFGraph([triple("a", "p", X), triple("a", "p", Y)])
+        m = Map({X: Y})
+        assert m.makes_proper_instance_of(graph)
+
+    def test_renaming_is_not_proper(self):
+        X, Z = BNode("X"), BNode("Z")
+        graph = RDFGraph([triple("a", "p", X)])
+        m = Map({X: Z})
+        assert not m.makes_proper_instance_of(graph)
+
+    def test_restrict(self):
+        X, Y = BNode("X"), BNode("Y")
+        m = Map({X: URI("a"), Y: URI("b")})
+        restricted = m.restrict([X])
+        assert restricted(X) == URI("a")
+        assert restricted(Y) == Y
+
+    def test_injectivity_check(self):
+        X, Y = BNode("X"), BNode("Y")
+        assert Map({X: URI("a"), Y: URI("b")}).is_injective_on([X, Y])
+        assert not Map({X: URI("a"), Y: URI("a")}).is_injective_on([X, Y])
+
+    def test_is_identity_on(self):
+        X, Y = BNode("X"), BNode("Y")
+        m = Map({X: URI("a")})
+        assert m.is_identity_on([Y])
+        assert not m.is_identity_on([X])
+
+    def test_repr(self):
+        m = Map({BNode("X"): URI("a")})
+        assert "X" in repr(m) and "a" in repr(m)

@@ -1,0 +1,184 @@
+"""Tests for minimal representations (Section 3.2, Theorem 3.16)."""
+
+import pytest
+
+from repro.core import BNode, RDFGraph, URI, triple
+from repro.core.vocabulary import DOM, SC, SP, TYPE
+from repro.minimize import (
+    all_minimal_representations,
+    count_minimal_representations,
+    has_unique_minimal_representation,
+    is_acyclic_for,
+    minimal_representation,
+    satisfies_theorem_316_preconditions,
+    transitive_reduction,
+)
+from repro.semantics import equivalent
+
+
+class TestTransitiveReduction:
+    def test_chain_with_shortcut(self):
+        edges = {("a", "b"), ("b", "c"), ("a", "c")}
+        assert transitive_reduction(edges) == {("a", "b"), ("b", "c")}
+
+    def test_already_reduced(self):
+        edges = {("a", "b"), ("b", "c")}
+        assert transitive_reduction(edges) == edges
+
+    def test_diamond(self):
+        edges = {("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"), ("a", "d")}
+        assert transitive_reduction(edges) == {
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "d"),
+            ("c", "d"),
+        }
+
+    def test_self_loops_dropped(self):
+        assert transitive_reduction({("a", "a"), ("a", "b")}) == {("a", "b")}
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            transitive_reduction({("a", "b"), ("b", "a")})
+
+    def test_long_chain_with_all_shortcuts(self):
+        n = 6
+        edges = {(i, j) for i in range(n) for j in range(i + 1, n)}
+        assert transitive_reduction(edges) == {(i, i + 1) for i in range(n - 1)}
+
+    def test_empty(self):
+        assert transitive_reduction(set()) == set()
+
+
+class TestPreconditions:
+    def test_acyclicity_check(self):
+        g = RDFGraph([triple("a", SP, "b"), triple("b", SP, "a")])
+        assert not is_acyclic_for(g, SP)
+        assert is_acyclic_for(g, SC)
+
+    def test_fig1_satisfies_preconditions(self, fig1):
+        assert satisfies_theorem_316_preconditions(fig1)
+
+    def test_reserved_vocabulary_in_object_fails(self, example_3_15):
+        # (type, dom, a) has reserved vocabulary as subject.
+        assert not satisfies_theorem_316_preconditions(example_3_15)
+
+    def test_sp_cycle_fails(self):
+        g = RDFGraph([triple("a", SP, "b"), triple("b", SP, "a")])
+        assert not satisfies_theorem_316_preconditions(g)
+
+
+class TestNonUniqueness:
+    def test_example_3_14_two_reductions(self, example_3_14):
+        reps = all_minimal_representations(example_3_14)
+        assert len(reps) == 2
+        # Each reduction drops exactly one of (b,sp,a) / (c,sp,a),
+        # keeping the b ↔ c cycle.
+        assert all(len(r) == 3 for r in reps)
+        for r in reps:
+            assert equivalent(r, example_3_14)
+
+    def test_example_3_15_two_minimal_representations(self, example_3_15):
+        reps = all_minimal_representations(example_3_15)
+        assert len(reps) == 2
+        g1 = RDFGraph(
+            [triple("a", SC, "b"), triple(TYPE, DOM, "a"), triple("x", TYPE, "a")]
+        )
+        g2 = RDFGraph(
+            [triple("a", SC, "b"), triple(TYPE, DOM, "a"), triple("x", TYPE, "b")]
+        )
+        assert {r.triples for r in reps} == {g1.triples, g2.triples}
+
+    def test_example_3_15_is_acyclic_but_still_ambiguous(self, example_3_15):
+        assert is_acyclic_for(example_3_15, SP)
+        assert is_acyclic_for(example_3_15, SC)
+        assert not has_unique_minimal_representation(example_3_15)
+
+
+class TestTheorem316:
+    def test_unique_for_restricted_class(self, fig1):
+        assert satisfies_theorem_316_preconditions(fig1)
+        assert has_unique_minimal_representation(fig1)
+
+    def test_greedy_matches_exhaustive(self, fig1):
+        greedy = minimal_representation(fig1)
+        exhaustive = all_minimal_representations(fig1)
+        assert len(exhaustive) == 1
+        assert greedy == exhaustive[0]
+
+    def test_sc_chain_with_shortcut(self):
+        g = RDFGraph(
+            [triple("a", SC, "b"), triple("b", SC, "c"), triple("a", SC, "c")]
+        )
+        m = minimal_representation(g)
+        assert m == RDFGraph([triple("a", SC, "b"), triple("b", SC, "c")])
+        assert has_unique_minimal_representation(g)
+
+    def test_sp_inheritance_redundancy(self):
+        # (x, super, y) is derivable from (x, sub, y) + (sub, sp, super).
+        g = RDFGraph(
+            [
+                triple("sub", SP, "super"),
+                triple("x", "sub", "y"),
+                triple("x", "super", "y"),
+            ]
+        )
+        m = minimal_representation(g)
+        assert triple("x", "super", "y") not in m
+        assert equivalent(m, g)
+
+    def test_type_lifting_redundancy(self):
+        g = RDFGraph(
+            [
+                triple("a", SC, "b"),
+                triple("x", TYPE, "a"),
+                triple("x", TYPE, "b"),
+            ]
+        )
+        m = minimal_representation(g)
+        assert m == RDFGraph([triple("a", SC, "b"), triple("x", TYPE, "a")])
+
+    def test_dom_derived_type_redundancy(self):
+        g = RDFGraph(
+            [
+                triple("p", DOM, "c"),
+                triple("x", "p", "y"),
+                triple("x", TYPE, "c"),
+            ]
+        )
+        m = minimal_representation(g)
+        assert triple("x", TYPE, "c") not in m
+        assert equivalent(m, g)
+
+    def test_order_independence_on_restricted_class(self):
+        # Theorem 3.16: the result must not depend on elimination order.
+        # We vary the order by renaming URIs (which changes sorting).
+        g = RDFGraph(
+            [
+                triple("a", SC, "b"),
+                triple("b", SC, "c"),
+                triple("a", SC, "c"),
+                triple("x", TYPE, "a"),
+                triple("x", TYPE, "b"),
+                triple("x", TYPE, "c"),
+            ]
+        )
+        m = minimal_representation(g)
+        assert m == RDFGraph(
+            [triple("a", SC, "b"), triple("b", SC, "c"), triple("x", TYPE, "a")]
+        )
+        assert count_minimal_representations(g) == 1
+
+    def test_irreducible_graph_unchanged(self):
+        g = RDFGraph([triple("p", DOM, "c"), triple("q", SP, "p")])
+        assert minimal_representation(g) == g
+
+    def test_reflexive_triples_removed_when_derivable(self):
+        # (p, sp, p) is derivable by rule (8) whenever p is used.
+        g = RDFGraph([triple("x", "p", "y"), triple("p", SP, "p")])
+        m = minimal_representation(g)
+        assert m == RDFGraph([triple("x", "p", "y")])
+
+    def test_reserved_reflexives_always_removable(self):
+        g = RDFGraph([triple(SP, SP, SP)])
+        assert minimal_representation(g) == RDFGraph()

@@ -1,0 +1,147 @@
+"""Tests for the reflexivity-free (ρdf-style) fragment."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import BNode, RDFGraph, Triple, triple
+from repro.core.vocabulary import DOM, RANGE, SC, SP, TYPE
+from repro.generators import art_schema, random_schema_with_instances
+from repro.semantics import (
+    entails,
+    is_reflexivity_free,
+    rdfs_closure,
+    reflexivity_padding,
+    rho_closure,
+    rho_entails,
+    rho_equivalent,
+)
+
+from .strategies import rdfs_graphs
+
+
+class TestRhoClosure:
+    def test_sp_transitivity(self):
+        g = RDFGraph([triple("a", SP, "b"), triple("b", SP, "c")])
+        assert triple("a", SP, "c") in rho_closure(g)
+
+    def test_no_reflexive_padding(self):
+        g = RDFGraph([triple("x", "p", "y")])
+        closed = rho_closure(g)
+        assert triple("p", SP, "p") not in closed
+        assert closed == g  # nothing to derive
+
+    def test_direct_dom_rule(self):
+        # Without reflexivity, (p, sp, p) is unavailable; the direct dom
+        # rule must still fire.
+        g = RDFGraph([triple("p", DOM, "c"), triple("x", "p", "y")])
+        assert triple("x", TYPE, "c") in rho_closure(g)
+
+    def test_dom_through_sp(self):
+        g = RDFGraph(
+            [triple("p", DOM, "c"), triple("q", SP, "p"), triple("x", "q", "y")]
+        )
+        assert triple("x", TYPE, "c") in rho_closure(g)
+
+    def test_range_rules(self):
+        g = RDFGraph([triple("p", RANGE, "c"), triple("x", "p", "y")])
+        assert triple("y", TYPE, "c") in rho_closure(g)
+
+    def test_type_lifting(self):
+        g = RDFGraph([triple("a", SC, "b"), triple("x", TYPE, "a")])
+        assert triple("x", TYPE, "b") in rho_closure(g)
+
+    def test_smaller_than_full_closure(self):
+        g = art_schema()
+        assert len(rho_closure(g)) < len(rdfs_closure(g))
+
+    def test_idempotent(self):
+        g = art_schema()
+        once = rho_closure(g)
+        assert rho_closure(once) == once
+
+
+class TestDecomposition:
+    """RDFS-cl(G) = ρ-cl(G) ∪ reflexivity_padding(G)."""
+
+    def test_art_schema(self):
+        g = art_schema()
+        assert rdfs_closure(g) == rho_closure(g).union(reflexivity_padding(g))
+
+    def test_random_schemas(self):
+        for seed in range(5):
+            g = random_schema_with_instances(4, 3, 4, 6, seed=seed)
+            assert rdfs_closure(g) == rho_closure(g).union(
+                reflexivity_padding(g)
+            ), seed
+
+    def test_pathological_vocabulary(self):
+        cases = [
+            RDFGraph([triple("meta", SP, SP), triple("a", "meta", "b")]),
+            RDFGraph([triple("p", DOM, SP), triple("u", "p", "v")]),
+            RDFGraph([triple("a", SP, "a"), triple("x", "a", "y")]),
+        ]
+        for g in cases:
+            assert rdfs_closure(g) == rho_closure(g).union(reflexivity_padding(g))
+
+    @settings(max_examples=40, deadline=None)
+    @given(rdfs_graphs(max_size=4))
+    def test_random(self, g):
+        assert rdfs_closure(g) == rho_closure(g).union(reflexivity_padding(g))
+
+    def test_empty_graph(self):
+        # All five rule-(9) axioms are padding.
+        assert rho_closure(RDFGraph()) == RDFGraph()
+        assert len(reflexivity_padding(RDFGraph())) == 5
+
+
+class TestRhoEntailment:
+    def test_sound_for_full_semantics(self):
+        g = art_schema()
+        h = RDFGraph([triple("Picasso", TYPE, "artist")])
+        assert rho_entails(g, h)
+        assert entails(g, h)
+
+    def test_complete_on_reflexivity_free_conclusions(self):
+        g = art_schema()
+        probes = [
+            RDFGraph([triple("Picasso", "creates", "Guernica")]),
+            RDFGraph([triple("Guernica", TYPE, "artifact")]),
+            RDFGraph([triple("sculptor", SC, "artist")]),
+            RDFGraph([triple("Picasso", "creates", BNode("W"))]),
+            RDFGraph([triple("zzz", TYPE, "artist")]),
+        ]
+        for h in probes:
+            assert is_reflexivity_free(h)
+            assert rho_entails(g, h) == entails(g, h), str(h)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rdfs_graphs(max_size=4), rdfs_graphs(max_size=2))
+    def test_agreement_random(self, g, h):
+        if not is_reflexivity_free(h):
+            return
+        assert rho_entails(g, h) == entails(g, h)
+
+    def test_incomplete_on_reflexive_conclusions(self):
+        g = RDFGraph([triple("x", "p", "y")])
+        h = RDFGraph([triple("p", SP, "p")])
+        assert entails(g, h)  # rule (8)
+        assert not rho_entails(g, h)  # the minimal system drops it
+
+    def test_rho_equivalence(self):
+        g = RDFGraph([triple("a", SC, "b"), triple("b", SC, "c")])
+        h = g.union(RDFGraph([triple("a", SC, "c")]))
+        assert rho_equivalent(g, h)
+
+    def test_is_reflexivity_free(self):
+        assert is_reflexivity_free(RDFGraph([triple("a", SC, "b")]))
+        assert not is_reflexivity_free(RDFGraph([triple("a", SC, "a")]))
+        assert not is_reflexivity_free(RDFGraph([triple("p", SP, "p")]))
+
+    def test_blank_in_sp_triple_not_reflexivity_free(self):
+        # (b, sp, X) can be witnessed by the reflexive (b, sp, b) —
+        # found by hypothesis; the class must exclude it.
+        h = RDFGraph([triple("b", SP, BNode("X"))])
+        assert not is_reflexivity_free(h)
+        g = RDFGraph([triple("a", "p", "a"), triple("a", SP, "b")])
+        assert entails(g, h)         # via rule (11)'s (b, sp, b)
+        assert not rho_entails(g, h)  # invisible to the minimal system

@@ -1,0 +1,188 @@
+"""Tests for path expressions (the paper's future-work extensions)."""
+
+import pytest
+
+from repro.core import BNode, RDFGraph, URI, triple
+from repro.core.vocabulary import SC, TYPE
+from repro.generators import art_schema
+from repro.navigation import (
+    Alt,
+    Inv,
+    Opt,
+    PathSyntaxError,
+    Plus,
+    Pred,
+    Seq,
+    Star,
+    evaluate_path,
+    parse_path,
+    path_exists,
+    reachable_from,
+)
+
+
+def chain_graph(n, predicate="p"):
+    return RDFGraph(
+        [triple(f"n{i}", predicate, f"n{i+1}") for i in range(n)]
+    )
+
+
+class TestEvaluation:
+    def test_single_predicate(self):
+        g = chain_graph(2)
+        assert evaluate_path(Pred(URI("p")), g) == {
+            (URI("n0"), URI("n1")),
+            (URI("n1"), URI("n2")),
+        }
+
+    def test_sequence(self):
+        g = chain_graph(3)
+        pairs = evaluate_path(Pred(URI("p")) / Pred(URI("p")), g)
+        assert pairs == {(URI("n0"), URI("n2")), (URI("n1"), URI("n3"))}
+
+    def test_alternation(self):
+        g = RDFGraph([triple("a", "p", "b"), triple("a", "q", "c")])
+        pairs = evaluate_path(Pred(URI("p")) | Pred(URI("q")), g)
+        assert pairs == {(URI("a"), URI("b")), (URI("a"), URI("c"))}
+
+    def test_inverse(self):
+        g = RDFGraph([triple("a", "p", "b")])
+        assert evaluate_path(~Pred(URI("p")), g) == {(URI("b"), URI("a"))}
+
+    def test_plus_transitive(self):
+        g = chain_graph(4)
+        pairs = evaluate_path(Pred(URI("p")).plus(), g)
+        assert (URI("n0"), URI("n4")) in pairs
+        assert (URI("n0"), URI("n0")) not in pairs
+        assert len(pairs) == 10  # all i < j pairs
+
+    def test_star_reflexive(self):
+        g = chain_graph(2)
+        pairs = evaluate_path(Pred(URI("p")).star(), g)
+        assert (URI("n0"), URI("n0")) in pairs
+        assert (URI("p"), URI("p")) in pairs  # every universe node
+
+    def test_opt(self):
+        g = RDFGraph([triple("a", "p", "b")])
+        pairs = evaluate_path(Pred(URI("p")).opt(), g)
+        assert (URI("a"), URI("b")) in pairs
+        assert (URI("a"), URI("a")) in pairs
+
+    def test_over_blank_nodes(self):
+        X = BNode("X")
+        g = RDFGraph([triple("a", "p", X), triple(X, "p", "c")])
+        pairs = evaluate_path(Pred(URI("p")).plus(), g)
+        assert (URI("a"), URI("c")) in pairs
+
+    def test_rdfs_semantics(self):
+        g = art_schema()
+        # type/sc* under RDFS: all classes of Picasso.
+        expr = Pred(TYPE) / Pred(SC).star()
+        with_rdfs = {
+            y for x, y in evaluate_path(expr, g, rdfs=True) if x == URI("Picasso")
+        }
+        assert URI("painter") in with_rdfs
+        assert URI("artist") in with_rdfs
+        without = {
+            y for x, y in evaluate_path(expr, g, rdfs=False) if x == URI("Picasso")
+        }
+        assert URI("painter") not in without  # no explicit type triple
+
+
+class TestReachability:
+    def test_single_source(self):
+        g = chain_graph(5)
+        out = reachable_from(Pred(URI("p")).plus(), g, URI("n0"))
+        assert out == {URI(f"n{i}") for i in range(1, 6)}
+
+    def test_star_includes_start(self):
+        g = chain_graph(3)
+        out = reachable_from(Pred(URI("p")).star(), g, URI("n1"))
+        assert URI("n1") in out
+
+    def test_matches_pair_semantics(self):
+        g = RDFGraph(
+            [
+                triple("a", "p", "b"),
+                triple("b", "q", "c"),
+                triple("c", "p", "a"),
+                triple("b", "p", "d"),
+            ]
+        )
+        expr = (Pred(URI("p")) | Pred(URI("q"))).plus()
+        pairs = evaluate_path(expr, g)
+        for start in (URI("a"), URI("b")):
+            expected = {y for x, y in pairs if x == start}
+            assert reachable_from(expr, g, start) == expected
+
+    def test_inverse_single_source(self):
+        g = RDFGraph([triple("a", "p", "b"), triple("c", "p", "b")])
+        out = reachable_from(~Pred(URI("p")), g, URI("b"))
+        assert out == {URI("a"), URI("c")}
+
+    def test_path_exists(self):
+        g = chain_graph(4)
+        assert path_exists(Pred(URI("p")).plus(), g, URI("n0"), URI("n4"))
+        assert not path_exists(Pred(URI("p")).plus(), g, URI("n4"), URI("n0"))
+
+    def test_general_inverse_fallback(self):
+        g = RDFGraph([triple("a", "p", "b"), triple("b", "q", "c")])
+        # Inverse of a sequence: needs the pair-semantics fallback.
+        expr = Inv(Pred(URI("p")) / Pred(URI("q")))
+        assert reachable_from(expr, g, URI("c")) == {URI("a")}
+
+
+class TestParser:
+    def test_simple(self):
+        assert parse_path("paints") == Pred(URI("paints"))
+
+    def test_sequence_and_alt_precedence(self):
+        # '/' binds tighter than '|'.
+        expr = parse_path("a/b|c")
+        assert isinstance(expr, Alt)
+        assert isinstance(expr.left, Seq)
+
+    def test_postfix(self):
+        assert parse_path("p+") == Plus(Pred(URI("p")))
+        assert parse_path("p*") == Star(Pred(URI("p")))
+        assert parse_path("p?") == Opt(Pred(URI("p")))
+
+    def test_inverse(self):
+        assert parse_path("^p") == Inv(Pred(URI("p")))
+
+    def test_parentheses(self):
+        expr = parse_path("(a|b)/c")
+        assert isinstance(expr, Seq)
+        assert isinstance(expr.left, Alt)
+
+    def test_angle_uris(self):
+        expr = parse_path("<http://x.org/p>+")
+        assert expr == Plus(Pred(URI("http://x.org/p")))
+
+    def test_nested_postfix(self):
+        expr = parse_path("(knows|^knows)*")
+        assert isinstance(expr, Star)
+
+    def test_errors(self):
+        for bad in ("", "a/", "(a", "a)", "|a", "*"):
+            with pytest.raises(PathSyntaxError):
+                parse_path(bad)
+
+    def test_roundtrip_through_str(self):
+        for text in ("a/b", "a|b", "(a/b)+", "^x", "p*"):
+            expr = parse_path(text)
+            again = parse_path(str(expr))
+            assert again == expr
+
+
+class TestArtSchemaNavigation:
+    def test_hierarchy_walk(self):
+        g = art_schema()
+        out = reachable_from(parse_path("sc+"), g, URI("sculptor"))
+        assert out == {URI("artist")}
+
+    def test_creations_of_any_artist_kind(self):
+        g = art_schema()
+        expr = parse_path("paints|sculpts|creates")
+        pairs = evaluate_path(expr, g, rdfs=True)
+        assert (URI("Picasso"), URI("Guernica")) in pairs

@@ -1,0 +1,101 @@
+"""Tests for normal forms (Section 3.3, Theorems 3.19 and 3.20)."""
+
+from hypothesis import given, settings
+
+from repro.core import BNode, RDFGraph, isomorphic, triple
+from repro.core.vocabulary import SC, SP, TYPE
+from repro.minimize import (
+    core,
+    is_lean,
+    is_normal_form_of,
+    normal_form,
+    normal_form_equivalent,
+)
+from repro.semantics import closure, equivalent
+
+from .strategies import rdfs_graphs, simple_graphs
+
+
+class TestExample317:
+    def test_g_and_h_equivalent(self, example_3_17_g, example_3_17_h):
+        assert equivalent(example_3_17_g, example_3_17_h)
+
+    def test_closures_not_isomorphic(self, example_3_17_g, example_3_17_h):
+        assert not isomorphic(closure(example_3_17_g), closure(example_3_17_h))
+
+    def test_cores_not_isomorphic(self, example_3_17_g, example_3_17_h):
+        assert not isomorphic(core(example_3_17_g), core(example_3_17_h))
+
+    def test_core_of_g_drops_blank(self, example_3_17_g):
+        c = core(example_3_17_g)
+        assert not c.bnodes()
+        assert len(c) == 2  # just the two chain triples
+
+    def test_normal_forms_isomorphic(self, example_3_17_g, example_3_17_h):
+        assert isomorphic(normal_form(example_3_17_g), normal_form(example_3_17_h))
+
+    def test_normal_form_contains_h(self, example_3_17_g, example_3_17_h):
+        # "The normal form for G and H is H" — up to the reflexivity
+        # padding the closure adds.
+        nf = normal_form(example_3_17_g)
+        assert example_3_17_h.issubgraph(nf)
+        assert not nf.bnodes()
+
+
+class TestTheorem319:
+    def test_uniqueness_under_renaming(self):
+        X = BNode("X")
+        g = RDFGraph([triple("a", SC, X), triple(X, SC, "c")])
+        renamed = g.rename_bnodes({X: BNode("Y")})
+        assert isomorphic(normal_form(g), normal_form(renamed))
+
+    @settings(max_examples=20, deadline=None)
+    @given(rdfs_graphs(max_size=3), rdfs_graphs(max_size=3))
+    def test_syntax_independence_random(self, g1, g2):
+        assert equivalent(g1, g2) == isomorphic(normal_form(g1), normal_form(g2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(rdfs_graphs(max_size=3))
+    def test_nf_equivalent_to_graph(self, g):
+        assert equivalent(normal_form(g), g)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rdfs_graphs(max_size=3))
+    def test_nf_is_lean_and_closed_core(self, g):
+        nf = normal_form(g)
+        assert is_lean(nf)
+        assert nf == core(closure(g))
+
+    @settings(max_examples=20, deadline=None)
+    @given(rdfs_graphs(max_size=3))
+    def test_nf_idempotent_up_to_iso(self, g):
+        nf = normal_form(g)
+        assert isomorphic(normal_form(nf), nf)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rdfs_graphs(max_size=3), rdfs_graphs(max_size=3))
+    def test_normal_form_equivalent_agrees(self, g1, g2):
+        assert normal_form_equivalent(g1, g2) == equivalent(g1, g2)
+
+
+class TestIsNormalFormOf:
+    def test_positive(self, example_3_17_g):
+        assert is_normal_form_of(normal_form(example_3_17_g), example_3_17_g)
+
+    def test_negative_not_lean(self, example_3_17_g):
+        # The closure itself is equivalent but not lean (blank N remains).
+        cl = closure(example_3_17_g)
+        assert not is_normal_form_of(cl, example_3_17_g)
+
+    def test_negative_not_equivalent(self, example_3_17_g):
+        other = RDFGraph([triple("z", "q", "w")])
+        assert not is_normal_form_of(other, example_3_17_g)
+
+    def test_simple_graph_nf_reduces_to_core_plus_padding(self):
+        # For a simple graph, nf = core + reserved sp-reflexive padding
+        # + (p, sp, p) for used predicates.
+        g = RDFGraph([triple("a", "p", BNode("X")), triple("a", "p", "b")])
+        nf = normal_form(g)
+        assert triple("a", "p", "b") in nf
+        assert triple("a", "p", BNode("X")) not in nf  # collapsed
+        assert triple("p", SP, "p") in nf  # rule (8)

@@ -1,0 +1,183 @@
+"""Tests for the pD*-style OWL property extension (ter Horst [26])."""
+
+import pytest
+
+from repro.core import BNode, Literal, RDFGraph, Triple, URI, triple
+from repro.core.vocabulary import SC, SP, TYPE
+from repro.semantics import entails, rdfs_closure
+from repro.semantics.owl_horst import (
+    FUNCTIONAL,
+    INVERSE_FUNCTIONAL,
+    INVERSE_OF,
+    SAME_AS,
+    SYMMETRIC,
+    TRANSITIVE,
+    owl_closure,
+    owl_entails,
+    same_as_classes,
+)
+
+
+class TestInverseOf:
+    def test_forward(self):
+        g = RDFGraph(
+            [triple("hasParent", INVERSE_OF, "hasChild"),
+             triple("ana", "hasParent", "bob")]
+        )
+        assert triple("bob", "hasChild", "ana") in owl_closure(g)
+
+    def test_inverse_is_symmetric(self):
+        # Also fires from a use of the *other* property.
+        g = RDFGraph(
+            [triple("hasParent", INVERSE_OF, "hasChild"),
+             triple("bob", "hasChild", "ana")]
+        )
+        assert triple("ana", "hasParent", "bob") in owl_closure(g)
+
+    def test_literal_objects_skipped(self):
+        g = RDFGraph(
+            [triple("name", INVERSE_OF, "namedBy"),
+             Triple(URI("x"), URI("name"), Literal("Bob"))]
+        )
+        closed = owl_closure(g)
+        assert all(t.is_valid_rdf() for t in closed)
+
+
+class TestSymmetricTransitive:
+    def test_symmetric(self):
+        g = RDFGraph(
+            [triple("marriedTo", TYPE, SYMMETRIC),
+             triple("bob", "marriedTo", "carla")]
+        )
+        assert triple("carla", "marriedTo", "bob") in owl_closure(g)
+
+    def test_transitive(self):
+        g = RDFGraph(
+            [triple("ancestor", TYPE, TRANSITIVE)]
+            + [triple(f"n{i}", "ancestor", f"n{i+1}") for i in range(4)]
+        )
+        assert triple("n0", "ancestor", "n4") in owl_closure(g)
+
+    def test_symmetric_plus_transitive_gives_cluster(self):
+        g = RDFGraph(
+            [
+                triple("connected", TYPE, SYMMETRIC),
+                triple("connected", TYPE, TRANSITIVE),
+                triple("a", "connected", "b"),
+                triple("b", "connected", "c"),
+            ]
+        )
+        closed = owl_closure(g)
+        assert triple("c", "connected", "a") in closed
+        assert triple("a", "connected", "a") in closed  # via a↔b
+
+
+class TestSameAs:
+    def test_functional_produces_same_as(self):
+        g = RDFGraph(
+            [
+                triple("hasMother", TYPE, FUNCTIONAL),
+                triple("ana", "hasMother", "maria"),
+                triple("ana", "hasMother", BNode("M")),
+            ]
+        )
+        closed = owl_closure(g)
+        assert (
+            triple("maria", SAME_AS, BNode("M")) in closed
+            or triple(BNode("M"), SAME_AS, "maria") in closed
+        )
+
+    def test_inverse_functional(self):
+        g = RDFGraph(
+            [
+                triple("ssn", TYPE, INVERSE_FUNCTIONAL),
+                triple("bob", "ssn", "123"),
+                triple("robert", "ssn", "123"),
+            ]
+        )
+        assert triple("bob", SAME_AS, "robert") in owl_closure(g)
+
+    def test_substitution_in_subject_and_object(self):
+        g = RDFGraph(
+            [
+                triple("bob", SAME_AS, "robert"),
+                triple("bob", "likes", "tea"),
+                triple("ana", "knows", "bob"),
+            ]
+        )
+        closed = owl_closure(g)
+        assert triple("robert", "likes", "tea") in closed
+        assert triple("ana", "knows", "robert") in closed
+
+    def test_equivalence_closure(self):
+        g = RDFGraph(
+            [triple("a", SAME_AS, "b"), triple("b", SAME_AS, "c")]
+        )
+        closed = owl_closure(g)
+        assert triple("c", SAME_AS, "a") in closed
+
+    def test_same_as_classes(self):
+        g = RDFGraph(
+            [triple("a", SAME_AS, "b"), triple("b", SAME_AS, "c"),
+             triple("x", SAME_AS, "y")]
+        )
+        classes = [c for c in same_as_classes(g) if len(c) > 1]
+        rendered = [[str(t) for t in c] for c in classes]
+        assert ["a", "b", "c"] in rendered
+        assert ["x", "y"] in rendered
+
+
+class TestRDFSInterplay:
+    def test_owl_closure_contains_rdfs_closure(self):
+        g = RDFGraph(
+            [triple("painter", SC, "artist"), triple("frida", TYPE, "painter")]
+        )
+        assert rdfs_closure(g).issubgraph(owl_closure(g))
+
+    def test_inverse_then_subproperty(self):
+        g = RDFGraph(
+            [
+                triple("hasParent", INVERSE_OF, "hasChild"),
+                triple("hasChild", SP, "relatedTo"),
+                triple("ana", "hasParent", "bob"),
+            ]
+        )
+        assert triple("bob", "relatedTo", "ana") in owl_closure(g)
+
+    def test_same_as_then_typing(self):
+        g = RDFGraph(
+            [
+                triple("painter", SC, "artist"),
+                triple("frida", TYPE, "painter"),
+                triple("frida", SAME_AS, "fk"),
+            ]
+        )
+        closed = owl_closure(g)
+        assert triple("fk", TYPE, "artist") in closed
+
+    def test_owl_entailment(self):
+        g = RDFGraph(
+            [
+                triple("marriedTo", TYPE, SYMMETRIC),
+                triple("bob", "marriedTo", "carla"),
+            ]
+        )
+        assert owl_entails(g, RDFGraph([triple("carla", "marriedTo", BNode("W"))]))
+        assert not owl_entails(g, RDFGraph([triple("carla", "knows", "bob")]))
+        # Plain RDFS entailment cannot see the symmetric conclusion.
+        assert not entails(g, RDFGraph([triple("carla", "marriedTo", "bob")]))
+
+    def test_plain_graph_unchanged_modulo_rdfs(self):
+        g = RDFGraph([triple("a", "p", "b")])
+        assert owl_closure(g) == rdfs_closure(g)
+
+    def test_closure_idempotent(self):
+        g = RDFGraph(
+            [
+                triple("hasParent", INVERSE_OF, "hasChild"),
+                triple("ana", "hasParent", "bob"),
+                triple("bob", SAME_AS, "bobby"),
+            ]
+        )
+        once = owl_closure(g)
+        assert owl_closure(once) == once

@@ -1,0 +1,144 @@
+"""Tests for tableau queries with path atoms (nSPARQL direction)."""
+
+import pytest
+
+from repro.core import BNode, RDFGraph, URI, Variable, triple
+from repro.core.vocabulary import SC, TYPE
+from repro.generators import art_schema
+from repro.query import PathQuery, build_path_query, head_body_query, path_atom
+
+
+class TestConstruction:
+    def test_path_atom_coercion(self):
+        atom = path_atom("?X", "type/sc*", "?C")
+        assert atom.s == Variable("X")
+        assert atom.o == Variable("C")
+
+    def test_blank_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            path_atom(BNode("N"), "p", "?X")
+
+    def test_head_vars_must_be_bound(self):
+        with pytest.raises(ValueError):
+            build_path_query(
+                head=[("?Z", "sel", "?Z")],
+                path_atoms=[path_atom("?X", "p+", "?Y")],
+            )
+
+    def test_constraints_must_be_head_vars(self):
+        with pytest.raises(ValueError):
+            build_path_query(
+                head=[("?X", "sel", "?X")],
+                path_atoms=[path_atom("?X", "p+", "?Y")],
+                constraints=[Variable("Y")],
+            )
+
+
+class TestEvaluation:
+    def chain(self, n):
+        return RDFGraph([triple(f"n{i}", "p", f"n{i+1}") for i in range(n)])
+
+    def test_transitive_reach(self):
+        q = build_path_query(
+            head=[("n0", "reaches", "?Y")],
+            path_atoms=[path_atom("n0", "p+", "?Y")],
+        )
+        result = q.answer_union(self.chain(3))
+        assert result == RDFGraph(
+            [triple("n0", "reaches", f"n{i}") for i in (1, 2, 3)]
+        )
+
+    def test_mixed_plain_and_path_atoms(self):
+        d = self.chain(3).union(RDFGraph([triple("n2", "mark", "special")]))
+        q = build_path_query(
+            head=[("?Y", "reachable-special", "yes")],
+            plain_body=[("?Y", "mark", "special")],
+            path_atoms=[path_atom("n0", "p+", "?Y")],
+        )
+        assert q.answer_union(d) == RDFGraph(
+            [triple("n2", "reachable-special", "yes")]
+        )
+
+    def test_join_between_two_path_atoms(self):
+        d = RDFGraph(
+            [
+                triple("a", "p", "b"),
+                triple("b", "p", "c"),
+                triple("c", "q", "d"),
+            ]
+        )
+        q = build_path_query(
+            head=[("?X", "bridge", "?Z")],
+            path_atoms=[
+                path_atom("?X", "p+", "?Y"),
+                path_atom("?Y", "q", "?Z"),
+            ],
+        )
+        result = q.answer_union(d)
+        assert triple("a", "bridge", "d") in result
+        assert triple("b", "bridge", "d") in result
+
+    def test_rdfs_classification(self):
+        g = art_schema()
+        q = build_path_query(
+            head=[("?X", "classified", "?C")],
+            plain_body=[("?X", "creates", "?W")],
+            path_atoms=[path_atom("?X", "type/sc*", "?C")],
+        )
+        result = q.answer_union(g)
+        assert triple("Picasso", "classified", "painter") in result
+        assert triple("Picasso", "classified", "artist") in result
+
+    def test_constraints_apply(self):
+        X = BNode("X")
+        d = RDFGraph([triple("hub", "p", X), triple(X, "p", "g"), triple(X, "r", "k")])
+        unconstrained = build_path_query(
+            head=[("hub", "reaches", "?Y")],
+            path_atoms=[path_atom("hub", "p+", "?Y")],
+        )
+        constrained = build_path_query(
+            head=[("hub", "reaches", "?Y")],
+            path_atoms=[path_atom("hub", "p+", "?Y")],
+            constraints=[Variable("Y")],
+        )
+        all_targets = unconstrained.answer_union(d)
+        ground_targets = constrained.answer_union(d)
+        assert len(all_targets) == 2
+        assert ground_targets == RDFGraph([triple("hub", "reaches", "g")])
+
+    def test_skolem_head_blanks(self):
+        d = self.chain(2)
+        q = build_path_query(
+            head=[(BNode("N"), "witnesses", "?Y")],
+            path_atoms=[path_atom("n0", "p+", "?Y")],
+        )
+        result = q.answer_union(d)
+        assert result.bnodes()
+        assert len(result) == 2
+
+    def test_premise_participates(self):
+        q = build_path_query(
+            head=[("n0", "reaches", "?Y")],
+            path_atoms=[path_atom("n0", "p+", "?Y")],
+            premise=RDFGraph([triple("n1", "p", "bonus")]),
+        )
+        result = q.answer_union(self.chain(1))
+        assert triple("n0", "reaches", "bonus") in result
+
+    def test_matches_plain_query_on_simple_predicates(self):
+        d = self.chain(3)
+        via_path = build_path_query(
+            head=[("?X", "sel", "?Y")],
+            path_atoms=[path_atom("?X", "p", "?Y")],
+        )
+        from repro.query import answer_union
+
+        plain = head_body_query(head=[("?X", "sel", "?Y")], body=[("?X", "p", "?Y")])
+        assert via_path.answer_union(d) == answer_union(plain, d)
+
+    def test_str(self):
+        q = build_path_query(
+            head=[("?X", "sel", "?Y")],
+            path_atoms=[path_atom("?X", "p+", "?Y")],
+        )
+        assert "←" in str(q)

@@ -1,0 +1,128 @@
+"""Tests for premise elimination (Proposition 5.9, Example 5.10, Prop 5.11)."""
+
+import pytest
+
+from repro.core import BNode, RDFGraph, Variable, isomorphic, triple
+from repro.query import (
+    answer_union,
+    contained_entailment,
+    contained_standard,
+    head_body_query,
+    premise_elimination,
+)
+from repro.semantics import equivalent
+
+
+def example_5_10_query():
+    return head_body_query(
+        head=[("?X", "p", "?Y")],
+        body=[("?X", "q", "?Y"), ("?Y", "t", "s")],
+        premise=RDFGraph([triple("a", "t", "s"), triple("b", "t", "s")]),
+    )
+
+
+class TestExample510:
+    def test_three_queries_produced(self):
+        omega = premise_elimination(example_5_10_query())
+        rendered = sorted(str(q.tableau) for q in omega)
+        assert rendered == [
+            "(?X, p, ?Y) ← (?X, q, ?Y), (?Y, t, s)",
+            "(?X, p, a) ← (?X, q, a)",
+            "(?X, p, b) ← (?X, q, b)",
+        ]
+
+    def test_all_premise_free(self):
+        for q in premise_elimination(example_5_10_query()):
+            assert len(q.premise) == 0
+
+    def test_union_equals_original_answers(self):
+        q = example_5_10_query()
+        omega = premise_elimination(q)
+        databases = [
+            RDFGraph([triple("u", "q", "a")]),
+            RDFGraph([triple("u", "q", "v"), triple("v", "t", "s")]),
+            RDFGraph([triple("u", "q", "b"), triple("w", "q", "a")]),
+            RDFGraph([triple("u", "q", "c")]),
+        ]
+        for d in databases:
+            expected = answer_union(q, d)
+            combined = RDFGraph()
+            for sub in omega:
+                combined = combined.union(answer_union(sub, d))
+            assert combined == expected, str(d)
+
+
+class TestOmegaMechanics:
+    def test_no_premise_returns_query_itself(self):
+        q = head_body_query(head=[("?X", "p", "b")], body=[("?X", "p", "b")])
+        assert premise_elimination(q) == [q]
+
+    def test_blank_premise_bindings_excluded_from_body(self):
+        # A variable bound to a premise blank may not survive in B − R.
+        X = BNode("X")
+        q = head_body_query(
+            head=[("?Y", "sel", "c")],
+            body=[("?Y", "t", "?Z"), ("?Z", "u", "?W")],
+            premise=RDFGraph([triple("k", "t", X)]),
+        )
+        omega = premise_elimination(q)
+        for sub in omega:
+            for t in sub.body:
+                assert not t.bnodes(), f"blank leaked into body: {sub}"
+
+    def test_head_can_receive_premise_blanks(self):
+        X = BNode("X")
+        q = head_body_query(
+            head=[("?Y", "sel", "?Z")],
+            body=[("?Y", "t", "?Z")],
+            premise=RDFGraph([triple("k", "t", X)]),
+        )
+        omega = premise_elimination(q)
+        # One member binds ?Y→k, ?Z→X: head contains the premise blank.
+        assert any(
+            any(t.bnodes() for t in sub.head) for sub in omega
+        )
+
+    def test_whole_body_into_premise(self):
+        q = head_body_query(
+            head=[("a", "sel", "b")],
+            body=[("a", "t", "b")],
+            premise=RDFGraph([triple("a", "t", "b")]),
+        )
+        omega = premise_elimination(q)
+        # One member has an empty body: the premise satisfies everything.
+        assert any(len(sub.body) == 0 for sub in omega)
+
+    def test_answers_preserved_on_empty_body_member(self):
+        q = head_body_query(
+            head=[("a", "sel", "b")],
+            body=[("a", "t", "b")],
+            premise=RDFGraph([triple("a", "t", "b")]),
+        )
+        d = RDFGraph([triple("z", "z", "z")])
+        # The premise alone satisfies the body: the answer is unconditional.
+        assert triple("a", "sel", "b") in answer_union(q, d)
+
+
+class TestProposition511:
+    def test_union_containment_splits(self):
+        # (q1 ∪ q2) ⊑ q′ iff q1 ⊑ q′ and q2 ⊑ q′ — exercised through
+        # premise elimination: q with premise is the union of its Ω.
+        q = example_5_10_query()
+        q_wide = head_body_query(head=[("?X", "p", "?Y")], body=[("?X", "q", "?Y")])
+        # Each Ω-member is contained in q_wide, hence so is q.
+        for sub in premise_elimination(q):
+            assert contained_standard(sub, q_wide)
+        assert contained_standard(q, q_wide)
+
+    def test_failure_of_one_member_breaks_containment(self):
+        q = example_5_10_query()
+        # q_narrow requires the t-edge; the a/b members lost it.
+        q_narrow = head_body_query(
+            head=[("?X", "p", "?Y")],
+            body=[("?X", "q", "?Y"), ("?Y", "t", "s")],
+        )
+        members = premise_elimination(q)
+        verdicts = [contained_standard(sub, q_narrow) for sub in members]
+        assert not all(verdicts)
+        assert not contained_standard(q, q_narrow)

@@ -1,0 +1,115 @@
+"""Tests for queries with premises (Section 4.2)."""
+
+import pytest
+
+from repro.core import BNode, RDFGraph, Variable, triple
+from repro.core.vocabulary import SC, SP, TYPE
+from repro.query import answer_union, head_body_query, pre_answers
+
+
+class TestPremiseQueries:
+    def test_relatives_example(self):
+        # The paper's query: all relatives of Peter, knowing son ⊑ relative.
+        q = head_body_query(
+            head=[("?X", "relative", "Peter")],
+            body=[("?X", "relative", "Peter")],
+            premise=RDFGraph([triple("son", SP, "relative")]),
+        )
+        d = RDFGraph(
+            [
+                triple("john", "son", "Peter"),
+                triple("mary", "relative", "Peter"),
+                triple("ana", "daughter", "Peter"),
+            ]
+        )
+        found = answer_union(q, d)
+        assert triple("john", "relative", "Peter") in found
+        assert triple("mary", "relative", "Peter") in found
+        assert triple("ana", "relative", "Peter") not in found
+
+    def test_premise_supplies_schema_knowledge(self):
+        # Hypothetical schema: if sculptor were a subclass of artist...
+        q = head_body_query(
+            head=[("?X", TYPE, "artist")],
+            body=[("?X", TYPE, "artist")],
+            premise=RDFGraph([triple("sculptor", SC, "artist")]),
+        )
+        d = RDFGraph([triple("rodin", TYPE, "sculptor")])
+        assert triple("rodin", TYPE, "artist") in answer_union(q, d)
+        # Without the premise, nothing.
+        q_no_premise = head_body_query(
+            head=[("?X", TYPE, "artist")], body=[("?X", TYPE, "artist")]
+        )
+        assert len(answer_union(q_no_premise, d)) == 0
+
+    def test_premise_can_contain_blank_nodes(self):
+        X = BNode("X")
+        q = head_body_query(
+            head=[("?Y", "seen_with", "someone")],
+            body=[("?Y", "knows", "?Z"), ("?Z", "knows", "?Y")],
+            premise=RDFGraph([triple(X, "knows", "bob")]),
+        )
+        d = RDFGraph([triple("bob", "knows", X)])
+        # D + P merges apart the two X's: bob knows D's X, and P's X
+        # knows bob — no mutual pair arises from the shared label.
+        # But P's X and the chain bob→X(D) don't close a cycle.
+        found = pre_answers(q, d)
+        assert found == []
+
+    def test_premise_data_supplies_facts(self):
+        # Premises may add plain data (hypothetical facts).
+        q = head_body_query(
+            head=[("?X", "reaches", "c")],
+            body=[("?X", "edge", "?Y"), ("?Y", "edge", "c")],
+            premise=RDFGraph([triple("b", "edge", "c")]),
+        )
+        d = RDFGraph([triple("a", "edge", "b")])
+        assert triple("a", "reaches", "c") in answer_union(q, d)
+
+    def test_indirect_sp_linking_not_datalog_expressible(self):
+        # Section 4.2's point: with premise {(son, sp, descendant)}, a
+        # database triple (descendant, sp, relative) composes through
+        # the *transitive* sp to link son with relative — the premise
+        # interacts with unknown schema triples in the data.
+        q = head_body_query(
+            head=[("?X", "relative", "Mary")],
+            body=[("?X", "relative", "Mary")],
+            premise=RDFGraph([triple("son", SP, "descendant")]),
+        )
+        d = RDFGraph(
+            [
+                triple("descendant", SP, "relative"),
+                triple("tom", "son", "Mary"),
+            ]
+        )
+        assert triple("tom", "relative", "Mary") in answer_union(q, d)
+        # Without the premise the chain is broken.
+        q_plain = head_body_query(
+            head=[("?X", "relative", "Mary")], body=[("?X", "relative", "Mary")]
+        )
+        assert len(answer_union(q_plain, d)) == 0
+
+    def test_if_then_reading(self):
+        # "If a wrote b, would b be a book?" — premise as hypothesis.
+        q = head_body_query(
+            head=[("b", TYPE, "book")],
+            body=[("b", TYPE, "book")],
+            premise=RDFGraph(
+                [triple("a", "wrote", "b"), triple("wrote", "range", "book")]
+            ),
+        )
+        d = RDFGraph([triple("x", "unrelated", "y")])
+        assert triple("b", TYPE, "book") in answer_union(q, d)
+
+    def test_premise_does_not_leak_into_other_queries(self):
+        d = RDFGraph([triple("john", "son", "Peter")])
+        q1 = head_body_query(
+            head=[("?X", "relative", "Peter")],
+            body=[("?X", "relative", "Peter")],
+            premise=RDFGraph([triple("son", SP, "relative")]),
+        )
+        q2 = head_body_query(
+            head=[("?X", "relative", "Peter")], body=[("?X", "relative", "Peter")]
+        )
+        assert len(answer_union(q1, d)) == 1
+        assert len(answer_union(q2, d)) == 0

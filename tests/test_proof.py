@@ -1,0 +1,128 @@
+"""Tests for proof objects (Definition 2.5, Theorems 2.6 and 2.10)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import BNode, Map, RDFGraph, URI, triple
+from repro.core.vocabulary import SC, SP, TYPE
+from repro.generators import art_schema
+from repro.semantics import construct_proof, entails
+from repro.semantics.proof import ExistentialStep, Proof, RuleStep
+from repro.semantics.rules import RULE_2, RuleInstantiation
+from repro.core.terms import Variable
+
+from .strategies import rdfs_graphs
+
+
+class TestProofConstruction:
+    def test_valid_entailment_yields_proof(self, fig1):
+        h = RDFGraph([triple("Picasso", TYPE, "artist")])
+        proof = construct_proof(fig1, h)
+        assert proof is not None
+        assert proof.verify()
+        assert proof.premise == fig1
+        assert proof.conclusion == h
+
+    def test_non_entailment_yields_none(self, fig1):
+        h = RDFGraph([triple("Picasso", TYPE, "sculptor")])
+        assert construct_proof(fig1, h) is None
+
+    def test_subgraph_proof(self):
+        g = RDFGraph([triple("a", "p", "b"), triple("c", "q", "d")])
+        h = RDFGraph([triple("a", "p", "b")])
+        proof = construct_proof(g, h)
+        assert proof is not None and proof.verify()
+
+    def test_existential_conclusion(self):
+        g = RDFGraph([triple("a", "p", "b")])
+        h = RDFGraph([triple("a", "p", BNode("X"))])
+        proof = construct_proof(g, h)
+        assert proof is not None and proof.verify()
+        # The last step must be existential (rule 1).
+        assert isinstance(proof.steps[-1], ExistentialStep)
+
+    def test_proof_with_blank_premise(self):
+        X = BNode("X")
+        g = RDFGraph([triple("a", SC, X), triple(X, SC, "c"), triple("i", TYPE, "a")])
+        h = RDFGraph([triple("i", TYPE, "c")])
+        proof = construct_proof(g, h)
+        assert proof is not None and proof.verify()
+
+    def test_polynomial_step_count(self):
+        # Theorem 2.10: the witness is polynomial — closure ≤ cubic.
+        g = art_schema()
+        h = RDFGraph([triple("Guernica", TYPE, "artifact")])
+        proof = construct_proof(g, h)
+        assert proof is not None
+        assert len(proof) <= len(g) ** 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(rdfs_graphs(max_size=3), rdfs_graphs(max_size=2))
+    def test_proof_exists_iff_entails(self, g, h):
+        proof = construct_proof(g, h)
+        assert (proof is not None) == entails(g, h)
+        if proof is not None:
+            assert proof.verify()
+
+
+class TestProofVerification:
+    def test_rejects_wrong_conclusion(self):
+        g = RDFGraph([triple("a", "p", "b")])
+        proof = Proof(premise=g, conclusion=RDFGraph([triple("x", "y", "z")]), steps=())
+        assert not proof.verify()
+
+    def test_empty_proof_of_self(self):
+        g = RDFGraph([triple("a", "p", "b")])
+        assert Proof(premise=g, conclusion=g, steps=()).verify()
+
+    def test_rejects_rule_step_with_missing_premise(self):
+        g = RDFGraph([triple("a", SP, "b")])
+        # Rule (2) instantiation needing (b, sp, c), absent from g.
+        inst = RuleInstantiation(
+            rule=RULE_2,
+            assignment=(
+                (Variable("A"), URI("a")),
+                (Variable("B"), URI("b")),
+                (Variable("C"), URI("c")),
+            ),
+        )
+        target = g.union(RDFGraph([triple("a", SP, "c")]))
+        proof = Proof(premise=g, conclusion=target, steps=(RuleStep(inst),))
+        assert not proof.verify()
+
+    def test_accepts_correct_rule_step(self):
+        g = RDFGraph([triple("a", SP, "b"), triple("b", SP, "c")])
+        inst = RuleInstantiation(
+            rule=RULE_2,
+            assignment=(
+                (Variable("A"), URI("a")),
+                (Variable("B"), URI("b")),
+                (Variable("C"), URI("c")),
+            ),
+        )
+        target = g.union(RDFGraph([triple("a", SP, "c")]))
+        proof = Proof(premise=g, conclusion=target, steps=(RuleStep(inst),))
+        assert proof.verify()
+
+    def test_rejects_bad_existential_witness(self):
+        g = RDFGraph([triple("a", "p", "b")])
+        h = RDFGraph([triple("a", "p", BNode("X"))])
+        bad = Map({BNode("X"): URI("zzz")})  # image not in g
+        proof = Proof(
+            premise=g, conclusion=h, steps=(ExistentialStep(result=h, witness=bad),)
+        )
+        assert not proof.verify()
+
+    def test_accepts_good_existential_witness(self):
+        g = RDFGraph([triple("a", "p", "b")])
+        h = RDFGraph([triple("a", "p", BNode("X"))])
+        good = Map({BNode("X"): URI("b")})
+        proof = Proof(
+            premise=g, conclusion=h, steps=(ExistentialStep(result=h, witness=good),)
+        )
+        assert proof.verify()
+
+    def test_str_rendering(self):
+        g = RDFGraph([triple("a", "p", "b")])
+        proof = Proof(premise=g, conclusion=g, steps=())
+        assert "proof of" in str(proof)

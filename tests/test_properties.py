@@ -1,0 +1,199 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+Each class targets one algebraic law the paper states or implies; these
+run on small random graphs where even the NP-hard procedures are fast.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import (
+    BNode,
+    RDFGraph,
+    canonical_form,
+    find_map,
+    isomorphic,
+    triple,
+)
+from repro.minimize import core, is_lean, normal_form
+from repro.semantics import (
+    closure,
+    entails,
+    equivalent,
+    rdfs_closure,
+    simple_entails,
+)
+
+from .strategies import ground_graphs, rdfs_graphs, simple_graphs
+
+COMMON = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestEntailmentIsPreorder:
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=4))
+    def test_reflexive(self, g):
+        assert entails(g, g)
+
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=3), rdfs_graphs(max_size=3), rdfs_graphs(max_size=3))
+    def test_transitive(self, g1, g2, g3):
+        if entails(g1, g2) and entails(g2, g3):
+            assert entails(g1, g3)
+
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=3), rdfs_graphs(max_size=3))
+    def test_monotone_left(self, g1, g2):
+        # Adding triples to the left graph preserves entailment.
+        if entails(g1, g2):
+            extended = g1.union(RDFGraph([triple("zzz", "zzz", "zzz")]))
+            assert entails(extended, g2)
+
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=4))
+    def test_subgraphs_entailed(self, g):
+        for t in g:
+            assert entails(g, RDFGraph([t]))
+
+
+class TestClosureIsClosureOperator:
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=4))
+    def test_extensive(self, g):
+        assert g.issubgraph(rdfs_closure(g))
+
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=4))
+    def test_idempotent(self, g):
+        once = rdfs_closure(g)
+        assert rdfs_closure(once) == once
+
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=3), rdfs_graphs(max_size=3))
+    def test_monotone(self, g1, g2):
+        u = g1.union(g2)
+        assert rdfs_closure(g1).issubgraph(rdfs_closure(u))
+
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=4))
+    def test_closure_equivalent(self, g):
+        assert equivalent(g, closure(g))
+
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=4))
+    def test_every_closure_triple_entailed(self, g):
+        for t in closure(g):
+            assert entails(g, RDFGraph([t]))
+
+
+class TestCoreLaws:
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=5))
+    def test_core_lean(self, g):
+        assert is_lean(core(g))
+
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=5))
+    def test_core_no_larger(self, g):
+        assert len(core(g)) <= len(g)
+
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=5))
+    def test_core_equivalent(self, g):
+        assert simple_entails(core(g), g) and simple_entails(g, core(g))
+
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=4))
+    def test_core_fixed_point_on_lean(self, g):
+        if is_lean(g):
+            assert core(g) == g
+
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=4))
+    def test_union_with_core_equivalent(self, g):
+        assert equivalent(g.union(core(g)), g)
+
+
+class TestNormalFormLaws:
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=3))
+    def test_nf_of_nf(self, g):
+        nf = normal_form(g)
+        assert isomorphic(normal_form(nf), nf)
+
+    @settings(**COMMON)
+    @given(rdfs_graphs(max_size=3))
+    def test_union_with_closure_preserves_nf(self, g):
+        # Any graph between G and cl(G) has the same normal form.
+        partial = RDFGraph(list(closure(g).triples)[: len(g) + 2])
+        between = g.union(partial)
+        assert isomorphic(normal_form(g), normal_form(between))
+
+
+class TestMapsAndIsomorphism:
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=5))
+    def test_identity_is_endomorphism(self, g):
+        m = find_map(g, g)
+        assert m is not None
+
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=4))
+    def test_canonical_form_isomorphic_to_graph(self, g):
+        assert isomorphic(canonical_form(g), g)
+
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=4))
+    def test_renaming_preserves_canonical_form(self, g):
+        blanks = sorted(g.bnodes(), key=lambda n: n.value)
+        renaming = {n: BNode(f"rn{i}") for i, n in enumerate(blanks)}
+        assert canonical_form(g) == canonical_form(g.rename_bnodes(renaming))
+
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=4), simple_graphs(max_size=4))
+    def test_iso_implies_equivalent(self, g1, g2):
+        if isomorphic(g1, g2):
+            assert equivalent(g1, g2)
+
+
+class TestGroundGraphSpecialCases:
+    @settings(**COMMON)
+    @given(ground_graphs(max_size=5), ground_graphs(max_size=5))
+    def test_simple_entailment_is_containment(self, g1, g2):
+        # For ground simple graphs, entailment is subset inclusion.
+        assert simple_entails(g1, g2) == g2.issubgraph(g1)
+
+    @settings(**COMMON)
+    @given(ground_graphs(max_size=5))
+    def test_ground_graphs_lean_and_core_free(self, g):
+        assert is_lean(g)
+        assert core(g) == g
+
+    @settings(**COMMON)
+    @given(ground_graphs(max_size=4), ground_graphs(max_size=4))
+    def test_iso_is_equality(self, g1, g2):
+        assert isomorphic(g1, g2) == (g1 == g2)
+
+
+class TestMergeAndUnion:
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=4), simple_graphs(max_size=4))
+    def test_union_entails_merge(self, g1, g2):
+        # G1 ∪ G2 ⊨ G1 + G2 (the fact used by Proposition 4.5.2).
+        assert entails(g1.union(g2), g1 + g2)
+
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=4), simple_graphs(max_size=4))
+    def test_merge_entails_components(self, g1, g2):
+        merged = g1 + g2
+        assert entails(merged, g1)
+        assert entails(merged, g2)
+
+    @settings(**COMMON)
+    @given(simple_graphs(max_size=4))
+    def test_merge_with_self_equivalent(self, g):
+        # G + G ≡ G (the copy maps back onto the original).
+        assert equivalent(g + g, g)

@@ -1,0 +1,143 @@
+"""Tests for the CONSTRUCT/WHERE query surface syntax."""
+
+import pytest
+
+from repro.core import BNode, Literal, RDFGraph, URI, Variable, triple
+from repro.query import answer_union
+from repro.rdfio.query_syntax import QuerySyntaxError, parse_query, serialize_query
+
+
+BASIC = """
+CONSTRUCT { ?A creates ?Y . }
+WHERE { ?A type Flemish . ?A paints ?Y . }
+"""
+
+
+class TestParsing:
+    def test_basic(self):
+        q = parse_query(BASIC)
+        assert q.head.variables() == {Variable("A"), Variable("Y")}
+        assert len(list(q.body)) == 2
+        assert len(q.premise) == 0
+        assert q.constraints == frozenset()
+
+    def test_premise_section(self):
+        q = parse_query(
+            BASIC + "PREMISE { son sp relative . }"
+        )
+        assert triple("son", "sp", "relative") in q.premise
+
+    def test_bound_section(self):
+        q = parse_query(BASIC + "BOUND ?A")
+        assert q.constraints == {Variable("A")}
+
+    def test_bound_multiple_with_commas(self):
+        q = parse_query(BASIC + "BOUND ?A, ?Y")
+        assert q.constraints == {Variable("A"), Variable("Y")}
+
+    def test_blank_node_in_head(self):
+        q = parse_query(
+            "CONSTRUCT { _:N knows ?X . } WHERE { ?X p b . }"
+        )
+        assert BNode("N") in q.head.bnodes()
+
+    def test_literals(self):
+        q = parse_query(
+            'CONSTRUCT { ?D offers-db yes . } WHERE { ?D offers "DB" . }'
+        )
+        assert any(t.o == Literal("DB") for t in q.body)
+
+    def test_angle_uris(self):
+        q = parse_query(
+            "CONSTRUCT { ?X <http://x/p2> c . } WHERE { ?X <http://x/p> b . }"
+        )
+        assert any(t.p == URI("http://x/p") for t in q.body)
+
+    def test_comments_stripped(self):
+        q = parse_query(
+            "# header comment\n" + BASIC + "# trailing comment"
+        )
+        assert len(list(q.body)) == 2
+
+    def test_hash_inside_literal_preserved(self):
+        q = parse_query(
+            'CONSTRUCT { ?X tag "#1" . } WHERE { ?X p b . }'
+        )
+        assert any(t.o == Literal("#1") for t in q.head)
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("construct { ?X p2 c . } where { ?X p b . }")
+        assert len(list(q.body)) == 1
+
+    def test_optional_final_dot(self):
+        q = parse_query("CONSTRUCT { ?X p2 c } WHERE { ?X p b }")
+        assert len(list(q.body)) == 1
+
+
+class TestErrors:
+    def test_missing_where(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("CONSTRUCT { ?X p b . }")
+
+    def test_missing_construct(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("WHERE { ?X p b . }")
+
+    def test_duplicate_section(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(BASIC + "WHERE { ?A q c . }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("CONSTRUCT { ?X p . } WHERE { ?X p b . }")
+
+    def test_blank_in_body_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("CONSTRUCT { a p b . } WHERE { _:N p b . }")
+
+    def test_head_variable_not_in_body(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("CONSTRUCT { ?Z p b . } WHERE { ?X p b . }")
+
+    def test_variables_in_premise_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(BASIC + "PREMISE { ?X sp relative . }")
+
+    def test_bound_non_variable(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(BASIC + "BOUND A")
+
+    def test_missing_braces(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("CONSTRUCT ?X p b . WHERE { ?X p b . }")
+
+    def test_garbage(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM t")
+
+
+class TestRoundTrip:
+    CASES = [
+        BASIC,
+        BASIC + "PREMISE { a t s . b t s . }",
+        BASIC + "BOUND ?A",
+        'CONSTRUCT { _:N made ?Y . } WHERE { ?X paints ?Y . ?Y cost "10" . }',
+    ]
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_roundtrip(self, case):
+        q = parse_query(case)
+        assert parse_query(serialize_query(q)) == q
+
+
+class TestEndToEnd:
+    def test_parsed_query_runs(self):
+        q = parse_query(
+            """
+            CONSTRUCT { ?X relative Peter . }
+            WHERE { ?X relative Peter . }
+            PREMISE { son sp relative . }
+            """
+        )
+        d = RDFGraph([triple("john", "son", "Peter")])
+        assert answer_union(q, d) == RDFGraph([triple("john", "relative", "Peter")])

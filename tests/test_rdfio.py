@@ -1,0 +1,106 @@
+"""Tests for the N-Triples-style I/O and DOT export."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import BNode, Literal, RDFGraph, Triple, URI, triple
+from repro.rdfio import ParseError, parse_ntriples, serialize_ntriples, to_dot
+
+from .strategies import simple_graphs
+
+
+class TestParsing:
+    def test_bare_names(self):
+        g = parse_ntriples("a p b .")
+        assert g == RDFGraph([triple("a", "p", "b")])
+
+    def test_angle_bracket_uris(self):
+        g = parse_ntriples("<http://x.org/a> <http://x.org/p> <http://x.org/b> .")
+        assert len(g) == 1
+        t = next(iter(g))
+        assert t.s == URI("http://x.org/a")
+
+    def test_blank_nodes(self):
+        g = parse_ntriples("_:X p b .")
+        assert next(iter(g)).s == BNode("X")
+
+    def test_literals(self):
+        g = parse_ntriples('a p "hello world" .')
+        assert next(iter(g)).o == Literal("hello world")
+
+    def test_escaped_literals(self):
+        g = parse_ntriples(r'a p "say \"hi\"\n" .')
+        assert next(iter(g)).o == Literal('say "hi"\n')
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        a p b .
+
+        c q d .  # trailing comment
+        """
+        assert len(parse_ntriples(text)) == 2
+
+    def test_optional_trailing_dot(self):
+        assert len(parse_ntriples("a p b")) == 1
+
+    def test_error_wrong_arity(self):
+        with pytest.raises(ParseError) as err:
+            parse_ntriples("a p b c .")
+        assert "line 1" in str(err.value)
+
+    def test_error_ill_formed(self):
+        with pytest.raises(ParseError):
+            parse_ntriples('"literal" p b .')
+        with pytest.raises(ParseError):
+            parse_ntriples("a _:X b .")
+
+    def test_multiline_graph(self):
+        text = "a p b .\nb p c .\nc p a ."
+        assert len(parse_ntriples(text)) == 3
+
+    def test_empty_input(self):
+        assert parse_ntriples("") == RDFGraph()
+
+
+class TestSerialization:
+    def test_deterministic(self):
+        g = RDFGraph([triple("b", "p", "c"), triple("a", "p", "c")])
+        assert serialize_ntriples(g) == "a p c .\nb p c .\n"
+
+    def test_roundtrip_handwritten(self):
+        g = RDFGraph(
+            [
+                triple("a", "p", BNode("X")),
+                triple(BNode("X"), "q", Literal('tricky "quote"\t')),
+                triple("http://x/y", "p", "b"),
+            ]
+        )
+        assert parse_ntriples(serialize_ntriples(g)) == g
+
+    @settings(max_examples=40, deadline=None)
+    @given(simple_graphs(max_size=6))
+    def test_roundtrip_random(self, g):
+        assert parse_ntriples(serialize_ntriples(g)) == g
+
+    def test_empty_graph(self):
+        assert serialize_ntriples(RDFGraph()) == ""
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self):
+        g = RDFGraph([triple("a", "p", BNode("X"))])
+        dot = to_dot(g)
+        assert "digraph" in dot
+        assert 'label="a"' in dot
+        assert 'label="p"' in dot
+        assert "shape=circle" in dot  # blanks drawn as circles
+
+    def test_literals_boxed(self):
+        g = RDFGraph([triple("a", "p", Literal("text"))])
+        assert "shape=box" in to_dot(g)
+
+    def test_escaping(self):
+        g = RDFGraph([triple("a", "p", Literal('with "quotes"'))])
+        dot = to_dot(g)
+        assert '\\"quotes\\"' in dot

@@ -1,0 +1,185 @@
+"""Tests for the executable hardness reductions."""
+
+import pytest
+
+from repro.core import isomorphic
+from repro.generators import random_digraph
+from repro.reductions import (
+    CNF,
+    Clause,
+    DiGraph,
+    brute_force_chromatic_number,
+    brute_force_satisfiable,
+    contains_triangle,
+    decode_graph,
+    encode_graph,
+    find_graph_homomorphism,
+    graph_core_direct,
+    graph_core_via_rdf,
+    has_proper_retract_via_rdf,
+    homomorphic_direct,
+    homomorphic_via_rdf,
+    homomorphically_equivalent_via_rdf,
+    is_3_colorable_via_rdf,
+    is_graph_core_via_rdf,
+    is_k_colorable_via_rdf,
+    random_3sat,
+    satisfiable_via_cq,
+    satisfiable_via_rdf_query,
+    triangle_equivalence_instance,
+)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        # Decoding recovers the structure with blank-node vertices.
+        from repro.core import BNode
+
+        h = DiGraph.cycle(4, directed=True)
+        decoded = decode_graph(encode_graph(h))
+        expected = {
+            (BNode(f"v!{u!r}"), BNode(f"v!{v!r}")) for u, v in h.edges
+        }
+        assert decoded.edges == expected
+
+    def test_encoding_is_all_blank(self):
+        g = encode_graph(DiGraph.path(3))
+        assert not g.voc() - {g.sorted_triples()[0].p}
+        assert g.bnodes()
+
+    def test_decode_rejects_foreign_predicates(self):
+        from repro.core import RDFGraph, triple
+
+        with pytest.raises(ValueError):
+            decode_graph(RDFGraph([triple("a", "other", "b")]))
+
+    def test_isomorphism_correspondence(self):
+        h1 = DiGraph.cycle(4)
+        h2 = DiGraph(edges={(f"n{u}", f"n{v}") for u, v in h1.edges})
+        assert isomorphic(encode_graph(h1), encode_graph(h2))
+        h3 = DiGraph.cycle(5)
+        assert not isomorphic(encode_graph(h1), encode_graph(h3))
+
+
+class TestHomomorphism:
+    def test_cross_validation_random(self):
+        for seed in range(10):
+            h1 = random_digraph(4, 4, seed=seed)
+            h2 = random_digraph(4, 6, seed=1000 + seed)
+            assert homomorphic_via_rdf(h1, h2) == homomorphic_direct(h1, h2), seed
+
+    def test_known_cases(self):
+        # Any bipartite (even cycle) maps to K2; odd cycles don't.
+        k2 = DiGraph.complete(2)
+        assert homomorphic_via_rdf(DiGraph.cycle(4), k2)
+        assert homomorphic_via_rdf(DiGraph.cycle(6), k2)
+        assert not homomorphic_via_rdf(DiGraph.cycle(5), k2)
+
+    def test_homomorphism_witness_valid(self):
+        h1, h2 = DiGraph.path(4), DiGraph.cycle(3, directed=True)
+        hom = find_graph_homomorphism(h1, h2)
+        assert hom is not None
+        for u, v in h1.edges:
+            assert (hom[u], hom[v]) in h2.edges
+
+    def test_empty_graph_maps_anywhere(self):
+        assert homomorphic_direct(DiGraph(), DiGraph.complete(2))
+
+    def test_hom_equivalence(self):
+        # All even cycles are hom-equivalent to K2.
+        assert homomorphically_equivalent_via_rdf(DiGraph.cycle(4), DiGraph.cycle(6))
+        assert not homomorphically_equivalent_via_rdf(
+            DiGraph.cycle(5), DiGraph.cycle(4)
+        )
+
+
+class TestColoring:
+    def test_known_chromatic_numbers(self):
+        assert brute_force_chromatic_number(DiGraph.complete(4)) == 4
+        assert brute_force_chromatic_number(DiGraph.cycle(5)) == 3
+        assert brute_force_chromatic_number(DiGraph.cycle(6)) == 2
+        assert brute_force_chromatic_number(DiGraph.path(5, directed=False)) == 2
+
+    def test_via_rdf_matches_brute_force(self):
+        for seed in range(6):
+            h = random_digraph(5, 6, seed=seed)
+            chromatic = brute_force_chromatic_number(h)
+            assert is_3_colorable_via_rdf(h) == (chromatic <= 3), seed
+            assert is_k_colorable_via_rdf(h, 2) == (chromatic <= 2), seed
+
+    def test_triangle_detection(self):
+        assert contains_triangle(DiGraph.complete(3))
+        assert not contains_triangle(DiGraph.cycle(4))
+        assert not contains_triangle(DiGraph.cycle(5))
+
+    def test_theorem_2_9_2_predicate(self):
+        # K3-equivalence ⟺ triangle + 3-colorable.
+        for h in (
+            DiGraph.complete(3),
+            DiGraph.cycle(4),
+            DiGraph.cycle(5),
+            DiGraph.complete(4),
+        ):
+            assert triangle_equivalence_instance(h) == (
+                homomorphically_equivalent_via_rdf(h, DiGraph.complete(3))
+            )
+
+
+class TestCoreProblems:
+    def test_core_correspondence_random(self):
+        for seed in range(6):
+            h = random_digraph(4, 5, seed=seed)
+            assert (
+                len(graph_core_via_rdf(h).edges)
+                == len(graph_core_direct(h).edges)
+            ), seed
+
+    def test_retract_detection(self):
+        assert has_proper_retract_via_rdf(DiGraph.cycle(4))
+        assert not has_proper_retract_via_rdf(DiGraph.cycle(5))
+        assert not has_proper_retract_via_rdf(DiGraph.complete(3))
+
+    def test_core_identification(self):
+        assert is_graph_core_via_rdf(DiGraph.complete(2), DiGraph.cycle(4))
+        assert not is_graph_core_via_rdf(DiGraph.complete(3), DiGraph.cycle(4))
+
+
+class TestSAT:
+    def test_cross_validation_random(self):
+        for seed in range(10):
+            f = random_3sat(4, 8, seed=seed)
+            expected = brute_force_satisfiable(f)
+            assert satisfiable_via_cq(f) == expected, seed
+
+    def test_rdf_rendition_matches(self):
+        for seed in range(5):
+            f = random_3sat(4, 6, seed=seed)
+            assert satisfiable_via_rdf_query(f) == brute_force_satisfiable(f), seed
+
+    def test_unsatisfiable_instance(self):
+        # (x ∨ x ∨ x) ∧ (¬x ∨ ¬x ∨ ¬x) — forced contradiction.
+        f = CNF(
+            clauses=(
+                Clause((("x", True), ("x", True), ("x", True))),
+                Clause((("x", False), ("x", False), ("x", False))),
+            )
+        )
+        assert not brute_force_satisfiable(f)
+        assert not satisfiable_via_cq(f)
+        assert not satisfiable_via_rdf_query(f)
+
+    def test_trivially_satisfiable(self):
+        f = CNF(clauses=(Clause((("x", True), ("y", True), ("z", False))),))
+        assert satisfiable_via_cq(f)
+        assert satisfiable_via_rdf_query(f)
+
+    def test_clause_satisfaction(self):
+        c = Clause((("x", True), ("y", False), ("z", True)))
+        assert c.satisfied_by({"x": False, "y": False, "z": False})
+        assert not c.satisfied_by({"x": False, "y": True, "z": False})
+
+    def test_random_3sat_shape(self):
+        f = random_3sat(5, 7, seed=1)
+        assert len(f.clauses) == 7
+        for c in f.clauses:
+            assert len({v for v, _s in c.literals}) == 3

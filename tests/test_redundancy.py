@@ -1,0 +1,154 @@
+"""Tests for redundancy elimination in answers (Section 6.2)."""
+
+import pytest
+
+from repro.core import BNode, RDFGraph, Variable, triple
+from repro.minimize import is_lean
+from repro.query import (
+    answer_merge,
+    answer_union,
+    head_body_query,
+    merge_answer_is_lean,
+    merge_is_lean_given_answers,
+    pre_answers,
+    reduced_answer,
+    union_answer_is_lean,
+)
+from repro.semantics import equivalent
+
+
+def lean_database_producing_redundant_answer():
+    """Example 3.8's G2 as database; the identity-ish query makes G1."""
+    X, Y = BNode("X"), BNode("Y")
+    return RDFGraph(
+        [
+            triple("a", "p", X),
+            triple("a", "p", Y),
+            triple(X, "q", Y),
+            triple(Y, "r", "b"),
+        ]
+    )
+
+
+def select_p_query():
+    return head_body_query(head=[("?Z", "p", "?U")], body=[("?Z", "p", "?U")])
+
+
+class TestSection62Examples:
+    def test_lean_db_lean_query_redundant_answer(self):
+        d = lean_database_producing_redundant_answer()
+        q = select_p_query()
+        assert is_lean(d)
+        union = answer_union(q, d)
+        assert not is_lean(union)
+        assert not union_answer_is_lean(q, d)
+
+    def test_non_lean_body_example(self):
+        # B = (?Dept, offers, "DB"), (?Dept, offers, ?Course): the body
+        # is not lean as a pattern, yet not replaceable by its lean part.
+        from repro.core import Literal
+
+        db_lit = Literal("DB")
+        q = head_body_query(
+            head=[("theory", "covers", "?Course")],
+            body=[("?Dept", "offers", db_lit), ("?Dept", "offers", "?Course")],
+        )
+        d = RDFGraph(
+            [
+                triple("cs", "offers", db_lit),
+                triple("cs", "offers", "algorithms"),
+                triple("ee", "offers", "circuits"),
+            ]
+        )
+        q_lean_body = head_body_query(
+            head=[("theory", "covers", "?Course")],
+            body=[("?Dept", "offers", "?Course")],
+        )
+        full = answer_union(q, d)
+        lean_body_answer = answer_union(q_lean_body, d)
+        # The lean-body query also returns courses of departments that
+        # do not offer "DB" — the two queries are NOT equivalent.
+        assert triple("theory", "covers", "circuits") not in full
+        assert triple("theory", "covers", "circuits") in lean_body_answer
+
+    def test_reduced_answer_is_lean_and_equivalent(self):
+        d = lean_database_producing_redundant_answer()
+        q = select_p_query()
+        reduced = reduced_answer(q, d, semantics="union")
+        assert is_lean(reduced)
+        assert equivalent(reduced, answer_union(q, d))
+
+
+class TestMergeLeanness:
+    def test_merge_algorithm_agrees_with_general_check(self):
+        d = lean_database_producing_redundant_answer()
+        q = select_p_query()
+        fast = merge_answer_is_lean(q, d)
+        slow = is_lean(answer_merge(q, d))
+        assert fast == slow
+
+    def test_agreement_on_many_cases(self):
+        from repro.generators import random_simple_rdf_graph
+
+        q = select_p_query()
+        for seed in range(8):
+            d = random_simple_rdf_graph(6, 5, blank_probability=0.5, seed=seed)
+            if not d.count(p=None):
+                continue
+            fast = merge_answer_is_lean(q, d)
+            slow = is_lean(answer_merge(q, d))
+            assert fast == slow, f"seed={seed}"
+
+    def test_merge_lean_given_answers_direct(self):
+        X = BNode("X")
+        ground = RDFGraph([triple("a", "p", "b")])
+        blankish = RDFGraph([triple("a", "p", X)])
+        # Merged, the blank answer maps onto the ground one: non-lean.
+        assert not merge_is_lean_given_answers([ground, blankish])
+        # Alone, each is lean.
+        assert merge_is_lean_given_answers([ground])
+        assert merge_is_lean_given_answers([blankish])
+
+    def test_merge_of_isomorphic_blank_answers(self):
+        X = BNode("X")
+        a1 = RDFGraph([triple("a", "p", X)])
+        a2 = RDFGraph([triple("a", "p", BNode("Y")), triple("c", "q", BNode("Y"))])
+        # a1 maps onto a2's first triple's blank: merged is non-lean.
+        assert not merge_is_lean_given_answers([a1, a2])
+
+    def test_merge_of_incomparable_answers_lean(self):
+        a1 = RDFGraph([triple("a", "p", BNode("X")), triple(BNode("X"), "s", "u")])
+        a2 = RDFGraph([triple("c", "q", BNode("Y")), triple(BNode("Y"), "t", "v")])
+        assert merge_is_lean_given_answers([a1, a2])
+
+    def test_ground_answers_always_lean(self):
+        answers = [RDFGraph([triple("a", "p", "b")]), RDFGraph([triple("c", "q", "d")])]
+        assert merge_is_lean_given_answers(answers)
+
+
+class TestAnswerSizeBound:
+    def test_answer_count_bounded_by_d_to_the_q(self):
+        # |preans(q, D)| ≤ |nf(D)|^|vars(q)| (Section 6.1's remark).
+        from repro.query.matching import matching_target
+
+        d = RDFGraph(
+            [triple("a", "p", "b"), triple("b", "p", "c"), triple("c", "p", "a")]
+        )
+        q = head_body_query(
+            head=[("?X", "sel", "?Y")], body=[("?X", "p", "?Y")]
+        )
+        found = pre_answers(q, d)
+        bound = len(matching_target(d, q.premise)) ** 2
+        assert len(found) <= bound
+
+    def test_lean_head_advice(self):
+        # A non-lean head duplicates information in every answer.
+        X = BNode("N1")
+        q_nonlean_head = head_body_query(
+            head=[("?X", "made", BNode("N1")), ("?X", "made", BNode("N2"))],
+            body=[("?X", "p", "?Y")],
+        )
+        d = RDFGraph([triple("a", "p", "b")])
+        answers = pre_answers(q_nonlean_head, d)
+        assert len(answers) == 1
+        assert not is_lean(answers[0])

@@ -1,0 +1,221 @@
+"""Tests for the relational substrate (CQs, GYO, Yannakakis)."""
+
+import pytest
+
+from repro.relational import (
+    Atom,
+    CQVariable,
+    ConjunctiveQuery,
+    Database,
+    Relation,
+    Schema,
+    build_join_tree,
+    evaluate,
+    evaluate_acyclic,
+    evaluate_boolean,
+    evaluate_boolean_acyclic,
+    is_acyclic,
+    iter_valuations,
+    semijoin,
+)
+
+
+def V(name):
+    return CQVariable(name)
+
+
+def triangle_query():
+    x, y, z = V("x"), V("y"), V("z")
+    return ConjunctiveQuery(
+        atoms=(
+            Atom("E", (x, y)),
+            Atom("E", (y, z)),
+            Atom("E", (z, x)),
+        )
+    )
+
+
+def chain_query(n):
+    atoms = tuple(Atom("E", (V(f"v{i}"), V(f"v{i+1}"))) for i in range(n))
+    return ConjunctiveQuery(atoms=atoms)
+
+
+def path_db(n):
+    db = Database()
+    for i in range(n):
+        db.add("E", (i, i + 1))
+    return db
+
+
+def cycle_db(n):
+    db = Database()
+    for i in range(n):
+        db.add("E", (i, (i + 1) % n))
+    return db
+
+
+class TestSchemaDatabase:
+    def test_schema_conflicting_arity_rejected(self):
+        s = Schema([Relation("R", 2)])
+        with pytest.raises(ValueError):
+            s.add(Relation("R", 3))
+
+    def test_relation_arity_positive(self):
+        with pytest.raises(ValueError):
+            Relation("R", 0)
+
+    def test_database_registers_relations(self):
+        db = Database()
+        db.add("R", ("a", "b"))
+        assert "R" in db.schema
+        assert db.schema["R"].arity == 2
+
+    def test_active_domain(self):
+        db = Database()
+        db.add("R", ("a", "b"))
+        db.add("S", ("b", "c", "d"))
+        assert db.active_domain() == {"a", "b", "c", "d"}
+
+    def test_size(self):
+        db = path_db(3)
+        assert db.size() == 3 and len(db) == 3
+
+
+class TestEvaluation:
+    def test_boolean_triangle(self):
+        assert evaluate_boolean(triangle_query(), cycle_db(3))
+        assert not evaluate_boolean(triangle_query(), cycle_db(4))
+        assert not evaluate_boolean(triangle_query(), path_db(5))
+
+    def test_chain_on_path(self):
+        assert evaluate_boolean(chain_query(3), path_db(3))
+        assert not evaluate_boolean(chain_query(4), path_db(3))
+
+    def test_head_projection(self):
+        x, y, z = V("x"), V("y"), V("z")
+        q = ConjunctiveQuery(
+            atoms=(Atom("E", (x, y)), Atom("E", (y, z))), head=(x, z)
+        )
+        assert evaluate(q, path_db(2)) == {(0, 2)}
+
+    def test_constants_in_atoms(self):
+        x = V("x")
+        q = ConjunctiveQuery(atoms=(Atom("E", (0, x)),), head=(x,))
+        assert evaluate(q, path_db(3)) == {(1,)}
+
+    def test_repeated_variable_in_atom(self):
+        db = Database()
+        db.add("E", ("a", "a"))
+        db.add("E", ("a", "b"))
+        x = V("x")
+        q = ConjunctiveQuery(atoms=(Atom("E", (x, x)),), head=(x,))
+        assert evaluate(q, db) == {("a",)}
+
+    def test_head_var_must_be_in_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(atoms=(Atom("E", (V("x"), V("y"))),), head=(V("z"),))
+
+    def test_iter_valuations_count(self):
+        q = chain_query(2)
+        assert sum(1 for _ in iter_valuations(q, cycle_db(3))) == 3
+
+
+class TestAcyclicity:
+    def test_chain_acyclic(self):
+        assert is_acyclic(chain_query(4))
+
+    def test_triangle_cyclic(self):
+        assert not is_acyclic(triangle_query())
+
+    def test_star_acyclic(self):
+        atoms = tuple(Atom("E", (V("c"), V(f"x{i}"))) for i in range(4))
+        assert is_acyclic(ConjunctiveQuery(atoms=atoms))
+
+    def test_parallel_edges_acyclic(self):
+        x, y = V("x"), V("y")
+        q = ConjunctiveQuery(atoms=(Atom("E", (x, y)), Atom("F", (x, y))))
+        assert is_acyclic(q)
+
+    def test_single_atom_acyclic(self):
+        assert is_acyclic(ConjunctiveQuery(atoms=(Atom("E", (V("x"), V("y"))),)))
+
+    def test_join_tree_verifies(self):
+        tree = build_join_tree(chain_query(5))
+        assert tree is not None
+        assert tree.verify()
+        assert len(tree.nodes()) == 5
+
+    def test_join_tree_none_for_cyclic(self):
+        assert build_join_tree(triangle_query()) is None
+
+    def test_longer_cycle_detected(self):
+        atoms = tuple(
+            Atom("E", (V(f"v{i}"), V(f"v{(i+1) % 5}"))) for i in range(5)
+        )
+        assert not is_acyclic(ConjunctiveQuery(atoms=atoms))
+
+
+class TestYannakakis:
+    def test_matches_naive_boolean(self):
+        for n in (2, 3, 5):
+            q = chain_query(n)
+            for db in (path_db(4), cycle_db(3), cycle_db(4)):
+                assert evaluate_boolean_acyclic(q, db) == evaluate_boolean(q, db)
+
+    def test_matches_naive_with_head(self):
+        x, y, z = V("x"), V("y"), V("z")
+        q = ConjunctiveQuery(
+            atoms=(Atom("E", (x, y)), Atom("E", (y, z))), head=(x, z)
+        )
+        for db in (path_db(4), cycle_db(5)):
+            assert evaluate_acyclic(q, db) == evaluate(q, db)
+
+    def test_cyclic_query_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_boolean_acyclic(triangle_query(), cycle_db(3))
+
+    def test_empty_relation_short_circuits(self):
+        q = chain_query(3)
+        db = Database()
+        db.add("F", ("a", "b"))  # E is empty
+        assert not evaluate_boolean_acyclic(q, db)
+
+    def test_semijoin(self):
+        left = {(1, 2), (3, 4)}
+        right = {(2, "x"), (9, "y")}
+        out = semijoin((V("a"), V("b")), left, (V("b"), V("c")), right)
+        assert out == {(1, 2)}
+
+    def test_semijoin_no_shared_columns(self):
+        left = {(1,), (2,)}
+        assert semijoin((V("a"),), left, (V("b"),), {(9,)}) == left
+        assert semijoin((V("a"),), left, (V("b"),), set()) == set()
+
+    def test_star_query_with_head(self):
+        c = V("c")
+        rays = tuple(Atom("E", (c, V(f"x{i}"))) for i in range(3))
+        q = ConjunctiveQuery(atoms=rays, head=(c,))
+        db = Database()
+        for i in range(3):
+            db.add("E", ("hub", f"leaf{i}"))
+        db.add("E", ("other", "leaf0"))
+        # Both centres qualify ("other" reuses leaf0 for every ray —
+        # variables may coincide); the two evaluators must agree.
+        assert evaluate_acyclic(q, db) == evaluate(q, db) == {("hub",), ("other",)}
+
+    def test_random_agreement(self):
+        import random
+
+        rng = random.Random(7)
+        for _trial in range(10):
+            db = Database()
+            for _ in range(12):
+                db.add("E", (rng.randrange(4), rng.randrange(4)))
+                db.add("F", (rng.randrange(4), rng.randrange(4)))
+            # Random acyclic chain mixing E and F.
+            atoms = []
+            for i in range(3):
+                rel = rng.choice(["E", "F"])
+                atoms.append(Atom(rel, (V(f"v{i}"), V(f"v{i+1}"))))
+            q = ConjunctiveQuery(atoms=tuple(atoms))
+            assert evaluate_boolean_acyclic(q, db) == evaluate_boolean(q, db)

@@ -1,0 +1,187 @@
+"""Unit tests for the deductive system rules (Section 2.3.2)."""
+
+import pytest
+
+from repro.core import BNode, RDFGraph, Triple, URI, triple
+from repro.core.vocabulary import DOM, RANGE, SC, SP, TYPE
+from repro.semantics.rules import (
+    ALL_RULES,
+    RULE_2,
+    RULE_3,
+    RULE_4,
+    RULE_5,
+    RULE_6,
+    RULE_7,
+    RULE_8,
+    RULE_11,
+    RULE_13,
+    RULES_9,
+    RULES_10,
+    RULES_12,
+    RULES_BY_NAME,
+    apply_rules_once,
+    apply_rules_to_fixpoint,
+    iter_rule_instantiations,
+)
+
+
+def conclusions_of(rule, graph):
+    out = set()
+    for inst in iter_rule_instantiations(rule, graph):
+        out.update(inst.conclusion_triples())
+    return out
+
+
+class TestIndividualRules:
+    def test_rule_2_sp_transitivity(self):
+        graph = RDFGraph([triple("a", SP, "b"), triple("b", SP, "c")])
+        assert triple("a", SP, "c") in conclusions_of(RULE_2, graph)
+
+    def test_rule_3_sp_inheritance(self):
+        graph = RDFGraph([triple("p", SP, "q"), triple("x", "p", "y")])
+        assert triple("x", "q", "y") in conclusions_of(RULE_3, graph)
+
+    def test_rule_3_blocks_blank_predicates(self):
+        # (a, sp, X) cannot lift (x, a, y) to a blank predicate.
+        X = BNode("X")
+        graph = RDFGraph([triple("a", SP, X), triple("x", "a", "y")])
+        assert not any(
+            not t.is_valid_rdf() for t in conclusions_of(RULE_3, graph)
+        )
+        assert Triple(URI("x"), X, URI("y")) not in conclusions_of(RULE_3, graph)
+
+    def test_rule_4_sc_transitivity(self):
+        graph = RDFGraph([triple("a", SC, "b"), triple("b", SC, "c")])
+        assert triple("a", SC, "c") in conclusions_of(RULE_4, graph)
+
+    def test_rule_5_type_lifting(self):
+        graph = RDFGraph([triple("a", SC, "b"), triple("x", TYPE, "a")])
+        assert triple("x", TYPE, "b") in conclusions_of(RULE_5, graph)
+
+    def test_rule_6_domain(self):
+        graph = RDFGraph(
+            [triple("p", DOM, "c"), triple("p", SP, "p"), triple("x", "p", "y")]
+        )
+        assert triple("x", TYPE, "c") in conclusions_of(RULE_6, graph)
+
+    def test_rule_6_through_subproperty(self):
+        # Marin's fix: the dom axiom applies to uses of subproperties.
+        graph = RDFGraph(
+            [triple("p", DOM, "c"), triple("q", SP, "p"), triple("x", "q", "y")]
+        )
+        assert triple("x", TYPE, "c") in conclusions_of(RULE_6, graph)
+
+    def test_rule_6_blank_property(self):
+        # The property may be a blank node standing for a property.
+        X = BNode("X")
+        graph = RDFGraph(
+            [triple(X, DOM, "c"), triple("q", SP, X), triple("x", "q", "y")]
+        )
+        assert triple("x", TYPE, "c") in conclusions_of(RULE_6, graph)
+
+    def test_rule_7_range(self):
+        graph = RDFGraph(
+            [triple("p", RANGE, "c"), triple("p", SP, "p"), triple("x", "p", "y")]
+        )
+        assert triple("y", TYPE, "c") in conclusions_of(RULE_7, graph)
+
+    def test_rule_8_predicate_reflexivity(self):
+        graph = RDFGraph([triple("x", "p", "y")])
+        assert triple("p", SP, "p") in conclusions_of(RULE_8, graph)
+
+    def test_rules_9_axioms(self):
+        graph = RDFGraph()
+        produced = set()
+        for rule in RULES_9:
+            produced |= conclusions_of(rule, graph)
+        assert produced == {
+            triple(p, SP, p) for p in (SP, SC, TYPE, DOM, RANGE)
+        }
+
+    def test_rules_10_dom_range_subjects(self):
+        graph = RDFGraph([triple("p", DOM, "c")])
+        produced = set()
+        for rule in RULES_10:
+            produced |= conclusions_of(rule, graph)
+        assert triple("p", SP, "p") in produced
+
+    def test_rule_11_sp_endpoint_reflexivity(self):
+        graph = RDFGraph([triple("a", SP, "b")])
+        produced = conclusions_of(RULE_11, graph)
+        assert triple("a", SP, "a") in produced
+        assert triple("b", SP, "b") in produced
+
+    def test_rules_12_object_class_reflexivity(self):
+        graph = RDFGraph(
+            [triple("x", TYPE, "c"), triple("p", DOM, "d"), triple("p", RANGE, "e")]
+        )
+        produced = set()
+        for rule in RULES_12:
+            produced |= conclusions_of(rule, graph)
+        assert {triple("c", SC, "c"), triple("d", SC, "d"), triple("e", SC, "e")} <= produced
+
+    def test_rule_13_sc_endpoint_reflexivity(self):
+        graph = RDFGraph([triple("a", SC, "b")])
+        produced = conclusions_of(RULE_13, graph)
+        assert triple("a", SC, "a") in produced
+        assert triple("b", SC, "b") in produced
+
+
+class TestInstantiations:
+    def test_instantiation_records_premises(self):
+        graph = RDFGraph([triple("a", SP, "b"), triple("b", SP, "c")])
+        insts = list(iter_rule_instantiations(RULE_2, graph))
+        assert insts
+        for inst in insts:
+            assert all(t in graph for t in inst.premise_triples())
+
+    def test_uniform_replacement(self):
+        # The same rule variable must take the same value everywhere.
+        graph = RDFGraph([triple("a", SP, "b"), triple("c", SP, "d")])
+        for inst in iter_rule_instantiations(RULE_2, graph):
+            assignment = inst.assignment_dict
+            # Premises must chain through the same middle term B.
+            (p1, p2) = inst.premise_triples()
+            assert p1.o == p2.s
+
+    def test_all_rules_enumerable(self):
+        assert len(ALL_RULES) == 7 + 5 + 2 + 1 + 3 + 1
+        assert RULES_BY_NAME["(2)"] is RULE_2
+
+    def test_rule_str(self):
+        assert "(2)" in str(RULE_2)
+        assert "sp" in str(RULE_2)
+
+
+class TestEngine:
+    def test_apply_once_returns_only_new(self):
+        graph = RDFGraph([triple("a", SP, "b"), triple("b", SP, "c")])
+        produced = apply_rules_once(graph)
+        assert triple("a", SP, "c") in produced
+        assert triple("a", SP, "b") not in produced
+
+    def test_fixpoint_is_closed(self):
+        graph = RDFGraph([triple("a", SC, "b"), triple("x", TYPE, "a")])
+        closed, trace = apply_rules_to_fixpoint(graph)
+        assert not apply_rules_once(closed)
+        assert triple("x", TYPE, "b") in closed
+        # The trace justifies every derived triple.
+        derived = closed - graph
+        assert {t for t, _ in trace} == set(derived.triples)
+
+    def test_trace_steps_are_valid_in_order(self):
+        graph = RDFGraph([triple("a", SP, "b"), triple("b", SP, "c"), triple("x", "a", "y")])
+        closed, trace = apply_rules_to_fixpoint(graph)
+        current = graph
+        for t, inst in trace:
+            assert all(p in current for p in inst.premise_triples())
+            assert t in inst.conclusion_triples()
+            current = current.union(RDFGraph(inst.conclusion_triples()))
+        assert current == closed
+
+    def test_long_chain_transitivity(self):
+        graph = RDFGraph(
+            [triple(f"p{i}", SP, f"p{i+1}") for i in range(5)]
+        )
+        closed, _ = apply_rules_to_fixpoint(graph)
+        assert triple("p0", SP, "p5") in closed

@@ -1,0 +1,91 @@
+"""Stateful property test: the store against a reference model.
+
+Hypothesis drives random operation sequences (adds, removes, committed
+and rolled-back transactions) against a :class:`TripleStore` while a
+plain set of triples serves as the reference model.  After every step
+the store's dataset must equal the model, and its materialized closure
+must equal a from-scratch closure of the model — this exercises the
+incremental-maintenance machinery under arbitrary interleavings.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import RDFGraph, Triple, URI
+from repro.core.vocabulary import SC, SP, TYPE
+from repro.semantics import rdfs_closure
+from repro.store import TripleStore
+
+_NODES = [URI(n) for n in ("a", "b", "c", "d")]
+_PREDICATES = [URI("p"), SC, SP, TYPE]
+
+triples_strategy = st.builds(
+    Triple,
+    st.sampled_from(_NODES),
+    st.sampled_from(_PREDICATES),
+    st.sampled_from(_NODES),
+)
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = TripleStore()
+        self.model = set()
+        self.txn_model_backup = None
+
+    # -- operations -----------------------------------------------------
+
+    @rule(t=triples_strategy)
+    def add(self, t):
+        self.store.add(t)
+        self.model.add(t)
+        if self.txn_model_backup is None:
+            pass
+
+    @rule(t=triples_strategy)
+    def remove(self, t):
+        self.store.remove(t)
+        self.model.discard(t)
+
+    @precondition(lambda self: self.txn_model_backup is None)
+    @rule()
+    def begin(self):
+        self.store.begin()
+        self.txn_model_backup = set(self.model)
+
+    @precondition(lambda self: self.txn_model_backup is not None)
+    @rule()
+    def commit(self):
+        self.store.commit()
+        self.txn_model_backup = None
+
+    @precondition(lambda self: self.txn_model_backup is not None)
+    @rule()
+    def rollback(self):
+        self.store.rollback()
+        self.model = self.txn_model_backup
+        self.txn_model_backup = None
+
+    @rule()
+    def materialize(self):
+        # Force materialization at arbitrary points so later adds take
+        # the incremental path.
+        self.store.closure()
+
+    # -- invariants -------------------------------------------------------
+
+    @invariant()
+    def dataset_matches_model(self):
+        assert self.store.dataset() == RDFGraph(self.model)
+
+    @invariant()
+    def closure_matches_reference(self):
+        assert self.store.closure() == rdfs_closure(RDFGraph(self.model))
+
+
+StoreMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestStoreStateful = StoreMachine.TestCase

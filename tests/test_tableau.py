@@ -1,0 +1,126 @@
+"""Tests for tableau/query construction (Definition 4.1, Note 4.2)."""
+
+import pytest
+
+from repro.core import BNode, Literal, RDFGraph, Triple, URI, Variable, triple
+from repro.query import PatternGraph, Query, Tableau, head_body_query, pattern
+
+
+class TestPattern:
+    def test_question_mark_strings_become_variables(self):
+        t = pattern("?X", "p", "?Y")
+        assert t == Triple(Variable("X"), URI("p"), Variable("Y"))
+
+    def test_plain_strings_become_uris(self):
+        assert pattern("a", "p", "b") == Triple(URI("a"), URI("p"), URI("b"))
+
+    def test_explicit_terms_kept(self):
+        t = pattern(BNode("N"), "p", Literal("l"))
+        assert t.s == BNode("N") and t.o == Literal("l")
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            pattern(Literal("l"), "p", "b")
+        with pytest.raises(ValueError):
+            pattern("a", BNode("X"), "b")
+
+
+class TestPatternGraph:
+    def test_variables_collected(self):
+        pg = PatternGraph([("?X", "p", "?Y"), ("?Y", "q", "b")])
+        assert pg.variables() == {Variable("X"), Variable("Y")}
+
+    def test_bnodes_collected(self):
+        pg = PatternGraph([(BNode("N"), "p", "b")])
+        assert pg.bnodes() == {BNode("N")}
+
+    def test_deduplication(self):
+        pg = PatternGraph([("?X", "p", "b"), ("?X", "p", "b")])
+        assert len(pg) == 1
+
+    def test_to_graph_requires_no_variables(self):
+        pg = PatternGraph([("a", "p", "b")])
+        assert pg.to_graph() == RDFGraph([triple("a", "p", "b")])
+        with pytest.raises(ValueError):
+            PatternGraph([("?X", "p", "b")]).to_graph()
+
+    def test_equality_and_hash(self):
+        pg1 = PatternGraph([("?X", "p", "b")])
+        pg2 = PatternGraph([("?X", "p", "b")])
+        assert pg1 == pg2
+        assert hash(pg1) == hash(pg2)
+
+
+class TestTableau:
+    def test_head_variables_must_occur_in_body(self):
+        with pytest.raises(ValueError):
+            Tableau(
+                head=PatternGraph([("?X", "p", "?Z")]),
+                body=PatternGraph([("?X", "p", "?Y")]),
+            )
+
+    def test_body_rejects_blank_nodes(self):
+        # Note 4.2: a variable plays the same role; bodies ban blanks.
+        with pytest.raises(ValueError):
+            Tableau(
+                head=PatternGraph([("a", "p", "b")]),
+                body=PatternGraph([(BNode("N"), "p", "b")]),
+            )
+
+    def test_head_may_have_blank_nodes(self):
+        t = Tableau(
+            head=PatternGraph([(BNode("N"), "creates", "?Y")]),
+            body=PatternGraph([("?X", "paints", "?Y")]),
+        )
+        assert t.head.bnodes() == {BNode("N")}
+
+    def test_str(self):
+        t = Tableau(
+            head=PatternGraph([("?X", "p", "b")]),
+            body=PatternGraph([("?X", "p", "b")]),
+        )
+        assert "←" in str(t)
+
+
+class TestQuery:
+    def test_constraints_must_be_head_variables(self):
+        with pytest.raises(ValueError):
+            head_body_query(
+                head=[("?X", "p", "b")],
+                body=[("?X", "p", "b"), ("?Y", "q", "c")],
+                constraints=[Variable("Y")],  # not in the head
+            )
+
+    def test_constraints_accepted(self):
+        q = head_body_query(
+            head=[("?X", "p", "b")],
+            body=[("?X", "p", "b")],
+            constraints=[Variable("X")],
+        )
+        assert q.constraints == {Variable("X")}
+
+    def test_default_premise_empty(self):
+        q = head_body_query(head=[("?X", "p", "b")], body=[("?X", "p", "b")])
+        assert len(q.premise) == 0
+
+    def test_is_simple(self):
+        q = head_body_query(head=[("?X", "p", "b")], body=[("?X", "p", "b")])
+        assert q.is_simple()
+        q2 = head_body_query(head=[("?X", "sc", "b")], body=[("?X", "sc", "b")])
+        assert not q2.is_simple()
+        q3 = head_body_query(
+            head=[("?X", "p", "b")],
+            body=[("?X", "p", "b")],
+            premise=RDFGraph([triple("son", "sp", "relative")]),
+        )
+        assert not q3.is_simple()
+
+    def test_str_includes_parts(self):
+        q = head_body_query(
+            head=[("?X", "p", "b")],
+            body=[("?X", "p", "b")],
+            premise=RDFGraph([triple("a", "q", "c")]),
+            constraints=[Variable("X")],
+        )
+        text = str(q)
+        assert "premise" in text and "constraints" in text

@@ -1,0 +1,156 @@
+"""Unit tests for :mod:`repro.core.terms`."""
+
+import pickle
+
+import pytest
+
+from repro.core.terms import (
+    BNode,
+    Literal,
+    Triple,
+    URI,
+    Variable,
+    fresh_bnode,
+    fresh_bnode_factory,
+    is_ground_term,
+    sort_key,
+)
+
+
+class TestAtomBasics:
+    def test_equality_within_kind(self):
+        assert URI("a") == URI("a")
+        assert URI("a") != URI("b")
+        assert BNode("X") == BNode("X")
+
+    def test_no_cross_kind_equality(self):
+        assert URI("a") != BNode("a")
+        assert URI("a") != Literal("a")
+        assert BNode("a") != Literal("a")
+        assert URI("a") != Variable("a")
+
+    def test_hash_consistency(self):
+        assert hash(URI("a")) == hash(URI("a"))
+        assert len({URI("a"), URI("a"), BNode("a")}) == 2
+
+    def test_immutability(self):
+        u = URI("a")
+        with pytest.raises(AttributeError):
+            u.value = "b"
+
+    def test_empty_value_rejected(self):
+        for kind in (URI, BNode, Variable):
+            with pytest.raises(ValueError):
+                kind("")
+
+    def test_empty_literal_allowed(self):
+        # "" is a legitimate plain literal.
+        assert Literal("").value == ""
+        assert str(Literal("")) == '""'
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            URI(42)
+
+    def test_ordering_within_kind(self):
+        assert URI("a") < URI("b")
+        assert BNode("X") < BNode("Y")
+
+    def test_ordering_across_kinds(self):
+        # URIs < blanks < literals < variables.
+        assert URI("z") < BNode("a")
+        assert BNode("z") < Literal("a")
+        assert Literal("z") < Variable("a")
+
+    def test_ordering_against_non_terms(self):
+        with pytest.raises(TypeError):
+            URI("a") < 3
+
+    def test_repr_and_str(self):
+        assert repr(URI("a")) == "URI('a')"
+        assert str(BNode("X")) == "_:X"
+        assert str(Literal("hi")) == '"hi"'
+        assert str(Variable("X")) == "?X"
+
+    def test_variable_question_mark_normalization(self):
+        assert Variable("?X") == Variable("X")
+        assert Variable("?X").value == "X"
+
+    def test_pickle_roundtrip(self):
+        for term in (URI("a"), BNode("X"), Literal("l"), Variable("v")):
+            assert pickle.loads(pickle.dumps(term)) == term
+
+    def test_sort_key_total_order(self):
+        terms = [Variable("a"), Literal("a"), BNode("a"), URI("a")]
+        assert sorted(terms, key=sort_key) == [
+            URI("a"),
+            BNode("a"),
+            Literal("a"),
+            Variable("a"),
+        ]
+
+
+class TestTriple:
+    def test_valid_rdf(self):
+        assert Triple(URI("a"), URI("p"), URI("b")).is_valid_rdf()
+        assert Triple(BNode("X"), URI("p"), BNode("Y")).is_valid_rdf()
+        assert Triple(URI("a"), URI("p"), Literal("l")).is_valid_rdf()
+
+    def test_invalid_rdf(self):
+        assert not Triple(Literal("l"), URI("p"), URI("a")).is_valid_rdf()
+        assert not Triple(URI("a"), BNode("X"), URI("b")).is_valid_rdf()
+        assert not Triple(URI("a"), Literal("p"), URI("b")).is_valid_rdf()
+        assert not Triple(Variable("v"), URI("p"), URI("b")).is_valid_rdf()
+
+    def test_valid_pattern(self):
+        assert Triple(Variable("s"), Variable("p"), Variable("o")).is_valid_pattern()
+        assert Triple(BNode("X"), URI("p"), Literal("l")).is_valid_pattern()
+
+    def test_blank_predicate_invalid_even_as_pattern(self):
+        assert not Triple(URI("a"), BNode("X"), URI("b")).is_valid_pattern()
+
+    def test_literal_subject_invalid_as_pattern(self):
+        assert not Triple(Literal("l"), URI("p"), URI("b")).is_valid_pattern()
+
+    def test_is_ground(self):
+        assert Triple(URI("a"), URI("p"), Literal("l")).is_ground()
+        assert not Triple(BNode("X"), URI("p"), URI("b")).is_ground()
+        assert not Triple(URI("a"), URI("p"), Variable("v")).is_ground()
+
+    def test_variables_and_bnodes(self):
+        t = Triple(BNode("X"), URI("p"), Variable("v"))
+        assert t.variables() == {Variable("v")}
+        assert t.bnodes() == {BNode("X")}
+
+    def test_namedtuple_access(self):
+        t = Triple(URI("a"), URI("p"), URI("b"))
+        assert t.s == URI("a") and t.p == URI("p") and t.o == URI("b")
+        assert tuple(t) == (URI("a"), URI("p"), URI("b"))
+
+    def test_str(self):
+        assert str(Triple(URI("a"), URI("p"), BNode("X"))) == "(a, p, _:X)"
+
+
+class TestFreshBNodes:
+    def test_fresh_bnode_unique(self):
+        seen = {fresh_bnode() for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_factory_avoids_collisions(self):
+        avoid = {BNode("b0"), BNode("b2")}
+        factory = fresh_bnode_factory(avoid)
+        produced = [factory() for _ in range(3)]
+        assert BNode("b0") not in produced
+        assert BNode("b2") not in produced
+        assert len(set(produced)) == 3
+
+    def test_factory_deterministic(self):
+        first = [fresh_bnode_factory([])() for _ in range(1)]
+        second = [fresh_bnode_factory([])() for _ in range(1)]
+        assert first == second
+
+    def test_is_ground_term(self):
+        assert is_ground_term(URI("a"))
+        assert is_ground_term(Literal("l"))
+        assert not is_ground_term(BNode("X"))
+        assert not is_ground_term(Variable("v"))

@@ -1,0 +1,201 @@
+"""Tests for tree decompositions and bounded-treewidth evaluation."""
+
+import random
+
+import pytest
+
+from repro.generators import blank_chain, random_simple_rdf_graph
+from repro.reductions import DiGraph, encode_graph
+from repro.relational import (
+    Atom,
+    CQVariable,
+    ConjunctiveQuery,
+    Database,
+    blank_treewidth_upper_bound,
+    evaluate_boolean,
+    evaluate_boolean_treewidth,
+    primal_graph,
+    simple_entails_treewidth,
+    tree_decomposition,
+    treewidth_upper_bound,
+)
+from repro.semantics import simple_entails
+
+
+def V(name):
+    return CQVariable(name)
+
+
+def chain_cq(n):
+    return ConjunctiveQuery(
+        atoms=tuple(Atom("E", (V(f"v{i}"), V(f"v{i+1}"))) for i in range(n))
+    )
+
+
+def cycle_cq(n):
+    return ConjunctiveQuery(
+        atoms=tuple(Atom("E", (V(f"v{i}"), V(f"v{(i+1) % n}"))) for i in range(n))
+    )
+
+
+def clique_cq(n):
+    atoms = []
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                atoms.append(Atom("E", (V(f"v{i}"), V(f"v{j}"))))
+    return ConjunctiveQuery(atoms=tuple(atoms))
+
+
+class TestDecomposition:
+    def test_chain_width_1(self):
+        assert treewidth_upper_bound(chain_cq(6)) == 1
+
+    def test_cycle_width_2(self):
+        assert treewidth_upper_bound(cycle_cq(6)) == 2
+
+    def test_clique_width_n_minus_1(self):
+        assert treewidth_upper_bound(clique_cq(4)) == 3
+
+    def test_decomposition_verifies(self):
+        for q in (chain_cq(5), cycle_cq(5), clique_cq(4)):
+            td = tree_decomposition(q)
+            assert td.verify(q), q
+
+    def test_primal_graph(self):
+        q = cycle_cq(4)
+        adjacency = primal_graph(q)
+        assert all(len(ns) == 2 for ns in adjacency.values())
+
+    def test_single_atom(self):
+        q = ConjunctiveQuery(atoms=(Atom("E", (V("x"), V("y"))),))
+        td = tree_decomposition(q)
+        assert td.width == 1
+        assert td.verify(q)
+
+    def test_disconnected_query(self):
+        q = ConjunctiveQuery(
+            atoms=(Atom("E", (V("a"), V("b"))), Atom("E", (V("c"), V("d"))))
+        )
+        td = tree_decomposition(q)
+        assert td.verify(q)
+        assert td.width == 1
+
+    def test_verify_rejects_bad_decomposition(self):
+        from repro.relational import TreeDecomposition
+
+        q = chain_cq(3)
+        bad = TreeDecomposition(bags=[frozenset({V("v0")})], edges=[])
+        assert not bad.verify(q)
+
+
+class TestEvaluation:
+    def make_db(self, seed=5, nodes=6, edges=18):
+        rng = random.Random(seed)
+        db = Database()
+        for _ in range(edges):
+            db.add("E", (rng.randrange(nodes), rng.randrange(nodes)))
+        return db
+
+    def test_matches_naive_on_chains(self):
+        db = self.make_db()
+        for n in (2, 3, 5):
+            q = chain_cq(n)
+            assert evaluate_boolean_treewidth(q, db) == evaluate_boolean(q, db)
+
+    def test_matches_naive_on_cycles(self):
+        db = self.make_db()
+        for n in (3, 4, 5):
+            q = cycle_cq(n)
+            assert evaluate_boolean_treewidth(q, db) == evaluate_boolean(q, db), n
+
+    def test_matches_naive_on_cliques(self):
+        db = self.make_db(edges=26)
+        q = clique_cq(3)
+        assert evaluate_boolean_treewidth(q, db) == evaluate_boolean(q, db)
+
+    def test_with_constants(self):
+        db = Database()
+        db.add("E", (0, 1))
+        db.add("E", (1, 2))
+        q = ConjunctiveQuery(atoms=(Atom("E", (0, V("x"))), Atom("E", (V("x"), 2))))
+        assert evaluate_boolean_treewidth(q, db)
+        q2 = ConjunctiveQuery(atoms=(Atom("E", (2, V("x"))),))
+        assert not evaluate_boolean_treewidth(q2, db)
+
+    def test_fully_ground_query(self):
+        db = Database()
+        db.add("E", (0, 1))
+        q = ConjunctiveQuery(atoms=(Atom("E", (0, 1)),))
+        assert evaluate_boolean_treewidth(q, db)
+        q2 = ConjunctiveQuery(atoms=(Atom("E", (1, 0)),))
+        assert not evaluate_boolean_treewidth(q2, db)
+
+    def test_random_agreement(self):
+        rng = random.Random(11)
+        for trial in range(8):
+            db = self.make_db(seed=trial)
+            shape = rng.choice(["chain", "cycle"])
+            n = rng.randrange(2, 5)
+            q = chain_cq(n) if shape == "chain" else cycle_cq(max(3, n))
+            assert evaluate_boolean_treewidth(q, db) == evaluate_boolean(q, db)
+
+
+class TestEntailmentBridge:
+    def test_blank_chain_width(self):
+        assert blank_treewidth_upper_bound(blank_chain(6)) == 1
+
+    def test_triangle_width(self):
+        assert blank_treewidth_upper_bound(encode_graph(DiGraph.cycle(3))) == 2
+
+    def test_agrees_with_general_solver(self):
+        for seed in range(8):
+            g1 = random_simple_rdf_graph(15, 8, seed=seed)
+            g2 = random_simple_rdf_graph(4, 3, blank_probability=0.8, seed=seed + 70)
+            assert simple_entails_treewidth(g1, g2) == simple_entails(g1, g2), seed
+
+    def test_handles_cyclic_patterns(self):
+        # The acyclic pipeline refuses these; treewidth handles them.
+        k3 = encode_graph(DiGraph.cycle(3))
+        assert simple_entails_treewidth(k3, k3)
+        c4 = encode_graph(DiGraph.cycle(4))
+        assert not simple_entails_treewidth(c4, k3)
+
+
+class TestExactTreewidth:
+    def test_heuristic_optimal_on_standard_families(self):
+        from repro.relational import exact_treewidth
+
+        for q, expected in [
+            (chain_cq(4), 1),
+            (cycle_cq(5), 2),
+            (clique_cq(4), 3),
+        ]:
+            assert exact_treewidth(q) == expected
+            assert treewidth_upper_bound(q) == expected
+
+    def test_upper_bound_never_below_exact(self):
+        import random
+
+        from repro.relational import exact_treewidth
+
+        rng = random.Random(3)
+        for _ in range(6):
+            atoms = []
+            n = 5
+            for _e in range(7):
+                u, v = rng.sample(range(n), 2)
+                atoms.append(Atom("E", (V(f"v{u}"), V(f"v{v}"))))
+            q = ConjunctiveQuery(atoms=tuple(atoms))
+            assert treewidth_upper_bound(q) >= exact_treewidth(q)
+
+    def test_limit_guard(self):
+        from repro.relational import exact_treewidth
+
+        with pytest.raises(ValueError):
+            exact_treewidth(clique_cq(12), limit=6)
+
+    def test_empty_query(self):
+        from repro.relational import exact_treewidth
+
+        assert exact_treewidth(ConjunctiveQuery(atoms=(Atom("E", ("a", "b")),))) == 0

@@ -1,0 +1,216 @@
+"""Tests for union queries and views (composition, Prop 5.9/5.11)."""
+
+import pytest
+
+from repro.core import RDFGraph, URI, Variable, triple
+from repro.core.vocabulary import SC, TYPE
+from repro.query import (
+    UnionQuery,
+    View,
+    ViewCatalog,
+    answer_union,
+    contained_standard,
+    head_body_query,
+    unfold_query,
+    union_contained_entailment,
+    union_contained_standard,
+)
+
+
+def q_select(pred):
+    return head_body_query(
+        head=[("?X", pred, "?Y")], body=[("?X", pred, "?Y")]
+    )
+
+
+class TestUnionQueries:
+    def test_answers_are_member_union(self):
+        u = UnionQuery.of(q_select("p"), q_select("q"))
+        d = RDFGraph([triple("a", "p", "b"), triple("c", "q", "d"), triple("e", "r", "f")])
+        result = u.answers(d)
+        assert triple("a", "p", "b") in result
+        assert triple("c", "q", "d") in result
+        assert triple("e", "r", "f") not in result
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            UnionQuery(members=())
+
+    def test_from_premise_query_equivalence(self):
+        q = head_body_query(
+            head=[("?X", "p", "?Y")],
+            body=[("?X", "q", "?Y"), ("?Y", "t", "s")],
+            premise=RDFGraph([triple("a", "t", "s")]),
+        )
+        u = UnionQuery.from_premise_query(q)
+        for d in (
+            RDFGraph([triple("u", "q", "a")]),
+            RDFGraph([triple("u", "q", "v"), triple("v", "t", "s")]),
+        ):
+            assert u.answers(d) == answer_union(q, d)
+
+    def test_union_contained_left_splits(self):
+        # ⋃ qi ⊑ q′ iff all members are (Proposition 5.11).
+        u = UnionQuery.of(
+            head_body_query(head=[("?X", "sel", "?X")], body=[("?X", "p", "a")]),
+            head_body_query(head=[("?X", "sel", "?X")], body=[("?X", "p", "b")]),
+        )
+        wide = head_body_query(head=[("?X", "sel", "?X")], body=[("?X", "p", "?Y")])
+        assert union_contained_standard(u, wide)
+        narrow = head_body_query(head=[("?X", "sel", "?X")], body=[("?X", "p", "a")])
+        assert not union_contained_standard(u, narrow)
+
+    def test_single_query_in_union_right(self):
+        q = head_body_query(head=[("?X", "sel", "?X")], body=[("?X", "p", "a")])
+        u = UnionQuery.of(
+            head_body_query(head=[("?X", "sel", "?X")], body=[("?X", "p", "a")]),
+            head_body_query(head=[("?X", "sel", "?X")], body=[("?X", "q", "b")]),
+        )
+        assert union_contained_standard(q, u)
+        assert union_contained_entailment(q, u)
+
+    def test_entailment_containment_pools_members(self):
+        # q's head needs two triples; each comes from a different member
+        # of the union — only the pooled test can see it.
+        q = head_body_query(
+            head=[("?X", "r1", "?Y"), ("?X", "r2", "?Y")],
+            body=[("?X", "p", "?Y")],
+        )
+        u = UnionQuery.of(
+            head_body_query(head=[("?X", "r1", "?Y")], body=[("?X", "p", "?Y")]),
+            head_body_query(head=[("?X", "r2", "?Y")], body=[("?X", "p", "?Y")]),
+        )
+        assert union_contained_entailment(q, u)
+        # Standard containment needs one member to carry the whole head.
+        assert not union_contained_standard(q, u)
+
+    def test_plain_queries_pass_through(self):
+        q = q_select("p")
+        assert union_contained_standard(q, q)
+        assert union_contained_entailment(q, q)
+
+    def test_str(self):
+        u = UnionQuery.of(q_select("p"), q_select("q"))
+        assert "∪" in str(u)
+
+
+ART_DATA = RDFGraph(
+    [
+        triple("painter", SC, "artist"),
+        triple("frida", TYPE, "painter"),
+        triple("frida", "paints", "autorretrato"),
+        triple("diego", "paints", "mural"),
+        triple("autorretrato", "exhibited", "MoMA"),
+    ]
+)
+
+
+class TestViews:
+    def make_catalog(self):
+        creators = View(
+            name="creators",
+            query=head_body_query(
+                head=[("?X", "created_something", "yes")],
+                body=[("?X", "paints", "?Y")],
+            ),
+        )
+        exhibited_works = View(
+            name="exhibited_works",
+            query=head_body_query(
+                head=[("?W", "is_public", "yes")],
+                body=[("?W", "exhibited", "?M")],
+            ),
+        )
+        return ViewCatalog([creators, exhibited_works])
+
+    def test_materialize(self):
+        catalog = self.make_catalog()
+        extension = catalog["creators"].materialize(ART_DATA)
+        assert triple("frida", "created_something", "yes") in extension
+        assert triple("diego", "created_something", "yes") in extension
+
+    def test_duplicate_names_rejected(self):
+        catalog = self.make_catalog()
+        with pytest.raises(ValueError):
+            catalog.add(View(name="creators", query=q_select("p")))
+
+    def test_query_over_views(self):
+        catalog = self.make_catalog()
+        q = head_body_query(
+            head=[("?X", "active_public_artist", "yes")],
+            body=[
+                ("?X", "created_something", "yes"),
+                ("?X", "paints", "?W"),
+                ("?W", "is_public", "yes"),
+            ],
+        )
+        result = catalog.query(q, ART_DATA)
+        assert result == RDFGraph([triple("frida", "active_public_artist", "yes")])
+
+    def test_extended_database_contains_base(self):
+        catalog = self.make_catalog()
+        extended = catalog.extended_database(ART_DATA)
+        assert ART_DATA.issubgraph(extended)
+
+    def test_unfold_query(self):
+        catalog = self.make_catalog()
+        q = head_body_query(
+            head=[("?X", "sel", "?X")],
+            body=[("?X", "created_something", "yes")],
+        )
+        unfolded = unfold_query(q, catalog)
+        # The view body replaces the view atom.
+        predicates = {t.p for t in unfolded.body}
+        assert URI("paints") in predicates
+        assert URI("created_something") not in predicates
+        # Unfolded query over base data = original query over views.
+        assert answer_union(unfolded, ART_DATA) == catalog.query(q, ART_DATA)
+
+    def test_unfold_leaves_base_atoms(self):
+        catalog = self.make_catalog()
+        q = head_body_query(
+            head=[("?X", "sel", "?W")],
+            body=[("?X", "created_something", "yes"), ("?X", "paints", "?W")],
+        )
+        unfolded = unfold_query(q, catalog)
+        assert any(t.p == URI("paints") for t in unfolded.body)
+
+    def test_unfold_containment_reasoning(self):
+        # Containment of view queries via their unfoldings.
+        catalog = self.make_catalog()
+        q1 = head_body_query(
+            head=[("?X", "sel", "?X")],
+            body=[("?X", "created_something", "yes"), ("?X", "paints", "mural")],
+        )
+        q2 = head_body_query(
+            head=[("?X", "sel", "?X")],
+            body=[("?X", "created_something", "yes")],
+        )
+        assert contained_standard(unfold_query(q1, catalog), unfold_query(q2, catalog))
+
+    def test_unfold_ambiguous_producer_rejected(self):
+        catalog = self.make_catalog()
+        catalog.add(
+            View(
+                name="creators2",
+                query=head_body_query(
+                    head=[("?X", "created_something", "maybe")],
+                    body=[("?X", "sculpts", "?Y")],
+                ),
+            )
+        )
+        q = head_body_query(
+            head=[("?X", "sel", "?X")], body=[("?X", "created_something", "yes")]
+        )
+        with pytest.raises(ValueError):
+            unfold_query(q, catalog)
+
+    def test_unfold_constant_clash_rejected(self):
+        catalog = self.make_catalog()
+        # The view head's object is the constant "yes"; asking for "no"
+        # cannot unify.
+        q = head_body_query(
+            head=[("?X", "sel", "?X")], body=[("?X", "created_something", "no")]
+        )
+        with pytest.raises(ValueError):
+            unfold_query(q, catalog)
