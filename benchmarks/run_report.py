@@ -5,9 +5,17 @@ This is the harness behind EXPERIMENTS.md: each section corresponds to
 one experiment id from DESIGN.md's per-experiment index and prints the
 measured rows next to the paper's predicted shape.
 
-Run:  python benchmarks/run_report.py
+Run:  python benchmarks/run_report.py            # full report
+      python benchmarks/run_report.py --quick    # CI smoke: E4 + E5 only
+
+Both modes re-measure the two entailment experiments (E4 hardness, E5
+acyclic routing) and write ``BENCH_entailment.json`` at the repo root:
+the pre-planner seed baselines next to the current run's numbers, so
+perf regressions in the matching planner show up in review diffs.
 """
 
+import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -39,8 +47,98 @@ def section(exp_id: str, title: str, prediction: str) -> None:
     print("-" * 72)
 
 
-def main() -> None:
+#: Pre-planner baselines (seed commit, single-run timings on the same
+#: workloads) — the "before" column of BENCH_entailment.json.
+SEED_BASELINE = {
+    "E4": [
+        {"family": "easy/blank-chain", "n": 10, "ms": 0.056},
+        {"family": "easy/blank-chain", "n": 20, "ms": 0.124},
+        {"family": "easy/blank-chain", "n": 40, "ms": 0.080},
+        {"family": "hard/non-3-colorable", "n": 6, "ms": 4.792},
+        {"family": "hard/non-3-colorable", "n": 8, "ms": 4.122},
+        {"family": "hard/non-3-colorable", "n": 10, "ms": 60.030},
+    ],
+    "E5": [
+        {"chain": 4, "yannakakis_ms": 7.503, "backtrack_ms": 0.399},
+        {"chain": 8, "yannakakis_ms": 12.721, "backtrack_ms": 0.611},
+        {"chain": 16, "yannakakis_ms": 26.676, "backtrack_ms": 1.011},
+        {"chain": 32, "yannakakis_ms": 63.876, "backtrack_ms": 2.322},
+    ],
+}
+
+
+def entailment_sections():
+    """Run + print E4 and E5; return their rows for the JSON artifact."""
+    section(
+        "E4",
+        "simple entailment hardness (Theorem 2.9)",
+        "hard (coloring) instances blow up; easy (acyclic) stay flat",
+    )
+    print(f"{'family':22s} {'n':>4s} {'ms':>10s}")
+    e4_rows = bench_entailment_hardness.collect_series()
+    for family, n, ms in e4_rows:
+        print(f"{family:22s} {n:4d} {ms:10.3f}")
+
+    section(
+        "E5",
+        "blank-acyclic entailment (Section 2.4)",
+        "Yannakakis pipeline polynomial; agrees with backtracking",
+    )
+    print(f"{'chain':>6s} {'entailed':>9s} {'yannakakis ms':>14s} {'backtrack ms':>13s}")
+    e5_rows = bench_acyclic_entailment.collect_series()
+    for n, verdict, t_yann, t_back in e5_rows:
+        print(f"{n:6d} {str(verdict):>9s} {t_yann:14.3f} {t_back:13.3f}")
+
+    return e4_rows, e5_rows
+
+
+def write_bench_json(e4_rows, e5_rows, path: Path) -> None:
+    """Seed-vs-current E4/E5 numbers as a reviewable JSON artifact."""
+    payload = {
+        "description": (
+            "Entailment benchmarks (E4 hardness, E5 acyclic routing): "
+            "pre-planner seed baseline vs the current matching planner. "
+            "Regenerate with: python benchmarks/run_report.py"
+        ),
+        "units": "ms (best of 5 runs for 'current'; seed was single-run)",
+        "seed": SEED_BASELINE,
+        "current": {
+            "E4": [
+                {"family": family, "n": n, "ms": round(ms, 3)}
+                for family, n, ms in e4_rows
+            ],
+            "E5": [
+                {
+                    "chain": n,
+                    "yannakakis_ms": round(t_yann, 3),
+                    "backtrack_ms": round(t_back, 3),
+                }
+                for n, _verdict, t_yann, t_back in e5_rows
+            ],
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {path}")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: run only the entailment sections (E4, E5)",
+    )
+    args = parser.parse_args(argv)
+
     print("Experiment report — Foundations of Semantic Web Databases")
+    if args.quick:
+        print("(quick mode: entailment sections only)")
+        e4_rows, e5_rows = entailment_sections()
+        write_bench_json(
+            e4_rows, e5_rows, Path(__file__).parent.parent / "BENCH_entailment.json"
+        )
+        print("\nreport complete.")
+        return
 
     section("E8", "closure growth (Theorem 3.6.3)", "|cl(G)| = Θ(|G|²)")
     print(f"{'family':20s} {'|G|':>6s} {'|cl(G)|':>8s}")
@@ -56,23 +154,7 @@ def main() -> None:
     for n, t_oracle, t_mat in bench_membership.collect_series():
         print(f"{n:6d} {t_oracle:10.3f} {t_mat:15.3f}")
 
-    section(
-        "E4",
-        "simple entailment hardness (Theorem 2.9)",
-        "hard (coloring) instances blow up; easy (acyclic) stay flat",
-    )
-    print(f"{'family':22s} {'n':>4s} {'ms':>10s}")
-    for family, n, ms in bench_entailment_hardness.collect_series():
-        print(f"{family:22s} {n:4d} {ms:10.3f}")
-
-    section(
-        "E5",
-        "blank-acyclic entailment (Section 2.4)",
-        "Yannakakis pipeline polynomial; agrees with backtracking",
-    )
-    print(f"{'chain':>6s} {'entailed':>9s} {'yannakakis ms':>14s} {'backtrack ms':>13s}")
-    for n, verdict, t_yann, t_back in bench_acyclic_entailment.collect_series():
-        print(f"{n:6d} {str(verdict):>9s} {t_yann:14.3f} {t_back:13.3f}")
+    e4_rows, e5_rows = entailment_sections()
 
     section(
         "E6",
@@ -190,6 +272,10 @@ def main() -> None:
     print(f"{'|G|':>6s} {'|RDFS-cl|':>10s} {'|OWL-cl|':>9s} {'rdfs ms':>8s} {'owl ms':>8s}")
     for size, rdfs_n, owl_n, t_rdfs, t_owl in bench_owl.collect_series():
         print(f"{size:6d} {rdfs_n:10d} {owl_n:9d} {t_rdfs:8.3f} {t_owl:8.3f}")
+
+    write_bench_json(
+        e4_rows, e5_rows, Path(__file__).parent.parent / "BENCH_entailment.json"
+    )
 
     print("\nreport complete.")
 

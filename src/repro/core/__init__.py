@@ -15,6 +15,7 @@ from .homomorphism import (
 )
 from .isomorphism import canonical_form, find_isomorphism, isomorphic
 from .maps import Map, identity_map
+from .planner import ComponentPlan, MatchPlan, explain
 from .terms import (
     BNode,
     Literal,
@@ -29,7 +30,9 @@ from .vocabulary import DOM, RANGE, RDFS_VOCABULARY, SC, SP, TYPE
 
 __all__ = [
     "BNode",
+    "ComponentPlan",
     "DOM",
+    "MatchPlan",
     "Literal",
     "Map",
     "RANGE",
@@ -44,6 +47,7 @@ __all__ = [
     "Variable",
     "canonical_form",
     "count_assignments",
+    "explain",
     "find_assignment",
     "find_isomorphism",
     "find_map",

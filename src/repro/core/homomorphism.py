@@ -1,4 +1,4 @@
-"""Backtracking search for maps between RDF graphs and pattern matchings.
+"""Homomorphism search: maps between RDF graphs and pattern matchings.
 
 This is the single engine behind every NP-hard decision procedure in the
 library:
@@ -17,16 +17,25 @@ pattern triple belongs to the target.  Free-term images always come from
 actual target triples, so positional well-formedness (no literal
 subjects, no blank predicates) holds by construction.
 
-The algorithm is classic conjunctive-pattern matching: ground pattern
-triples are checked up front, then triples are matched one at a time,
-always choosing next the triple with the fewest candidate target triples
-given the current partial assignment (a fail-first heuristic).
+Since the matching-planner rewrite, the actual solving happens in
+:mod:`repro.core.planner`: the pattern is split into connected
+components, per-term candidate domains are narrowed to arc consistency
+against the target's positional indexes, and blank-acyclic components
+are routed to a backtrack-free semijoin (Yannakakis) order while cyclic
+ones fall back to fail-first backtracking with forward checking.  Use
+:func:`repro.core.planner.explain` to inspect the plan for a given
+pattern/target pair.
+
+The pre-planner solver is retained as :func:`iter_assignments_naive` /
+:func:`find_proper_endomorphism_naive`; the property-test suite checks
+the planner against it on random graphs.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Set
 
+from . import planner as _planner
 from .graph import RDFGraph
 from .maps import Map
 from .terms import BNode, Term, Triple, Variable
@@ -39,10 +48,125 @@ __all__ = [
     "find_map_into_subgraph",
     "find_proper_endomorphism",
     "count_assignments",
+    "iter_assignments_naive",
+    "find_proper_endomorphism_naive",
 ]
 
 #: Terms that the solver binds: blank nodes and query variables.
 FreeTerm = Term
+
+
+def iter_assignments(
+    pattern: Sequence[Triple],
+    target: RDFGraph,
+    frozen: Iterable[Term] = (),
+    partial: Optional[Dict[Term, Term]] = None,
+) -> Iterator[Dict[Term, Term]]:
+    """Enumerate assignments of the pattern's free terms into *target*.
+
+    Parameters
+    ----------
+    pattern:
+        Triples possibly containing blank nodes and variables.
+    target:
+        The graph the instantiated pattern must be a subgraph of.
+    frozen:
+        Blank nodes / variables to treat as constants (not assignable).
+        Used e.g. by containment tests, which freeze the body's variables
+        of one query while matching the other's (Theorem 5.5).
+    partial:
+        A pre-commitment of some free terms.
+
+    Yields every total assignment of the free terms such that each
+    instantiated pattern triple is in *target*.  The enumeration order
+    is deterministic across runs (candidates are ordered by
+    :func:`repro.core.terms.sort_key`, never by hash) and independent of
+    the order of *pattern*.
+    """
+    return _planner.iter_assignments(pattern, target, frozen, partial)
+
+
+def find_assignment(
+    pattern: Sequence[Triple],
+    target: RDFGraph,
+    frozen: Iterable[Term] = (),
+    partial: Optional[Dict[Term, Term]] = None,
+) -> Optional[Dict[Term, Term]]:
+    """First assignment from :func:`iter_assignments`, or None."""
+    for assignment in iter_assignments(pattern, target, frozen, partial):
+        return assignment
+    return None
+
+
+def count_assignments(
+    pattern: Sequence[Triple],
+    target: RDFGraph,
+    frozen: Iterable[Term] = (),
+) -> int:
+    """Number of assignments (used by benchmarks and answer-size tests)."""
+    return sum(1 for _ in iter_assignments(pattern, target, frozen))
+
+
+def iter_maps(source: RDFGraph, target: RDFGraph) -> Iterator[Map]:
+    """Enumerate maps ``μ : source → target`` (``μ(source) ⊆ target``)."""
+    for assignment in iter_assignments(list(source), target):
+        yield Map({n: v for n, v in assignment.items() if isinstance(n, BNode)})
+
+
+def find_map(source: RDFGraph, target: RDFGraph) -> Optional[Map]:
+    """A map ``source → target`` if one exists, else None.
+
+    By Theorem 2.8.2 this decides simple entailment: ``target ⊨ source``
+    iff this returns a map, for simple graphs.
+    """
+    for m in iter_maps(source, target):
+        return m
+    return None
+
+
+def find_map_into_subgraph(
+    graph: RDFGraph, excluded: Triple
+) -> Optional[Map]:
+    """A map ``G → G − {excluded}`` if one exists.
+
+    Since ``μ(G) ⊆ G`` and ``t ∉ μ(G)`` together say exactly
+    ``μ(G) ⊆ G − {t}``, non-leanness reduces to this search over the
+    non-ground triples ``t`` of ``G``.  The planner runs it as a search
+    over ``G`` itself with *excluded* banned as an image, so the target
+    graph and its indexes are never rebuilt.
+    """
+    for assignment in _planner.iter_assignments(
+        list(graph), graph, exclude=excluded
+    ):
+        return Map(
+            {n: v for n, v in assignment.items() if isinstance(n, BNode)}
+        )
+    return None
+
+
+def find_proper_endomorphism(graph: RDFGraph) -> Optional[Map]:
+    """A map ``μ : G → G`` with ``μ(G) ⊊ G``, or None if G is lean.
+
+    A ground triple is a fixed point of every map, so only non-ground
+    triples can be missing from ``μ(G)``; we try to exclude each in turn
+    (deterministic order), returning the first witness found.  The
+    planner prepares candidate domains once for ``G`` and shares them
+    across all excluded triples (see
+    :func:`repro.core.planner.proper_endomorphism_assignment`).
+    """
+    assignment = _planner.proper_endomorphism_assignment(graph)
+    if assignment is None:
+        return None
+    return Map({n: v for n, v in assignment.items() if isinstance(n, BNode)})
+
+
+# ----------------------------------------------------------------------
+# Naive reference implementation (pre-planner)
+# ----------------------------------------------------------------------
+#
+# Kept verbatim as an executable specification: the property tests check
+# that the planner's enumeration and the decisions built on it agree
+# with this solver on random graphs.
 
 
 def _free_terms(pattern: Iterable[Triple], frozen: FrozenSet[Term]) -> Set[Term]:
@@ -75,30 +199,13 @@ def _candidates(
     return target.match(s, p, o)
 
 
-def iter_assignments(
+def iter_assignments_naive(
     pattern: Sequence[Triple],
     target: RDFGraph,
     frozen: Iterable[Term] = (),
     partial: Optional[Dict[Term, Term]] = None,
 ) -> Iterator[Dict[Term, Term]]:
-    """Enumerate assignments of the pattern's free terms into *target*.
-
-    Parameters
-    ----------
-    pattern:
-        Triples possibly containing blank nodes and variables.
-    target:
-        The graph the instantiated pattern must be a subgraph of.
-    frozen:
-        Blank nodes / variables to treat as constants (not assignable).
-        Used e.g. by containment tests, which freeze the body's variables
-        of one query while matching the other's (Theorem 5.5).
-    partial:
-        A pre-commitment of some free terms.
-
-    Yields every total assignment of the free terms (deterministically
-    ordered) such that each instantiated pattern triple is in *target*.
-    """
+    """The pre-planner backtracking solver (reference implementation)."""
     frozen_set = frozenset(frozen)
     assignment: Dict[Term, Term] = dict(partial or {})
     pattern = list(pattern)
@@ -172,67 +279,13 @@ def iter_assignments(
         yield result
 
 
-def find_assignment(
-    pattern: Sequence[Triple],
-    target: RDFGraph,
-    frozen: Iterable[Term] = (),
-    partial: Optional[Dict[Term, Term]] = None,
-) -> Optional[Dict[Term, Term]]:
-    """First assignment from :func:`iter_assignments`, or None."""
-    for assignment in iter_assignments(pattern, target, frozen, partial):
-        return assignment
-    return None
-
-
-def count_assignments(
-    pattern: Sequence[Triple],
-    target: RDFGraph,
-    frozen: Iterable[Term] = (),
-) -> int:
-    """Number of assignments (used by benchmarks and answer-size tests)."""
-    return sum(1 for _ in iter_assignments(pattern, target, frozen))
-
-
-def iter_maps(source: RDFGraph, target: RDFGraph) -> Iterator[Map]:
-    """Enumerate maps ``μ : source → target`` (``μ(source) ⊆ target``)."""
-    for assignment in iter_assignments(list(source), target):
-        yield Map({n: v for n, v in assignment.items() if isinstance(n, BNode)})
-
-
-def find_map(source: RDFGraph, target: RDFGraph) -> Optional[Map]:
-    """A map ``source → target`` if one exists, else None.
-
-    By Theorem 2.8.2 this decides simple entailment: ``target ⊨ source``
-    iff this returns a map, for simple graphs.
-    """
-    for m in iter_maps(source, target):
-        return m
-    return None
-
-
-def find_map_into_subgraph(
-    graph: RDFGraph, excluded: Triple
-) -> Optional[Map]:
-    """A map ``G → G − {excluded}`` if one exists.
-
-    Since ``μ(G) ⊆ G`` and ``t ∉ μ(G)`` together say exactly
-    ``μ(G) ⊆ G − {t}``, non-leanness reduces to this search over the
-    non-ground triples ``t`` of ``G``.
-    """
-    return find_map(graph, graph - {excluded})
-
-
-def find_proper_endomorphism(graph: RDFGraph) -> Optional[Map]:
-    """A map ``μ : G → G`` with ``μ(G) ⊊ G``, or None if G is lean.
-
-    A ground triple is a fixed point of every map, so only non-ground
-    triples can be missing from ``μ(G)``; we try to exclude each in turn
-    (deterministic order), returning the first witness found.
-    """
+def find_proper_endomorphism_naive(graph: RDFGraph) -> Optional[Map]:
+    """Pre-planner proper-endomorphism search (reference implementation)."""
     for t in graph.sorted_triples():
         if t.is_ground():
             continue
-        found = find_map_into_subgraph(graph, t)
-        if found is not None:
-            return found
+        for assignment in iter_assignments_naive(list(graph), graph - {t}):
+            return Map(
+                {n: v for n, v in assignment.items() if isinstance(n, BNode)}
+            )
     return None

@@ -49,7 +49,7 @@ _KIND_VARIABLE = 3
 class _Atom:
     """Common base for all term kinds: an immutable tagged string."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
     _kind: int = -1
     _prefix: str = ""
     _allow_empty: bool = False
@@ -62,6 +62,9 @@ class _Atom:
         if not value and not self._allow_empty:
             raise ValueError(f"{type(self).__name__} value must be non-empty")
         object.__setattr__(self, "value", value)
+        # Terms are used as dict/set keys in every hot path (graph
+        # indexes, candidate domains), so the hash is computed once.
+        object.__setattr__(self, "_hash", hash((self._kind, value)))
 
     def __setattr__(self, name, _value):
         raise AttributeError(f"{type(self).__name__} is immutable")
@@ -73,7 +76,7 @@ class _Atom:
         return not self.__eq__(other)
 
     def __hash__(self):
-        return hash((self._kind, self.value))
+        return self._hash
 
     def __lt__(self, other):
         if not isinstance(other, _Atom):

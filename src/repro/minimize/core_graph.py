@@ -6,7 +6,10 @@ existence proof of Theorem 3.10: repeatedly find a proper endomorphism
 ``μ`` (``μ(G) ⊊ G``) and replace ``G`` by ``μ(G)``; each application
 strictly shrinks the graph, so at most ``|G|`` iterations occur, each
 one an NP search (cores are DP-complete to verify, Theorem 3.12.2 —
-there is no easy shortcut).
+there is no easy shortcut).  Within each iteration the matching planner
+amortizes the per-graph preparation (domains, arc consistency) across
+the up-to-``|G|`` excluded-triple searches, so the dominant cost is the
+genuinely hard search, not repeated setup.
 
 For *simple* graphs the core is additionally the unique minimal graph
 equivalent to ``G`` and decides equivalence up to isomorphism

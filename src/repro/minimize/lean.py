@@ -5,6 +5,11 @@ of itself.  Deciding leanness is coNP-complete (Theorem 3.12.1, by
 reduction from the graph-theoretic Core problem of Hell and Nešetřil);
 the decision procedure here is the complement search: try to find a
 proper endomorphism, one excluded triple at a time.
+
+The matching planner prepares the search for ``G`` once — component
+split, candidate domains, arc consistency — and shares that work across
+all excluded triples (each exclusion is a candidate filter, not a graph
+rebuild); see :func:`repro.core.planner.proper_endomorphism_assignment`.
 """
 
 from __future__ import annotations

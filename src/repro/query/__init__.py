@@ -20,7 +20,12 @@ from .containment import (
     contained_standard,
     premise_elimination,
 )
-from .matching import iter_matchings, matching_target, satisfies_constraints
+from .matching import (
+    iter_matchings,
+    matching_plan,
+    matching_target,
+    satisfies_constraints,
+)
 from .redundancy import (
     merge_answer_is_lean,
     merge_is_lean_given_answers,
@@ -55,6 +60,7 @@ __all__ = [
     "head_body_query",
     "identity_query",
     "iter_matchings",
+    "matching_plan",
     "matching_target",
     "merge_answer_is_lean",
     "merge_is_lean_given_answers",

@@ -16,6 +16,11 @@ For a query ``q = (H, B, P, C)`` and database ``D``:
 * :func:`answer_merge` — ``ans+(q, D)``: the merge (blanks of distinct
   single answers renamed apart), useful when combining several sources,
   at the cost of not having a data-independent identity query.
+
+Matchings are enumerated by the matching planner (via
+:func:`repro.query.matching.iter_matchings`); use
+:func:`repro.query.matching.matching_plan` to see how a body decomposes
+and which per-component strategy evaluation will use.
 """
 
 from __future__ import annotations

@@ -22,6 +22,12 @@ Two containment notions (Definition 5.1):
 
 Complexity: NP-complete without premises (Theorem 5.6); NP-hard and in
 Π2P with premises (Theorem 5.12).
+
+The substitution search (θ with ``θ(B′) ⊆ nf(B)``) runs on the matching
+planner: ``q``'s body variables are frozen as constants, ``q′``'s stay
+free, and the planner prunes candidate domains per variable before
+enumerating — so containment checks benefit from the same component
+decomposition and arc consistency as entailment.
 """
 
 from __future__ import annotations

@@ -15,11 +15,18 @@ from typing import Dict, Iterator, Optional
 
 from ..core.graph import RDFGraph
 from ..core.homomorphism import iter_assignments
+from ..core.planner import MatchPlan, explain
 from ..core.terms import BNode, Term, Variable
 from ..minimize.normal_form import normal_form
 from .tableau import Query
 
-__all__ = ["Valuation", "satisfies_constraints", "iter_matchings", "matching_target"]
+__all__ = [
+    "Valuation",
+    "satisfies_constraints",
+    "iter_matchings",
+    "matching_target",
+    "matching_plan",
+]
 
 #: A valuation: total on the body's variables once produced by matching.
 Valuation = Dict[Variable, Term]
@@ -61,3 +68,20 @@ def iter_matchings(
         }
         if satisfies_constraints(valuation, query.constraints):
             yield valuation
+
+
+def matching_plan(
+    query: Query,
+    database: RDFGraph,
+    target: Optional[RDFGraph] = None,
+) -> MatchPlan:
+    """The planner's :class:`~repro.core.planner.MatchPlan` for the body.
+
+    Shows how the body decomposes into connected components against
+    ``nf(D + P)`` and which strategy each component gets — useful for
+    understanding why a query is cheap (all ``semijoin``) or potentially
+    expensive (a ``backtrack`` component with large domains).
+    """
+    if target is None:
+        target = matching_target(database, query.premise)
+    return explain(list(query.body), target)

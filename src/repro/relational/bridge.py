@@ -20,6 +20,7 @@ from __future__ import annotations
 
 
 from ..core.graph import RDFGraph
+from ..core.planner import boolean_match_acyclic
 from ..core.terms import BNode, Term
 from .acyclic import build_join_tree
 from .cq import Atom, CQVariable, ConjunctiveQuery
@@ -81,7 +82,19 @@ def simple_entails_acyclic(g1: RDFGraph, g2: RDFGraph) -> bool:
     (:meth:`repro.core.graph.RDFGraph.has_blank_cycle`), and checked
     directly on the hypergraph, which is strictly more permissive.
     Raises :class:`ValueError` on cyclic inputs.
+
+    Since the matching-planner rewrite the common case never leaves the
+    graph layer: when every connected blank component of ``G2`` is
+    tree-shaped, :func:`repro.core.planner.boolean_match_acyclic` runs
+    the semijoin reduction directly on ``G1``'s positional indexes.  The
+    relational round-trip (``D_G`` / ``Q_G`` / join tree) remains as the
+    general path — it accepts some hypergraph-acyclic inputs the planner
+    conservatively routes to backtracking, and it is what raises
+    ``ValueError`` on genuinely cyclic queries.
     """
+    verdict = boolean_match_acyclic(list(g2), g1)
+    if verdict is not None:
+        return verdict
     cq = graph_to_boolean_cq(g2)
     tree = build_join_tree(cq)
     if tree is None:

@@ -7,6 +7,7 @@ equivalent closure notions, and the map-based entailment procedures.
 
 from .closure import ClosureOracle, closure, closure_delta, rdfs_closure, rdfs_closure_by_rules
 from .entailment import (
+    entailment_plan,
     entailment_witness,
     entails,
     equivalent,
@@ -45,6 +46,7 @@ __all__ = [
     "closure",
     "closure_delta",
     "construct_proof",
+    "entailment_plan",
     "entailment_witness",
     "entails",
     "entails_by_model",

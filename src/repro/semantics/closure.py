@@ -104,19 +104,24 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
         if isinstance(a, (URI, BNode)):
             new.add(Triple(a, SC, a))
 
+    # The sp/sc transitive closures feed rules (2)/(3)/(6)/(7) and
+    # (4)/(5) respectively; compute each once per round.
+    sp_pairs = _transitive_pairs(sp_edges)
+    sc_pairs = _transitive_pairs(sc_edges)
+
     # GROUP B, rule (2): sp transitivity.
-    for a, b in _transitive_pairs(sp_edges):
+    for a, b in sp_pairs:
         new.add(Triple(a, SP, b))
 
     # GROUP C, rule (4): sc transitivity.
-    for a, b in _transitive_pairs(sc_edges):
+    for a, b in sc_pairs:
         if isinstance(a, (URI, BNode)) and isinstance(b, (URI, BNode)):
             new.add(Triple(a, SC, b))
 
     # GROUP B, rule (3): lift every triple along sp.  Superproperties of
     # each predicate, through the (already emitted) transitive pairs.
     sp_super: Dict[Term, Set[Term]] = {}
-    for a, b in _transitive_pairs(sp_edges):
+    for a, b in sp_pairs:
         sp_super.setdefault(a, set()).add(b)
     for t in triples:
         for b in sp_super.get(t.p, ()):
@@ -125,7 +130,7 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
 
     # GROUP D, rule (5): lift type along sc.
     sc_super: Dict[Term, Set[Term]] = {}
-    for a, b in _transitive_pairs(sc_edges):
+    for a, b in sc_pairs:
         sc_super.setdefault(a, set()).add(b)
     type_triples = [t for t in triples if t.p == TYPE]
     for t in type_triples:
@@ -139,7 +144,7 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
     # sp-ancestors of A *including A itself* (reflexivity gives (A,sp,A)
     # whenever A is the subject of a dom/range triple, rule (10)).
     sp_sub: Dict[Term, Set[Term]] = {}
-    for a, b in _transitive_pairs(sp_edges):
+    for a, b in sp_pairs:
         sp_sub.setdefault(b, set()).add(a)
     by_predicate: Dict[Term, List[Triple]] = {}
     for t in triples:

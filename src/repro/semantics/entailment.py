@@ -9,9 +9,12 @@ decision procedures:
   (Theorem 2.8.1);
 * :func:`equivalent` — ``G1 ≡ G2``: entailment both ways.
 
-Both NP-hard directions route through the shared backtracking solver in
-:mod:`repro.core.homomorphism`, so the hardness benchmarks (Theorem 2.9)
-measure this exact code path.
+Both NP-hard directions route through the matching planner
+(:mod:`repro.core.planner` via :mod:`repro.core.homomorphism`), so the
+hardness benchmarks (Theorem 2.9) measure this exact code path:
+component decomposition, arc-consistent candidate domains, then
+semijoin or backtracking search per component.
+:func:`entailment_plan` exposes the plan the solver would run.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import Optional
 from ..core.graph import RDFGraph
 from ..core.homomorphism import find_map
 from ..core.maps import Map
+from ..core.planner import MatchPlan, explain
 from .closure import closure
 
 __all__ = [
@@ -29,6 +33,7 @@ __all__ = [
     "equivalent",
     "simple_equivalent",
     "entailment_witness",
+    "entailment_plan",
 ]
 
 
@@ -42,6 +47,20 @@ def simple_entails(g1: RDFGraph, g2: RDFGraph) -> bool:
     simple graphs wherever they appear).
     """
     return find_map(g2, g1) is not None
+
+
+def entailment_plan(
+    g1: RDFGraph, g2: RDFGraph, rdfs: bool = False
+) -> MatchPlan:
+    """The :class:`~repro.core.planner.MatchPlan` behind ``G1 ⊨ G2``.
+
+    Introspection only — shows how the planner decomposes ``G2`` and
+    which strategy (semijoin vs backtracking) each component would get
+    against ``G1`` (or ``cl(G1)`` when *rdfs* is set).  Benchmarks use
+    this to report which code path a measurement actually exercised.
+    """
+    target = closure(g1) if rdfs else g1
+    return explain(list(g2), target)
 
 
 def entailment_witness(g1: RDFGraph, g2: RDFGraph) -> Optional[Map]:

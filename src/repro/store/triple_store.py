@@ -50,6 +50,12 @@ class TripleStore:
         self._graphs: Dict[str, Set[Triple]] = {DEFAULT_GRAPH: set()}
         self._program = rdfs_datalog_program()
         self._closure_facts: Optional[FrozenSet[Tuple]] = None
+        #: Inverse Skolem map of the dataset the closure was built from;
+        #: cached with ``_closure_facts`` and invalidated together, so
+        #: :meth:`closure` never re-Skolemizes the whole dataset just to
+        #: recover it.  Skolemization is deterministic per blank label,
+        #: so incremental inserts extend it consistently.
+        self._skolem_inverse: Optional[Dict[URI, BNode]] = None
         self._normal_form: Optional[RDFGraph] = None
         self._in_transaction = False
         self._txn_log: List[Tuple[str, str, Triple]] = []  # (op, graph, triple)
@@ -193,13 +199,18 @@ class TripleStore:
 
     def _invalidate_closure(self) -> None:
         self._closure_facts = None
+        self._skolem_inverse = None
         self._normal_form = None
 
     def _on_insert(self, new_triples: List[Triple]) -> None:
         self._normal_form = None  # nf must be re-derived (cheaply, from cl)
         if self._closure_facts is None:
             return  # nothing materialized yet; computed lazily later
-        skolemized = RDFGraph(new_triples).skolemize()[0]
+        skolemized, inverse = RDFGraph(new_triples).skolemize()
+        if self._skolem_inverse is None:
+            self._skolem_inverse = dict(inverse)
+        else:
+            self._skolem_inverse.update(inverse)
         new_facts = [(TRIPLE_RELATION, (t.s, t.p, t.o)) for t in skolemized]
         result = extend_fixpoint(
             self._program,
@@ -211,17 +222,21 @@ class TripleStore:
 
     def _materialized_closure_facts(self) -> FrozenSet[Tuple]:
         if self._closure_facts is None:
-            skolemized, _ = self._skolemized_dataset()
+            skolemized, inverse = self._skolemized_dataset()
             facts = [(TRIPLE_RELATION, (t.s, t.p, t.o)) for t in skolemized]
             result = evaluate_program(self._program, facts)
             self._closure_facts = result.get(TRIPLE_RELATION, frozenset())
+            self._skolem_inverse = dict(inverse)
             self.stats["recomputed"] += 1
         return self._closure_facts
 
     def closure(self) -> RDFGraph:
         """The materialized ``cl(dataset)`` (maintained incrementally)."""
         facts = self._materialized_closure_facts()
-        _, inverse = self._skolemized_dataset()
+        inverse = self._skolem_inverse
+        if inverse is None:  # defensive: facts restored without inverse
+            _, inverse = self._skolemized_dataset()
+            self._skolem_inverse = dict(inverse)
         ground = RDFGraph(
             Triple(s, p, o)
             for s, p, o in facts
