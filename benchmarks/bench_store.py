@@ -1,21 +1,43 @@
-"""Store ablation — incremental closure maintenance vs recomputation.
+"""Store ablation — delta-aware write maintenance vs recomputation.
 
-The store materializes ``cl(dataset)`` and maintains it through
-insertions by semi-naive delta propagation (``extend_fixpoint``); the
-alternative is recomputing the closure from scratch after every write.
-The series measures a stream of single-triple inserts into a growing
-ontology under both strategies.
+The store materializes ``cl(dataset)`` and maintains it through writes
+in both directions: insertions propagate through the semi-naive delta
+loop (``extend_fixpoint_into``), deletions run delete–rederive
+(``retract_fixpoint_into``).  The alternatives — what the seed store
+did — are recomputing the closure from scratch after every write and
+rebuilding the dataset ``RDFGraph`` on every read.
+
+Three series:
+
+* insert stream — incremental insert maintenance vs per-insert
+  recomputation (the original A2 ablation);
+* delete stream — single-triple DRed deletions from a materialized
+  store vs the seed's recompute-on-delete baseline;
+* read loop — ``dataset()``/``describe()`` against the live cache
+  (O(1) amortized after a write) vs per-call snapshot rebuilding.
 """
+
+import statistics
+import time
 
 import pytest
 
-from repro.core import Triple, URI
-from repro.core.vocabulary import SC, TYPE
+from repro.core import RDFGraph, Triple, URI
+from repro.core.vocabulary import TYPE
+from repro.datalog.engine import evaluate_program
+from repro.datalog.rdfs_program import TRIPLE_RELATION, rdfs_datalog_program
 from repro.generators import random_schema_with_instances
 from repro.store import TripleStore
 
 BASE_SPECS = [(4, 3, 8, 12), (8, 6, 16, 24)]
 INSERTS = 8
+
+#: Deletion workload: big enough that the materialized closure holds
+#: well over 500 facts, as the acceptance bar for DRed requires.
+DELETE_SPEC = (12, 8, 40, 80)
+DELETES = 12
+
+READS = 200
 
 
 def base_ontology(spec):
@@ -42,7 +64,7 @@ def test_incremental_insert_stream(benchmark, spec):
         return store
 
     store = benchmark(run)
-    assert store.stats["incremental"] == INSERTS
+    assert store.stats["incremental_insert"] == INSERTS
 
 
 @pytest.mark.parametrize("spec", BASE_SPECS, ids=["S0", "S1"])
@@ -54,10 +76,60 @@ def test_recompute_insert_stream(benchmark, spec):
         triples = set(graph.triples)
         for t in insert_stream(INSERTS):
             triples.add(t)
-            from repro.core import RDFGraph
-
             rdfs_closure(RDFGraph(triples))  # full recompute per insert
         return triples
+
+    benchmark(run)
+
+
+def _delete_store():
+    store = TripleStore()
+    store.add_all(base_ontology(DELETE_SPEC))
+    store.closure()  # materialize once
+    return store
+
+
+def delete_victims():
+    """A representative victim sample, strided across the sorted base.
+
+    A sorted prefix would be all ``sc`` schema edges (the worst-case
+    derivation cones); the stride mixes schema and instance triples the
+    way a real deletion stream would.
+    """
+    base = sorted(base_ontology(DELETE_SPEC), key=str)
+    stride = max(1, len(base) // DELETES)
+    return base[::stride][:DELETES]
+
+
+def test_dred_delete_stream(benchmark):
+    victims = delete_victims()
+
+    store = _delete_store()
+
+    def run():
+        for v in victims:
+            store.remove(v)  # DRed maintenance per deletion
+        for v in victims:
+            store.add(v)  # restore for the next round
+        return store
+
+    benchmark(run)
+    assert store.stats["incremental_delete"] >= DELETES
+    assert store.stats["recomputed"] == 1  # only the initial materialization
+
+
+def test_recompute_delete_baseline(benchmark):
+    """The seed write path: deletion invalidates, next read recomputes."""
+    program = rdfs_datalog_program()
+    rows = {(t.s, t.p, t.o) for t in base_ontology(DELETE_SPEC)}
+    victims = delete_victims()
+
+    def run():
+        for v in victims:
+            kept = rows - {(v.s, v.p, v.o)}
+            evaluate_program(
+                program, [(TRIPLE_RELATION, r) for r in kept]
+            )
 
     benchmark(run)
 
@@ -73,10 +145,20 @@ def test_entailment_probe_after_stream(benchmark, spec):
     assert result is True
 
 
-def collect_series():
-    import time
+def test_read_loop_after_write(benchmark):
+    """dataset() from the live cache: O(1) amortized after one write."""
+    store = _delete_store()
+    store.add(Triple(URI("probe"), TYPE, URI("class0")))
 
-    from repro.core import RDFGraph
+    def run():
+        for _ in range(READS):
+            store.dataset()
+        return store.dataset()
+
+    benchmark(run)
+
+
+def collect_series():
     from repro.semantics import rdfs_closure
 
     rows = []
@@ -99,3 +181,109 @@ def collect_series():
         t_recompute = (time.perf_counter() - t0) * 1e3
         rows.append((len(base), INSERTS, t_incremental, t_recompute))
     return rows
+
+
+def collect_delete_series():
+    """Per-deletion DRed vs recompute-on-delete on a materialized store.
+
+    Returns one row per victim triple:
+    ``(closure_size, dred_ms, recompute_ms)``.
+    """
+    program = rdfs_datalog_program()
+    victims = delete_victims()
+
+    store = _delete_store()
+    closure_size = len(store.closure())
+
+    rows = []
+    all_rows = {(t.s, t.p, t.o) for t in base_ontology(DELETE_SPEC)}
+    for v in victims:
+        t0 = time.perf_counter()
+        store.remove(v)
+        t_dred = (time.perf_counter() - t0) * 1e3
+        store.add(v)
+
+        kept = all_rows - {(v.s, v.p, v.o)}
+        t0 = time.perf_counter()
+        evaluate_program(program, [(TRIPLE_RELATION, r) for r in kept])
+        t_recompute = (time.perf_counter() - t0) * 1e3
+
+        rows.append((closure_size, t_dred, t_recompute))
+    return rows
+
+
+def collect_read_series():
+    """Read-heavy loop after a write: live cache vs per-call rebuild.
+
+    Returns ``(reads, first_ms, cached_avg_us, rebuild_avg_us)``: the
+    first ``dataset()`` call after a write pays the snapshot build once;
+    the remaining calls return the cached graph.  The rebuild column is
+    the seed behaviour — constructing the union ``RDFGraph`` per call.
+    """
+    store = _delete_store()
+    store.add(Triple(URI("probe"), TYPE, URI("class0")))
+
+    t0 = time.perf_counter()
+    store.dataset()
+    first_ms = (time.perf_counter() - t0) * 1e3
+
+    t0 = time.perf_counter()
+    for _ in range(READS):
+        store.dataset()
+    cached_avg_us = (time.perf_counter() - t0) * 1e6 / READS
+
+    union = set()
+    for name in store.graph_names():
+        union |= set(store.graph(name).triples)
+    t0 = time.perf_counter()
+    for _ in range(READS):
+        RDFGraph(union)
+    rebuild_avg_us = (time.perf_counter() - t0) * 1e6 / READS
+
+    return READS, first_ms, cached_avg_us, rebuild_avg_us
+
+
+def store_payload():
+    """The BENCH_store.json body: seed recompute-on-delete vs DRed."""
+    delete_rows = collect_delete_series()
+    closure_size = delete_rows[0][0] if delete_rows else 0
+    dred = [round(r[1], 3) for r in delete_rows]
+    recompute = [round(r[2], 3) for r in delete_rows]
+    med_dred = statistics.median(dred) if dred else 0.0
+    med_rec = statistics.median(recompute) if recompute else 0.0
+    reads, first_ms, cached_us, rebuild_us = collect_read_series()
+    insert_rows = collect_series()
+    return {
+        "description": (
+            "Store write-path benchmarks: single-triple deletions from a "
+            "materialized store under DRed maintenance vs the seed's "
+            "recompute-on-delete baseline, plus the read loop against "
+            "the live dataset cache. "
+            "Regenerate with: python benchmarks/run_report.py"
+        ),
+        "units": "ms unless suffixed _us",
+        "delete": {
+            "closure_size": closure_size,
+            "deletions": len(delete_rows),
+            "seed_recompute_ms": recompute,
+            "dred_ms": dred,
+            "median_seed_ms": round(med_rec, 3),
+            "median_dred_ms": round(med_dred, 3),
+            "speedup": round(med_rec / med_dred, 2) if med_dred else None,
+        },
+        "read_loop": {
+            "reads": reads,
+            "first_call_ms": round(first_ms, 3),
+            "cached_avg_us": round(cached_us, 3),
+            "seed_rebuild_avg_us": round(rebuild_us, 3),
+        },
+        "insert": [
+            {
+                "base": size,
+                "inserts": inserts,
+                "incremental_ms": round(t_inc, 3),
+                "recompute_ms": round(t_rec, 3),
+            }
+            for size, inserts, t_inc, t_rec in insert_rows
+        ],
+    }

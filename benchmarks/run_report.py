@@ -6,12 +6,16 @@ one experiment id from DESIGN.md's per-experiment index and prints the
 measured rows next to the paper's predicted shape.
 
 Run:  python benchmarks/run_report.py            # full report
-      python benchmarks/run_report.py --quick    # CI smoke: E4 + E5 only
+      python benchmarks/run_report.py --quick    # CI smoke: E4 + E5 + store
 
 Both modes re-measure the two entailment experiments (E4 hardness, E5
 acyclic routing) and write ``BENCH_entailment.json`` at the repo root:
 the pre-planner seed baselines next to the current run's numbers, so
-perf regressions in the matching planner show up in review diffs.
+perf regressions in the matching planner show up in review diffs.  They
+also run the mixed insert/delete store workload and write
+``BENCH_store.json``: the seed's recompute-on-delete baseline next to
+the DRed deletion maintenance numbers, plus the read loop against the
+live dataset cache.
 """
 
 import argparse
@@ -92,6 +96,45 @@ def entailment_sections():
     return e4_rows, e5_rows
 
 
+def store_section():
+    """Run + print the store write-path workload; return the payload."""
+    section(
+        "A2b",
+        "delta-aware store writes (repro.store)",
+        "DRed deletion ≪ recompute-on-delete; reads O(1) from the cache",
+    )
+    payload = bench_store.store_payload()
+    delete = payload["delete"]
+    print(
+        f"closure size {delete['closure_size']}, "
+        f"{delete['deletions']} single-triple deletions"
+    )
+    print(f"{'victim':>7s} {'dred ms':>9s} {'recompute ms':>13s}")
+    for i, (dred, rec) in enumerate(
+        zip(delete["dred_ms"], delete["seed_recompute_ms"])
+    ):
+        print(f"{i:7d} {dred:9.3f} {rec:13.3f}")
+    print(
+        f"median: dred {delete['median_dred_ms']:.3f} ms, "
+        f"seed recompute {delete['median_seed_ms']:.3f} ms "
+        f"→ speedup {delete['speedup']}x"
+    )
+    reads = payload["read_loop"]
+    print(
+        f"read loop ({reads['reads']} dataset() calls after a write): "
+        f"first {reads['first_call_ms']:.3f} ms, "
+        f"then {reads['cached_avg_us']:.1f} us/call cached "
+        f"vs {reads['seed_rebuild_avg_us']:.1f} us/call seed rebuild"
+    )
+    return payload
+
+
+def write_store_json(payload, path: Path) -> None:
+    """Seed-vs-current store write numbers as a reviewable artifact."""
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {path}")
+
+
 def write_bench_json(e4_rows, e5_rows, path: Path) -> None:
     """Seed-vs-current E4/E5 numbers as a reviewable JSON artifact."""
     payload = {
@@ -126,17 +169,18 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke mode: run only the entailment sections (E4, E5)",
+        help="CI smoke mode: entailment sections (E4, E5) + store writes",
     )
     args = parser.parse_args(argv)
 
+    root = Path(__file__).parent.parent
     print("Experiment report — Foundations of Semantic Web Databases")
     if args.quick:
-        print("(quick mode: entailment sections only)")
+        print("(quick mode: entailment + store write sections only)")
         e4_rows, e5_rows = entailment_sections()
-        write_bench_json(
-            e4_rows, e5_rows, Path(__file__).parent.parent / "BENCH_entailment.json"
-        )
+        store_rows = store_section()
+        write_bench_json(e4_rows, e5_rows, root / "BENCH_entailment.json")
+        write_store_json(store_rows, root / "BENCH_store.json")
         print("\nreport complete.")
         return
 
@@ -237,6 +281,8 @@ def main(argv=None) -> None:
     for size, inserts, t_inc, t_rec in bench_store.collect_series():
         print(f"{size:7d} {inserts:8d} {t_inc:15.3f} {t_rec:13.3f}")
 
+    store_rows = store_section()
+
     section(
         "X1",
         "extension: path queries (repro.navigation)",
@@ -273,9 +319,8 @@ def main(argv=None) -> None:
     for size, rdfs_n, owl_n, t_rdfs, t_owl in bench_owl.collect_series():
         print(f"{size:6d} {rdfs_n:10d} {owl_n:9d} {t_rdfs:8.3f} {t_owl:8.3f}")
 
-    write_bench_json(
-        e4_rows, e5_rows, Path(__file__).parent.parent / "BENCH_entailment.json"
-    )
+    write_bench_json(e4_rows, e5_rows, root / "BENCH_entailment.json")
+    write_store_json(store_rows, root / "BENCH_store.json")
 
     print("\nreport complete.")
 

@@ -273,9 +273,26 @@ class RDFGraph:
         return self._triples
 
     def count(self, s=None, p=None, o=None) -> int:
-        """Number of triples matching the given fixed positions."""
-        found = self.match(s, p, o)
-        return len(found) if hasattr(found, "__len__") else sum(1 for _ in found)
+        """Number of triples matching the given fixed positions.
+
+        Reads the size of the selected index bucket directly instead of
+        materializing the matching triples first.
+        """
+        if s is not None and p is not None and o is not None:
+            return 1 if Triple(s, p, o) in self._triples else 0
+        if s is not None and p is not None:
+            return len(self._by_sp.get((s, p), ()))
+        if p is not None and o is not None:
+            return len(self._by_po.get((p, o), ()))
+        if s is not None and o is not None:
+            return len(self._by_so.get((s, o), ()))
+        if s is not None:
+            return len(self._by_subject.get(s, ()))
+        if p is not None:
+            return len(self._by_predicate.get(p, ()))
+        if o is not None:
+            return len(self._by_object.get(o, ()))
+        return len(self._triples)
 
     # ------------------------------------------------------------------
     # Skolemization (Section 3.1)

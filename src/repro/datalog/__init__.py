@@ -6,7 +6,15 @@ premise queries are not (see ``tests/test_datalog.py`` for the
 executable contrast).
 """
 
-from .engine import DVar, DatalogAtom, DatalogProgram, DatalogRule, evaluate_program
+from .engine import (
+    DVar,
+    DatalogAtom,
+    DatalogProgram,
+    DatalogRule,
+    evaluate_program,
+    extend_fixpoint,
+    retract_fixpoint,
+)
 from .rdfs_program import TRIPLE_RELATION, closure_via_datalog, rdfs_datalog_program
 
 __all__ = [
@@ -17,5 +25,7 @@ __all__ = [
     "TRIPLE_RELATION",
     "closure_via_datalog",
     "evaluate_program",
+    "extend_fixpoint",
+    "retract_fixpoint",
     "rdfs_datalog_program",
 ]

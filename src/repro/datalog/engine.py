@@ -26,8 +26,13 @@ __all__ = [
     "DatalogAtom",
     "DatalogRule",
     "DatalogProgram",
+    "FactStore",
     "evaluate_program",
+    "materialize_fixpoint",
     "extend_fixpoint",
+    "extend_fixpoint_into",
+    "retract_fixpoint",
+    "retract_fixpoint_into",
 ]
 
 
@@ -97,8 +102,13 @@ class DatalogProgram:
         return "\n".join(str(r) for r in self.rules)
 
 
-class _FactStore:
-    """Facts indexed by relation and by (relation, position, value)."""
+class FactStore:
+    """Facts indexed by relation and by (relation, position, value).
+
+    Mutable and cheap to update in place — the persistent substrate for
+    incrementally maintained fixpoints (see :func:`materialize_fixpoint`
+    / :func:`extend_fixpoint_into` / :func:`retract_fixpoint_into`).
+    """
 
     def __init__(self):
         self.by_relation: Dict[str, Set[Tuple]] = {}
@@ -116,6 +126,23 @@ class _FactStore:
         rows.add(row)
         for position, value in enumerate(row):
             self.index.setdefault((relation, position, value), set()).add(row)
+        return True
+
+    def discard(self, relation: str, row: Tuple) -> bool:
+        """Remove; returns True when the fact was present."""
+        rows = self.by_relation.get(relation)
+        if rows is None or row not in rows:
+            return False
+        rows.remove(row)
+        if not rows:
+            del self.by_relation[relation]
+        for position, value in enumerate(row):
+            key = (relation, position, value)
+            indexed = self.index.get(key)
+            if indexed is not None:
+                indexed.discard(row)
+                if not indexed:
+                    del self.index[key]
         return True
 
     def rows(self, relation: str) -> Set[Tuple]:
@@ -161,8 +188,8 @@ class _FactStore:
 
 def _match_rule(
     rule: DatalogRule,
-    store: _FactStore,
-    delta: Optional[_FactStore],
+    store: FactStore,
+    delta: Optional[FactStore],
     delta_position: Optional[int],
 ) -> Iterator[Tuple]:
     """Head instantiations; if *delta_position* is set, that body atom
@@ -198,21 +225,21 @@ def _match_rule(
     yield from backtrack(0, {})
 
 
-def evaluate_program(
-    program: DatalogProgram, facts: Iterable[Fact]
-) -> Dict[str, FrozenSet[Tuple]]:
-    """Least fixpoint of the program over the given extensional facts.
+def materialize_fixpoint(program: DatalogProgram, facts: Iterable[Fact]) -> FactStore:
+    """Least fixpoint of the program as a mutable :class:`FactStore`.
 
     Semi-naive: after the first round, each rule fires only on
     instantiations that use at least one fact derived in the previous
-    round (tried at every body position).
+    round (tried at every body position).  The returned store can be
+    maintained in place with :func:`extend_fixpoint_into` and
+    :func:`retract_fixpoint_into`.
     """
-    store = _FactStore()
+    store = FactStore()
     for relation, row in facts:
         store.add(relation, tuple(row))
 
     # Round 0: facts from body-less rules plus one naive pass.
-    delta = _FactStore()
+    delta = FactStore()
     for rule in program.rules:
         if not rule.body:
             row = tuple(rule.head.terms)
@@ -227,13 +254,30 @@ def evaluate_program(
                     delta.add(rule.head.relation, row)
 
     _semi_naive_rounds(program, store, delta)
+    return store
+
+
+def evaluate_program(
+    program: DatalogProgram, facts: Iterable[Fact]
+) -> Dict[str, FrozenSet[Tuple]]:
+    """Least fixpoint of the program over the given extensional facts."""
+    store = materialize_fixpoint(program, facts)
     return {rel: frozenset(rows) for rel, rows in store.by_relation.items()}
 
 
-def _semi_naive_rounds(program: DatalogProgram, store: _FactStore, delta: _FactStore):
-    """Iterate delta rounds until no rule produces a new fact."""
+def _semi_naive_rounds(
+    program: DatalogProgram,
+    store: FactStore,
+    delta: FactStore,
+    added: Optional[FactStore] = None,
+):
+    """Iterate delta rounds until no rule produces a new fact.
+
+    When *added* is given, every fact inserted by the loop is recorded
+    there too (the insertion delta reported by the ``_into`` variants).
+    """
     while delta.by_relation:
-        new_delta = _FactStore()
+        new_delta = FactStore()
         for rule in program.rules:
             if not rule.body:
                 continue
@@ -248,7 +292,220 @@ def _semi_naive_rounds(program: DatalogProgram, store: _FactStore, delta: _FactS
                 for row in _match_rule(rule, store, delta, position):
                     if store.add(rule.head.relation, row):
                         new_delta.add(rule.head.relation, row)
+                        if added is not None:
+                            added.add(rule.head.relation, row)
         delta = new_delta
+
+
+def _rederivable(rule: DatalogRule, store: FactStore, row: Tuple) -> bool:
+    """Can *rule* derive the head instance *row* from facts in *store*?
+
+    Goal-directed: the head binding is fixed up front, so the body
+    search only explores instantiations that produce exactly this fact —
+    the per-fact rederivation step of delete–rederive maintenance.
+    """
+    binding: Dict[DVar, Hashable] = {}
+    for term, value in zip(rule.head.terms, row):
+        if isinstance(term, DVar):
+            seen = binding.get(term)
+            if seen is None:
+                binding[term] = value
+            elif seen != value:
+                return False
+        elif term != value:
+            return False
+
+    body = list(rule.body)
+
+    def backtrack(i: int) -> bool:
+        if i == len(body):
+            return True
+        atom = body[i]
+        for candidate in store.candidates(atom, binding):
+            bound: List[DVar] = []
+            ok = True
+            for term, value in zip(atom.terms, candidate):
+                if isinstance(term, DVar):
+                    seen = binding.get(term)
+                    if seen is None:
+                        binding[term] = value
+                        bound.append(term)
+                    elif seen != value:
+                        ok = False
+                        break
+            if ok and backtrack(i + 1):
+                return True
+            for v in bound:
+                del binding[v]
+        return False
+
+    return backtrack(0)
+
+
+def retract_fixpoint_into(
+    program: DatalogProgram,
+    store: FactStore,
+    base: FactStore,
+    removed_facts: Iterable[Fact],
+) -> Dict[str, FrozenSet[Tuple]]:
+    """Delete–rederive (DRed) maintenance of a fixpoint, in place.
+
+    *store* must hold a fixpoint of the program over some extensional
+    database; *base* is that database **after** the *removed_facts*
+    have been taken out.  Mutates *store* into the fixpoint over the
+    reduced database and returns the net deletions per relation (facts
+    present before, absent after).  Three phases instead of a
+    from-scratch run:
+
+    1. **Overdelete** — starting from the removals, delete every fact
+       some derivation of which uses a deleted fact (semi-naive over the
+       deletion delta, remaining body atoms matched in the old closure).
+    2. **Rederive seeds** — each overdeleted fact that is still in the
+       base, or has an alternate derivation entirely within the
+       surviving facts, is put back (head-bound body search per fact).
+    3. **Propagate** — the rederived seeds feed the ordinary semi-naive
+       insertion loop, restoring their surviving consequences.
+
+    Deleting a fact with few consequences therefore costs time
+    proportional to its derivation cone, not to the whole closure.
+    """
+    axioms = {
+        (rule.head.relation, tuple(rule.head.terms))
+        for rule in program.rules
+        if not rule.body
+    }
+    rules_by_head: Dict[str, List[DatalogRule]] = {}
+    for rule in program.rules:
+        rules_by_head.setdefault(rule.head.relation, []).append(rule)
+
+    # A fact is *stably supported* when it is in the base, is an axiom,
+    # or has a derivation using base facts only — none of which a
+    # deletion can ever invalidate.  Pruning the overdeletion wave at
+    # stably supported facts is what keeps the deletion cone small:
+    # without it, one lost support for a reflexivity fact like
+    # ``(c, sc, c)`` overdeletes (and then rederives) the entire
+    # transitive neighbourhood of ``c``.
+    stable_memo: Dict[Fact, bool] = {}
+
+    def stably_supported(relation: str, row: Tuple) -> bool:
+        head = (relation, row)
+        if head in base or head in axioms:
+            return True
+        cached = stable_memo.get(head)
+        if cached is None:
+            cached = any(
+                rule.body and _rederivable(rule, base, row)
+                for rule in rules_by_head.get(relation, ())
+            )
+            stable_memo[head] = cached
+        return cached
+
+    # Phase 1: overdeletion.  ``store`` stays the *old* closure while the
+    # deletion delta saturates, so every body atom can still be matched.
+    overdeleted = FactStore()
+    delta = FactStore()
+    for relation, row in removed_facts:
+        row = tuple(row)
+        if (relation, row) in store and overdeleted.add(relation, row):
+            delta.add(relation, row)
+    while delta.by_relation:
+        new_delta = FactStore()
+        for rule in program.rules:
+            if not rule.body:
+                continue
+            if not any(atom.relation in delta.by_relation for atom in rule.body):
+                continue
+            for position, atom in enumerate(rule.body):
+                if atom.relation not in delta.by_relation:
+                    continue
+                for row in _match_rule(rule, store, delta, position):
+                    head = (rule.head.relation, row)
+                    if head not in store or head in overdeleted:
+                        continue
+                    if stably_supported(*head):
+                        continue  # prune: no deletion can falsify it
+                    overdeleted.add(rule.head.relation, row)
+                    new_delta.add(rule.head.relation, row)
+        delta = new_delta
+
+    # Shrink the store to the surviving facts.
+    for relation, rows in overdeleted.by_relation.items():
+        for row in rows:
+            store.discard(relation, row)
+
+    # Phase 2: rederivation seeds — an alternate derivation entirely
+    # within the surviving facts (the removed facts themselves may also
+    # turn out stably supported when removed_facts ⊄ old base).
+    delta = FactStore()
+    for relation, rows in overdeleted.by_relation.items():
+        for row in rows:
+            alive = stably_supported(relation, row) or any(
+                rule.body and _rederivable(rule, store, row)
+                for rule in rules_by_head.get(relation, ())
+            )
+            if alive and store.add(relation, row):
+                delta.add(relation, row)
+
+    # Phase 3: propagate the rederived seeds like ordinary insertions.
+    _semi_naive_rounds(program, store, delta)
+
+    # Net deletions: overdeleted facts that rederivation did not revive.
+    gone: Dict[str, FrozenSet[Tuple]] = {}
+    for relation, rows in overdeleted.by_relation.items():
+        lost = frozenset(
+            row for row in rows if (relation, row) not in store
+        )
+        if lost:
+            gone[relation] = lost
+    return gone
+
+
+def retract_fixpoint(
+    program: DatalogProgram,
+    closed_facts: Iterable[Fact],
+    base_facts: Iterable[Fact],
+    removed_facts: Iterable[Fact],
+) -> Dict[str, FrozenSet[Tuple]]:
+    """DRed maintenance of an existing fixpoint (functional wrapper).
+
+    Builds fresh stores from *closed_facts* / *base_facts*, runs
+    :func:`retract_fixpoint_into`, and returns the whole reduced
+    fixpoint.  *base_facts* is the extensional database **after** the
+    *removed_facts* have been taken out.
+    """
+    store = FactStore()
+    for relation, row in closed_facts:
+        store.add(relation, tuple(row))
+    base = FactStore()
+    for relation, row in base_facts:
+        base.add(relation, tuple(row))
+    retract_fixpoint_into(program, store, base, removed_facts)
+    return {rel: frozenset(rows) for rel, rows in store.by_relation.items()}
+
+
+def extend_fixpoint_into(
+    program: DatalogProgram,
+    store: FactStore,
+    new_facts: Iterable[Fact],
+) -> Dict[str, FrozenSet[Tuple]]:
+    """Incrementally extend a fixpoint held in *store*, in place.
+
+    Because positive Datalog is monotone, seeding the semi-naive loop
+    with just the insertions as the first delta recomputes exactly the
+    consequences that involve them.  Returns the net additions per
+    relation (facts absent before, present after).
+    """
+    delta = FactStore()
+    added = FactStore()
+    for relation, row in new_facts:
+        row = tuple(row)
+        if store.add(relation, row):
+            delta.add(relation, row)
+            added.add(relation, row)
+    _semi_naive_rounds(program, store, delta, added=added)
+    return {
+        rel: frozenset(rows) for rel, rows in added.by_relation.items()
+    }
 
 
 def extend_fixpoint(
@@ -256,22 +513,13 @@ def extend_fixpoint(
     closed_facts: Iterable[Fact],
     new_facts: Iterable[Fact],
 ) -> Dict[str, FrozenSet[Tuple]]:
-    """Incrementally extend an existing fixpoint with new facts.
+    """Incrementally extend an existing fixpoint (functional wrapper).
 
     *closed_facts* must already be a fixpoint of the program (e.g. a
     previously materialized closure); *new_facts* are the insertions.
-    Because positive Datalog is monotone, seeding the semi-naive loop
-    with just the insertions as the first delta recomputes exactly the
-    consequences that involve them — the incremental-maintenance
-    strategy used by :class:`repro.store.TripleStore`.
     """
-    store = _FactStore()
+    store = FactStore()
     for relation, row in closed_facts:
         store.add(relation, tuple(row))
-    delta = _FactStore()
-    for relation, row in new_facts:
-        row = tuple(row)
-        if store.add(relation, row):
-            delta.add(relation, row)
-    _semi_naive_rounds(program, store, delta)
+    extend_fixpoint_into(program, store, new_facts)
     return {rel: frozenset(rows) for rel, rows in store.by_relation.items()}

@@ -199,9 +199,14 @@ def closure(graph: RDFGraph) -> RDFGraph:
     return RDFGraph.unskolemize(closed, inverse)
 
 
-def closure_delta(graph: RDFGraph) -> RDFGraph:
-    """The derived part ``cl(G) − G`` (useful for inspection and tests)."""
-    return closure(graph) - graph
+def closure_delta(graph: RDFGraph, closed: Optional[RDFGraph] = None) -> RDFGraph:
+    """The derived part ``cl(G) − G`` (useful for inspection and tests).
+
+    Pass *closed* to reuse an already-computed (e.g. incrementally
+    maintained) closure instead of recomputing it — the store's
+    :meth:`~repro.store.TripleStore.closure_delta` does exactly that.
+    """
+    return (closure(graph) if closed is None else closed) - graph
 
 
 class ClosureOracle:

@@ -1,9 +1,12 @@
 """A transactional RDF store built on the paper's theory.
 
-Named graphs, transactions, incremental RDFS-closure maintenance, and
-query answering with the tableau semantics of Section 4.
+Named graphs, transactions, incremental RDFS-closure maintenance in
+both directions (semi-naive insertion deltas, DRed deletions), a live
+dataset cache, and query answering with the tableau semantics of
+Section 4.
 """
 
+from .dataset_cache import DatasetCache
 from .triple_store import DEFAULT_GRAPH, TransactionError, TripleStore
 
-__all__ = ["DEFAULT_GRAPH", "TransactionError", "TripleStore"]
+__all__ = ["DEFAULT_GRAPH", "DatasetCache", "TransactionError", "TripleStore"]

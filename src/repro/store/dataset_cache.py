@@ -1,0 +1,189 @@
+"""A live, mutable view of the store's dataset (union of named graphs).
+
+:class:`~repro.core.graph.RDFGraph` is immutable: every union the store
+used to serve (``dataset()``, ``describe()``, the blank-entailment
+path) rebuilt the triple set and all six positional indexes from
+scratch.  :class:`DatasetCache` keeps one union snapshot *alive*
+instead — per-position indexes updated in place on every add/remove,
+with reference counts so the same triple asserted in two named graphs
+stays in the union until its last occurrence goes.
+
+The cache exposes the same ``match``/``count`` lookup interface as
+``RDFGraph`` (the primitive the matching planner and ``describe``
+consume), plus a lazily cached immutable :meth:`snapshot` for callers
+that need a real ``RDFGraph`` value: after a burst of writes the first
+``snapshot()`` rebuilds once, every later call is O(1) until the next
+mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from ..core.graph import RDFGraph
+from ..core.terms import BNode, Term, Triple
+
+__all__ = ["DatasetCache"]
+
+
+class DatasetCache:
+    """Refcounted union of triple sets with in-place positional indexes."""
+
+    __slots__ = (
+        "_counts",
+        "_by_subject",
+        "_by_predicate",
+        "_by_object",
+        "_by_sp",
+        "_by_po",
+        "_by_so",
+        "_bnode_counts",
+        "_snapshot",
+    )
+
+    def __init__(self, triples: Iterable[Triple] = ()):
+        self._counts: Dict[Triple, int] = {}
+        self._by_subject: Dict[Term, Set[Triple]] = {}
+        self._by_predicate: Dict[Term, Set[Triple]] = {}
+        self._by_object: Dict[Term, Set[Triple]] = {}
+        self._by_sp: Dict[Tuple[Term, Term], Set[Triple]] = {}
+        self._by_po: Dict[Tuple[Term, Term], Set[Triple]] = {}
+        self._by_so: Dict[Tuple[Term, Term], Set[Triple]] = {}
+        self._bnode_counts: Dict[BNode, int] = {}
+        self._snapshot: Optional[RDFGraph] = None
+        for t in triples:
+            self.add(t)
+
+    # ------------------------------------------------------------------
+    # Mutation (O(1) per call)
+    # ------------------------------------------------------------------
+
+    def add(self, t: Triple) -> bool:
+        """Count one occurrence; True iff the union gained the triple."""
+        count = self._counts.get(t, 0)
+        self._counts[t] = count + 1
+        if count:
+            return False
+        self._by_subject.setdefault(t.s, set()).add(t)
+        self._by_predicate.setdefault(t.p, set()).add(t)
+        self._by_object.setdefault(t.o, set()).add(t)
+        self._by_sp.setdefault((t.s, t.p), set()).add(t)
+        self._by_po.setdefault((t.p, t.o), set()).add(t)
+        self._by_so.setdefault((t.s, t.o), set()).add(t)
+        for term in t:
+            if isinstance(term, BNode):
+                self._bnode_counts[term] = self._bnode_counts.get(term, 0) + 1
+        self._snapshot = None
+        return True
+
+    def discard(self, t: Triple) -> bool:
+        """Drop one occurrence; True iff the union lost the triple."""
+        count = self._counts.get(t, 0)
+        if not count:
+            return False
+        if count > 1:
+            self._counts[t] = count - 1
+            return False
+        del self._counts[t]
+        for index, key in (
+            (self._by_subject, t.s),
+            (self._by_predicate, t.p),
+            (self._by_object, t.o),
+            (self._by_sp, (t.s, t.p)),
+            (self._by_po, (t.p, t.o)),
+            (self._by_so, (t.s, t.o)),
+        ):
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(t)
+                if not bucket:
+                    del index[key]
+        for term in t:
+            if isinstance(term, BNode):
+                remaining = self._bnode_counts.get(term, 0) - 1
+                if remaining > 0:
+                    self._bnode_counts[term] = remaining
+                else:
+                    self._bnode_counts.pop(term, None)
+        self._snapshot = None
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup — same contract as RDFGraph.match/count
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> Iterable[Triple]:
+        """Triples matching the given fixed positions (None = wildcard)."""
+        if s is not None and p is not None and o is not None:
+            t = Triple(s, p, o)
+            return (t,) if t in self._counts else ()
+        if s is not None and p is not None:
+            return self._by_sp.get((s, p), ())
+        if p is not None and o is not None:
+            return self._by_po.get((p, o), ())
+        if s is not None and o is not None:
+            return self._by_so.get((s, o), ())
+        if s is not None:
+            return self._by_subject.get(s, ())
+        if p is not None:
+            return self._by_predicate.get(p, ())
+        if o is not None:
+            return self._by_object.get(o, ())
+        return self._counts.keys()
+
+    def count(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> int:
+        """Number of matching triples, read straight off the index sizes."""
+        if s is not None and p is not None and o is not None:
+            return 1 if Triple(s, p, o) in self._counts else 0
+        if s is not None and p is not None:
+            return len(self._by_sp.get((s, p), ()))
+        if p is not None and o is not None:
+            return len(self._by_po.get((p, o), ()))
+        if s is not None and o is not None:
+            return len(self._by_so.get((s, o), ()))
+        if s is not None:
+            return len(self._by_subject.get(s, ()))
+        if p is not None:
+            return len(self._by_predicate.get(p, ()))
+        if o is not None:
+            return len(self._by_object.get(o, ()))
+        return len(self._counts)
+
+    # ------------------------------------------------------------------
+    # Set-like protocol over the union
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._counts)
+
+    def __contains__(self, t) -> bool:
+        if not isinstance(t, Triple):
+            t = Triple(*t)
+        return t in self._counts
+
+    def bnodes(self) -> FrozenSet[BNode]:
+        return frozenset(self._bnode_counts)
+
+    def snapshot(self) -> RDFGraph:
+        """The union as an immutable ``RDFGraph``; cached between writes."""
+        if self._snapshot is None:
+            self._snapshot = RDFGraph(self._counts)
+        return self._snapshot
+
+    @property
+    def snapshot_is_cached(self) -> bool:
+        """True when the next :meth:`snapshot` call is O(1) (no rebuild)."""
+        return self._snapshot is not None

@@ -1,12 +1,29 @@
-"""A transactional RDF store with incremental closure maintenance.
+"""A transactional RDF store with delta-aware write maintenance.
 
 This is the "database" a downstream user of the paper's theory would
 actually run: named graphs, ACID-ish transactions (all-or-nothing
-batches with rollback), a materialized RDFS closure maintained
-*incrementally* on insertion (semi-naive delta propagation through the
-Datalog rendition of rules (2)–(13); deletions trigger recomputation —
-the classic trade-off, measured in ``benchmarks/bench_store.py``), and
-query answering with the paper's semantics.
+batches with rollback), a materialized RDFS closure (the ``cl(G)`` of
+Definition 3.5 / Theorem 3.6, a materialized view over the Datalog
+rendition of rules (2)–(13)) maintained *incrementally* in both
+directions, and query answering with the paper's semantics.
+
+Write path:
+
+* **Insertions** propagate through the semi-naive delta loop
+  (:func:`~repro.datalog.engine.extend_fixpoint_into`).
+* **Deletions** run delete–rederive (DRed) maintenance
+  (:func:`~repro.datalog.engine.retract_fixpoint_into`): overdelete the
+  removed facts' derivation cones, rederive what has alternate support.
+  Both update one persistent fixpoint store in place; recomputation
+  survives only as the lazy from-scratch fallback (and as the
+  cross-check behind :attr:`TripleStore.validate_maintenance`).
+* **Transactions** buffer the net dataset delta and run one batched
+  maintenance step at commit (or at the first closure-dependent read
+  inside the transaction) instead of one step per operation.
+* A live :class:`~repro.store.dataset_cache.DatasetCache` keeps the
+  union-of-graphs snapshot and its positional indexes current in place,
+  so ``dataset()``/``describe()``/``entails()`` never rebuild an
+  ``RDFGraph`` just to read.
 
 The store works over the Skolemized image of its data (Section 3.1), so
 the materialized closure is a plain ground fact set; blank nodes are
@@ -15,19 +32,31 @@ restored on the way out.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+import os
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..core.graph import RDFGraph
+from ..core.graph import RDFGraph, SKOLEM_PREFIX
 from ..core.terms import BNode, Term, Triple, URI
-from ..datalog.engine import evaluate_program, extend_fixpoint
+from ..datalog.engine import (
+    FactStore,
+    evaluate_program,
+    extend_fixpoint_into,
+    materialize_fixpoint,
+    retract_fixpoint_into,
+)
 from ..datalog.rdfs_program import TRIPLE_RELATION, rdfs_datalog_program
 from ..query.tableau import Query
 from ..semantics.entailment import entails as graph_entails
+from .dataset_cache import DatasetCache
 
 __all__ = ["TripleStore", "TransactionError"]
 
 #: Default graph name.
 DEFAULT_GRAPH = "default"
+
+#: Environment switch: cross-check every incremental maintenance step
+#: against a from-scratch fixpoint (slow; for tests and debugging).
+_VALIDATE_ENV = os.environ.get("REPRO_STORE_VALIDATE", "") not in ("", "0")
 
 
 class TransactionError(RuntimeError):
@@ -48,20 +77,39 @@ class TripleStore:
 
     def __init__(self):
         self._graphs: Dict[str, Set[Triple]] = {DEFAULT_GRAPH: set()}
+        #: Live union of all named graphs (refcounted; indexed in place).
+        self._dataset = DatasetCache()
         self._program = rdfs_datalog_program()
-        self._closure_facts: Optional[FrozenSet[Tuple]] = None
+        #: Persistent materialized fixpoint, updated in place by the
+        #: ``*_into`` engine calls (never rebuilt per write).
+        self._closure_store: Optional[FactStore] = None
+        #: Skolemized dataset rows the closure was built over, maintained
+        #: alongside ``_closure_store`` (the EDB for DRed rederivation).
+        self._base_store: Optional[FactStore] = None
         #: Inverse Skolem map of the dataset the closure was built from;
-        #: cached with ``_closure_facts`` and invalidated together, so
-        #: :meth:`closure` never re-Skolemizes the whole dataset just to
-        #: recover it.  Skolemization is deterministic per blank label,
-        #: so incremental inserts extend it consistently.
+        #: cached with ``_closure_store``.  Skolemization is deterministic
+        #: per blank label, so incremental deltas extend it consistently.
         self._skolem_inverse: Optional[Dict[URI, BNode]] = None
+        self._closure_graph: Optional[RDFGraph] = None
         self._normal_form: Optional[RDFGraph] = None
         self._in_transaction = False
         self._txn_log: List[Tuple[str, str, Triple]] = []  # (op, graph, triple)
-        #: How many closure maintenance operations ran incrementally vs
-        #: from scratch (exposed for the benchmarks).
-        self.stats = {"incremental": 0, "recomputed": 0}
+        #: Net dataset delta not yet folded into the materialized closure
+        #: (buffered during transactions, flushed at commit or at the
+        #: first closure-dependent read).
+        self._pending_adds: Set[Triple] = set()
+        self._pending_removes: Set[Triple] = set()
+        #: Cross-check incremental maintenance against a from-scratch
+        #: fixpoint after every flush (also settable per instance).
+        self.validate_maintenance = _VALIDATE_ENV
+        #: How many closure maintenance operations ran as incremental
+        #: insert deltas, incremental DRed deletions, or from-scratch
+        #: recomputations (exposed for the benchmarks).
+        self.stats = {
+            "incremental_insert": 0,
+            "incremental_delete": 0,
+            "recomputed": 0,
+        }
 
     # ------------------------------------------------------------------
     # Reading
@@ -77,19 +125,41 @@ class TripleStore:
     def dataset(self) -> RDFGraph:
         """The union of all named graphs (shared blank labels merge).
 
+        Served from the live dataset cache: O(1) once the snapshot is
+        built, rebuilt lazily at most once after a burst of writes.
         Sources that must keep their blanks apart should be loaded via
         :meth:`load_graph`, which renames on the way in.
         """
-        everything: Set[Triple] = set()
-        for triples in self._graphs.values():
-            everything |= triples
-        return RDFGraph(everything)
+        return self._dataset.snapshot()
+
+    def match(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> Iterable[Triple]:
+        """Dataset triples matching the fixed positions (None = wildcard).
+
+        Reads the live cache's positional indexes directly — the same
+        lookup primitive ``RDFGraph.match`` offers the matching planner,
+        without materializing a graph snapshot.
+        """
+        return self._dataset.match(s, p, o)
+
+    def count(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> int:
+        """Number of dataset triples matching the fixed positions."""
+        return self._dataset.count(s, p, o)
 
     def __len__(self) -> int:
         return sum(len(ts) for ts in self._graphs.values())
 
     def __contains__(self, t: Triple) -> bool:
-        return any(t in ts for ts in self._graphs.values())
+        return t in self._dataset
 
     # ------------------------------------------------------------------
     # Writing
@@ -107,12 +177,19 @@ class TripleStore:
         triples.add(t)
         if self._in_transaction:
             self._txn_log.append(("add", graph, t))
-        self._on_insert([t])
+        if self._dataset.add(t):
+            self._buffer_change(t, added=True)
+        if not self._in_transaction:
+            self._flush_delta()
         return True
 
     def add_all(self, triples: Iterable[Triple], graph: str = DEFAULT_GRAPH) -> int:
-        """Insert a batch; returns the number of new triples."""
-        new: List[Triple] = []
+        """Insert a batch; returns the number of new triples.
+
+        The whole batch is folded into the closure in one maintenance
+        step, not one per triple.
+        """
+        new = 0
         target = self._graphs.setdefault(graph, set())
         for t in triples:
             if not isinstance(t, Triple):
@@ -121,12 +198,14 @@ class TripleStore:
                 raise ValueError(f"not a well-formed RDF triple: {t}")
             if t not in target:
                 target.add(t)
-                new.append(t)
+                new += 1
                 if self._in_transaction:
                     self._txn_log.append(("add", graph, t))
-        if new:
-            self._on_insert(new)
-        return len(new)
+                if self._dataset.add(t):
+                    self._buffer_change(t, added=True)
+        if not self._in_transaction:
+            self._flush_delta()
+        return new
 
     def load_graph(self, source: RDFGraph, graph: str = DEFAULT_GRAPH) -> int:
         """Merge a source graph in (blank nodes renamed apart, §2.1)."""
@@ -136,7 +215,11 @@ class TripleStore:
         return self.add_all(fresh_part, graph=graph)
 
     def remove(self, t: Triple, graph: str = DEFAULT_GRAPH) -> bool:
-        """Delete one triple; returns True when it was present."""
+        """Delete one triple; returns True when it was present.
+
+        Maintains the materialized closure by delete–rederive instead of
+        invalidating it.
+        """
         if not isinstance(t, Triple):
             t = Triple(*t)
         triples = self._graphs.get(graph, set())
@@ -145,18 +228,35 @@ class TripleStore:
         triples.remove(t)
         if self._in_transaction:
             self._txn_log.append(("remove", graph, t))
-        self._invalidate_closure()
+        if self._dataset.discard(t):
+            self._buffer_change(t, added=False)
+        if not self._in_transaction:
+            self._flush_delta()
         return True
 
     def clear(self, graph: Optional[str] = None) -> None:
-        """Drop one named graph (or everything)."""
+        """Drop one named graph (or everything).
+
+        Dropping a single graph retracts its triples through the same
+        batched DRed path as :meth:`remove`; a full clear resets the
+        store outright.
+        """
         if self._in_transaction:
             raise TransactionError("clear() is not allowed inside a transaction")
         if graph is None:
             self._graphs = {DEFAULT_GRAPH: set()}
-        else:
-            self._graphs.pop(graph, None)
-        self._invalidate_closure()
+            self._dataset = DatasetCache()
+            self._pending_adds = set()
+            self._pending_removes = set()
+            self._invalidate_closure()
+            return
+        dropped = self._graphs.pop(graph, None)
+        if not dropped:
+            return
+        for t in dropped:
+            if self._dataset.discard(t):
+                self._buffer_change(t, added=False)
+        self._flush_delta()
 
     # ------------------------------------------------------------------
     # Transactions
@@ -173,6 +273,7 @@ class TripleStore:
             raise TransactionError("no transaction in progress")
         self._in_transaction = False
         self._txn_log = []
+        self._flush_delta()
 
     def rollback(self) -> None:
         if not self._in_transaction:
@@ -180,69 +281,180 @@ class TripleStore:
         for op, graph, t in reversed(self._txn_log):
             if op == "add":
                 self._graphs.get(graph, set()).discard(t)
+                if self._dataset.discard(t):
+                    self._buffer_change(t, added=False)
             else:
                 self._graphs.setdefault(graph, set()).add(t)
+                if self._dataset.add(t):
+                    self._buffer_change(t, added=True)
         self._in_transaction = False
         self._txn_log = []
-        self._invalidate_closure()
+        # When nothing inside the transaction forced a flush, the
+        # inverse operations cancel the buffered delta exactly and the
+        # materialized closure is untouched; otherwise the residue is
+        # folded back in lazily (or now, since we are outside a txn).
+        self._flush_delta()
 
     def transaction(self) -> "_Transaction":
         """Context manager: commits on success, rolls back on exception."""
         return _Transaction(self)
 
     # ------------------------------------------------------------------
+    # Closure maintenance
+    # ------------------------------------------------------------------
+
+    def _buffer_change(self, t: Triple, added: bool) -> None:
+        """Record a net dataset-level change awaiting closure maintenance."""
+        if added:
+            if t in self._pending_removes:
+                self._pending_removes.discard(t)
+            else:
+                self._pending_adds.add(t)
+        else:
+            if t in self._pending_adds:
+                self._pending_adds.discard(t)
+            else:
+                self._pending_removes.add(t)
+
+    @staticmethod
+    def _skolem_rows(
+        triples: Iterable[Triple],
+    ) -> Tuple[Set[Tuple], Dict[URI, BNode]]:
+        """Per-triple deterministic Skolemization (same map as RDFGraph)."""
+
+        inverse: Dict[URI, BNode] = {}
+
+        def sk(term: Term) -> Term:
+            if isinstance(term, BNode):
+                constant = URI(SKOLEM_PREFIX + term.value)
+                inverse[constant] = term
+                return constant
+            return term
+
+        rows = {(sk(t.s), sk(t.p), sk(t.o)) for t in triples}
+        return rows, inverse
+
+    def _flush_delta(self) -> None:
+        """Fold the buffered dataset delta into the materialized closure.
+
+        One :func:`retract_fixpoint_into` for the net removals, one
+        :func:`extend_fixpoint_into` for the net insertions — however
+        many operations produced the delta, both updating the persistent
+        fixpoint store in place.  No-op while nothing is buffered or the
+        closure has never been materialized (it stays lazy).
+        """
+        if not self._pending_adds and not self._pending_removes:
+            return
+        adds, removes = self._pending_adds, self._pending_removes
+        self._pending_adds, self._pending_removes = set(), set()
+        if self._closure_store is None:
+            # Nothing materialized: the delta is subsumed by the next
+            # lazy from-scratch computation.
+            self._closure_graph = None
+            self._normal_form = None
+            return
+        changed = False
+        if removes:
+            removed_rows, _ = self._skolem_rows(removes)
+            for row in removed_rows:
+                self._base_store.discard(TRIPLE_RELATION, row)
+            gone = retract_fixpoint_into(
+                self._program,
+                self._closure_store,
+                self._base_store,
+                [(TRIPLE_RELATION, row) for row in removed_rows],
+            )
+            changed = changed or bool(gone)
+            self.stats["incremental_delete"] += 1
+        if adds:
+            added_rows, inverse = self._skolem_rows(adds)
+            self._skolem_inverse.update(inverse)
+            for row in added_rows:
+                self._base_store.add(TRIPLE_RELATION, row)
+            grown = extend_fixpoint_into(
+                self._program,
+                self._closure_store,
+                [(TRIPLE_RELATION, row) for row in added_rows],
+            )
+            changed = changed or bool(grown)
+            self.stats["incremental_insert"] += 1
+        if changed:
+            # The closure delta is non-empty: derived caches are stale.
+            self._closure_graph = None
+            self._normal_form = None
+        if self.validate_maintenance:
+            self._assert_maintenance_agrees()
+
+    def _assert_maintenance_agrees(self) -> None:
+        """Debug cross-check: incremental result == from-scratch fixpoint."""
+        maintained = frozenset(self._closure_store.rows(TRIPLE_RELATION))
+        reference = evaluate_program(
+            self._program,
+            [
+                (TRIPLE_RELATION, row)
+                for row in self._base_store.rows(TRIPLE_RELATION)
+            ],
+        ).get(TRIPLE_RELATION, frozenset())
+        assert maintained == reference, (
+            "incremental closure maintenance diverged from the "
+            "from-scratch fixpoint "
+            f"(missing={sorted(map(str, reference - maintained))[:5]}, "
+            f"extra={sorted(map(str, maintained - reference))[:5]})"
+        )
+
+    def _invalidate_closure(self) -> None:
+        self._closure_store = None
+        self._base_store = None
+        self._skolem_inverse = None
+        self._closure_graph = None
+        self._normal_form = None
+
+    def _materialized_closure_facts(self) -> Set[Tuple]:
+        """The maintained closure's row set (flushing any buffered delta).
+
+        Returns the live row set of the persistent fixpoint store — a
+        read-only view for membership tests and iteration, never copied.
+        """
+        self._flush_delta()
+        if self._closure_store is None:
+            skolemized, inverse = self.dataset().skolemize()
+            facts = [(TRIPLE_RELATION, (t.s, t.p, t.o)) for t in skolemized]
+            self._closure_store = materialize_fixpoint(self._program, facts)
+            base = FactStore()
+            for t in skolemized:
+                base.add(TRIPLE_RELATION, (t.s, t.p, t.o))
+            self._base_store = base
+            self._skolem_inverse = dict(inverse)
+            self.stats["recomputed"] += 1
+        return self._closure_store.rows(TRIPLE_RELATION)
+
+    # ------------------------------------------------------------------
     # Reasoning
     # ------------------------------------------------------------------
 
-    def _skolemized_dataset(self) -> Tuple[RDFGraph, Dict[URI, BNode]]:
-        return self.dataset().skolemize()
-
-    def _invalidate_closure(self) -> None:
-        self._closure_facts = None
-        self._skolem_inverse = None
-        self._normal_form = None
-
-    def _on_insert(self, new_triples: List[Triple]) -> None:
-        self._normal_form = None  # nf must be re-derived (cheaply, from cl)
-        if self._closure_facts is None:
-            return  # nothing materialized yet; computed lazily later
-        skolemized, inverse = RDFGraph(new_triples).skolemize()
-        if self._skolem_inverse is None:
-            self._skolem_inverse = dict(inverse)
-        else:
-            self._skolem_inverse.update(inverse)
-        new_facts = [(TRIPLE_RELATION, (t.s, t.p, t.o)) for t in skolemized]
-        result = extend_fixpoint(
-            self._program,
-            ((TRIPLE_RELATION, row) for row in self._closure_facts),
-            new_facts,
-        )
-        self._closure_facts = result.get(TRIPLE_RELATION, frozenset())
-        self.stats["incremental"] += 1
-
-    def _materialized_closure_facts(self) -> FrozenSet[Tuple]:
-        if self._closure_facts is None:
-            skolemized, inverse = self._skolemized_dataset()
-            facts = [(TRIPLE_RELATION, (t.s, t.p, t.o)) for t in skolemized]
-            result = evaluate_program(self._program, facts)
-            self._closure_facts = result.get(TRIPLE_RELATION, frozenset())
-            self._skolem_inverse = dict(inverse)
-            self.stats["recomputed"] += 1
-        return self._closure_facts
-
     def closure(self) -> RDFGraph:
         """The materialized ``cl(dataset)`` (maintained incrementally)."""
+        if self._closure_graph is not None and not (
+            self._pending_adds or self._pending_removes
+        ):
+            return self._closure_graph
         facts = self._materialized_closure_facts()
+        if self._closure_graph is not None:
+            return self._closure_graph  # flush left the closure unchanged
         inverse = self._skolem_inverse
-        if inverse is None:  # defensive: facts restored without inverse
-            _, inverse = self._skolemized_dataset()
-            self._skolem_inverse = dict(inverse)
-        ground = RDFGraph(
-            Triple(s, p, o)
-            for s, p, o in facts
-            if Triple(s, p, o).is_valid_rdf()
-        )
-        return RDFGraph.unskolemize(ground, inverse)
+        ground = []
+        for s, p, o in facts:
+            t = Triple(s, p, o)
+            if t.is_valid_rdf():
+                ground.append(t)
+        self._closure_graph = RDFGraph.unskolemize(RDFGraph(ground), inverse)
+        return self._closure_graph
+
+    def closure_delta(self) -> RDFGraph:
+        """``cl(dataset) − dataset``: the derived-only triples."""
+        from ..semantics.closure import closure_delta
+
+        return closure_delta(self.dataset(), closed=self.closure())
 
     def entails(self, t: Triple) -> bool:
         """Does the store's dataset RDFS-entail the (possibly blank) triple?"""
@@ -256,9 +468,12 @@ class TripleStore:
     def normal_form(self) -> RDFGraph:
         """``nf(dataset)``, cached; the matching target for queries.
 
-        Derived as the core of the (incrementally maintained) closure,
-        so repeated premise-free queries skip both steps.
+        Derived as the core of the (incrementally maintained) closure.
+        A write whose maintenance step leaves the closure unchanged —
+        an empty closure delta — keeps the cached normal form too, so
+        redundant writes cost no core computation.
         """
+        self._flush_delta()
         if self._normal_form is None:
             from ..minimize.core_graph import core
 
@@ -282,9 +497,9 @@ class TripleStore:
         All triples with *node* as subject, plus, recursively, the
         descriptions of blank nodes appearing as objects — the standard
         "tell me about X" store operation, blank-closure included so
-        the result is a self-contained graph.
+        the result is a self-contained graph.  Reads the live dataset
+        cache; no snapshot is rebuilt.
         """
-        dataset = self.dataset()
         out: Set[Triple] = set()
         frontier = [node]
         seen: Set[Term] = set()
@@ -293,7 +508,7 @@ class TripleStore:
             if current in seen:
                 continue
             seen.add(current)
-            for t in dataset.match(s=current):
+            for t in self._dataset.match(s=current):
                 out.add(t)
                 if isinstance(t.o, BNode):
                     frontier.append(t.o)

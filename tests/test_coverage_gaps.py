@@ -108,7 +108,7 @@ class TestStoreCornerCases:
         store.add(triple("a", SC, "b"))
         store.entails(triple("a", SC, "b"))
         store.add(triple("b", SC, "c"))
-        assert store.stats["incremental"] == 1
+        assert store.stats["incremental_insert"] == 1
         assert store.entails(triple("a", SC, "c"))
 
 

@@ -15,7 +15,7 @@ from repro.datalog import (
     evaluate_program,
     rdfs_datalog_program,
 )
-from repro.datalog.engine import extend_fixpoint
+from repro.datalog.engine import extend_fixpoint, retract_fixpoint
 from repro.generators import art_schema, random_schema_with_instances
 from repro.semantics import rdfs_closure
 
@@ -119,6 +119,87 @@ class TestEngine:
     def test_rule_str(self):
         rule = reach_program().rules[1]
         assert ":-" in str(rule)
+
+
+def _facts_list(result):
+    return [(rel, row) for rel, rows in result.items() for row in rows]
+
+
+class TestRetractFixpoint:
+    """DRed (delete–rederive) maintenance against from-scratch evaluation."""
+
+    def _check(self, program, base, removed):
+        base = list(base)
+        removed = list(removed)
+        kept = [f for f in base if f not in removed]
+        closed = evaluate_program(program, base)
+        maintained = retract_fixpoint(
+            program, _facts_list(closed), kept, removed
+        )
+        from_scratch = evaluate_program(program, kept)
+        assert maintained == from_scratch
+        return maintained
+
+    def test_chain_cut(self):
+        base = [("edge", (i, i + 1)) for i in range(6)]
+        out = self._check(reach_program(), base, [("edge", (2, 3))])
+        assert (0, 2) in out["reach"]
+        assert (0, 3) not in out["reach"]
+
+    def test_alternate_support_survives(self):
+        # Two routes 0 → 2; cutting one keeps reachability via the other.
+        base = [
+            ("edge", (0, 1)),
+            ("edge", (1, 2)),
+            ("edge", (0, 2)),
+            ("edge", (2, 3)),
+        ]
+        out = self._check(reach_program(), base, [("edge", (1, 2))])
+        assert (0, 2) in out["reach"]
+        assert (0, 3) in out["reach"]
+        assert (1, 2) not in out["reach"]
+
+    def test_remove_everything(self):
+        base = [("edge", (0, 1)), ("edge", (1, 2))]
+        out = self._check(reach_program(), base, base)
+        assert not out.get("reach")
+
+    def test_remove_nothing_is_identity(self):
+        base = [("edge", (0, 1)), ("edge", (1, 2))]
+        closed = evaluate_program(reach_program(), base)
+        maintained = retract_fixpoint(
+            reach_program(), _facts_list(closed), base, []
+        )
+        assert maintained == closed
+
+    def test_axioms_rederived(self):
+        # Body-less rule heads must survive any deletion wave.
+        program = DatalogProgram(
+            rules=reach_program().rules
+            + (DatalogRule(head=DatalogAtom("reach", (0, 0)), body=()),)
+        )
+        base = [("edge", (0, 1))]
+        out = self._check(program, base, base)
+        assert (0, 0) in out["reach"]
+
+    def test_rdfs_single_triple_deletions(self):
+        program = rdfs_datalog_program()
+        g = random_schema_with_instances(4, 3, 6, 9, seed=7)
+        base = [(TRIPLE_RELATION, (t.s, t.p, t.o)) for t in g]
+        for victim in list(g)[:4]:
+            removed = [(TRIPLE_RELATION, (victim.s, victim.p, victim.o))]
+            self._check(program, base, removed)
+
+    @settings(max_examples=25, deadline=None)
+    @given(rdfs_graphs(max_size=5))
+    def test_rdfs_random_deletions(self, g):
+        program = rdfs_datalog_program()
+        triples = sorted(g, key=str)
+        if not triples:
+            return
+        base = [(TRIPLE_RELATION, (t.s, t.p, t.o)) for t in triples]
+        removed = base[: len(base) // 2 + 1]
+        self._check(program, base, removed)
 
 
 class TestRDFSProgram:

@@ -1,0 +1,222 @@
+"""Property tests for delta-aware store maintenance.
+
+Hypothesis replays random interleaved insert/delete/transaction streams
+against a :class:`TripleStore` and, after every top-level step, checks
+the three maintained structures against their from-scratch
+counterparts:
+
+* the materialized closure (semi-naive insertion deltas + DRed
+  deletions) against ``rdfs_closure`` of the current dataset;
+* the live dataset cache (union snapshot + positional indexes) against
+  a model kept as plain per-graph sets;
+* the cached normal form against ``normal_form`` of the dataset.
+
+``validate_maintenance`` is switched on, so every flush additionally
+cross-checks the incremental fixpoint against a from-scratch Datalog
+evaluation inside the store itself.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RDFGraph
+from repro.minimize import normal_form as normal_form_fn
+from repro.semantics import rdfs_closure
+from repro.semantics.closure import closure_delta
+from repro.store import TripleStore
+
+from .strategies import rdfs_triples
+
+_GRAPHS = ["default", "aux"]
+
+
+def _ops():
+    """One mutation stream: adds, removes, and transaction blocks."""
+    simple = st.tuples(
+        st.sampled_from(["add", "remove"]),
+        rdfs_triples(),
+        st.sampled_from(_GRAPHS),
+    )
+    txn = st.tuples(
+        st.just("txn"),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove"]), rdfs_triples()
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.booleans(),  # True = commit, False = roll back
+    )
+    return st.lists(st.one_of(simple, txn), min_size=1, max_size=8)
+
+
+def _apply(store, model, op):
+    """Run one stream element on the store and mirror it in the model."""
+    kind = op[0]
+    if kind == "txn":
+        _, body, should_commit = op
+        backup = {name: set(ts) for name, ts in model.items()}
+        store.begin()
+        for action, t in body:
+            if action == "add":
+                store.add(t)
+                model.setdefault("default", set()).add(t)
+            else:
+                store.remove(t)
+                model.get("default", set()).discard(t)
+        if should_commit:
+            store.commit()
+        else:
+            store.rollback()
+            model.clear()
+            model.update(backup)
+    else:
+        kind, t, graph = op
+        if kind == "add":
+            store.add(t, graph=graph)
+            model.setdefault(graph, set()).add(t)
+        else:
+            store.remove(t, graph=graph)
+            model.get(graph, set()).discard(t)
+
+
+def _union(model):
+    out = set()
+    for triples in model.values():
+        out |= triples
+    return out
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=_ops())
+def test_maintained_state_matches_from_scratch(ops):
+    store = TripleStore()
+    store.validate_maintenance = True
+    model = {"default": set()}
+    store.closure()  # materialize up front so every step maintains
+    for op in ops:
+        _apply(store, model, op)
+        union = RDFGraph(_union(model))
+        # Dataset cache: snapshot, membership, and index-backed lookups.
+        assert store.dataset() == union
+        assert set(store.match()) == set(union.triples)
+        assert store.count() == len(union)
+        for t in list(union)[:3]:
+            assert store.count(s=t.s) == union.count(s=t.s)
+            assert store.count(p=t.p) == union.count(p=t.p)
+            assert set(store.match(s=t.s, p=t.p)) == set(
+                union.match(s=t.s, p=t.p)
+            )
+        # Maintained closure vs from-scratch closure.
+        reference = rdfs_closure(union)
+        assert store.closure() == reference
+        # closure_delta reuse: the store's delta equals the definition.
+        assert store.closure_delta() == closure_delta(union, closed=reference)
+        # Maintained normal form vs from-scratch normal form.
+        assert store.normal_form() == normal_form_fn(union)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=_ops())
+def test_lazy_store_agrees_without_materialization(ops):
+    """The same streams, never forcing early materialization: the final
+    lazily-computed closure must match the from-scratch one too."""
+    store = TripleStore()
+    model = {"default": set()}
+    for op in ops:
+        _apply(store, model, op)
+    union = RDFGraph(_union(model))
+    assert store.dataset() == union
+    assert store.closure() == rdfs_closure(union)
+
+
+def test_closure_unchanged_keeps_normal_form_cache():
+    """A write whose closure delta is empty must not drop the cached nf."""
+    from repro.core import triple
+    from repro.core.vocabulary import SC, TYPE
+
+    store = TripleStore()
+    store.add(triple("painter", SC, "artist"))
+    store.add(triple("frida", TYPE, "painter"))
+    nf1 = store.normal_form()
+    # Already entailed: (frida, type, artist) is in the closure, so the
+    # maintenance step finds an empty closure delta.
+    store.add(triple("frida", TYPE, "artist"))
+    assert store.normal_form() is nf1
+    # A genuinely new fact invalidates it.
+    store.add(triple("diego", TYPE, "painter"))
+    assert store.normal_form() is not nf1
+
+
+def test_deletion_takes_incremental_path():
+    from repro.core import triple
+    from repro.core.vocabulary import SC, TYPE
+
+    store = TripleStore()
+    store.validate_maintenance = True
+    store.add(triple("a", SC, "b"))
+    store.add(triple("b", SC, "c"))
+    store.add(triple("x", TYPE, "a"))
+    store.closure()
+    recomputes = store.stats["recomputed"]
+    assert store.remove(triple("b", SC, "c"))
+    assert store.stats["incremental_delete"] == 1
+    assert store.stats["recomputed"] == recomputes
+    assert not store.entails(triple("x", TYPE, "c"))
+    assert store.entails(triple("x", TYPE, "b"))
+
+
+def test_clear_graph_maintains_closure():
+    from repro.core import triple
+    from repro.core.vocabulary import SC, TYPE
+
+    store = TripleStore()
+    store.validate_maintenance = True
+    store.add(triple("a", SC, "b"))
+    store.add(triple("x", TYPE, "a"), graph="facts")
+    store.closure()
+    store.clear("facts")
+    assert store.stats["incremental_delete"] == 1
+    assert store.closure() == rdfs_closure(store.dataset())
+    assert not store.entails(triple("x", TYPE, "b"))
+
+
+def test_duplicate_across_graphs_is_refcounted():
+    """A triple asserted in two graphs leaves the union (and closure)
+    only when its last occurrence is removed."""
+    from repro.core import triple
+    from repro.core.vocabulary import SC, TYPE
+
+    store = TripleStore()
+    store.validate_maintenance = True
+    store.add(triple("a", SC, "b"))
+    store.add(triple("x", TYPE, "a"))
+    store.add(triple("x", TYPE, "a"), graph="aux")
+    store.closure()
+    stats_before = dict(store.stats)
+    store.remove(triple("x", TYPE, "a"), graph="aux")
+    # Still present via the default graph: no maintenance step ran.
+    assert store.stats == stats_before
+    assert store.entails(triple("x", TYPE, "b"))
+    store.remove(triple("x", TYPE, "a"))
+    assert not store.entails(triple("x", TYPE, "b"))
+
+
+def test_dataset_snapshot_amortized():
+    from repro.core import triple
+
+    store = TripleStore()
+    store.add(triple("a", "p", "b"))
+    d1 = store.dataset()
+    assert store.dataset() is d1  # O(1): cached between writes
+    store.add(triple("c", "p", "d"))
+    d2 = store.dataset()
+    assert d2 is not d1
+    assert store.dataset() is d2
