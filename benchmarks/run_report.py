@@ -16,6 +16,13 @@ also run the mixed insert/delete store workload and write
 ``BENCH_store.json``: the seed's recompute-on-delete baseline next to
 the DRed deletion maintenance numbers, plus the read loop against the
 live dataset cache.
+
+After the timed series, one *instrumented* representative pass per
+section runs under ``repro.obs.instrumentation()`` (separately, so the
+registry/tracer overhead never inflates the reported timings).  The
+resulting counter/span snapshots are attached to each bench entry under
+a ``"metrics"`` key and also written standalone as
+``BENCH_metrics.json``.
 """
 
 import argparse
@@ -129,13 +136,92 @@ def store_section():
     return payload
 
 
-def write_store_json(payload, path: Path) -> None:
+def collect_metrics_snapshots():
+    """One instrumented representative pass per benchmark section.
+
+    Runs *after* (and apart from) the timed series so the registry and
+    tracer never inflate the reported numbers.  Each snapshot pairs the
+    counter/gauge/histogram state with the per-span rollup for one
+    representative workload:
+
+    * ``E4`` — the hardest non-3-colorable instance (planner
+      backtracking under exhaustive refutation);
+    * ``E5`` — the longest blank chain through both the Yannakakis
+      pipeline and the backtracking solver;
+    * ``store`` — materialize, insert stream, one DRed deletion, then a
+      short read loop against the dataset cache.
+    """
+    from repro import obs
+    from repro.generators import blank_chain, random_digraph
+    from repro.reductions import DiGraph, encode_graph
+    from repro.relational import simple_entails_acyclic
+    from repro.semantics import simple_entails
+    from repro.store import TripleStore
+
+    def snap(registry, tracer):
+        return {"metrics": registry.snapshot(), "spans": tracer.aggregate()}
+
+    snapshots = {}
+
+    with obs.instrumentation() as (registry, tracer):
+        n = bench_entailment_hardness.HARD_SIZES[-1]
+        base = random_digraph(n, 2 * n, seed=9)
+        instance = DiGraph(
+            edges=set(base.edges) | set(DiGraph.complete(4).edges)
+        )
+        k3 = encode_graph(DiGraph.complete(3))
+        simple_entails(k3, encode_graph(instance.symmetrized()))
+        snapshots["E4"] = snap(registry, tracer)
+
+    with obs.instrumentation() as (registry, tracer):
+        g1 = bench_acyclic_entailment.data_graph()
+        g2 = blank_chain(
+            bench_acyclic_entailment.PATTERN_SIZES[-1], predicate="p0"
+        )
+        simple_entails_acyclic(g1, g2)
+        simple_entails(g1, g2)
+        snapshots["E5"] = snap(registry, tracer)
+
+    with obs.instrumentation() as (registry, tracer):
+        store = TripleStore()
+        store.add_all(bench_store.base_ontology(bench_store.BASE_SPECS[0]))
+        store.closure()
+        inserts = bench_store.insert_stream(bench_store.INSERTS)
+        for t in inserts:
+            store.add(t)
+        store.remove(inserts[0])
+        for _ in range(8):
+            store.dataset()
+        snapshots["store"] = snap(registry, tracer)
+
+    return snapshots
+
+
+def write_metrics_json(snapshots, path: Path) -> None:
+    """Standalone instrumentation snapshots, one per bench section."""
+    payload = {
+        "description": (
+            "Observability snapshots from one instrumented representative "
+            "pass per benchmark section (repro.obs registry counters and "
+            "tracer span rollups; timings are collected separately and "
+            "never run instrumented). "
+            "Regenerate with: python benchmarks/run_report.py"
+        ),
+        "sections": snapshots,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def write_store_json(payload, path: Path, metrics=None) -> None:
     """Seed-vs-current store write numbers as a reviewable artifact."""
+    if metrics is not None:
+        payload = dict(payload, metrics=metrics)
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {path}")
 
 
-def write_bench_json(e4_rows, e5_rows, path: Path) -> None:
+def write_bench_json(e4_rows, e5_rows, path: Path, metrics=None) -> None:
     """Seed-vs-current E4/E5 numbers as a reviewable JSON artifact."""
     payload = {
         "description": (
@@ -160,6 +246,8 @@ def write_bench_json(e4_rows, e5_rows, path: Path) -> None:
             ],
         },
     }
+    if metrics is not None:
+        payload["metrics"] = metrics
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {path}")
 
@@ -179,8 +267,19 @@ def main(argv=None) -> None:
         print("(quick mode: entailment + store write sections only)")
         e4_rows, e5_rows = entailment_sections()
         store_rows = store_section()
-        write_bench_json(e4_rows, e5_rows, root / "BENCH_entailment.json")
-        write_store_json(store_rows, root / "BENCH_store.json")
+        snapshots = collect_metrics_snapshots()
+        write_bench_json(
+            e4_rows,
+            e5_rows,
+            root / "BENCH_entailment.json",
+            metrics={k: snapshots[k] for k in ("E4", "E5")},
+        )
+        write_store_json(
+            store_rows,
+            root / "BENCH_store.json",
+            metrics=snapshots["store"],
+        )
+        write_metrics_json(snapshots, root / "BENCH_metrics.json")
         print("\nreport complete.")
         return
 
@@ -319,8 +418,17 @@ def main(argv=None) -> None:
     for size, rdfs_n, owl_n, t_rdfs, t_owl in bench_owl.collect_series():
         print(f"{size:6d} {rdfs_n:10d} {owl_n:9d} {t_rdfs:8.3f} {t_owl:8.3f}")
 
-    write_bench_json(e4_rows, e5_rows, root / "BENCH_entailment.json")
-    write_store_json(store_rows, root / "BENCH_store.json")
+    snapshots = collect_metrics_snapshots()
+    write_bench_json(
+        e4_rows,
+        e5_rows,
+        root / "BENCH_entailment.json",
+        metrics={k: snapshots[k] for k in ("E4", "E5")},
+    )
+    write_store_json(
+        store_rows, root / "BENCH_store.json", metrics=snapshots["store"]
+    )
+    write_metrics_json(snapshots, root / "BENCH_metrics.json")
 
     print("\nreport complete.")
 

@@ -14,6 +14,16 @@ Usage examples::
     repro-rdf path 'type/sc*' data.nt --source Picasso --rdfs
     repro-rdf stats data.nt                # structural profile
     repro-rdf dot data.nt                  # Graphviz export
+    repro-rdf explain entails g1.nt g2.nt  # planner introspection
+    repro-rdf explain query q.rq data.nt
+    repro-rdf --profile closure data.nt    # + metrics/trace summary
+
+``--profile`` (before the subcommand) enables the :mod:`repro.obs`
+instrumentation for the duration of the command and appends a
+metrics/trace summary as ``#``-prefixed comment lines (valid N-Triples
+comments, so piped graph output stays parseable);
+``--profile-json PATH`` additionally dumps the full registry snapshot
+and span list as JSON.
 
 Graph files use the N-Triples-style syntax of :mod:`repro.rdfio`;
 query files use the CONSTRUCT/WHERE syntax of
@@ -165,6 +175,7 @@ def cmd_path(args, out) -> int:
 def cmd_stats(args, out) -> int:
     from .minimize import is_lean
     from .relational import blank_treewidth_upper_bound
+    from .store import TripleStore
 
     graph = _load_graph(args.graph)
     out.write(f"triples:            {len(graph)}\n")
@@ -179,6 +190,13 @@ def cmd_stats(args, out) -> int:
         out.write(f"lean (Def 3.7):     {is_lean(graph)}\n")
     else:
         out.write("lean (Def 3.7):     skipped (use --lean-limit to raise)\n")
+    # Load the graph into a store and materialize its closure, so the
+    # profile covers the write path's maintenance counters too.
+    store = TripleStore()
+    store.add_all(graph)
+    out.write(f"closure size:       {len(store.closure())}\n")
+    for key, value in store.stats.items():
+        out.write(f"{key + ':':20s}{value}\n")
     return 0
 
 
@@ -189,11 +207,47 @@ def cmd_dot(args, out) -> int:
     return 0
 
 
+def cmd_explain(args, out) -> int:
+    """Planner introspection: print the MatchPlan a decision would run."""
+    if args.kind == "entails":
+        from .semantics import entailment_plan
+
+        g1 = _load_graph(args.left)
+        g2 = _load_graph(args.right)
+        target = f"cl({args.left})" if args.rdfs else args.left
+        out.write(f"entailment plan: {args.right} -> {target}\n")
+        plan = entailment_plan(g1, g2, rdfs=args.rdfs)
+    else:
+        from .query import matching_plan
+
+        query = _load_query(args.left)
+        database = _load_graph(args.right)
+        out.write(
+            f"matching plan: body of {args.left} -> nf({args.right})\n"
+        )
+        plan = matching_plan(query, database)
+    out.write(plan.describe() + "\n")
+    out.write("strategies: " + ", ".join(plan.strategies()) + "\n")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-rdf",
         description="Foundations of Semantic Web Databases — operations "
         "on RDF graphs and tableau queries.",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable instrumentation and append a metrics/trace summary "
+        "(as '#' comment lines) after the command output",
+    )
+    parser.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        help="with --profile: also write the full metrics snapshot and "
+        "span list as JSON to PATH",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -258,7 +312,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.set_defaults(fn=cmd_dot)
 
+    p = sub.add_parser(
+        "explain",
+        help="print the matching planner's plan for a decision",
+        description="Planner introspection: 'explain entails G1 G2' "
+        "shows the plan behind G1 ⊨ G2 (add --rdfs to plan against "
+        "cl(G1)); 'explain query Q D' shows how Q's body decomposes "
+        "against nf(D).",
+    )
+    p.add_argument("kind", choices=("entails", "query"))
+    p.add_argument("left", help="premise graph, or the query file")
+    p.add_argument("right", help="conclusion graph, or the database graph")
+    p.add_argument(
+        "--rdfs",
+        action="store_true",
+        help="entails only: plan against the closure cl(G1)",
+    )
+    p.set_defaults(fn=cmd_explain)
+
     return parser
+
+
+def _write_profile(registry, tracer, out) -> None:
+    """The --profile summary, as N-Triples-safe '#' comment lines."""
+    out.write("#\n# --- profile (repro.obs) ---\n")
+    for line in registry.describe().splitlines():
+        out.write(f"# {line}\n")
+    for line in tracer.describe().splitlines():
+        out.write(f"# {line}\n")
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -267,7 +348,24 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.fn(args, out)
+        if not args.profile:
+            return args.fn(args, out)
+        from . import obs
+
+        with obs.instrumentation() as (registry, tracer):
+            code = args.fn(args, out)
+        _write_profile(registry, tracer, out)
+        if args.profile_json:
+            import json
+
+            payload = {
+                "metrics": registry.snapshot(),
+                "trace": tracer.snapshot(),
+            }
+            Path(args.profile_json).write_text(
+                json.dumps(payload, indent=2) + "\n"
+            )
+        return code
     except FileNotFoundError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..obs import OBS
 from .graph import RDFGraph
 from .terms import BNode, Term, Triple, Variable, sort_key
 
@@ -208,6 +209,17 @@ class _ComponentSolver:
                 self.failed = True
         if not self.failed:
             self._arc_consistency()
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.inc(f"planner.strategy.{self.strategy}")
+            if self.failed:
+                reg.inc("planner.pruned_empty")
+            for term in self.free_terms:
+                # Candidate-domain size after arc consistency: the
+                # quantity Theorem 2.9's hard instances blow up.
+                reg.observe(
+                    "planner.domain_size", len(self.domains.get(term, ()))
+                )
 
     # -- structure ------------------------------------------------------
 
@@ -566,7 +578,11 @@ class _ComponentSolver:
                 out.sort(key=_triple_key)
             return out
 
+        backtracks = 0
+        found = 0
+
         def search(remaining: int) -> Iterator[Dict[Term, Term]]:
+            nonlocal backtracks
             if remaining == 0:
                 yield dict(assignment)
                 return
@@ -576,11 +592,28 @@ class _ComponentSolver:
             for cand in candidates(i):
                 undo = bind(i, cand)
                 if undo is None:
+                    backtracks += 1  # rejected candidate: dead end
                     continue
                 yield from search(remaining - len(undo[1]))
                 _unbind(undo)
+                backtracks += 1  # binding undone after exploration
 
-        yield from search(n)
+        # Solutions are counted eagerly (a witness-only caller abandons
+        # the generator right after the first yield, and its GC-time
+        # finalization may run after instrumentation was switched off);
+        # the hot backtrack tally stays local and flushes once, into
+        # the registry that was active when enumeration started.
+        reg = OBS.registry if OBS.enabled else None
+        try:
+            for sol in search(n):
+                found += 1
+                if OBS.enabled:
+                    OBS.registry.inc("planner.solutions")
+                yield sol
+        finally:
+            flush_reg = OBS.registry if OBS.enabled else reg
+            if flush_reg is not None:
+                flush_reg.inc("planner.backtracks", backtracks)
 
 
 class _PreparedMatch:
@@ -596,6 +629,26 @@ class _PreparedMatch:
         partial: Optional[Dict[Term, Term]] = None,
         exclude: Optional[Triple] = None,
     ):
+        with OBS.span("planner.prepare", pattern=len(pattern)) as span:
+            self._prepare(pattern, target, frozen, partial, exclude)
+            if OBS.enabled:
+                OBS.registry.inc("planner.prepared")
+                span.annotate(
+                    components=len(self.components),
+                    strategies=",".join(
+                        s.strategy for s in self.components
+                    ),
+                    failed=self.failed,
+                )
+
+    def _prepare(
+        self,
+        pattern: Sequence[Triple],
+        target: RDFGraph,
+        frozen: Iterable[Term],
+        partial: Optional[Dict[Term, Term]],
+        exclude: Optional[Triple],
+    ) -> None:
         frozen_set = frozenset(frozen)
         self.partial: Dict[Term, Term] = dict(partial or {})
         self.ground_checked = 0
@@ -679,10 +732,6 @@ class _PreparedMatch:
         # Short-circuit: every component must have at least one solution,
         # otherwise the product is empty and enumeration order would
         # degenerate into re-solving non-empty components for nothing.
-        for i in range(k):
-            if not any(True for _ in _first(component_solutions(i))):
-                return
-
         def product(i: int, acc: Dict[Term, Term]) -> Iterator[Dict[Term, Term]]:
             if i == k:
                 yield dict(acc)
@@ -692,7 +741,23 @@ class _PreparedMatch:
                 merged.update(sol)
                 yield from product(i + 1, merged)
 
-        yield from product(0, dict(self.partial))
+        try:
+            for i in range(k):
+                if not any(True for _ in _first(component_solutions(i))):
+                    return
+
+            yield from product(0, dict(self.partial))
+        finally:
+            # The per-component generators sit in reference cycles (the
+            # cache closures), so an abandoned enumeration would only
+            # finalize them at an arbitrary later GC pass; when a
+            # profiling window is open, close them here so their
+            # instrumentation flushes before it ends.  While disabled,
+            # leave finalization to GC — eagerly unwinding the search
+            # stack would tax every witness-only caller for nothing.
+            if OBS.enabled:
+                for gen in gens:
+                    gen.close()
 
 
 def _first(it: Iterator) -> Iterator:

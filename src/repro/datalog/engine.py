@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
+from ..obs import OBS
+
 __all__ = [
     "DVar",
     "DatalogAtom",
@@ -238,22 +240,31 @@ def materialize_fixpoint(program: DatalogProgram, facts: Iterable[Fact]) -> Fact
     for relation, row in facts:
         store.add(relation, tuple(row))
 
-    # Round 0: facts from body-less rules plus one naive pass.
-    delta = FactStore()
-    for rule in program.rules:
-        if not rule.body:
-            row = tuple(rule.head.terms)
-            if any(isinstance(t, DVar) for t in row):
-                raise ValueError(f"fact rule with variables: {rule}")
-            if store.add(rule.head.relation, row):
-                delta.add(rule.head.relation, row)
-    for rule in program.rules:
-        if rule.body:
-            for row in _match_rule(rule, store, None, None):
+    with OBS.span("datalog.fixpoint") as span:
+        # Round 0: facts from body-less rules plus one naive pass.
+        delta = FactStore()
+        for rule in program.rules:
+            if not rule.body:
+                row = tuple(rule.head.terms)
+                if any(isinstance(t, DVar) for t in row):
+                    raise ValueError(f"fact rule with variables: {rule}")
                 if store.add(rule.head.relation, row):
                     delta.add(rule.head.relation, row)
+        for index, rule in enumerate(program.rules):
+            if rule.body:
+                derived = 0
+                for row in _match_rule(rule, store, None, None):
+                    if store.add(rule.head.relation, row):
+                        delta.add(rule.head.relation, row)
+                        derived += 1
+                if derived and OBS.enabled:
+                    _report_rule_derivations(index, rule, derived)
 
-    _semi_naive_rounds(program, store, delta)
+        _semi_naive_rounds(program, store, delta)
+        if OBS.enabled:
+            span.annotate(
+                facts=sum(len(r) for r in store.by_relation.values())
+            )
     return store
 
 
@@ -263,6 +274,13 @@ def evaluate_program(
     """Least fixpoint of the program over the given extensional facts."""
     store = materialize_fixpoint(program, facts)
     return {rel: frozenset(rows) for rel, rows in store.by_relation.items()}
+
+
+def _report_rule_derivations(index: int, rule: DatalogRule, derived: int) -> None:
+    """Per-rule derivation counters (rules keyed by program position)."""
+    reg = OBS.registry
+    reg.inc("datalog.derived", derived)
+    reg.inc(f"datalog.derived.r{index}.{rule.head.relation}", derived)
 
 
 def _semi_naive_rounds(
@@ -276,24 +294,37 @@ def _semi_naive_rounds(
     When *added* is given, every fact inserted by the loop is recorded
     there too (the insertion delta reported by the ``_into`` variants).
     """
+    round_no = 0
     while delta.by_relation:
-        new_delta = FactStore()
-        for rule in program.rules:
-            if not rule.body:
-                continue
-            relevant = any(
-                atom.relation in delta.by_relation for atom in rule.body
-            )
-            if not relevant:
-                continue
-            for position, atom in enumerate(rule.body):
-                if atom.relation not in delta.by_relation:
+        round_no += 1
+        span = OBS.span("datalog.round", round=round_no)
+        round_derived = 0
+        with span:
+            new_delta = FactStore()
+            for index, rule in enumerate(program.rules):
+                if not rule.body:
                     continue
-                for row in _match_rule(rule, store, delta, position):
-                    if store.add(rule.head.relation, row):
-                        new_delta.add(rule.head.relation, row)
-                        if added is not None:
-                            added.add(rule.head.relation, row)
+                relevant = any(
+                    atom.relation in delta.by_relation for atom in rule.body
+                )
+                if not relevant:
+                    continue
+                derived = 0
+                for position, atom in enumerate(rule.body):
+                    if atom.relation not in delta.by_relation:
+                        continue
+                    for row in _match_rule(rule, store, delta, position):
+                        if store.add(rule.head.relation, row):
+                            new_delta.add(rule.head.relation, row)
+                            derived += 1
+                            if added is not None:
+                                added.add(rule.head.relation, row)
+                if derived and OBS.enabled:
+                    _report_rule_derivations(index, rule, derived)
+                    round_derived += derived
+            if OBS.enabled:
+                OBS.registry.inc("datalog.rounds")
+                span.annotate(derived=round_derived)
         delta = new_delta
 
 
@@ -402,6 +433,8 @@ def retract_fixpoint_into(
 
     # Phase 1: overdeletion.  ``store`` stays the *old* closure while the
     # deletion delta saturates, so every body atom can still be matched.
+    overdelete_span = OBS.span("datalog.dred.overdelete")
+    overdelete_span.__enter__()
     overdeleted = FactStore()
     delta = FactStore()
     for relation, row in removed_facts:
@@ -427,6 +460,10 @@ def retract_fixpoint_into(
                     overdeleted.add(rule.head.relation, row)
                     new_delta.add(rule.head.relation, row)
         delta = new_delta
+    overdelete_span.annotate(
+        overdeleted=sum(len(r) for r in overdeleted.by_relation.values())
+    )
+    overdelete_span.__exit__(None, None, None)
 
     # Shrink the store to the surviving facts.
     for relation, rows in overdeleted.by_relation.items():
@@ -446,8 +483,21 @@ def retract_fixpoint_into(
             if alive and store.add(relation, row):
                 delta.add(relation, row)
 
+    if OBS.enabled:
+        # The two cone sizes DRed's cost is proportional to
+        # (overdeletion wave, then revived seeds).
+        overdeleted_n = sum(
+            len(rows) for rows in overdeleted.by_relation.values()
+        )
+        rederived_n = sum(len(rows) for rows in delta.by_relation.values())
+        reg = OBS.registry
+        reg.inc("datalog.dred.overdeleted", overdeleted_n)
+        reg.inc("datalog.dred.rederived", rederived_n)
+        reg.observe("datalog.dred.cone_size", overdeleted_n)
+
     # Phase 3: propagate the rederived seeds like ordinary insertions.
-    _semi_naive_rounds(program, store, delta)
+    with OBS.span("datalog.dred.propagate"):
+        _semi_naive_rounds(program, store, delta)
 
     # Net deletions: overdeleted facts that rederivation did not revive.
     gone: Dict[str, FrozenSet[Tuple]] = {}

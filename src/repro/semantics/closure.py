@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..core.graph import RDFGraph
 from ..core.terms import BNode, Literal, Term, Triple, URI
 from ..core.vocabulary import DOM, RANGE, RDFS_VOCABULARY, SC, SP, TYPE
+from ..obs import OBS
 from .rules import apply_rules_to_fixpoint
 
 __all__ = [
@@ -76,6 +77,23 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
     """
     new: Set[Triple] = set()
 
+    # Per-rule-group emission counters (first-emitter attribution for
+    # triples several groups would derive).  ``checkpoint`` is a no-op
+    # closure while instrumentation is off.
+    if OBS.enabled:
+        _emitted = [0]
+        _registry = OBS.registry
+
+        def checkpoint(group: str) -> None:
+            now = len(new)
+            delta = now - _emitted[0]
+            _emitted[0] = now
+            if delta:
+                _registry.inc(f"closure.emitted.{group}", delta)
+    else:
+        def checkpoint(group: str) -> None:
+            return None
+
     sp_edges = {(t.s, t.o) for t in triples if t.p == SP}
     sc_edges = {(t.s, t.o) for t in triples if t.p == SC}
 
@@ -91,6 +109,7 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
     for a in sp_reflexive:
         if not isinstance(a, Literal):
             new.add(Triple(a, SP, a))
+    checkpoint("rule8_11_sp_reflexivity")
 
     # GROUP F: sc reflexivity — rules (12), (13).
     sc_reflexive: Set[Term] = set()
@@ -103,6 +122,7 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
     for a in sc_reflexive:
         if isinstance(a, (URI, BNode)):
             new.add(Triple(a, SC, a))
+    checkpoint("rule12_13_sc_reflexivity")
 
     # The sp/sc transitive closures feed rules (2)/(3)/(6)/(7) and
     # (4)/(5) respectively; compute each once per round.
@@ -112,11 +132,13 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
     # GROUP B, rule (2): sp transitivity.
     for a, b in sp_pairs:
         new.add(Triple(a, SP, b))
+    checkpoint("rule2_sp_transitivity")
 
     # GROUP C, rule (4): sc transitivity.
     for a, b in sc_pairs:
         if isinstance(a, (URI, BNode)) and isinstance(b, (URI, BNode)):
             new.add(Triple(a, SC, b))
+    checkpoint("rule4_sc_transitivity")
 
     # GROUP B, rule (3): lift every triple along sp.  Superproperties of
     # each predicate, through the (already emitted) transitive pairs.
@@ -127,6 +149,7 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
         for b in sp_super.get(t.p, ()):
             if isinstance(b, URI):  # no blank predicates
                 new.add(Triple(t.s, b, t.o))
+    checkpoint("rule3_sp_lift")
 
     # GROUP D, rule (5): lift type along sc.
     sc_super: Dict[Term, Set[Term]] = {}
@@ -137,6 +160,7 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
         for b in sc_super.get(t.o, ()):
             if isinstance(b, (URI, BNode)):
                 new.add(Triple(t.s, TYPE, b))
+    checkpoint("rule5_sc_type_lift")
 
     # GROUP D, rules (6)/(7): dom/range typing through sp (Marin's fix:
     # the property A may be a blank standing for a property).
@@ -165,6 +189,7 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
                     target = used.o
                     if isinstance(target, (URI, BNode)):
                         new.add(Triple(target, TYPE, klass))
+    checkpoint("rule6_7_dom_range")
 
     return new - triples
 
@@ -178,11 +203,23 @@ def rdfs_closure(graph: RDFGraph) -> RDFGraph:
     ``Θ(|G|²)`` in the worst case (Theorem 3.6.3).
     """
     triples: Set[Triple] = set(graph.triples)
-    while True:
-        new = _closure_round(triples)
-        if not new:
-            return RDFGraph(triples)
-        triples |= new
+    with OBS.span("closure.fixpoint", input=len(triples)) as span:
+        rounds = 0
+        while True:
+            rounds += 1
+            with OBS.span("closure.round", round=rounds) as round_span:
+                new = _closure_round(triples)
+                round_span.annotate(new=len(new))
+            if not new:
+                break
+            triples |= new
+        if OBS.enabled:
+            OBS.registry.inc("closure.rounds", rounds)
+            OBS.registry.inc(
+                "closure.derived_triples", len(triples) - len(graph)
+            )
+            span.annotate(rounds=rounds, output=len(triples))
+    return RDFGraph(triples)
 
 
 def closure(graph: RDFGraph) -> RDFGraph:

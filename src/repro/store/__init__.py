@@ -7,6 +7,17 @@ Section 4.
 """
 
 from .dataset_cache import DatasetCache
-from .triple_store import DEFAULT_GRAPH, TransactionError, TripleStore
+from .triple_store import (
+    DEFAULT_GRAPH,
+    MaintenanceStats,
+    TransactionError,
+    TripleStore,
+)
 
-__all__ = ["DEFAULT_GRAPH", "DatasetCache", "TransactionError", "TripleStore"]
+__all__ = [
+    "DEFAULT_GRAPH",
+    "DatasetCache",
+    "MaintenanceStats",
+    "TransactionError",
+    "TripleStore",
+]

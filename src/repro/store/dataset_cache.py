@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
 from ..core.graph import RDFGraph
 from ..core.terms import BNode, Term, Triple
+from ..obs import OBS
 
 __all__ = ["DatasetCache"]
 
@@ -180,7 +181,11 @@ class DatasetCache:
     def snapshot(self) -> RDFGraph:
         """The union as an immutable ``RDFGraph``; cached between writes."""
         if self._snapshot is None:
+            if OBS.enabled:
+                OBS.registry.inc("store.dataset_cache.miss")
             self._snapshot = RDFGraph(self._counts)
+        elif OBS.enabled:
+            OBS.registry.inc("store.dataset_cache.hit")
         return self._snapshot
 
     @property

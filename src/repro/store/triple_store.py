@@ -33,7 +33,8 @@ restored on the way out.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections.abc import Mapping
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..core.graph import RDFGraph, SKOLEM_PREFIX
 from ..core.terms import BNode, Term, Triple, URI
@@ -45,11 +46,13 @@ from ..datalog.engine import (
     retract_fixpoint_into,
 )
 from ..datalog.rdfs_program import TRIPLE_RELATION, rdfs_datalog_program
+from ..obs import OBS
+from ..obs.metrics import MetricsRegistry
 from ..query.tableau import Query
 from ..semantics.entailment import entails as graph_entails
 from .dataset_cache import DatasetCache
 
-__all__ = ["TripleStore", "TransactionError"]
+__all__ = ["TripleStore", "TransactionError", "MaintenanceStats"]
 
 #: Default graph name.
 DEFAULT_GRAPH = "default"
@@ -61,6 +64,51 @@ _VALIDATE_ENV = os.environ.get("REPRO_STORE_VALIDATE", "") not in ("", "0")
 
 class TransactionError(RuntimeError):
     """Raised on invalid transaction usage (nested begin, stray commit)."""
+
+
+#: Legacy ``stats`` key → metric name in the store's private registry.
+_STATS_KEYS = {
+    "incremental_insert": "store.maintenance.incremental_insert",
+    "incremental_delete": "store.maintenance.incremental_delete",
+    "recomputed": "store.maintenance.recomputed",
+}
+
+
+class MaintenanceStats(Mapping):
+    """Read-through dict view of the store's maintenance counters.
+
+    Historically ``TripleStore.stats`` was a plain dict; the counters
+    now live in the store's private :class:`MetricsRegistry` (and are
+    mirrored into the process-global registry while instrumentation is
+    on).  This view keeps the old dict contract — indexing, iteration,
+    ``dict(stats)``, equality against dicts — reading the registry live.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics: MetricsRegistry):
+        self._metrics = metrics
+
+    def __getitem__(self, key: str) -> int:
+        return int(self._metrics.counter(_STATS_KEYS[key]))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_STATS_KEYS)
+
+    def __len__(self) -> int:
+        return len(_STATS_KEYS)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (dict, Mapping)):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
 
 
 class TripleStore:
@@ -102,14 +150,20 @@ class TripleStore:
         #: Cross-check incremental maintenance against a from-scratch
         #: fixpoint after every flush (also settable per instance).
         self.validate_maintenance = _VALIDATE_ENV
-        #: How many closure maintenance operations ran as incremental
-        #: insert deltas, incremental DRed deletions, or from-scratch
-        #: recomputations (exposed for the benchmarks).
-        self.stats = {
-            "incremental_insert": 0,
-            "incremental_delete": 0,
-            "recomputed": 0,
-        }
+        #: Per-store metrics: maintenance counters and flush timings.
+        #: Always on (cold-path increments only); mirrored into the
+        #: process-global registry while ``repro.obs`` is enabled.
+        self.metrics = MetricsRegistry()
+        #: Legacy view: how many closure maintenance operations ran as
+        #: incremental insert deltas, incremental DRed deletions, or
+        #: from-scratch recomputations (exposed for the benchmarks).
+        self.stats = MaintenanceStats(self.metrics)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a cold-path counter here and (if on) in the global registry."""
+        self.metrics.inc(name, amount)
+        if OBS.enabled:
+            OBS.registry.inc(name, amount)
 
     # ------------------------------------------------------------------
     # Reading
@@ -354,30 +408,36 @@ class TripleStore:
             self._normal_form = None
             return
         changed = False
-        if removes:
-            removed_rows, _ = self._skolem_rows(removes)
-            for row in removed_rows:
-                self._base_store.discard(TRIPLE_RELATION, row)
-            gone = retract_fixpoint_into(
-                self._program,
-                self._closure_store,
-                self._base_store,
-                [(TRIPLE_RELATION, row) for row in removed_rows],
-            )
-            changed = changed or bool(gone)
-            self.stats["incremental_delete"] += 1
-        if adds:
-            added_rows, inverse = self._skolem_rows(adds)
-            self._skolem_inverse.update(inverse)
-            for row in added_rows:
-                self._base_store.add(TRIPLE_RELATION, row)
-            grown = extend_fixpoint_into(
-                self._program,
-                self._closure_store,
-                [(TRIPLE_RELATION, row) for row in added_rows],
-            )
-            changed = changed or bool(grown)
-            self.stats["incremental_insert"] += 1
+        timer = self.metrics.timer("store.flush_ms")
+        with timer, OBS.span(
+            "store.flush", adds=len(adds), removes=len(removes)
+        ):
+            if removes:
+                removed_rows, _ = self._skolem_rows(removes)
+                for row in removed_rows:
+                    self._base_store.discard(TRIPLE_RELATION, row)
+                gone = retract_fixpoint_into(
+                    self._program,
+                    self._closure_store,
+                    self._base_store,
+                    [(TRIPLE_RELATION, row) for row in removed_rows],
+                )
+                changed = changed or bool(gone)
+                self._count("store.maintenance.incremental_delete")
+            if adds:
+                added_rows, inverse = self._skolem_rows(adds)
+                self._skolem_inverse.update(inverse)
+                for row in added_rows:
+                    self._base_store.add(TRIPLE_RELATION, row)
+                grown = extend_fixpoint_into(
+                    self._program,
+                    self._closure_store,
+                    [(TRIPLE_RELATION, row) for row in added_rows],
+                )
+                changed = changed or bool(grown)
+                self._count("store.maintenance.incremental_insert")
+        if OBS.enabled and timer.elapsed_ms is not None:
+            OBS.registry.observe("store.flush_ms", timer.elapsed_ms)
         if changed:
             # The closure delta is non-empty: derived caches are stale.
             self._closure_graph = None
@@ -417,15 +477,22 @@ class TripleStore:
         """
         self._flush_delta()
         if self._closure_store is None:
-            skolemized, inverse = self.dataset().skolemize()
-            facts = [(TRIPLE_RELATION, (t.s, t.p, t.o)) for t in skolemized]
-            self._closure_store = materialize_fixpoint(self._program, facts)
+            if OBS.enabled:
+                OBS.registry.inc("store.closure_cache.miss")
+            with OBS.span("store.materialize", triples=len(self)):
+                skolemized, inverse = self.dataset().skolemize()
+                facts = [
+                    (TRIPLE_RELATION, (t.s, t.p, t.o)) for t in skolemized
+                ]
+                self._closure_store = materialize_fixpoint(self._program, facts)
             base = FactStore()
             for t in skolemized:
                 base.add(TRIPLE_RELATION, (t.s, t.p, t.o))
             self._base_store = base
             self._skolem_inverse = dict(inverse)
-            self.stats["recomputed"] += 1
+            self._count("store.maintenance.recomputed")
+        elif OBS.enabled:
+            OBS.registry.inc("store.closure_cache.hit")
         return self._closure_store.rows(TRIPLE_RELATION)
 
     # ------------------------------------------------------------------
@@ -437,6 +504,8 @@ class TripleStore:
         if self._closure_graph is not None and not (
             self._pending_adds or self._pending_removes
         ):
+            if OBS.enabled:
+                OBS.registry.inc("store.closure_cache.hit")
             return self._closure_graph
         facts = self._materialized_closure_facts()
         if self._closure_graph is not None:
@@ -477,7 +546,12 @@ class TripleStore:
         if self._normal_form is None:
             from ..minimize.core_graph import core
 
-            self._normal_form = core(self.closure())
+            if OBS.enabled:
+                OBS.registry.inc("store.nf_cache.miss")
+            with OBS.span("store.normal_form"):
+                self._normal_form = core(self.closure())
+        elif OBS.enabled:
+            OBS.registry.inc("store.nf_cache.hit")
         return self._normal_form
 
     def query(self, q: Query, semantics: str = "union") -> RDFGraph:

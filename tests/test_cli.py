@@ -94,6 +94,14 @@ class TestGraphCommands:
         assert "blank nodes:        1" in text
         assert "lean (Def 3.7):     False" in text
 
+    def test_stats_store_maintenance_counters(self, files):
+        code, text = run(["stats", files["data.nt"]])
+        assert code == 0
+        assert "closure size:" in text
+        assert "incremental_insert: 0" in text
+        assert "incremental_delete: 0" in text
+        assert "recomputed:         1" in text
+
     def test_dot(self, files):
         code, text = run(["dot", files["data.nt"]])
         assert code == 0
@@ -155,6 +163,66 @@ class TestQueryAndPath:
         )
         assert code == 0
         assert "artist" in text and "painter" in text
+
+
+class TestExplain:
+    def test_explain_entails(self, files):
+        code, text = run(
+            ["explain", "entails", files["data.nt"], files["goal.nt"], "--rdfs"]
+        )
+        assert code == 0
+        assert "entailment plan:" in text
+        assert "strategies:" in text
+
+    def test_explain_query(self, files):
+        code, text = run(["explain", "query", files["q.rq"], files["data.nt"]])
+        assert code == 0
+        assert "matching plan:" in text
+        assert "?X" in text
+
+
+class TestProfile:
+    def test_profile_closure_emits_shared_registry(self, files):
+        code, text = run(["--profile", "closure", files["data.nt"]])
+        assert code == 0
+        # Payload first, then the profile as N-Triples comment lines.
+        assert "Picasso type artist ." in text
+        profile = [l for l in text.splitlines() if l.startswith("#")]
+        assert profile, "no profile lines emitted"
+        joined = "\n".join(profile)
+        # One shared registry: every instrumented layer's counters show
+        # up (declared at zero for layers this command never touched).
+        for name in (
+            "planner.backtracks",
+            "datalog.derived",
+            "store.dataset_cache.hit",
+            "closure.rounds",
+        ):
+            assert name in joined
+        assert "spans:" in joined or "slowest spans" in joined
+
+    def test_profile_leaves_instrumentation_off(self, files):
+        from repro import obs
+
+        run(["--profile", "entails", files["data.nt"], files["goal.nt"]])
+        assert not obs.is_enabled()
+
+    def test_profile_json(self, files, tmp_path):
+        import json
+
+        dest = tmp_path / "prof.json"
+        code, _ = run(
+            ["--profile", "--profile-json", str(dest),
+             "closure", files["data.nt"]]
+        )
+        assert code == 0
+        payload = json.loads(dest.read_text())
+        assert payload["metrics"]["counters"]["closure.rounds"] >= 1
+        assert "trace" in payload
+
+    def test_without_profile_no_comment_lines(self, files):
+        _, text = run(["closure", files["data.nt"]])
+        assert not [l for l in text.splitlines() if l.startswith("#")]
 
 
 class TestErrors:
