@@ -6,10 +6,13 @@ claim is the asymptotic *shape*: doubling |G| should roughly quadruple
 |cl(G) − G|.
 """
 
+import time
+
 import pytest
 
 from repro.generators import property_fanout, sc_chain_with_instance, sp_chain
 from repro.semantics import rdfs_closure
+from repro.semantics.closure import rdfs_closure_boxed, rdfs_closure_encoded
 
 CHAIN_SIZES = [8, 16, 32, 64]
 FANOUT_SIZES = [4, 8, 16]
@@ -49,6 +52,34 @@ def collect_series():
     for n in FANOUT_SIZES:
         g = property_fanout(n, n)
         rows.append(("property-fanout", len(g), len(rdfs_closure(g))))
+    return rows
+
+
+def _best_of(fn, graph, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(graph)
+        best = min(best, (time.perf_counter() - t0) * 1e3)
+    return best
+
+
+def collect_ab_series():
+    """Encoded-vs-boxed kernel A/B: (family, |G|, encoded ms, boxed ms).
+
+    Runs both closure implementations on the same growth workloads so
+    the dictionary-encoding speedup is a committed, reviewable number
+    (the CI perf gate watches the largest sp-chain row).
+    """
+    workloads = [("sp-chain", sp_chain(n)) for n in CHAIN_SIZES]
+    workloads += [
+        ("property-fanout", property_fanout(n, n)) for n in FANOUT_SIZES
+    ]
+    rows = []
+    for family, g in workloads:
+        encoded_ms = _best_of(rdfs_closure_encoded, g)
+        boxed_ms = _best_of(rdfs_closure_boxed, g)
+        rows.append((family, len(g), encoded_ms, boxed_ms))
     return rows
 
 

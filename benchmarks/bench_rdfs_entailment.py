@@ -78,3 +78,31 @@ def collect_series():
         t_cl = (time.perf_counter() - t0) * 1e3
         rows.append((len(g), len(cl), verdict, t_ent, t_cl))
     return rows
+
+
+def collect_ab_series():
+    """Encoded-vs-boxed closure kernel on the entailment ontologies."""
+    import time
+
+    from repro.semantics.closure import rdfs_closure_boxed, rdfs_closure_encoded
+
+    def best_of(fn, graph, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn(graph)
+            best = min(best, (time.perf_counter() - t0) * 1e3)
+        return best
+
+    rows = []
+    for spec in SIZES:
+        g = ontology(spec)
+        rows.append(
+            (
+                "schema+instances",
+                len(g),
+                best_of(rdfs_closure_encoded, g),
+                best_of(rdfs_closure_boxed, g),
+            )
+        )
+    return rows

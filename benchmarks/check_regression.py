@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the committed benchmark baselines.
+
+Usage:  python benchmarks/check_regression.py BASELINE.json FRESH.json
+
+Compares a fresh ``BENCH_entailment.json`` (written by
+``run_report.py --quick`` during the CI run) against the committed
+baseline (copied aside before the quick bench overwrites it).  Two
+sentinel workloads guard the two kernels this repo optimizes:
+
+* E4 ``hard/non-3-colorable n=10`` — the matching planner's hardest
+  committed row (exhaustive refutation with backtracking);
+* the largest sp-chain row of the closure-kernel A/B — the
+  dictionary-encoded fixpoint.
+
+The gate fails (exit 1) only on a >3x slowdown: CI runners are noisy,
+so the threshold is loose by design — it catches algorithmic
+regressions (a dropped index, an accidental quadratic loop), not jitter.
+Missing keys in either file are tolerated and reported as skips, so the
+gate keeps working across payload-schema changes.
+"""
+
+import json
+import sys
+
+#: A fresh measurement above ``3x * baseline`` fails the gate.
+THRESHOLD = 3.0
+
+
+def _e4_hard_ms(payload):
+    """The current E4 hard/non-3-colorable n=10 timing, or None."""
+    try:
+        rows = payload["current"]["E4"]
+    except (KeyError, TypeError):
+        return None
+    for row in rows:
+        if row.get("family") == "hard/non-3-colorable" and row.get("n") == 10:
+            return row.get("ms")
+    return None
+
+
+def _closure_growth_ms(payload):
+    """The largest sp-chain encoded-kernel timing, or None."""
+    try:
+        rows = payload["closure_kernel"]["growth"]
+    except (KeyError, TypeError):
+        return None
+    chains = [r for r in rows if r.get("family") == "sp-chain"]
+    if not chains:
+        return None
+    largest = max(chains, key=lambda r: r.get("size", 0))
+    return largest.get("encoded_ms")
+
+
+CHECKS = [
+    ("E4 hard/non-3-colorable n=10", _e4_hard_ms),
+    ("closure-kernel sp-chain (largest)", _closure_growth_ms),
+]
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        baseline = json.loads(open(argv[0]).read())
+    except (OSError, ValueError) as e:
+        print(f"perf gate: cannot read baseline {argv[0]} ({e}); skipping")
+        return 0
+    try:
+        fresh = json.loads(open(argv[1]).read())
+    except (OSError, ValueError) as e:
+        print(f"perf gate: cannot read fresh run {argv[1]} ({e})")
+        return 1
+
+    failed = False
+    for name, extract in CHECKS:
+        base_ms, fresh_ms = extract(baseline), extract(fresh)
+        if base_ms is None or fresh_ms is None or base_ms <= 0:
+            print(f"perf gate: {name}: no comparable rows, skipped")
+            continue
+        ratio = fresh_ms / base_ms
+        verdict = "FAIL" if ratio > THRESHOLD else "ok"
+        print(
+            f"perf gate: {name}: baseline {base_ms:.3f} ms, "
+            f"fresh {fresh_ms:.3f} ms ({ratio:.2f}x) {verdict}"
+        )
+        failed = failed or ratio > THRESHOLD
+
+    if failed:
+        print(f"perf gate: regression above {THRESHOLD}x threshold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,11 @@ Run:  python benchmarks/run_report.py            # full report
       python benchmarks/run_report.py --quick    # CI smoke: E4 + E5 + store
 
 Both modes re-measure the two entailment experiments (E4 hardness, E5
-acyclic routing) and write ``BENCH_entailment.json`` at the repo root:
-the pre-planner seed baselines next to the current run's numbers, so
-perf regressions in the matching planner show up in review diffs.  They
+acyclic routing) plus the encoded-vs-boxed closure-kernel A/B and write
+``BENCH_entailment.json`` at the repo root: the pre-planner seed
+baselines next to the current run's numbers, so perf regressions in the
+matching planner or the dictionary-encoded kernel show up in review
+diffs (and trip benchmarks/check_regression.py in CI).  They
 also run the mixed insert/delete store workload and write
 ``BENCH_store.json``: the seed's recompute-on-delete baseline next to
 the DRed deletion maintenance numbers, plus the read loop against the
@@ -101,6 +103,51 @@ def entailment_sections():
         print(f"{n:6d} {str(verdict):>9s} {t_yann:14.3f} {t_back:13.3f}")
 
     return e4_rows, e5_rows
+
+
+def closure_kernel_section():
+    """Run + print the encoded-vs-boxed closure A/B; return the payload.
+
+    Runs in both full and --quick mode: the committed rows in
+    ``BENCH_entailment.json`` are the baseline the CI perf gate
+    (benchmarks/check_regression.py) compares fresh runs against.
+    """
+    section(
+        "A3",
+        "ablation: dictionary-encoded closure kernel (repro.core.interning)",
+        "int-tuple fixpoint ≥2x over boxed terms at the largest sizes",
+    )
+    print(f"{'family':20s} {'|G|':>6s} {'encoded ms':>11s} {'boxed ms':>9s} {'speedup':>8s}")
+    growth, entailment = [], []
+    for family, size, enc_ms, box_ms in bench_closure_growth.collect_ab_series():
+        speedup = box_ms / enc_ms if enc_ms else float("inf")
+        print(f"{family:20s} {size:6d} {enc_ms:11.3f} {box_ms:9.3f} {speedup:7.2f}x")
+        growth.append(
+            {
+                "family": family,
+                "size": size,
+                "encoded_ms": round(enc_ms, 3),
+                "boxed_ms": round(box_ms, 3),
+                "speedup": round(speedup, 2),
+            }
+        )
+    for family, size, enc_ms, box_ms in bench_rdfs_entailment.collect_ab_series():
+        speedup = box_ms / enc_ms if enc_ms else float("inf")
+        print(f"{family:20s} {size:6d} {enc_ms:11.3f} {box_ms:9.3f} {speedup:7.2f}x")
+        entailment.append(
+            {
+                "family": family,
+                "size": size,
+                "encoded_ms": round(enc_ms, 3),
+                "boxed_ms": round(box_ms, 3),
+                "speedup": round(speedup, 2),
+            }
+        )
+    return {
+        "units": "ms (best of 5 runs each)",
+        "growth": growth,
+        "entailment": entailment,
+    }
 
 
 def store_section():
@@ -221,12 +268,15 @@ def write_store_json(payload, path: Path, metrics=None) -> None:
     print(f"\nwrote {path}")
 
 
-def write_bench_json(e4_rows, e5_rows, path: Path, metrics=None) -> None:
+def write_bench_json(
+    e4_rows, e5_rows, path: Path, metrics=None, closure_kernel=None
+) -> None:
     """Seed-vs-current E4/E5 numbers as a reviewable JSON artifact."""
     payload = {
         "description": (
             "Entailment benchmarks (E4 hardness, E5 acyclic routing): "
-            "pre-planner seed baseline vs the current matching planner. "
+            "pre-planner seed baseline vs the current matching planner, "
+            "plus the encoded-vs-boxed closure kernel A/B. "
             "Regenerate with: python benchmarks/run_report.py"
         ),
         "units": "ms (best of 5 runs for 'current'; seed was single-run)",
@@ -246,6 +296,8 @@ def write_bench_json(e4_rows, e5_rows, path: Path, metrics=None) -> None:
             ],
         },
     }
+    if closure_kernel is not None:
+        payload["closure_kernel"] = closure_kernel
     if metrics is not None:
         payload["metrics"] = metrics
     path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -264,8 +316,9 @@ def main(argv=None) -> None:
     root = Path(__file__).parent.parent
     print("Experiment report — Foundations of Semantic Web Databases")
     if args.quick:
-        print("(quick mode: entailment + store write sections only)")
+        print("(quick mode: entailment + closure kernel + store writes)")
         e4_rows, e5_rows = entailment_sections()
+        kernel_ab = closure_kernel_section()
         store_rows = store_section()
         snapshots = collect_metrics_snapshots()
         write_bench_json(
@@ -273,6 +326,7 @@ def main(argv=None) -> None:
             e5_rows,
             root / "BENCH_entailment.json",
             metrics={k: snapshots[k] for k in ("E4", "E5")},
+            closure_kernel=kernel_ab,
         )
         write_store_json(
             store_rows,
@@ -380,6 +434,7 @@ def main(argv=None) -> None:
     for size, inserts, t_inc, t_rec in bench_store.collect_series():
         print(f"{size:7d} {inserts:8d} {t_inc:15.3f} {t_rec:13.3f}")
 
+    kernel_ab = closure_kernel_section()
     store_rows = store_section()
 
     section(
@@ -424,6 +479,7 @@ def main(argv=None) -> None:
         e5_rows,
         root / "BENCH_entailment.json",
         metrics={k: snapshots[k] for k in ("E4", "E5")},
+        closure_kernel=kernel_ab,
     )
     write_store_json(
         store_rows, root / "BENCH_store.json", metrics=snapshots["store"]

@@ -197,6 +197,10 @@ def cmd_stats(args, out) -> int:
     out.write(f"closure size:       {len(store.closure())}\n")
     for key, value in store.stats.items():
         out.write(f"{key + ':':20s}{value}\n")
+    # Dictionary-encoding layer: interned-term population and traffic
+    # through the store's shared TermDict.
+    for key, value in store.term_dict.stats().items():
+        out.write(f"{'term_dict.' + key + ':':20s}{value}\n")
     return 0
 
 

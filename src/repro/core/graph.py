@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
+from .interning import EncodedGraph, SKOLEM_PREFIX, TermDict
 from .terms import (
     BNode,
     Literal,
@@ -29,10 +30,7 @@ from .terms import (
 )
 from .vocabulary import RDFS_VOCABULARY
 
-__all__ = ["RDFGraph", "triple", "graph_from_triples"]
-
-#: Prefix used for Skolem constants produced by :meth:`RDFGraph.skolemize`.
-SKOLEM_PREFIX = "urn:skolem:"
+__all__ = ["RDFGraph", "triple", "graph_from_triples", "SKOLEM_PREFIX"]
 
 
 def triple(s, p, o) -> Triple:
@@ -71,6 +69,7 @@ class RDFGraph:
         "_universe",
         "_bnodes",
         "_hash",
+        "_encoded",
     )
 
     def __init__(self, triples: Iterable[Triple] = ()):
@@ -84,19 +83,24 @@ class RDFGraph:
         self._triples: FrozenSet[Triple] = frozenset(items)
         self._by_predicate: Dict[Term, Set[Triple]] = {}
         self._by_subject: Dict[Term, Set[Triple]] = {}
-        self._by_object: Dict[Term, Set[Triple]] = {}
         self._by_sp: Dict[Tuple[Term, Term], Set[Triple]] = {}
         self._by_po: Dict[Tuple[Term, Term], Set[Triple]] = {}
-        self._by_so: Dict[Tuple[Term, Term], Set[Triple]] = {}
+        # The object-keyed and (s, o)-keyed indexes are consulted far
+        # less often than the other four (o-only and s+o lookups are
+        # rare pattern shapes), yet the closure/minimize code creates
+        # many short-lived intermediate graphs.  Build them lazily on
+        # first access instead of paying two more passes here.
+        self._by_object: Optional[Dict[Term, Set[Triple]]] = None
+        self._by_so: Optional[Dict[Tuple[Term, Term], Set[Triple]]] = None
+        #: Lazily built dictionary-encoded view (see :meth:`encoded`).
+        self._encoded: Optional[EncodedGraph] = None
         universe: Set[Term] = set()
         bnodes: Set[BNode] = set()
         for t in self._triples:
             self._by_subject.setdefault(t.s, set()).add(t)
             self._by_predicate.setdefault(t.p, set()).add(t)
-            self._by_object.setdefault(t.o, set()).add(t)
             self._by_sp.setdefault((t.s, t.p), set()).add(t)
             self._by_po.setdefault((t.p, t.o), set()).add(t)
-            self._by_so.setdefault((t.s, t.o), set()).add(t)
             for term in t:
                 universe.add(term)
                 if isinstance(term, BNode):
@@ -104,6 +108,47 @@ class RDFGraph:
         self._universe = frozenset(universe)
         self._bnodes = frozenset(bnodes)
         self._hash = hash(self._triples)
+
+    def _object_index(self) -> Dict[Term, Set[Triple]]:
+        idx = self._by_object
+        if idx is None:
+            idx = {}
+            for t in self._triples:
+                idx.setdefault(t.o, set()).add(t)
+            self._by_object = idx
+        return idx
+
+    def _so_index(self) -> Dict[Tuple[Term, Term], Set[Triple]]:
+        idx = self._by_so
+        if idx is None:
+            idx = {}
+            for t in self._triples:
+                idx.setdefault((t.s, t.o), set()).add(t)
+            self._by_so = idx
+        return idx
+
+    def encoded(self) -> EncodedGraph:
+        """The graph's dictionary-encoded view, built once on demand.
+
+        The :class:`~repro.core.interning.TermDict` is private to this
+        graph and **order-isomorphic** (terms interned in sorted order),
+        so ID comparisons agree with term sort-key comparisons — the
+        planner depends on that to keep its deterministic enumeration
+        order identical to the term-level implementation.
+        """
+        enc = self._encoded
+        if enc is None:
+            terms = TermDict.from_sorted_terms(
+                sorted(self._universe, key=sort_key)
+            )
+            ids = terms._ids
+            terms.encodes += 3 * len(self._triples)
+            enc = EncodedGraph(
+                ((ids[t[0]], ids[t[1]], ids[t[2]]) for t in self._triples),
+                terms,
+            )
+            self._encoded = enc
+        return enc
 
     # ------------------------------------------------------------------
     # Set-like protocol
@@ -211,7 +256,7 @@ class RDFGraph:
 
     def objects(self) -> FrozenSet[Term]:
         """The terms occurring in object position."""
-        return frozenset(self._by_object)
+        return frozenset(self._object_index())
 
     def union(self, other: "RDFGraph") -> "RDFGraph":
         """``G1 ∪ G2``: set-theoretic union, blank nodes shared."""
@@ -263,13 +308,13 @@ class RDFGraph:
         if p is not None and o is not None:
             return self._by_po.get((p, o), ())
         if s is not None and o is not None:
-            return self._by_so.get((s, o), ())
+            return self._so_index().get((s, o), ())
         if s is not None:
             return self._by_subject.get(s, ())
         if p is not None:
             return self._by_predicate.get(p, ())
         if o is not None:
-            return self._by_object.get(o, ())
+            return self._object_index().get(o, ())
         return self._triples
 
     def count(self, s=None, p=None, o=None) -> int:
@@ -285,13 +330,13 @@ class RDFGraph:
         if p is not None and o is not None:
             return len(self._by_po.get((p, o), ()))
         if s is not None and o is not None:
-            return len(self._by_so.get((s, o), ()))
+            return len(self._so_index().get((s, o), ()))
         if s is not None:
             return len(self._by_subject.get(s, ()))
         if p is not None:
             return len(self._by_predicate.get(p, ()))
         if o is not None:
-            return len(self._by_object.get(o, ()))
+            return len(self._object_index().get(o, ()))
         return len(self._triples)
 
     # ------------------------------------------------------------------

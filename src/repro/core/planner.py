@@ -41,6 +41,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from ..obs import OBS
 from .graph import RDFGraph
+from .interning import EncodedGraph, Row
 from .terms import BNode, Term, Triple, Variable, sort_key
 
 __all__ = [
@@ -61,10 +62,6 @@ SEMIJOIN = "semijoin"
 BACKTRACK = "backtrack"
 
 
-def _triple_key(t: Triple):
-    return (sort_key(t.s), sort_key(t.p), sort_key(t.o))
-
-
 def _is_free_kind(term: Term) -> bool:
     return isinstance(term, (BNode, Variable))
 
@@ -72,42 +69,54 @@ def _is_free_kind(term: Term) -> bool:
 class _CompiledTriple:
     """One pattern triple with constants/pre-bound terms substituted.
 
-    ``const`` holds the fixed value per position (None where free);
-    ``free_at`` lists (position, term) for the free positions; ``free``
-    is the tuple of distinct free terms in position order.
+    ``const`` holds the fixed **term ID** per position (None where
+    free), resolved against the target's dictionary — a constant the
+    target never mentions gets a distinct negative sentinel ID, so it
+    matches nothing without growing the dictionary; ``free_at`` lists
+    (position, term) for the free positions; ``free`` is the tuple of
+    distinct free terms in position order.  The search itself runs
+    entirely over IDs; only ``triple``/``free``/``key`` stay term-level
+    for plan introspection and deterministic canonicalization.
     """
 
     __slots__ = ("triple", "const", "free_at", "free", "key")
 
-    def __init__(self, t: Triple, frozen: FrozenSet[Term], partial: Dict[Term, Term]):
-        const: List[Optional[Term]] = []
+    def __init__(
+        self,
+        t: Triple,
+        frozen: FrozenSet[Term],
+        partial: Dict[Term, Term],
+        encode,
+    ):
+        const: List[Optional[int]] = []
         free_at: List[Tuple[int, Term]] = []
         free: List[Term] = []
+        shape: List[Term] = []
         for pos, term in enumerate(t):
             if _is_free_kind(term) and term not in frozen:
                 bound = partial.get(term)
                 if bound is not None:
-                    const.append(bound)
+                    const.append(encode(bound))
+                    shape.append(bound)
                 else:
                     const.append(None)
+                    shape.append(term)
                     free_at.append((pos, term))
                     if term not in free:
                         free.append(term)
             else:
-                const.append(term)
+                const.append(encode(term))
+                shape.append(term)
         self.triple = t
         self.const = tuple(const)
         self.free_at = tuple(free_at)
         self.free = tuple(free)
         # Deterministic identity: the substituted pattern (free positions
         # keep their term so distinct variables stay distinct).
-        shape = tuple(
-            c if c is not None else t[pos] for pos, c in enumerate(self.const)
-        )
         self.key = tuple(sort_key(x) for x in shape)
 
-    def args(self, assignment: Dict[Term, Term]):
-        """(s, p, o) with constants and current bindings fixed, else None."""
+    def args(self, assignment: Dict[Term, int]):
+        """(s, p, o) IDs with constants and current bindings, else None."""
         s, p, o = self.const
         for pos, term in self.free_at:
             v = assignment.get(term)
@@ -163,7 +172,14 @@ class MatchPlan:
 
 
 class _ComponentSolver:
-    """Domains, arc consistency and search for one connected component."""
+    """Domains, arc consistency and search for one connected component.
+
+    ``target`` is the target graph's :class:`EncodedGraph` view;
+    domains, base candidate lists and the whole search run over term
+    IDs (``exclude`` too).  Because the per-graph dictionary is
+    order-isomorphic, sorting candidate rows as plain int tuples
+    reproduces the term-level deterministic enumeration order exactly.
+    """
 
     __slots__ = (
         "triples",
@@ -181,8 +197,8 @@ class _ComponentSolver:
     def __init__(
         self,
         triples: List[_CompiledTriple],
-        target: RDFGraph,
-        exclude: Optional[Triple],
+        target: EncodedGraph,
+        exclude: Optional[Row],
     ):
         self.triples = triples
         self.target = target
@@ -195,8 +211,8 @@ class _ComponentSolver:
             for term in ct.free:
                 term_to_triples[term].append(i)
         self.term_to_triples = term_to_triples
-        self.base: List[List[Triple]] = []
-        self.domains: Dict[Term, Set[Term]] = {}
+        self.base: List[List[Row]] = []
+        self.domains: Dict[Term, Set[int]] = {}
         self.failed = False
         self.strategy = self._structural_strategy()
         self.static_order = (
@@ -285,10 +301,10 @@ class _ComponentSolver:
 
     # -- domains and arc consistency ------------------------------------
 
-    def _base_candidates(self, ct: _CompiledTriple) -> List[Triple]:
-        """Target triples matching the constant positions of *ct*.
+    def _base_candidates(self, ct: _CompiledTriple) -> List[Row]:
+        """Target rows matching the constant positions of *ct*.
 
-        Filters the excluded triple and intra-triple repeated-term
+        Filters the excluded row and intra-triple repeated-term
         inconsistencies; does not yet apply domains.
         """
         exclude = self.exclude
@@ -300,7 +316,7 @@ class _ComponentSolver:
             for c in matched:
                 if exclude is not None and c == exclude:
                     continue
-                binds: Dict[Term, Term] = {}
+                binds: Dict[Term, int] = {}
                 ok = True
                 for pos, term in ct.free_at:
                     v = c[pos]
@@ -364,7 +380,7 @@ class _ComponentSolver:
                 )
             else:
                 kept = []
-                per_term: Dict[Term, Set[Term]] = {t: set() for t in ct.free}
+                per_term: Dict[Term, Set[int]] = {t: set() for t in ct.free}
                 for c in cands:
                     ok = True
                     for pos, term in free_at:
@@ -404,8 +420,8 @@ class _ComponentSolver:
             pruned_empty=self.failed,
         )
 
-    def with_exclude(self, exclude: Triple) -> "_ComponentSolver":
-        """A copy of this (prepared) solver with one more excluded triple.
+    def with_exclude(self, exclude: Row) -> "_ComponentSolver":
+        """A copy of this (prepared) solver with one more excluded row.
 
         Reuses the compiled triples, base candidate lists and domains:
         only candidates equal to *exclude* are dropped, then arc
@@ -437,7 +453,7 @@ class _ComponentSolver:
             # Re-derive the affected domains, then restore arc consistency.
             for i in touched:
                 ct = clone.triples[i]
-                supported: Dict[Term, Set[Term]] = {t: set() for t in ct.free}
+                supported: Dict[Term, Set[int]] = {t: set() for t in ct.free}
                 for c in clone.base[i]:
                     for pos, term in ct.free_at:
                         supported[term].add(c[pos])
@@ -452,7 +468,12 @@ class _ComponentSolver:
     # -- search ----------------------------------------------------------
 
     def solutions(self, ordered: bool = True) -> Iterator[Dict[Term, Term]]:
-        """Enumerate this component's assignments, deterministically."""
+        """Enumerate this component's assignments, deterministically.
+
+        The search state (``assignment``) holds term IDs; each solution
+        is decoded back to terms at yield time, so callers never see
+        the encoding.
+        """
         if self.failed:
             return
         if not self.triples:
@@ -460,11 +481,13 @@ class _ComponentSolver:
             return
 
         target = self.target
+        rows = target.rows
+        decode = target.terms.decode
         exclude = self.exclude
         triples = self.triples
         domains = self.domains
         n = len(triples)
-        assignment: Dict[Term, Term] = {}
+        assignment: Dict[Term, int] = {}
         satisfied = [False] * n
         counts = [len(b) for b in self.base]
         static_order = self.static_order
@@ -488,7 +511,7 @@ class _ComponentSolver:
                         break
             return best
 
-        def bind(i: int, cand: Triple):
+        def bind(i: int, cand: Row):
             """Commit candidate *cand* for triple *i*; None on conflict.
 
             Returns an undo record: (bound terms, satisfied triples,
@@ -521,8 +544,8 @@ class _ComponentSolver:
                         continue
                     s, p, o = triples[j].args(assignment)
                     if s is not None and p is not None and o is not None:
-                        t = Triple(s, p, o)
-                        if t in target and (exclude is None or t != exclude):
+                        t = (s, p, o)
+                        if t in rows and (exclude is None or t != exclude):
                             satisfied[j] = True
                             marked.append(j)
                         else:
@@ -549,14 +572,14 @@ class _ComponentSolver:
             for j, old in restores:
                 counts[j] = old
 
-        def candidates(i: int) -> List[Triple]:
+        def candidates(i: int) -> List[Row]:
             s, p, o = triples[i].args(assignment)
-            out: List[Triple] = []
+            out: List[Row] = []
             for c in target.match(s, p, o):
                 if exclude is not None and c == exclude:
                     continue
                 ok = True
-                binds: Dict[Term, Term] = {}
+                binds: Dict[Term, int] = {}
                 for pos, term in triples[i].free_at:
                     if term in assignment:
                         continue  # match already pinned this position
@@ -574,8 +597,10 @@ class _ComponentSolver:
                     out.append(c)
             if ordered:
                 # Deterministic enumeration; witness-only callers (a
-                # Boolean answer) may skip the sort.
-                out.sort(key=_triple_key)
+                # Boolean answer) may skip the sort.  Rows sort as plain
+                # int tuples — the order-isomorphic dictionary makes
+                # this identical to the term-level sort-key order.
+                out.sort()
             return out
 
         backtracks = 0
@@ -584,7 +609,7 @@ class _ComponentSolver:
         def search(remaining: int) -> Iterator[Dict[Term, Term]]:
             nonlocal backtracks
             if remaining == 0:
-                yield dict(assignment)
+                yield {term: decode(v) for term, v in assignment.items()}
                 return
             i = choose()
             if i < 0:
@@ -619,7 +644,14 @@ class _ComponentSolver:
 class _PreparedMatch:
     """A planned pattern/target pair, ready to enumerate or explain."""
 
-    __slots__ = ("partial", "components", "failed", "ground_checked", "ground_ok")
+    __slots__ = (
+        "partial",
+        "components",
+        "failed",
+        "ground_checked",
+        "ground_ok",
+        "exclude_row",
+    )
 
     def __init__(
         self,
@@ -654,15 +686,41 @@ class _PreparedMatch:
         self.ground_checked = 0
         self.ground_ok = True
 
+        # Everything from here on runs against the target's cached
+        # encoded view.  Pattern constants resolve through a
+        # non-interning lookup; constants the target never mentions get
+        # distinct negative sentinel IDs (distinct so two different
+        # unknown constants never alias one compiled-triple shape).
+        enc = target.encoded()
+        lookup = enc.terms.lookup
+        missing: Dict[Term, int] = {}
+
+        def encode(term: Term) -> int:
+            i = lookup(term)
+            if i is None:
+                i = missing.get(term)
+                if i is None:
+                    i = -1 - len(missing)
+                    missing[term] = i
+            return i
+
+        exclude_row: Optional[Row] = None
+        if exclude is not None:
+            er = enc.terms.lookup_triple(exclude)
+            # A row the target does not even mention can never be
+            # matched, so the exclusion is vacuous when er is None.
+            exclude_row = er if er is not None and er in enc.rows else None
+        self.exclude_row = exclude_row
+
         compiled: Dict[Tuple, _CompiledTriple] = {}
         for t in pattern:
-            ct = _CompiledTriple(t, frozen_set, self.partial)
+            ct = _CompiledTriple(t, frozen_set, self.partial, encode)
             if not ct.free:
                 # Fully constant (possibly via partial): check membership.
                 self.ground_checked += 1
-                instance = Triple(*ct.const)
-                if instance not in target or (
-                    exclude is not None and instance == exclude
+                instance = ct.const
+                if instance not in enc.rows or (
+                    exclude_row is not None and instance == exclude_row
                 ):
                     self.ground_ok = False
             elif ct.key not in compiled:
@@ -695,7 +753,8 @@ class _PreparedMatch:
         # Components in the deterministic order of their first triple.
         component_lists = sorted(groups.values(), key=lambda g: g[0].key)
         self.components = [
-            _ComponentSolver(group, target, exclude) for group in component_lists
+            _ComponentSolver(group, enc, exclude_row)
+            for group in component_lists
         ]
         self.failed = not self.ground_ok or any(
             s.failed for s in self.components
@@ -839,10 +898,12 @@ def proper_endomorphism_assignment(
     base = _PreparedMatch(list(graph), graph)
     if base.failed:  # cannot happen for a self-match, but stay safe
         return None
+    lookup_triple = graph.encoded().terms.lookup_triple
     for t in graph.sorted_triples():
         if t.is_ground():
             continue
-        solvers = [s.with_exclude(t) for s in base.components]
+        row = lookup_triple(t)  # t ∈ graph, so always resolvable
+        solvers = [s.with_exclude(row) for s in base.components]
         if any(s.failed for s in solvers):
             continue
         found: List[Dict[Term, Term]] = []

@@ -13,11 +13,17 @@ from __future__ import annotations
 
 
 from ..core.graph import RDFGraph
+from ..core.interning import DOM_ID, RANGE_ID, SC_ID, SP_ID, TYPE_ID
 from ..core.terms import Triple
-from ..core.vocabulary import DOM, RANGE, RDFS_VOCABULARY, SC, SP, TYPE
+from ..core.vocabulary import DOM, RANGE, SC, SP, TYPE
 from .engine import DatalogAtom, DatalogProgram, DatalogRule, DVar, evaluate_program
 
-__all__ = ["rdfs_datalog_program", "closure_via_datalog", "TRIPLE_RELATION"]
+__all__ = [
+    "rdfs_datalog_program",
+    "rdfs_datalog_program_encoded",
+    "closure_via_datalog",
+    "TRIPLE_RELATION",
+]
 
 #: The single relation holding all triples.
 TRIPLE_RELATION = "t"
@@ -37,6 +43,30 @@ def rdfs_datalog_program() -> DatalogProgram:
     well-formed, so the paper's side condition disappears and the
     compilation is direct.  Rule numbers appear in order.
     """
+    return _build_program(SP, SC, TYPE, DOM, RANGE)
+
+
+_ENCODED_PROGRAM = None
+
+
+def rdfs_datalog_program_encoded() -> DatalogProgram:
+    """The same rules with the rdfsV keywords as their pinned term IDs.
+
+    The Datalog engine is generic over hashable constants, so running
+    it over ``(int, int, int)`` rows from a vocabulary-seeded
+    :class:`~repro.core.interning.TermDict` needs nothing but a program
+    whose constants are the matching IDs (``SP_ID`` … ``RANGE_ID``).
+    The IDs are pinned per construction, so one shared program instance
+    serves every store.
+    """
+    global _ENCODED_PROGRAM
+    if _ENCODED_PROGRAM is None:
+        _ENCODED_PROGRAM = _build_program(SP_ID, SC_ID, TYPE_ID, DOM_ID, RANGE_ID)
+    return _ENCODED_PROGRAM
+
+
+def _build_program(sp, sc, type_, dom, range_) -> DatalogProgram:
+    SP, SC, TYPE, DOM, RANGE = sp, sc, type_, dom, range_
     rules = [
         # (2) subproperty transitivity
         DatalogRule(head=_t(_A, SP, _C), body=(_t(_A, SP, _B), _t(_B, SP, _C))),
@@ -59,8 +89,8 @@ def rdfs_datalog_program() -> DatalogProgram:
         # (8) predicate sp-reflexivity
         DatalogRule(head=_t(_A, SP, _A), body=(_t(_X, _A, _Y),)),
     ]
-    # (9) reserved-word axioms, as body-less rules.
-    for p in sorted(RDFS_VOCABULARY, key=lambda u: u.value):
+    # (9) reserved-word axioms, as body-less rules (fixed rdfsV order).
+    for p in (SP, SC, TYPE, DOM, RANGE):
         rules.append(DatalogRule(head=_t(p, SP, p), body=()))
     # (10) dom/range subject sp-reflexivity
     for p in (DOM, RANGE):

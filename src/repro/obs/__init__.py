@@ -60,6 +60,10 @@ STANDARD_COUNTERS = (
     "planner.backtracks",
     "planner.solutions",
     "closure.rounds",
+    "closure.dispatch.encoded",
+    "closure.dispatch.boxed",
+    "interning.encode_calls",
+    "interning.decode_calls",
     "datalog.rounds",
     "datalog.derived",
     "datalog.dred.overdeleted",

@@ -20,9 +20,22 @@ query over the sp/sc edge relations.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.graph import RDFGraph
+from ..core.interning import (
+    BNODE_BASE,
+    DOM_ID,
+    LITERAL_BASE,
+    RANGE_ID,
+    Row,
+    SC_ID,
+    SP_ID,
+    TYPE_ID,
+    TermDict,
+    VOCAB_SIZE,
+)
 from ..core.terms import BNode, Literal, Term, Triple, URI
 from ..core.vocabulary import DOM, RANGE, RDFS_VOCABULARY, SC, SP, TYPE
 from ..obs import OBS
@@ -30,6 +43,8 @@ from .rules import apply_rules_to_fixpoint
 
 __all__ = [
     "rdfs_closure",
+    "rdfs_closure_boxed",
+    "rdfs_closure_encoded",
     "rdfs_closure_by_rules",
     "closure",
     "ClosureOracle",
@@ -80,19 +95,7 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
     # Per-rule-group emission counters (first-emitter attribution for
     # triples several groups would derive).  ``checkpoint`` is a no-op
     # closure while instrumentation is off.
-    if OBS.enabled:
-        _emitted = [0]
-        _registry = OBS.registry
-
-        def checkpoint(group: str) -> None:
-            now = len(new)
-            delta = now - _emitted[0]
-            _emitted[0] = now
-            if delta:
-                _registry.inc(f"closure.emitted.{group}", delta)
-    else:
-        def checkpoint(group: str) -> None:
-            return None
+    checkpoint = _make_checkpoint(new)
 
     sp_edges = {(t.s, t.o) for t in triples if t.p == SP}
     sc_edges = {(t.s, t.o) for t in triples if t.p == SC}
@@ -194,6 +197,229 @@ def _closure_round(triples: Set[Triple]) -> Set[Triple]:
     return new - triples
 
 
+def _make_checkpoint(new):
+    """Per-rule-group emission counter closure (no-op while obs is off)."""
+    if OBS.enabled:
+        _emitted = [0]
+        _registry = OBS.registry
+
+        def checkpoint(group: str) -> None:
+            now = len(new)
+            delta = now - _emitted[0]
+            _emitted[0] = now
+            if delta:
+                _registry.inc(f"closure.emitted.{group}", delta)
+    else:
+        def checkpoint(group: str) -> None:
+            return None
+    return checkpoint
+
+
+def _closure_round_ids(rows: Set[Row]) -> Set[Row]:
+    """ID-space twin of :func:`_closure_round`.
+
+    Same staged emission over ``(int, int, int)`` rows from a
+    vocabulary-seeded :class:`TermDict`, so the boxed version's
+    ``isinstance`` / keyword-equality tests become int comparisons:
+    ``p == SP`` is ``p == SP_ID`` (= 0), "not a literal" is
+    ``i < LITERAL_BASE``, "is a URI" is ``i < BNODE_BASE``.  All set
+    operations run over plain int tuples, which hash and compare in C.
+    """
+    new: Set[Row] = set()
+    checkpoint = _make_checkpoint(new)
+
+    sp_edges = {(s, o) for s, p, o in rows if p == SP_ID}
+    sc_edges = {(s, o) for s, p, o in rows if p == SC_ID}
+
+    # GROUP E: sp reflexivity — rules (8), (9), (10), (11).
+    sp_reflexive: Set[int] = set(range(VOCAB_SIZE))
+    for s, p, _o in rows:
+        sp_reflexive.add(p)  # rule (8)
+        if p == DOM_ID or p == RANGE_ID:
+            sp_reflexive.add(s)  # rule (10)
+    for a, b in sp_edges:
+        sp_reflexive.add(a)  # rule (11)
+        sp_reflexive.add(b)
+    for a in sp_reflexive:
+        if a < LITERAL_BASE:
+            new.add((a, SP_ID, a))
+    checkpoint("rule8_11_sp_reflexivity")
+
+    # GROUP F: sc reflexivity — rules (12), (13).
+    sc_reflexive: Set[int] = set()
+    for _s, p, o in rows:
+        if p == DOM_ID or p == RANGE_ID or p == TYPE_ID:
+            sc_reflexive.add(o)  # rule (12)
+    for a, b in sc_edges:
+        sc_reflexive.add(a)  # rule (13)
+        sc_reflexive.add(b)
+    for a in sc_reflexive:
+        if a < LITERAL_BASE:
+            new.add((a, SC_ID, a))
+    checkpoint("rule12_13_sc_reflexivity")
+
+    sp_pairs = _transitive_pairs(sp_edges)
+    sc_pairs = _transitive_pairs(sc_edges)
+
+    # GROUP B, rule (2): sp transitivity.
+    for a, b in sp_pairs:
+        new.add((a, SP_ID, b))
+    checkpoint("rule2_sp_transitivity")
+
+    # GROUP C, rule (4): sc transitivity.
+    for a, b in sc_pairs:
+        if a < LITERAL_BASE and b < LITERAL_BASE:
+            new.add((a, SC_ID, b))
+    checkpoint("rule4_sc_transitivity")
+
+    # GROUP B, rule (3): lift every triple along sp.
+    sp_super: Dict[int, Set[int]] = {}
+    for a, b in sp_pairs:
+        sp_super.setdefault(a, set()).add(b)
+    if sp_super:
+        for s, p, o in rows:
+            supers = sp_super.get(p)
+            if supers:
+                for b in supers:
+                    if b < BNODE_BASE:  # no blank predicates
+                        new.add((s, b, o))
+    checkpoint("rule3_sp_lift")
+
+    # GROUP D, rules (6)/(7): dom/range typing through sp (Marin's fix).
+    # Ordered BEFORE rule (5) — unlike the boxed round — so the type
+    # triples derived here get sc-lifted within the same round; that is
+    # what makes a single round complete on vocabulary-clean input (see
+    # :func:`rdfs_closure_encoded`).
+    sp_sub: Dict[int, Set[int]] = {}
+    for a, b in sp_pairs:
+        sp_sub.setdefault(b, set()).add(a)
+    by_predicate: Dict[int, List[Row]] = {}
+    for row in rows:
+        by_predicate.setdefault(row[1], []).append(row)
+    typed_pairs: Set[Tuple[int, int]] = set()  # (instance, class)
+    for s, p, o in rows:
+        if p != DOM_ID and p != RANGE_ID:
+            continue
+        if o >= LITERAL_BASE:
+            continue
+        properties = {s} | sp_sub.get(s, set())
+        if p == DOM_ID:
+            for c in properties:
+                for used in by_predicate.get(c, ()):
+                    typed_pairs.add((used[0], o))
+        else:
+            for c in properties:
+                for used in by_predicate.get(c, ()):
+                    target = used[2]
+                    if target < LITERAL_BASE:
+                        typed_pairs.add((target, o))
+    for x, klass in typed_pairs:
+        new.add((x, TYPE_ID, klass))
+    checkpoint("rule6_7_dom_range")
+
+    # GROUP D, rule (5): lift type along sc — over the input's type
+    # triples and the dom/range typings derived just above.
+    sc_super: Dict[int, Set[int]] = {}
+    for a, b in sc_pairs:
+        sc_super.setdefault(a, set()).add(b)
+    if sc_super:
+        for s, p, o in rows:
+            if p == TYPE_ID:
+                supers = sc_super.get(o)
+                if supers:
+                    for b in supers:
+                        if b < LITERAL_BASE:
+                            new.add((s, TYPE_ID, b))
+        for x, klass in typed_pairs:
+            supers = sc_super.get(klass)
+            if supers:
+                for b in supers:
+                    if b < LITERAL_BASE:
+                        new.add((x, TYPE_ID, b))
+    checkpoint("rule5_sc_type_lift")
+
+    return new - rows
+
+
+def _fixpoint_rounds(state, round_fn, input_size):
+    """Shared fixpoint loop with obs spans; mutates *state* in place."""
+    with OBS.span("closure.fixpoint", input=input_size) as span:
+        rounds = 0
+        while True:
+            rounds += 1
+            with OBS.span("closure.round", round=rounds) as round_span:
+                new = round_fn(state)
+                round_span.annotate(new=len(new))
+            if not new:
+                break
+            state |= new
+        if OBS.enabled:
+            OBS.registry.inc("closure.rounds", rounds)
+            OBS.registry.inc(
+                "closure.derived_triples", len(state) - input_size
+            )
+            span.annotate(rounds=rounds, output=len(state))
+    return state
+
+
+def rdfs_closure_boxed(graph: RDFGraph) -> RDFGraph:
+    """``RDFS-cl(G)`` over boxed terms (reference / A-B baseline).
+
+    The original staged implementation; kept callable so the benchmark
+    suite can measure the encoded kernel against it and so
+    ``REPRO_CLOSURE_KERNEL=boxed`` can force it at runtime.
+    """
+    triples: Set[Triple] = set(graph.triples)
+    _fixpoint_rounds(triples, _closure_round, len(graph))
+    return RDFGraph(triples)
+
+
+def rdfs_closure_encoded(graph: RDFGraph) -> RDFGraph:
+    """``RDFS-cl(G)`` via the dictionary-encoded int kernel.
+
+    Interns the graph through a fresh vocabulary-seeded
+    :class:`TermDict`, runs the staged fixpoint entirely over
+    ``(int, int, int)`` rows, and decodes once at the end.  Raises
+    ``TypeError`` if the graph contains non-RDF terms (variables);
+    :func:`rdfs_closure` falls back to the boxed path in that case.
+    """
+    terms = TermDict()
+    enc = terms.encode_triple
+    rows: Set[Row] = {enc(t) for t in graph.triples}
+    # Reserved vocabulary in a subject/object position (a subproperty
+    # *of sp itself*, a domain axiom *about type*, …) can make round-1
+    # derivations feed rules they precede; only then is iteration
+    # needed.  Thanks to vocabulary seeding this is five int compares
+    # per row — and on clean input the verification round (a full
+    # re-derivation that discovers nothing) is skipped outright, which
+    # roughly halves the kernel's work.  The staged round orders rules
+    # (6)/(7) before rule (5) precisely so this single pass is complete;
+    # the equivalence with the iterated boxed path is pinned by the
+    # closure and property suites.
+    if any(s < VOCAB_SIZE or o < VOCAB_SIZE for s, _p, o in rows):
+        _fixpoint_rounds(rows, _closure_round_ids, len(graph))
+    else:
+        with OBS.span("closure.fixpoint", input=len(rows)) as span:
+            with OBS.span("closure.round", round=1) as round_span:
+                new = _closure_round_ids(rows)
+                round_span.annotate(new=len(new))
+            rows |= new
+            if OBS.enabled:
+                OBS.registry.inc("closure.rounds", 1)
+                OBS.registry.inc(
+                    "closure.derived_triples", len(rows) - len(graph)
+                )
+                span.annotate(rounds=1, output=len(rows))
+    dec = terms.decode_triple
+    out = RDFGraph([dec(row) for row in rows])
+    if OBS.enabled:
+        registry = OBS.registry
+        registry.inc("interning.encode_calls", terms.encodes)
+        registry.inc("interning.decode_calls", terms.decodes)
+        registry.set_gauge("interning.closure_dict_size", len(terms))
+    return out
+
+
 def rdfs_closure(graph: RDFGraph) -> RDFGraph:
     """``RDFS-cl(G)`` via the staged algorithm, iterated to fixpoint.
 
@@ -201,25 +427,25 @@ def rdfs_closure(graph: RDFGraph) -> RDFGraph:
     including graphs that use reserved vocabulary in subject/object
     positions); runs in time polynomial in ``|G|`` with output size
     ``Θ(|G|²)`` in the worst case (Theorem 3.6.3).
+
+    Dispatches to the dictionary-encoded int kernel
+    (:func:`rdfs_closure_encoded`) unless ``REPRO_CLOSURE_KERNEL=boxed``
+    is set or the graph holds terms the interner cannot encode, in which
+    case the boxed staged path runs instead.  Both produce the same
+    graph; ``closure.dispatch.*`` counters record which one ran.
     """
-    triples: Set[Triple] = set(graph.triples)
-    with OBS.span("closure.fixpoint", input=len(triples)) as span:
-        rounds = 0
-        while True:
-            rounds += 1
-            with OBS.span("closure.round", round=rounds) as round_span:
-                new = _closure_round(triples)
-                round_span.annotate(new=len(new))
-            if not new:
-                break
-            triples |= new
-        if OBS.enabled:
-            OBS.registry.inc("closure.rounds", rounds)
-            OBS.registry.inc(
-                "closure.derived_triples", len(triples) - len(graph)
-            )
-            span.annotate(rounds=rounds, output=len(triples))
-    return RDFGraph(triples)
+    if os.environ.get("REPRO_CLOSURE_KERNEL", "encoded") != "boxed":
+        try:
+            result = rdfs_closure_encoded(graph)
+        except TypeError:
+            pass  # non-RDF terms (e.g. variables): boxed fallback below
+        else:
+            if OBS.enabled:
+                OBS.registry.inc("closure.dispatch.encoded")
+            return result
+    if OBS.enabled:
+        OBS.registry.inc("closure.dispatch.boxed")
+    return rdfs_closure_boxed(graph)
 
 
 def closure(graph: RDFGraph) -> RDFGraph:

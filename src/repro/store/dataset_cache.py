@@ -8,6 +8,16 @@ instead — per-position indexes updated in place on every add/remove,
 with reference counts so the same triple asserted in two named graphs
 stays in the union until its last occurrence goes.
 
+Since the dictionary-encoding PR the cache lives in **ID space**: every
+triple is interned once through the store's shared
+:class:`~repro.core.interning.TermDict` at insert, reference counts and
+index keys are ``(int, int, int)`` rows, and the maintained-closure
+machinery reads those rows directly (:meth:`rows`) — no re-encoding per
+write or per fixpoint.  Reads stay term-level without decoding either:
+each live row memoizes its original :class:`Triple`, and index buckets
+hold those triples under int keys, so ``match``/``count`` probe with a
+non-interning lookup and hand back triples.
+
 The cache exposes the same ``match``/``count`` lookup interface as
 ``RDFGraph`` (the primitive the matching planner and ``describe``
 consume), plus a lazily cached immutable :meth:`snapshot` for callers
@@ -21,6 +31,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
 from ..core.graph import RDFGraph
+from ..core.interning import BNODE_BASE, LITERAL_BASE, Row, TermDict
 from ..core.terms import BNode, Term, Triple
 from ..obs import OBS
 
@@ -31,7 +42,9 @@ class DatasetCache:
     """Refcounted union of triple sets with in-place positional indexes."""
 
     __slots__ = (
+        "terms",
         "_counts",
+        "_triple_of",
         "_by_subject",
         "_by_predicate",
         "_by_object",
@@ -42,15 +55,23 @@ class DatasetCache:
         "_snapshot",
     )
 
-    def __init__(self, triples: Iterable[Triple] = ()):
-        self._counts: Dict[Triple, int] = {}
-        self._by_subject: Dict[Term, Set[Triple]] = {}
-        self._by_predicate: Dict[Term, Set[Triple]] = {}
-        self._by_object: Dict[Term, Set[Triple]] = {}
-        self._by_sp: Dict[Tuple[Term, Term], Set[Triple]] = {}
-        self._by_po: Dict[Tuple[Term, Term], Set[Triple]] = {}
-        self._by_so: Dict[Tuple[Term, Term], Set[Triple]] = {}
-        self._bnode_counts: Dict[BNode, int] = {}
+    def __init__(
+        self,
+        triples: Iterable[Triple] = (),
+        terms: Optional[TermDict] = None,
+    ):
+        #: The (usually store-owned, shared) term dictionary.
+        self.terms = terms if terms is not None else TermDict()
+        self._counts: Dict[Row, int] = {}
+        #: Live row → the triple it encodes (the decode-free read path).
+        self._triple_of: Dict[Row, Triple] = {}
+        self._by_subject: Dict[int, Set[Triple]] = {}
+        self._by_predicate: Dict[int, Set[Triple]] = {}
+        self._by_object: Dict[int, Set[Triple]] = {}
+        self._by_sp: Dict[Tuple[int, int], Set[Triple]] = {}
+        self._by_po: Dict[Tuple[int, int], Set[Triple]] = {}
+        self._by_so: Dict[Tuple[int, int], Set[Triple]] = {}
+        self._bnode_counts: Dict[int, int] = {}
         self._snapshot: Optional[RDFGraph] = None
         for t in triples:
             self.add(t)
@@ -59,55 +80,68 @@ class DatasetCache:
     # Mutation (O(1) per call)
     # ------------------------------------------------------------------
 
-    def add(self, t: Triple) -> bool:
-        """Count one occurrence; True iff the union gained the triple."""
-        count = self._counts.get(t, 0)
-        self._counts[t] = count + 1
-        if count:
-            return False
-        self._by_subject.setdefault(t.s, set()).add(t)
-        self._by_predicate.setdefault(t.p, set()).add(t)
-        self._by_object.setdefault(t.o, set()).add(t)
-        self._by_sp.setdefault((t.s, t.p), set()).add(t)
-        self._by_po.setdefault((t.p, t.o), set()).add(t)
-        self._by_so.setdefault((t.s, t.o), set()).add(t)
-        for term in t:
-            if isinstance(term, BNode):
-                self._bnode_counts[term] = self._bnode_counts.get(term, 0) + 1
-        self._snapshot = None
-        return True
+    def add(self, t: Triple) -> Optional[Row]:
+        """Count one occurrence; the new row iff the union gained it.
 
-    def discard(self, t: Triple) -> bool:
-        """Drop one occurrence; True iff the union lost the triple."""
-        count = self._counts.get(t, 0)
+        Returns the encoded row when the triple is new to the union
+        (callers buffer exactly that row for closure maintenance) and
+        ``None`` when only the reference count moved.
+        """
+        row = self.terms.encode_triple(t)
+        count = self._counts.get(row, 0)
+        self._counts[row] = count + 1
+        if count:
+            return None
+        s, p, o = row
+        self._triple_of[row] = t
+        self._by_subject.setdefault(s, set()).add(t)
+        self._by_predicate.setdefault(p, set()).add(t)
+        self._by_object.setdefault(o, set()).add(t)
+        self._by_sp.setdefault((s, p), set()).add(t)
+        self._by_po.setdefault((p, o), set()).add(t)
+        self._by_so.setdefault((s, o), set()).add(t)
+        for i in row:
+            if BNODE_BASE <= i < LITERAL_BASE:
+                self._bnode_counts[i] = self._bnode_counts.get(i, 0) + 1
+        self._snapshot = None
+        return row
+
+    def discard(self, t: Triple) -> Optional[Row]:
+        """Drop one occurrence; the dead row iff the union lost it."""
+        row = self.terms.lookup_triple(t)
+        if row is None:
+            return None
+        count = self._counts.get(row, 0)
         if not count:
-            return False
+            return None
         if count > 1:
-            self._counts[t] = count - 1
-            return False
-        del self._counts[t]
+            self._counts[row] = count - 1
+            return None
+        del self._counts[row]
+        triple = self._triple_of.pop(row)
+        s, p, o = row
         for index, key in (
-            (self._by_subject, t.s),
-            (self._by_predicate, t.p),
-            (self._by_object, t.o),
-            (self._by_sp, (t.s, t.p)),
-            (self._by_po, (t.p, t.o)),
-            (self._by_so, (t.s, t.o)),
+            (self._by_subject, s),
+            (self._by_predicate, p),
+            (self._by_object, o),
+            (self._by_sp, (s, p)),
+            (self._by_po, (p, o)),
+            (self._by_so, (s, o)),
         ):
             bucket = index.get(key)
             if bucket is not None:
-                bucket.discard(t)
+                bucket.discard(triple)
                 if not bucket:
                     del index[key]
-        for term in t:
-            if isinstance(term, BNode):
-                remaining = self._bnode_counts.get(term, 0) - 1
+        for i in row:
+            if BNODE_BASE <= i < LITERAL_BASE:
+                remaining = self._bnode_counts.get(i, 0) - 1
                 if remaining > 0:
-                    self._bnode_counts[term] = remaining
+                    self._bnode_counts[i] = remaining
                 else:
-                    self._bnode_counts.pop(term, None)
+                    self._bnode_counts.pop(i, None)
         self._snapshot = None
-        return True
+        return row
 
     # ------------------------------------------------------------------
     # Lookup — same contract as RDFGraph.match/count
@@ -119,10 +153,28 @@ class DatasetCache:
         p: Optional[Term] = None,
         o: Optional[Term] = None,
     ) -> Iterable[Triple]:
-        """Triples matching the given fixed positions (None = wildcard)."""
+        """Triples matching the given fixed positions (None = wildcard).
+
+        Probe terms resolve through a *non-interning* lookup — a term
+        the dataset has never seen simply matches nothing and does not
+        grow the dictionary.
+        """
+        lookup = self.terms.lookup
+        if s is not None:
+            s = lookup(s)
+            if s is None:
+                return ()
+        if p is not None:
+            p = lookup(p)
+            if p is None:
+                return ()
+        if o is not None:
+            o = lookup(o)
+            if o is None:
+                return ()
         if s is not None and p is not None and o is not None:
-            t = Triple(s, p, o)
-            return (t,) if t in self._counts else ()
+            t = self._triple_of.get((s, p, o))
+            return (t,) if t is not None else ()
         if s is not None and p is not None:
             return self._by_sp.get((s, p), ())
         if p is not None and o is not None:
@@ -135,7 +187,7 @@ class DatasetCache:
             return self._by_predicate.get(p, ())
         if o is not None:
             return self._by_object.get(o, ())
-        return self._counts.keys()
+        return self._triple_of.values()
 
     def count(
         self,
@@ -144,21 +196,10 @@ class DatasetCache:
         o: Optional[Term] = None,
     ) -> int:
         """Number of matching triples, read straight off the index sizes."""
-        if s is not None and p is not None and o is not None:
-            return 1 if Triple(s, p, o) in self._counts else 0
-        if s is not None and p is not None:
-            return len(self._by_sp.get((s, p), ()))
-        if p is not None and o is not None:
-            return len(self._by_po.get((p, o), ()))
-        if s is not None and o is not None:
-            return len(self._by_so.get((s, o), ()))
-        if s is not None:
-            return len(self._by_subject.get(s, ()))
-        if p is not None:
-            return len(self._by_predicate.get(p, ()))
-        if o is not None:
-            return len(self._by_object.get(o, ()))
-        return len(self._counts)
+        matched = self.match(s, p, o)
+        if matched is self._triple_of.values():
+            return len(self._counts)
+        return len(matched)
 
     # ------------------------------------------------------------------
     # Set-like protocol over the union
@@ -168,22 +209,28 @@ class DatasetCache:
         return len(self._counts)
 
     def __iter__(self) -> Iterator[Triple]:
-        return iter(self._counts)
+        return iter(self._triple_of.values())
 
     def __contains__(self, t) -> bool:
         if not isinstance(t, Triple):
             t = Triple(*t)
-        return t in self._counts
+        row = self.terms.lookup_triple(t)
+        return row is not None and row in self._counts
+
+    def rows(self) -> Iterable[Row]:
+        """The union's encoded rows (the closure machinery's EDB feed)."""
+        return self._counts.keys()
 
     def bnodes(self) -> FrozenSet[BNode]:
-        return frozenset(self._bnode_counts)
+        decode = self.terms.decode
+        return frozenset(decode(i) for i in self._bnode_counts)
 
     def snapshot(self) -> RDFGraph:
         """The union as an immutable ``RDFGraph``; cached between writes."""
         if self._snapshot is None:
             if OBS.enabled:
                 OBS.registry.inc("store.dataset_cache.miss")
-            self._snapshot = RDFGraph(self._counts)
+            self._snapshot = RDFGraph(self._triple_of.values())
         elif OBS.enabled:
             OBS.registry.inc("store.dataset_cache.hit")
         return self._snapshot

@@ -28,6 +28,16 @@ Write path:
 The store works over the Skolemized image of its data (Section 3.1), so
 the materialized closure is a plain ground fact set; blank nodes are
 restored on the way out.
+
+Since the dictionary-encoding PR the whole maintenance pipeline runs in
+**ID space**: the store owns one shared
+:class:`~repro.core.interning.TermDict`, triples are interned once at
+insert, the dataset cache / delta buffers / fact stores all hold
+``(int, int, int)`` rows, Skolemization is an O(1) ID remap, and the
+Datalog program itself carries the pinned keyword IDs
+(:func:`~repro.datalog.rdfs_program.rdfs_datalog_program_encoded`).
+Terms are decoded only at the public read boundary (``closure()``,
+``bnodes``, snapshots).
 """
 
 from __future__ import annotations
@@ -36,8 +46,9 @@ import os
 from collections.abc import Mapping
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from ..core.graph import RDFGraph, SKOLEM_PREFIX
-from ..core.terms import BNode, Term, Triple, URI
+from ..core.graph import RDFGraph
+from ..core.interning import BNODE_BASE, LITERAL_BASE, Row, TermDict
+from ..core.terms import BNode, Term, Triple
 from ..datalog.engine import (
     FactStore,
     evaluate_program,
@@ -45,7 +56,7 @@ from ..datalog.engine import (
     materialize_fixpoint,
     retract_fixpoint_into,
 )
-from ..datalog.rdfs_program import TRIPLE_RELATION, rdfs_datalog_program
+from ..datalog.rdfs_program import TRIPLE_RELATION, rdfs_datalog_program_encoded
 from ..obs import OBS
 from ..obs.metrics import MetricsRegistry
 from ..query.tableau import Query
@@ -125,28 +136,29 @@ class TripleStore:
 
     def __init__(self):
         self._graphs: Dict[str, Set[Triple]] = {DEFAULT_GRAPH: set()}
-        #: Live union of all named graphs (refcounted; indexed in place).
-        self._dataset = DatasetCache()
-        self._program = rdfs_datalog_program()
+        #: The store-wide term dictionary: every term interned exactly
+        #: once, shared by the dataset cache and the closure machinery
+        #: (skolem IDs and their inverse live here too).
+        self._terms = TermDict()
+        #: Live union of all named graphs (refcounted; indexed in place;
+        #: keyed by encoded rows).
+        self._dataset = DatasetCache(terms=self._terms)
+        self._program = rdfs_datalog_program_encoded()
         #: Persistent materialized fixpoint, updated in place by the
         #: ``*_into`` engine calls (never rebuilt per write).
         self._closure_store: Optional[FactStore] = None
         #: Skolemized dataset rows the closure was built over, maintained
         #: alongside ``_closure_store`` (the EDB for DRed rederivation).
         self._base_store: Optional[FactStore] = None
-        #: Inverse Skolem map of the dataset the closure was built from;
-        #: cached with ``_closure_store``.  Skolemization is deterministic
-        #: per blank label, so incremental deltas extend it consistently.
-        self._skolem_inverse: Optional[Dict[URI, BNode]] = None
         self._closure_graph: Optional[RDFGraph] = None
         self._normal_form: Optional[RDFGraph] = None
         self._in_transaction = False
         self._txn_log: List[Tuple[str, str, Triple]] = []  # (op, graph, triple)
         #: Net dataset delta not yet folded into the materialized closure
         #: (buffered during transactions, flushed at commit or at the
-        #: first closure-dependent read).
-        self._pending_adds: Set[Triple] = set()
-        self._pending_removes: Set[Triple] = set()
+        #: first closure-dependent read), held as encoded rows.
+        self._pending_adds: Set[Row] = set()
+        self._pending_removes: Set[Row] = set()
         #: Cross-check incremental maintenance against a from-scratch
         #: fixpoint after every flush (also settable per instance).
         self.validate_maintenance = _VALIDATE_ENV
@@ -171,6 +183,12 @@ class TripleStore:
 
     def graph_names(self) -> List[str]:
         return sorted(self._graphs)
+
+    @property
+    def term_dict(self) -> TermDict:
+        """The store's shared term dictionary (sizes and traffic via
+        :meth:`~repro.core.interning.TermDict.stats`)."""
+        return self._terms
 
     def graph(self, name: str = DEFAULT_GRAPH) -> RDFGraph:
         """A snapshot of one named graph."""
@@ -231,8 +249,9 @@ class TripleStore:
         triples.add(t)
         if self._in_transaction:
             self._txn_log.append(("add", graph, t))
-        if self._dataset.add(t):
-            self._buffer_change(t, added=True)
+        row = self._dataset.add(t)
+        if row is not None:
+            self._buffer_change(row, added=True)
         if not self._in_transaction:
             self._flush_delta()
         return True
@@ -255,8 +274,9 @@ class TripleStore:
                 new += 1
                 if self._in_transaction:
                     self._txn_log.append(("add", graph, t))
-                if self._dataset.add(t):
-                    self._buffer_change(t, added=True)
+                row = self._dataset.add(t)
+                if row is not None:
+                    self._buffer_change(row, added=True)
         if not self._in_transaction:
             self._flush_delta()
         return new
@@ -282,8 +302,9 @@ class TripleStore:
         triples.remove(t)
         if self._in_transaction:
             self._txn_log.append(("remove", graph, t))
-        if self._dataset.discard(t):
-            self._buffer_change(t, added=False)
+        row = self._dataset.discard(t)
+        if row is not None:
+            self._buffer_change(row, added=False)
         if not self._in_transaction:
             self._flush_delta()
         return True
@@ -299,7 +320,9 @@ class TripleStore:
             raise TransactionError("clear() is not allowed inside a transaction")
         if graph is None:
             self._graphs = {DEFAULT_GRAPH: set()}
-            self._dataset = DatasetCache()
+            # The shared term dictionary survives a clear: IDs are
+            # append-only, and re-adding the same terms must reuse them.
+            self._dataset = DatasetCache(terms=self._terms)
             self._pending_adds = set()
             self._pending_removes = set()
             self._invalidate_closure()
@@ -308,8 +331,9 @@ class TripleStore:
         if not dropped:
             return
         for t in dropped:
-            if self._dataset.discard(t):
-                self._buffer_change(t, added=False)
+            row = self._dataset.discard(t)
+            if row is not None:
+                self._buffer_change(row, added=False)
         self._flush_delta()
 
     # ------------------------------------------------------------------
@@ -335,12 +359,14 @@ class TripleStore:
         for op, graph, t in reversed(self._txn_log):
             if op == "add":
                 self._graphs.get(graph, set()).discard(t)
-                if self._dataset.discard(t):
-                    self._buffer_change(t, added=False)
+                row = self._dataset.discard(t)
+                if row is not None:
+                    self._buffer_change(row, added=False)
             else:
                 self._graphs.setdefault(graph, set()).add(t)
-                if self._dataset.add(t):
-                    self._buffer_change(t, added=True)
+                row = self._dataset.add(t)
+                if row is not None:
+                    self._buffer_change(row, added=True)
         self._in_transaction = False
         self._txn_log = []
         # When nothing inside the transaction forced a flush, the
@@ -357,36 +383,18 @@ class TripleStore:
     # Closure maintenance
     # ------------------------------------------------------------------
 
-    def _buffer_change(self, t: Triple, added: bool) -> None:
+    def _buffer_change(self, row: Row, added: bool) -> None:
         """Record a net dataset-level change awaiting closure maintenance."""
         if added:
-            if t in self._pending_removes:
-                self._pending_removes.discard(t)
+            if row in self._pending_removes:
+                self._pending_removes.discard(row)
             else:
-                self._pending_adds.add(t)
+                self._pending_adds.add(row)
         else:
-            if t in self._pending_adds:
-                self._pending_adds.discard(t)
+            if row in self._pending_adds:
+                self._pending_adds.discard(row)
             else:
-                self._pending_removes.add(t)
-
-    @staticmethod
-    def _skolem_rows(
-        triples: Iterable[Triple],
-    ) -> Tuple[Set[Tuple], Dict[URI, BNode]]:
-        """Per-triple deterministic Skolemization (same map as RDFGraph)."""
-
-        inverse: Dict[URI, BNode] = {}
-
-        def sk(term: Term) -> Term:
-            if isinstance(term, BNode):
-                constant = URI(SKOLEM_PREFIX + term.value)
-                inverse[constant] = term
-                return constant
-            return term
-
-        rows = {(sk(t.s), sk(t.p), sk(t.o)) for t in triples}
-        return rows, inverse
+                self._pending_removes.add(row)
 
     def _flush_delta(self) -> None:
         """Fold the buffered dataset delta into the materialized closure.
@@ -408,12 +416,13 @@ class TripleStore:
             self._normal_form = None
             return
         changed = False
+        sk = self._terms.skolemize_row
         timer = self.metrics.timer("store.flush_ms")
         with timer, OBS.span(
             "store.flush", adds=len(adds), removes=len(removes)
         ):
             if removes:
-                removed_rows, _ = self._skolem_rows(removes)
+                removed_rows = {sk(row) for row in removes}
                 for row in removed_rows:
                     self._base_store.discard(TRIPLE_RELATION, row)
                 gone = retract_fixpoint_into(
@@ -425,8 +434,7 @@ class TripleStore:
                 changed = changed or bool(gone)
                 self._count("store.maintenance.incremental_delete")
             if adds:
-                added_rows, inverse = self._skolem_rows(adds)
-                self._skolem_inverse.update(inverse)
+                added_rows = {sk(row) for row in adds}
                 for row in added_rows:
                     self._base_store.add(TRIPLE_RELATION, row)
                 grown = extend_fixpoint_into(
@@ -436,8 +444,11 @@ class TripleStore:
                 )
                 changed = changed or bool(grown)
                 self._count("store.maintenance.incremental_insert")
-        if OBS.enabled and timer.elapsed_ms is not None:
-            OBS.registry.observe("store.flush_ms", timer.elapsed_ms)
+        self.metrics.set_gauge("store.term_dict.size", len(self._terms))
+        if OBS.enabled:
+            if timer.elapsed_ms is not None:
+                OBS.registry.observe("store.flush_ms", timer.elapsed_ms)
+            OBS.registry.set_gauge("store.term_dict.size", len(self._terms))
         if changed:
             # The closure delta is non-empty: derived caches are stale.
             self._closure_graph = None
@@ -465,7 +476,6 @@ class TripleStore:
     def _invalidate_closure(self) -> None:
         self._closure_store = None
         self._base_store = None
-        self._skolem_inverse = None
         self._closure_graph = None
         self._normal_form = None
 
@@ -480,17 +490,20 @@ class TripleStore:
             if OBS.enabled:
                 OBS.registry.inc("store.closure_cache.miss")
             with OBS.span("store.materialize", triples=len(self)):
-                skolemized, inverse = self.dataset().skolemize()
-                facts = [
-                    (TRIPLE_RELATION, (t.s, t.p, t.o)) for t in skolemized
-                ]
+                sk = self._terms.skolemize_row
+                base_rows = {sk(row) for row in self._dataset.rows()}
+                facts = [(TRIPLE_RELATION, row) for row in base_rows]
                 self._closure_store = materialize_fixpoint(self._program, facts)
             base = FactStore()
-            for t in skolemized:
-                base.add(TRIPLE_RELATION, (t.s, t.p, t.o))
+            for row in base_rows:
+                base.add(TRIPLE_RELATION, row)
             self._base_store = base
-            self._skolem_inverse = dict(inverse)
             self._count("store.maintenance.recomputed")
+            self.metrics.set_gauge("store.term_dict.size", len(self._terms))
+            if OBS.enabled:
+                OBS.registry.set_gauge(
+                    "store.term_dict.size", len(self._terms)
+                )
         elif OBS.enabled:
             OBS.registry.inc("store.closure_cache.hit")
         return self._closure_store.rows(TRIPLE_RELATION)
@@ -510,13 +523,19 @@ class TripleStore:
         facts = self._materialized_closure_facts()
         if self._closure_graph is not None:
             return self._closure_graph  # flush left the closure unchanged
-        inverse = self._skolem_inverse
+        # Decode boundary: un-Skolemize in ID space (an O(1) remap per
+        # position), drop rows the ``(·)_*`` step makes ill-formed
+        # (literal subjects, non-URI predicates — pure range checks),
+        # and only then materialize terms.
+        unsk = self._terms.unskolemize_id
+        dec = self._terms.decode_triple
         ground = []
         for s, p, o in facts:
-            t = Triple(s, p, o)
-            if t.is_valid_rdf():
-                ground.append(t)
-        self._closure_graph = RDFGraph.unskolemize(RDFGraph(ground), inverse)
+            s, p, o = unsk(s), unsk(p), unsk(o)
+            if s >= LITERAL_BASE or p >= BNODE_BASE:
+                continue
+            ground.append(dec((s, p, o)))
+        self._closure_graph = RDFGraph(ground)
         return self._closure_graph
 
     def closure_delta(self) -> RDFGraph:
@@ -531,7 +550,8 @@ class TripleStore:
             t = Triple(*t)
         if not t.bnodes():
             facts = self._materialized_closure_facts()
-            return (t.s, t.p, t.o) in facts
+            row = self._terms.lookup_triple(t)
+            return row is not None and row in facts
         return graph_entails(self.dataset(), RDFGraph([t]))
 
     def normal_form(self) -> RDFGraph:
