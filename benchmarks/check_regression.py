@@ -18,6 +18,13 @@ so the threshold is loose by design — it catches algorithmic
 regressions (a dropped index, an accidental quadratic loop), not jitter.
 Missing keys in either file are tolerated and reported as skips, so the
 gate keeps working across payload-schema changes.
+
+A third check reads the fresh run's ``guard_overhead`` section (the
+execution-guard A/B from bench_guard_overhead.py): an infinite-budget
+guarded run more than 1.1x slower than its interleaved unguarded twin
+fails the gate.  This one compares within the *fresh* file — the A and
+B sides share one runner and one moment, so the tight threshold is
+safe where a cross-run 1.1x would be noise.
 """
 
 import json
@@ -25,6 +32,9 @@ import sys
 
 #: A fresh measurement above ``3x * baseline`` fails the gate.
 THRESHOLD = 3.0
+
+#: A guarded-unlimited run above ``1.1x * unguarded`` fails the gate.
+GUARD_OVERHEAD_THRESHOLD = 1.1
 
 
 def _e4_hard_ms(payload):
@@ -58,6 +68,31 @@ CHECKS = [
 ]
 
 
+def check_guard_overhead(fresh) -> bool:
+    """True when the fresh run's guard-overhead rows stay under 1.1x."""
+    try:
+        rows = fresh["guard_overhead"]["rows"]
+    except (KeyError, TypeError):
+        print("perf gate: guard overhead: no comparable rows, skipped")
+        return True
+    ok = True
+    for row in rows:
+        name = row.get("workload", "?")
+        overhead = row.get("overhead")
+        if overhead is None:
+            print(f"perf gate: guard overhead [{name}]: no ratio, skipped")
+            continue
+        verdict = "FAIL" if overhead > GUARD_OVERHEAD_THRESHOLD else "ok"
+        print(
+            f"perf gate: guard overhead [{name}]: "
+            f"{row.get('unguarded_ms')} ms unguarded vs "
+            f"{row.get('guarded_ms')} ms guarded "
+            f"({overhead:.3f}x) {verdict}"
+        )
+        ok = ok and overhead <= GUARD_OVERHEAD_THRESHOLD
+    return ok
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if len(argv) != 2:
@@ -87,6 +122,8 @@ def main(argv=None) -> int:
             f"fresh {fresh_ms:.3f} ms ({ratio:.2f}x) {verdict}"
         )
         failed = failed or ratio > THRESHOLD
+
+    failed = failed or not check_guard_overhead(fresh)
 
     if failed:
         print(f"perf gate: regression above {THRESHOLD}x threshold")

@@ -40,6 +40,7 @@ import bench_closure_growth
 import bench_containment
 import bench_core_hardness
 import bench_entailment_hardness
+import bench_guard_overhead
 import bench_membership
 import bench_minimal
 import bench_normal_form
@@ -147,6 +148,48 @@ def closure_kernel_section():
         "units": "ms (best of 5 runs each)",
         "growth": growth,
         "entailment": entailment,
+    }
+
+
+def guard_overhead_section():
+    """Run + print the guard-overhead A/B; return the payload.
+
+    Runs in both full and --quick mode: the CI gate
+    (benchmarks/check_regression.py) fails a fresh run whose
+    infinite-budget guarded timing exceeds 1.1x the unguarded one on
+    either sentinel workload.
+    """
+    section(
+        "R1",
+        "robustness: execution-guard overhead (repro.robustness.guard)",
+        "guarded with an unlimited budget within noise (≤1.1x) of unguarded",
+    )
+    print(
+        f"{'workload':22s} {'unguarded ms':>13s} {'guarded ms':>11s} "
+        f"{'overhead':>9s}"
+    )
+    rows = []
+    for name, plain_ms, guarded_ms, overhead in (
+        bench_guard_overhead.collect_ab_series()
+    ):
+        print(
+            f"{name:22s} {plain_ms:13.3f} {guarded_ms:11.3f} "
+            f"{overhead:8.3f}x"
+        )
+        rows.append(
+            {
+                "workload": name,
+                "unguarded_ms": round(plain_ms, 3),
+                "guarded_ms": round(guarded_ms, 3),
+                "overhead": round(overhead, 3),
+            }
+        )
+    return {
+        "units": (
+            "ms (interleaved best of "
+            f"{bench_guard_overhead.REPEATS} runs each)"
+        ),
+        "rows": rows,
     }
 
 
@@ -269,7 +312,12 @@ def write_store_json(payload, path: Path, metrics=None) -> None:
 
 
 def write_bench_json(
-    e4_rows, e5_rows, path: Path, metrics=None, closure_kernel=None
+    e4_rows,
+    e5_rows,
+    path: Path,
+    metrics=None,
+    closure_kernel=None,
+    guard_overhead=None,
 ) -> None:
     """Seed-vs-current E4/E5 numbers as a reviewable JSON artifact."""
     payload = {
@@ -298,6 +346,8 @@ def write_bench_json(
     }
     if closure_kernel is not None:
         payload["closure_kernel"] = closure_kernel
+    if guard_overhead is not None:
+        payload["guard_overhead"] = guard_overhead
     if metrics is not None:
         payload["metrics"] = metrics
     path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -316,9 +366,13 @@ def main(argv=None) -> None:
     root = Path(__file__).parent.parent
     print("Experiment report — Foundations of Semantic Web Databases")
     if args.quick:
-        print("(quick mode: entailment + closure kernel + store writes)")
+        print(
+            "(quick mode: entailment + closure kernel + guard overhead "
+            "+ store writes)"
+        )
         e4_rows, e5_rows = entailment_sections()
         kernel_ab = closure_kernel_section()
+        guard_ab = guard_overhead_section()
         store_rows = store_section()
         snapshots = collect_metrics_snapshots()
         write_bench_json(
@@ -327,6 +381,7 @@ def main(argv=None) -> None:
             root / "BENCH_entailment.json",
             metrics={k: snapshots[k] for k in ("E4", "E5")},
             closure_kernel=kernel_ab,
+            guard_overhead=guard_ab,
         )
         write_store_json(
             store_rows,
@@ -435,6 +490,7 @@ def main(argv=None) -> None:
         print(f"{size:7d} {inserts:8d} {t_inc:15.3f} {t_rec:13.3f}")
 
     kernel_ab = closure_kernel_section()
+    guard_ab = guard_overhead_section()
     store_rows = store_section()
 
     section(
@@ -480,6 +536,7 @@ def main(argv=None) -> None:
         root / "BENCH_entailment.json",
         metrics={k: snapshots[k] for k in ("E4", "E5")},
         closure_kernel=kernel_ab,
+        guard_overhead=guard_ab,
     )
     write_store_json(
         store_rows, root / "BENCH_store.json", metrics=snapshots["store"]

@@ -115,14 +115,57 @@ def cmd_lean(args, out) -> int:
     return 1
 
 
+def _budget_from_args(args):
+    """A Budget from --timeout-ms/--max-steps, or None when neither set."""
+    timeout_ms = getattr(args, "timeout_ms", None)
+    max_steps = getattr(args, "max_steps", None)
+    if timeout_ms is None and max_steps is None:
+        return None
+    from .robustness import Budget
+
+    return Budget(deadline_ms=timeout_ms, max_steps=max_steps)
+
+
+def _add_budget_flags(p) -> None:
+    p.add_argument(
+        "--timeout-ms",
+        type=float,
+        metavar="MS",
+        help="wall-clock budget; an exceeded deadline reports 'unknown' "
+        "and exits 3 instead of running on",
+    )
+    p.add_argument(
+        "--max-steps",
+        type=int,
+        metavar="N",
+        help="search-step budget (backtracks/derivations); exhaustion "
+        "reports 'unknown' and exits 3",
+    )
+
+
 def cmd_entails(args, out) -> int:
     g1 = _load_graph(args.premise_graph)
     g2 = _load_graph(args.conclusion_graph)
-    if args.simple:
-        from .semantics import simple_entails as decide
+    budget = _budget_from_args(args)
+    if budget is not None:
+        from .robustness import entails_within
+
+        answer = entails_within(g1, g2, budget, simple=args.simple)
+        if answer.unknown:
+            ev = answer.evidence
+            out.write(
+                f"unknown ({answer.reason} budget tripped after "
+                f"{ev.get('steps', 0)} steps, "
+                f"{ev.get('elapsed_ms', 0)} ms)\n"
+            )
+            return 3
+        verdict = answer.proved
     else:
-        from .semantics import entails as decide
-    verdict = decide(g1, g2)
+        if args.simple:
+            from .semantics import simple_entails as decide
+        else:
+            from .semantics import entails as decide
+        verdict = decide(g1, g2)
     out.write(("entailed" if verdict else "not entailed") + "\n")
     return 0 if verdict else 1
 
@@ -140,7 +183,19 @@ def cmd_query(args, out) -> int:
 
     query = _load_query(args.query)
     database = _load_graph(args.graph)
-    _print_graph(answers(query, database, semantics=args.semantics), out)
+    budget = _budget_from_args(args)
+    if budget is None:
+        _print_graph(answers(query, database, semantics=args.semantics), out)
+        return 0
+    from .robustness import BudgetExceeded, guarded
+
+    try:
+        with guarded(budget):
+            result = answers(query, database, semantics=args.semantics)
+    except BudgetExceeded as err:
+        out.write(f"# unknown ({err.reason} budget tripped: {err})\n")
+        return 3
+    _print_graph(result, out)
     return 0
 
 
@@ -213,15 +268,17 @@ def cmd_dot(args, out) -> int:
 
 def cmd_explain(args, out) -> int:
     """Planner introspection: print the MatchPlan a decision would run."""
-    if args.kind == "entails":
-        from .semantics import entailment_plan
+    budget = _budget_from_args(args)
 
-        g1 = _load_graph(args.left)
-        g2 = _load_graph(args.right)
-        target = f"cl({args.left})" if args.rdfs else args.left
-        out.write(f"entailment plan: {args.right} -> {target}\n")
-        plan = entailment_plan(g1, g2, rdfs=args.rdfs)
-    else:
+    def _plan():
+        if args.kind == "entails":
+            from .semantics import entailment_plan
+
+            g1 = _load_graph(args.left)
+            g2 = _load_graph(args.right)
+            target = f"cl({args.left})" if args.rdfs else args.left
+            out.write(f"entailment plan: {args.right} -> {target}\n")
+            return entailment_plan(g1, g2, rdfs=args.rdfs)
         from .query import matching_plan
 
         query = _load_query(args.left)
@@ -229,7 +286,19 @@ def cmd_explain(args, out) -> int:
         out.write(
             f"matching plan: body of {args.left} -> nf({args.right})\n"
         )
-        plan = matching_plan(query, database)
+        return matching_plan(query, database)
+
+    if budget is None:
+        plan = _plan()
+    else:
+        from .robustness import BudgetExceeded, guarded
+
+        try:
+            with guarded(budget):
+                plan = _plan()
+        except BudgetExceeded as err:
+            out.write(f"unknown ({err.reason} budget tripped: {err})\n")
+            return 3
     out.write(plan.describe() + "\n")
     out.write("strategies: " + ", ".join(plan.strategies()) + "\n")
     return 0
@@ -277,10 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--witness", action="store_true", help="show the retraction")
     p.set_defaults(fn=cmd_lean)
 
-    p = sub.add_parser("entails", help="G1 ⊨ G2? (exit 1 if not)")
+    p = sub.add_parser(
+        "entails",
+        help="G1 ⊨ G2? (exit 1 if not, 3 if the budget tripped)",
+    )
     p.add_argument("premise_graph")
     p.add_argument("conclusion_graph")
     p.add_argument("--simple", action="store_true", help="simple semantics")
+    _add_budget_flags(p)
     p.set_defaults(fn=cmd_entails)
 
     p = sub.add_parser("equivalent", help="G1 ≡ G2? (exit 1 if not)")
@@ -292,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query")
     p.add_argument("graph")
     p.add_argument("--semantics", choices=("union", "merge"), default="union")
+    _add_budget_flags(p)
     p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("contains", help="q1 ⊑ q2? (exit 1 if not)")
@@ -332,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="entails only: plan against the closure cl(G1)",
     )
+    _add_budget_flags(p)
     p.set_defaults(fn=cmd_explain)
 
     return parser

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+from ..robustness.guard import current_guard
 from .terms import BNode, Literal, Term, Triple, URI
 from .vocabulary import DOM, RANGE, SC, SP, TYPE
 
@@ -373,6 +374,13 @@ class EncodedGraph:
     def __init__(self, rows: Iterable[Row], terms: TermDict):
         self.terms = terms
         self.rows: FrozenSet[Row] = frozenset(rows)
+        guard = current_guard()
+        if guard is not None:
+            # Building the encoded view of a large target (e.g. a
+            # closure) is real pre-search work; charge it as one step
+            # per row so a deadline can fire before the search even
+            # starts on an adversarially large input.
+            guard.tick(len(self.rows))
         by_s: Dict[int, Set[Row]] = {}
         by_p: Dict[int, Set[Row]] = {}
         by_o: Dict[int, Set[Row]] = {}

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..obs import OBS
+from ..robustness.guard import current_guard
 from .graph import RDFGraph
 from .interning import EncodedGraph, Row
 from .terms import BNode, Term, Triple, Variable, sort_key
@@ -344,10 +345,13 @@ class _ComponentSolver:
         reduction; on cyclic components it is still a sound polynomial
         filter before backtracking.
         """
+        guard = current_guard()
         domains = self.domains
         base = self.base
         queue = set(range(len(self.triples)))
         while queue:
+            if guard is not None:
+                guard.tick()
             i = min(queue)  # deterministic order (fixpoint is unique anyway)
             queue.discard(i)
             ct = self.triples[i]
@@ -429,6 +433,9 @@ class _ComponentSolver:
         the leanness/core loop cheap: the expensive per-graph
         preparation happens once, not once per excluded triple.
         """
+        guard = current_guard()
+        if guard is not None:
+            guard.tick()
         clone = object.__new__(_ComponentSolver)
         clone.triples = self.triples
         clone.target = self.target
@@ -605,6 +612,10 @@ class _ComponentSolver:
 
         backtracks = 0
         found = 0
+        # Resolved once per enumeration: the ambient budget guard.  One
+        # candidate tried = one step; with no guard installed the cost
+        # per candidate is a single ``is not None`` test.
+        guard = current_guard()
 
         def search(remaining: int) -> Iterator[Dict[Term, Term]]:
             nonlocal backtracks
@@ -615,6 +626,8 @@ class _ComponentSolver:
             if i < 0:
                 return
             for cand in candidates(i):
+                if guard is not None:
+                    guard.tick()
                 undo = bind(i, cand)
                 if undo is None:
                     backtracks += 1  # rejected candidate: dead end
@@ -768,9 +781,12 @@ class _PreparedMatch:
         )
 
     def assignments(self) -> Iterator[Dict[Term, Term]]:
+        guard = current_guard()
         if self.failed:
             return
         if not self.components:
+            if guard is not None:
+                guard.note_result()
             yield dict(self.partial)
             return
 
@@ -805,7 +821,14 @@ class _PreparedMatch:
                 if not any(True for _ in _first(component_solutions(i))):
                     return
 
-            yield from product(0, dict(self.partial))
+            if guard is None:
+                yield from product(0, dict(self.partial))
+            else:
+                # Result-cap accounting: each emitted assignment counts
+                # against the ambient budget's ``max_results``.
+                for sol in product(0, dict(self.partial)):
+                    guard.note_result()
+                    yield sol
         finally:
             # The per-component generators sit in reference cycles (the
             # cache closures), so an abandoned enumeration would only
@@ -899,9 +922,12 @@ def proper_endomorphism_assignment(
     if base.failed:  # cannot happen for a self-match, but stay safe
         return None
     lookup_triple = graph.encoded().terms.lookup_triple
+    guard = current_guard()
     for t in graph.sorted_triples():
         if t.is_ground():
             continue
+        if guard is not None:
+            guard.tick()  # one excluded-triple search attempted
         row = lookup_triple(t)  # t ∈ graph, so always resolvable
         solvers = [s.with_exclude(row) for s in base.components]
         if any(s.failed for s in solvers):

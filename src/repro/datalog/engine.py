@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..obs import OBS
+from ..robustness.faultinject import FAULTS
+from ..robustness.guard import current_guard
 
 __all__ = [
     "DVar",
@@ -250,10 +252,13 @@ def materialize_fixpoint(program: DatalogProgram, facts: Iterable[Fact]) -> Fact
                     raise ValueError(f"fact rule with variables: {rule}")
                 if store.add(rule.head.relation, row):
                     delta.add(rule.head.relation, row)
+        guard = current_guard()
         for index, rule in enumerate(program.rules):
             if rule.body:
                 derived = 0
                 for row in _match_rule(rule, store, None, None):
+                    if guard is not None:
+                        guard.tick()
                     if store.add(rule.head.relation, row):
                         delta.add(rule.head.relation, row)
                         derived += 1
@@ -295,8 +300,13 @@ def _semi_naive_rounds(
     there too (the insertion delta reported by the ``_into`` variants).
     """
     round_no = 0
+    guard = current_guard()
     while delta.by_relation:
         round_no += 1
+        if FAULTS.enabled:
+            FAULTS.hit("engine.round")
+        if guard is not None:
+            guard.tick()
         span = OBS.span("datalog.round", round=round_no)
         round_derived = 0
         with span:
@@ -314,6 +324,8 @@ def _semi_naive_rounds(
                     if atom.relation not in delta.by_relation:
                         continue
                     for row in _match_rule(rule, store, delta, position):
+                        if guard is not None:
+                            guard.tick()
                         if store.add(rule.head.relation, row):
                             new_delta.add(rule.head.relation, row)
                             derived += 1
@@ -435,6 +447,7 @@ def retract_fixpoint_into(
     # deletion delta saturates, so every body atom can still be matched.
     overdelete_span = OBS.span("datalog.dred.overdelete")
     overdelete_span.__enter__()
+    guard = current_guard()
     overdeleted = FactStore()
     delta = FactStore()
     for relation, row in removed_facts:
@@ -442,6 +455,10 @@ def retract_fixpoint_into(
         if (relation, row) in store and overdeleted.add(relation, row):
             delta.add(relation, row)
     while delta.by_relation:
+        if FAULTS.enabled:
+            FAULTS.hit("engine.dred.overdelete")
+        if guard is not None:
+            guard.tick()
         new_delta = FactStore()
         for rule in program.rules:
             if not rule.body:
@@ -452,6 +469,8 @@ def retract_fixpoint_into(
                 if atom.relation not in delta.by_relation:
                     continue
                 for row in _match_rule(rule, store, delta, position):
+                    if guard is not None:
+                        guard.tick()
                     head = (rule.head.relation, row)
                     if head not in store or head in overdeleted:
                         continue
@@ -473,9 +492,13 @@ def retract_fixpoint_into(
     # Phase 2: rederivation seeds — an alternate derivation entirely
     # within the surviving facts (the removed facts themselves may also
     # turn out stably supported when removed_facts ⊄ old base).
+    if FAULTS.enabled:
+        FAULTS.hit("engine.dred.rederive")
     delta = FactStore()
     for relation, rows in overdeleted.by_relation.items():
         for row in rows:
+            if guard is not None:
+                guard.tick()
             alive = stably_supported(relation, row) or any(
                 rule.body and _rederivable(rule, store, row)
                 for rule in rules_by_head.get(relation, ())

@@ -24,6 +24,7 @@ from ..core.graph import RDFGraph
 from ..core.homomorphism import find_proper_endomorphism
 from ..core.isomorphism import isomorphic
 from ..core.maps import Map, identity_map
+from ..robustness.guard import current_guard
 
 __all__ = ["core", "core_with_retraction", "is_core_of"]
 
@@ -36,7 +37,10 @@ def core_with_retraction(graph: RDFGraph) -> Tuple[RDFGraph, Map]:
     """
     current = graph
     retraction = identity_map()
+    guard = current_guard()
     while True:
+        if guard is not None:
+            guard.tick()  # one shrink iteration (each an NP search)
         mu = find_proper_endomorphism(current)
         if mu is None:
             return current, retraction

@@ -75,6 +75,14 @@ STANDARD_COUNTERS = (
     "store.maintenance.incremental_insert",
     "store.maintenance.incremental_delete",
     "store.maintenance.recomputed",
+    "store.recovered_ops",
+    "guard.checks",
+    "guard.steps",
+    "guard.trips.deadline",
+    "guard.trips.steps",
+    "guard.trips.results",
+    "guard.trips.cancelled",
+    "guard.degraded_answers",
 )
 
 

@@ -10,17 +10,30 @@ paper's abstract model (short URIs without angle brackets are allowed):
 * ``#`` starts a comment.
 
 Round-tripping is exact: ``parse(serialize(G)) == G``.
+
+Two error modes: the default ``strict=True`` raises :class:`ParseError`
+on the first malformed line; ``strict=False`` skips malformed lines and
+returns a :class:`ParseReport` pairing the graph of well-formed triples
+with a per-line error list — the right mode for scraping real-world
+dumps where one bad byte must not discard a million good lines.
 """
 
 from __future__ import annotations
 
 import re
-from typing import List
+from dataclasses import dataclass
+from typing import List, Tuple, Union
 
 from ..core.graph import RDFGraph
 from ..core.terms import BNode, Literal, Term, Triple, URI
 
-__all__ = ["parse_ntriples", "serialize_ntriples", "ParseError"]
+__all__ = [
+    "ParseError",
+    "ParseIssue",
+    "ParseReport",
+    "parse_ntriples",
+    "serialize_ntriples",
+]
 
 
 class ParseError(ValueError):
@@ -28,8 +41,37 @@ class ParseError(ValueError):
 
     def __init__(self, message: str, line_number: int, line: str):
         super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.reason = message
         self.line_number = line_number
         self.line = line
+
+
+@dataclass(frozen=True)
+class ParseIssue:
+    """One malformed line skipped by a tolerant parse."""
+
+    line_number: int
+    reason: str
+    line: str
+
+
+@dataclass(frozen=True)
+class ParseReport:
+    """The result of a tolerant (``strict=False``) parse."""
+
+    graph: RDFGraph
+    errors: Tuple[ParseIssue, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when no line was skipped."""
+        return not self.errors
+
+    def __repr__(self) -> str:
+        return (
+            f"ParseReport({len(self.graph)} triples, "
+            f"{len(self.errors)} skipped lines)"
+        )
 
 
 _TOKEN = re.compile(
@@ -100,29 +142,55 @@ def _tokenize(line: str, line_number: int) -> List[str]:
     return tokens
 
 
-def parse_ntriples(text: str) -> RDFGraph:
-    """Parse a graph from the N-Triples-style concrete syntax."""
+def _parse_line(line: str, line_number: int) -> Triple:
+    """One well-formed triple from *line*, or :class:`ParseError`."""
+    tokens = _tokenize(line, line_number)
+    if tokens and tokens[-1] == ".":
+        tokens = tokens[:-1]
+    if len(tokens) != 3:
+        raise ParseError(
+            f"expected 3 terms, found {len(tokens)}", line_number, line
+        )
+    try:
+        s, p, o = (_parse_term(t) for t in tokens)
+    except ParseError:
+        raise
+    except ValueError as err:  # e.g. the empty URI "<>"
+        raise ParseError(str(err), line_number, line) from err
+    t = Triple(s, p, o)
+    if not t.is_valid_rdf():
+        raise ParseError("ill-formed triple", line_number, line)
+    return t
+
+
+def parse_ntriples(
+    text: str, strict: bool = True
+) -> Union[RDFGraph, ParseReport]:
+    """Parse a graph from the N-Triples-style concrete syntax.
+
+    With ``strict=True`` (the default) the first malformed line raises
+    :class:`ParseError` and returns an :class:`RDFGraph` otherwise.
+    With ``strict=False`` malformed lines are *skipped* and the return
+    value is a :class:`ParseReport`: ``report.graph`` holds every
+    well-formed triple, ``report.errors`` lists one
+    :class:`ParseIssue` (line number, reason, raw line) per skipped
+    line, in input order.
+    """
     triples = []
+    issues: List[ParseIssue] = []
     for line_number, line in enumerate(text.splitlines(), start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        tokens = _tokenize(line, line_number)
-        if tokens and tokens[-1] == ".":
-            tokens = tokens[:-1]
-        if len(tokens) != 3:
-            raise ParseError(
-                f"expected 3 terms, found {len(tokens)}", line_number, line
-            )
         try:
-            s, p, o = (_parse_term(t) for t in tokens)
-        except ValueError as err:  # e.g. the empty URI "<>"
-            raise ParseError(str(err), line_number, line) from err
-        t = Triple(s, p, o)
-        if not t.is_valid_rdf():
-            raise ParseError("ill-formed triple", line_number, line)
-        triples.append(t)
-    return RDFGraph(triples)
+            triples.append(_parse_line(line, line_number))
+        except ParseError as err:
+            if strict:
+                raise
+            issues.append(ParseIssue(line_number, err.reason, line))
+    if strict:
+        return RDFGraph(triples)
+    return ParseReport(graph=RDFGraph(triples), errors=tuple(issues))
 
 
 def _serialize_term(term: Term) -> str:

@@ -1,0 +1,86 @@
+"""Execution governance: budgets, cancellation, degraded answers, faults.
+
+Three pieces, layered so the rest of the stack can depend on the light
+parts without import cycles:
+
+* :mod:`repro.robustness.guard` — ``Budget``/``ExecutionGuard``, the
+  ``BudgetExceeded`` hierarchy, and the ambient :func:`guarded` scope.
+  Depends only on :mod:`repro.obs`; the hot modules (planner, closure,
+  datalog engine, store) import it directly.
+* :mod:`repro.robustness.faultinject` — the process-global ``FAULTS``
+  injector with named sites, for deterministic chaos testing of the
+  store's exception-safety guarantees.  Also obs-only.
+* :mod:`repro.robustness.degrade` — ``TriState`` and the ``*_within``
+  predicate wrappers.  This one imports the semantics/minimize layers,
+  which themselves import the guard — so it loads lazily (PEP 562)
+  to keep ``repro.core.planner -> repro.robustness`` acyclic.
+"""
+
+from .faultinject import FAULTS, FaultInjector, InjectedFault, SITES
+from .guard import (
+    DEFAULT_STRIDE,
+    Budget,
+    BudgetExceeded,
+    CancellationToken,
+    DeadlineExceeded,
+    ExecutionGuard,
+    OperationCancelled,
+    ResultBudgetExceeded,
+    StepBudgetExceeded,
+    current_guard,
+    guarded,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "CancellationToken",
+    "DEFAULT_STRIDE",
+    "DeadlineExceeded",
+    "ExecutionGuard",
+    "FAULTS",
+    "FaultInjector",
+    "InjectedFault",
+    "OperationCancelled",
+    "PROVED",
+    "REFUTED",
+    "ResultBudgetExceeded",
+    "SITES",
+    "StepBudgetExceeded",
+    "TriState",
+    "UNKNOWN",
+    "core_within",
+    "current_guard",
+    "entails_within",
+    "guarded",
+    "is_lean_within",
+]
+
+#: Names served lazily from :mod:`repro.robustness.degrade` (PEP 562) —
+#: degrade imports the semantics layer, which imports the planner,
+#: which imports this package's guard; eager import here would cycle.
+_DEGRADE_EXPORTS = frozenset(
+    {
+        "PROVED",
+        "REFUTED",
+        "UNKNOWN",
+        "TriState",
+        "core_within",
+        "entails_within",
+        "is_lean_within",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _DEGRADE_EXPORTS:
+        from . import degrade
+
+        return getattr(degrade, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,186 @@
+"""Degraded three-valued answers for the NP-hard predicates.
+
+A budget trip inside ``entails``/``is_lean``/``core`` surfaces as a
+:class:`~repro.robustness.guard.BudgetExceeded` exception — correct for
+callers that treat exhaustion as failure, hostile for callers that just
+want *an answer within this envelope*.  The ``*_within`` functions here
+wrap each hard predicate in its own :func:`~repro.robustness.guard.guarded`
+scope and convert a trip into a :class:`TriState`:
+
+* ``PROVED`` / ``REFUTED`` — the search finished; the answer is exact
+  and identical to the unbudgeted API's;
+* ``UNKNOWN(reason, evidence)`` — the budget tripped first.  ``reason``
+  names the limit (``deadline``/``steps``/``results``/``cancelled``)
+  and ``evidence`` carries what the search had established: steps and
+  wall-clock consumed, plus predicate-specific partial results (e.g.
+  the best shrunken graph ``core_within`` had reached).
+
+The asymmetry between the three predicates mirrors the paper's
+complexity landscape: entailment is NP-complete (Theorems 2.9/2.10, a
+*positive* witness ends the search), leanness is coNP-complete
+(Theorem 3.12.1, a *counterexample* ends it), and the core is
+DP-complete to verify (Theorem 3.12.2) so ``core_within`` reports the
+partially-shrunken — still equivalent — graph when interrupted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from ..core.graph import RDFGraph
+from ..core.homomorphism import find_proper_endomorphism
+from ..core.maps import Map, identity_map
+from ..minimize.lean import non_lean_witness
+from ..obs import OBS
+from ..semantics.entailment import entails, simple_entails
+from .guard import Budget, BudgetExceeded, ExecutionGuard, guarded
+
+__all__ = [
+    "PROVED",
+    "REFUTED",
+    "UNKNOWN",
+    "TriState",
+    "core_within",
+    "entails_within",
+    "is_lean_within",
+]
+
+PROVED = "PROVED"
+REFUTED = "REFUTED"
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass(frozen=True)
+class TriState:
+    """A three-valued answer from a budget-governed predicate.
+
+    ``bool(answer)`` is safe only on decided answers; on UNKNOWN it
+    raises instead of silently picking a side, so code that forgot to
+    handle degradation fails loudly rather than wrongly.
+    """
+
+    status: str
+    reason: Optional[str] = None
+    evidence: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def proved(self) -> bool:
+        return self.status == PROVED
+
+    @property
+    def refuted(self) -> bool:
+        return self.status == REFUTED
+
+    @property
+    def unknown(self) -> bool:
+        return self.status == UNKNOWN
+
+    @property
+    def known(self) -> bool:
+        return self.status != UNKNOWN
+
+    def __bool__(self) -> bool:
+        if self.status == UNKNOWN:
+            raise ValueError(
+                f"answer is UNKNOWN ({self.reason}); "
+                "check .known before truth-testing a TriState"
+            )
+        return self.status == PROVED
+
+    def __repr__(self) -> str:
+        if self.status == UNKNOWN:
+            return f"TriState(UNKNOWN, reason={self.reason!r})"
+        return f"TriState({self.status})"
+
+
+def _decided(verdict: bool, guard: ExecutionGuard, **extra: Any) -> TriState:
+    evidence = guard.evidence()
+    evidence.update(extra)
+    return TriState(PROVED if verdict else REFUTED, evidence=evidence)
+
+
+def _degraded(
+    err: BudgetExceeded, guard: ExecutionGuard, **extra: Any
+) -> TriState:
+    if OBS.enabled:
+        OBS.registry.inc("guard.degraded_answers")
+    evidence = guard.evidence()
+    evidence["message"] = str(err)
+    evidence.update(extra)
+    return TriState(UNKNOWN, reason=err.reason, evidence=evidence)
+
+
+def entails_within(
+    g1: RDFGraph,
+    g2: RDFGraph,
+    budget: Optional[Budget] = None,
+    simple: bool = False,
+) -> TriState:
+    """``G1 ⊨ G2`` within *budget*; UNKNOWN if the budget trips first.
+
+    With ``simple=True`` decides simple entailment (map ``G2 → G1``,
+    Theorem 2.8.2); otherwise full RDFS entailment through the closure
+    (Theorem 2.8.1).  An unlimited (or None) budget returns exactly
+    what :func:`repro.semantics.entails` would.
+    """
+    with guarded(budget) as guard:
+        try:
+            verdict = simple_entails(g1, g2) if simple else entails(g1, g2)
+        except BudgetExceeded as err:
+            return _degraded(err, guard)
+        return _decided(verdict, guard)
+
+
+def is_lean_within(
+    graph: RDFGraph, budget: Optional[Budget] = None
+) -> TriState:
+    """Is ``G`` lean, within *budget*?  (coNP-complete, Theorem 3.12.1.)
+
+    REFUTED answers carry the proper endomorphism as
+    ``evidence["witness"]`` — the NP certificate of non-leanness.
+    """
+    with guarded(budget) as guard:
+        try:
+            witness = non_lean_witness(graph)
+        except BudgetExceeded as err:
+            return _degraded(err, guard)
+        if witness is None:
+            return _decided(True, guard)
+        return _decided(False, guard, witness=witness)
+
+
+def core_within(
+    graph: RDFGraph, budget: Optional[Budget] = None
+) -> TriState:
+    """Compute ``core(G)`` within *budget* (DP-complete, Theorem 3.12.2).
+
+    PROVED: ``evidence["graph"]`` is the core and
+    ``evidence["retraction"]`` the composed map ``G → core(G)``.
+    UNKNOWN: ``evidence["graph"]`` is the best shrunken graph reached so
+    far — every intermediate ``μ…μ(G)`` is still equivalent to ``G``
+    (Theorem 3.10's invariant), so the partial answer is usable, just
+    not guaranteed lean.  ``evidence["iterations"]`` counts the proper
+    endomorphisms already applied.
+    """
+    with guarded(budget) as guard:
+        current = graph
+        retraction: Map = identity_map()
+        iterations = 0
+        try:
+            while True:
+                guard.tick()
+                mu = find_proper_endomorphism(current)
+                if mu is None:
+                    break
+                current = mu.apply_graph(current)
+                retraction = mu.compose(retraction)
+                iterations += 1
+        except BudgetExceeded as err:
+            return _degraded(
+                err, guard, graph=current, iterations=iterations
+            )
+        return _decided(
+            True, guard, graph=current, retraction=retraction,
+            iterations=iterations,
+        )

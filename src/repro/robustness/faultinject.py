@@ -1,0 +1,148 @@
+"""Deterministic fault injection for the store/engine/closure stack.
+
+The exception-safety guarantees of :class:`repro.store.TripleStore`
+("any failure mid-maintenance leaves the store in a consistent state")
+are only worth committing if a test can *force* a failure at every
+interesting point of the write path.  This module provides that forcing
+handle, mirroring the obs switchboard idiom: a process-global
+:data:`FAULTS` singleton, **off by default**, consulted on hot paths
+behind a single ``if FAULTS.enabled:`` test so production runs pay one
+attribute read per site.
+
+Instrumented modules declare *named injection sites*::
+
+    if FAULTS.enabled:
+        FAULTS.hit("store.flush.retract")
+
+A test arms a site to raise on its Nth hit::
+
+    with FAULTS.injected("store.flush.retract", on_hit=2):
+        store.add_all(triples)          # boom, mid-DRed
+    assert store.dataset() == reference  # atomicity held
+
+Faults are deterministic (the Nth dynamic execution of the site, no
+randomness), so every failure a chaos test finds replays exactly.  The
+injected exception class is configurable — ``KeyboardInterrupt`` is the
+interesting non-``Exception`` case for interrupt-safety tests.  Hit
+tallies report through the obs registry (``faultinject.hit.<site>``)
+while instrumentation is on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple, Type
+
+from ..obs import OBS
+
+__all__ = ["FAULTS", "FaultInjector", "InjectedFault", "SITES"]
+
+
+class InjectedFault(RuntimeError):
+    """The default exception raised by an armed injection site."""
+
+
+#: Every named injection site in the codebase.  ``arm`` validates
+#: against this list so a typo'd site name fails loudly instead of
+#: silently never firing; chaos tests iterate it to prove coverage.
+SITES: Tuple[str, ...] = (
+    # store write path
+    "store.add.apply",
+    "store.add_all.batch",
+    "store.remove.apply",
+    "store.clear.graph",
+    "store.commit",
+    # incremental closure maintenance (DRed flush)
+    "store.flush.begin",
+    "store.flush.retract",
+    "store.flush.extend",
+    "store.materialize",
+    # datalog engine
+    "engine.round",
+    "engine.dred.overdelete",
+    "engine.dred.rederive",
+    # staged closure kernel
+    "closure.round",
+)
+
+
+class FaultInjector:
+    """Arms named sites to raise deterministically on their Nth hit."""
+
+    __slots__ = ("enabled", "_armed", "hits")
+
+    def __init__(self):
+        self.enabled = False
+        #: site -> (remaining hit number to fire on, exception class)
+        self._armed: Dict[str, Tuple[int, Type[BaseException]]] = {}
+        #: site -> dynamic hit count since the last reset
+        self.hits: Dict[str, int] = {}
+
+    def arm(
+        self,
+        site: str,
+        on_hit: int = 1,
+        exc: Type[BaseException] = InjectedFault,
+    ) -> None:
+        """Make *site* raise ``exc`` on its ``on_hit``-th execution."""
+        if site not in SITES:
+            raise ValueError(f"unknown injection site: {site!r}")
+        if on_hit < 1:
+            raise ValueError("on_hit must be >= 1")
+        self._armed[site] = (on_hit, exc)
+        self.enabled = True
+
+    def disarm(self, site: str) -> None:
+        self._armed.pop(site, None)
+        self.enabled = bool(self._armed)
+
+    def reset(self) -> None:
+        """Disarm everything and clear hit tallies."""
+        self._armed.clear()
+        self.hits.clear()
+        self.enabled = False
+
+    def hit(self, site: str) -> None:
+        """Record one execution of *site*; raise if it is armed for it.
+
+        Callers gate on ``FAULTS.enabled`` so this is never reached in
+        an unarmed process.
+        """
+        count = self.hits.get(site, 0) + 1
+        self.hits[site] = count
+        if OBS.enabled:
+            OBS.registry.inc(f"faultinject.hit.{site}")
+        armed = self._armed.get(site)
+        if armed is not None and count == armed[0]:
+            exc = armed[1]
+            if OBS.enabled:
+                OBS.registry.inc(f"faultinject.raised.{site}")
+            raise exc(f"injected fault at {site!r} (hit {count})")
+
+    @contextmanager
+    def injected(
+        self,
+        site: str,
+        on_hit: int = 1,
+        exc: Type[BaseException] = InjectedFault,
+    ) -> Iterator["FaultInjector"]:
+        """Arm *site* for the block, then fully reset the injector."""
+        self.arm(site, on_hit=on_hit, exc=exc)
+        try:
+            yield self
+        finally:
+            self.reset()
+
+    def describe(self) -> List[str]:
+        return [
+            f"{site} -> {exc.__name__} on hit {n}"
+            for site, (n, exc) in sorted(self._armed.items())
+        ]
+
+    def __repr__(self) -> str:
+        state = "; ".join(self.describe()) if self._armed else "disarmed"
+        return f"FaultInjector({state})"
+
+
+#: Process-global injector, off by default (same idiom as ``OBS``).
+FAULTS = FaultInjector()

@@ -1,0 +1,313 @@
+"""Execution budgets and cooperative cancellation for the hard searches.
+
+The paper proves the hot decision problems intractable in the worst
+case — simple and RDFS entailment are NP-complete (Theorems 2.9/2.10),
+leanness is coNP-complete and core identification DP-complete
+(Theorem 3.12) — so every search in this library (planner backtracking,
+closure fixpoints, Datalog rounds, lean/core witness hunts) can in
+principle run for an unbounded amount of time on one adversarial input.
+This module bounds them:
+
+* :class:`Budget` — a declarative resource envelope: wall-clock
+  deadline, step budget (backtracks + derivations + emissions), result
+  cap, and an optional :class:`CancellationToken`;
+* :class:`ExecutionGuard` — the runtime object the hot loops consult.
+  Checks are **amortized**: :meth:`ExecutionGuard.tick` is an int add
+  plus one compare, and the expensive wall-clock / token reads only run
+  every :attr:`ExecutionGuard.stride` accumulated steps, so a guard
+  with an unlimited budget stays within noise of an unguarded run;
+* :func:`guarded` — installs a guard as the *ambient* guard for a
+  ``with`` block.  Instrumented loops read :func:`current_guard` once
+  on entry; when no guard is installed (the default) their only cost is
+  one ``is not None`` test per step.
+
+On a budget trip the guard raises the matching
+:class:`BudgetExceeded` subclass through the search stack.  Callers
+that want a degraded three-valued answer instead of an exception use
+the ``*_within`` APIs of :mod:`repro.robustness.degrade`.
+
+Trips and check counts report through the global obs registry
+(``guard.trips.<reason>``, ``guard.checks``, ``guard.steps``) while
+instrumentation is on.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..obs import OBS
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "CancellationToken",
+    "DeadlineExceeded",
+    "ExecutionGuard",
+    "OperationCancelled",
+    "ResultBudgetExceeded",
+    "StepBudgetExceeded",
+    "current_guard",
+    "guarded",
+    "DEFAULT_STRIDE",
+]
+
+#: How many steps accumulate between full budget checks.  Small enough
+#: that a 10 ms deadline is honoured well within 2x (one stride of
+#: planner/fixpoint steps is microseconds), large enough that the
+#: per-step cost of a guarded run is an int add.
+DEFAULT_STRIDE = 256
+
+
+class BudgetExceeded(RuntimeError):
+    """Base of the budget-trip hierarchy; ``reason`` names the limit."""
+
+    reason = "budget"
+
+    def __init__(self, message: str, guard: Optional["ExecutionGuard"] = None):
+        super().__init__(message)
+        self.guard = guard
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The wall-clock deadline passed."""
+
+    reason = "deadline"
+
+
+class StepBudgetExceeded(BudgetExceeded):
+    """The step budget (backtracks/derivations/emissions) ran out."""
+
+    reason = "steps"
+
+
+class ResultBudgetExceeded(BudgetExceeded):
+    """More results were produced than the budget allows."""
+
+    reason = "results"
+
+
+class OperationCancelled(BudgetExceeded):
+    """The attached :class:`CancellationToken` was cancelled."""
+
+    reason = "cancelled"
+
+
+class CancellationToken:
+    """Cooperative cancellation: another party flips it, guards notice.
+
+    ``cancel()`` is a single attribute write, safe to call from signal
+    handlers or other threads; the guard observes it at its next
+    amortized check.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self):
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+@dataclass(frozen=True)
+class Budget:
+    """A declarative resource envelope for one governed computation.
+
+    All limits default to "unlimited"; a default-constructed budget
+    installs a guard whose results are identical to an unguarded run
+    (used by the guard-overhead benchmark A/B).
+    """
+
+    deadline_ms: Optional[float] = None
+    max_steps: Optional[int] = None
+    max_results: Optional[int] = None
+    token: Optional[CancellationToken] = None
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        return cls()
+
+    @property
+    def is_unlimited(self) -> bool:
+        return (
+            self.deadline_ms is None
+            and self.max_steps is None
+            and self.max_results is None
+            and self.token is None
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.deadline_ms is not None:
+            parts.append(f"deadline={self.deadline_ms:g}ms")
+        if self.max_steps is not None:
+            parts.append(f"max_steps={self.max_steps}")
+        if self.max_results is not None:
+            parts.append(f"max_results={self.max_results}")
+        if self.token is not None:
+            parts.append("cancellable")
+        return ", ".join(parts) if parts else "unlimited"
+
+
+class ExecutionGuard:
+    """The runtime budget enforcer hot loops consult.
+
+    Loops call :meth:`tick` per unit of work (a candidate tried, a fact
+    derived, a triple emitted); the full check — step budget, wall
+    clock, cancellation token — runs only when ``stride`` steps have
+    accumulated since the last one, except that a finite step budget
+    schedules its own exact boundary so it never overshoots by more
+    than the final tick's charge.
+    """
+
+    __slots__ = (
+        "budget",
+        "stride",
+        "steps",
+        "results",
+        "checks",
+        "tripped",
+        "started_at",
+        "_deadline_at",
+        "_max_steps",
+        "_max_results",
+        "_token",
+        "_next_check",
+    )
+
+    def __init__(self, budget: Budget, stride: int = DEFAULT_STRIDE):
+        self.budget = budget
+        self.stride = max(1, int(stride))
+        self.steps = 0
+        self.results = 0
+        self.checks = 0
+        self.tripped: Optional[str] = None
+        self.started_at = time.perf_counter()
+        self._deadline_at = (
+            None
+            if budget.deadline_ms is None
+            else self.started_at + budget.deadline_ms / 1e3
+        )
+        self._max_steps = budget.max_steps
+        self._max_results = budget.max_results
+        self._token = budget.token
+        self._next_check = self.stride
+        if self._max_steps is not None:
+            self._next_check = min(self._next_check, self._max_steps + 1)
+
+    # -- hot path --------------------------------------------------------
+
+    def tick(self, n: int = 1) -> None:
+        """Charge *n* steps; runs the full check every ``stride`` steps."""
+        self.steps = s = self.steps + n
+        if s >= self._next_check:
+            self.check()
+
+    def note_result(self, n: int = 1) -> None:
+        """Count *n* produced results against the result cap."""
+        self.results = r = self.results + n
+        if self._max_results is not None and r > self._max_results:
+            self._trip(
+                ResultBudgetExceeded,
+                f"result budget of {self._max_results} exceeded "
+                f"({r} results produced)",
+            )
+
+    # -- checks ----------------------------------------------------------
+
+    def check(self) -> None:
+        """Run the full budget check now (unamortized)."""
+        self.checks += 1
+        s = self.steps
+        next_check = s + self.stride
+        if self._max_steps is not None:
+            if s > self._max_steps:
+                self._trip(
+                    StepBudgetExceeded,
+                    f"step budget of {self._max_steps} exhausted "
+                    f"({s} steps charged)",
+                )
+            next_check = min(next_check, self._max_steps + 1)
+        self._next_check = next_check
+        if (
+            self._deadline_at is not None
+            and time.perf_counter() >= self._deadline_at
+        ):
+            self._trip(
+                DeadlineExceeded,
+                f"deadline of {self.budget.deadline_ms:g} ms exceeded "
+                f"after {self.elapsed_ms():.3f} ms",
+            )
+        token = self._token
+        if token is not None and token.cancelled:
+            self._trip(OperationCancelled, "operation cancelled via token")
+
+    def _trip(self, exc_cls, message: str) -> None:
+        self.tripped = exc_cls.reason
+        if OBS.enabled:
+            OBS.registry.inc(f"guard.trips.{exc_cls.reason}")
+        raise exc_cls(message, guard=self)
+
+    # -- introspection ---------------------------------------------------
+
+    def elapsed_ms(self) -> float:
+        return (time.perf_counter() - self.started_at) * 1e3
+
+    def evidence(self) -> Dict[str, object]:
+        """What the computation had consumed when asked (partial
+        evidence attached to degraded UNKNOWN answers)."""
+        return {
+            "steps": self.steps,
+            "results": self.results,
+            "checks": self.checks,
+            "elapsed_ms": round(self.elapsed_ms(), 3),
+            "budget": self.budget.describe(),
+        }
+
+    def __repr__(self) -> str:
+        state = self.tripped if self.tripped else "live"
+        return (
+            f"ExecutionGuard({self.budget.describe()}, steps={self.steps}, "
+            f"{state})"
+        )
+
+
+#: The ambient guard stack.  Hot modules read the top once per search
+#: via :func:`current_guard`; an empty stack (the default) means the
+#: per-step cost of governance is a single ``is not None`` test.
+_STACK: List[ExecutionGuard] = []
+
+
+def current_guard() -> Optional[ExecutionGuard]:
+    """The innermost installed guard, or None when execution is free."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def guarded(
+    budget: Optional[Budget] = None, stride: int = DEFAULT_STRIDE
+) -> Iterator[ExecutionGuard]:
+    """Install an :class:`ExecutionGuard` as ambient for the block.
+
+    Nests: an inner ``guarded`` shadows the outer one for its extent
+    (each governed API call owns its own envelope).  On exit the
+    guard's check/step tallies flush into the obs registry when
+    instrumentation is on.
+    """
+    guard = ExecutionGuard(budget if budget is not None else Budget(), stride)
+    _STACK.append(guard)
+    try:
+        yield guard
+    finally:
+        _STACK.pop()
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.inc("guard.checks", guard.checks)
+            reg.inc("guard.steps", guard.steps)

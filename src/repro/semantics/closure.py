@@ -39,6 +39,8 @@ from ..core.interning import (
 from ..core.terms import BNode, Literal, Term, Triple, URI
 from ..core.vocabulary import DOM, RANGE, RDFS_VOCABULARY, SC, SP, TYPE
 from ..obs import OBS
+from ..robustness.faultinject import FAULTS
+from ..robustness.guard import current_guard
 from .rules import apply_rules_to_fixpoint
 
 __all__ = [
@@ -68,7 +70,10 @@ def _transitive_pairs(edges: Set[Tuple[Term, Term]]) -> Set[Tuple[Term, Term]]:
     for a, b in edges:
         successors.setdefault(a, set()).add(b)
     reach: Set[Tuple[Term, Term]] = set()
+    guard = current_guard()
     for start in successors:
+        if guard is not None:
+            guard.tick()  # one DFS from this start node
         seen: Set[Term] = set()
         stack = list(successors[start])
         while stack:
@@ -343,13 +348,21 @@ def _closure_round_ids(rows: Set[Row]) -> Set[Row]:
 
 def _fixpoint_rounds(state, round_fn, input_size):
     """Shared fixpoint loop with obs spans; mutates *state* in place."""
+    guard = current_guard()
     with OBS.span("closure.fixpoint", input=input_size) as span:
         rounds = 0
         while True:
             rounds += 1
+            if FAULTS.enabled:
+                FAULTS.hit("closure.round")
             with OBS.span("closure.round", round=rounds) as round_span:
                 new = round_fn(state)
                 round_span.annotate(new=len(new))
+            if guard is not None:
+                # One step per round plus one per derived triple: the
+                # quadratic blowup of Theorem 3.6.3 is what a budget
+                # must be able to interrupt.
+                guard.tick(1 + len(new))
             if not new:
                 break
             state |= new
@@ -399,10 +412,15 @@ def rdfs_closure_encoded(graph: RDFGraph) -> RDFGraph:
     if any(s < VOCAB_SIZE or o < VOCAB_SIZE for s, _p, o in rows):
         _fixpoint_rounds(rows, _closure_round_ids, len(graph))
     else:
+        guard = current_guard()
+        if FAULTS.enabled:
+            FAULTS.hit("closure.round")
         with OBS.span("closure.fixpoint", input=len(rows)) as span:
             with OBS.span("closure.round", round=1) as round_span:
                 new = _closure_round_ids(rows)
                 round_span.annotate(new=len(new))
+            if guard is not None:
+                guard.tick(1 + len(new))
             rows |= new
             if OBS.enabled:
                 OBS.registry.inc("closure.rounds", 1)

@@ -60,6 +60,7 @@ from ..datalog.rdfs_program import TRIPLE_RELATION, rdfs_datalog_program_encoded
 from ..obs import OBS
 from ..obs.metrics import MetricsRegistry
 from ..query.tableau import Query
+from ..robustness.faultinject import FAULTS
 from ..semantics.entailment import entails as graph_entails
 from .dataset_cache import DatasetCache
 
@@ -238,7 +239,12 @@ class TripleStore:
     # ------------------------------------------------------------------
 
     def add(self, t: Triple, graph: str = DEFAULT_GRAPH) -> bool:
-        """Insert one triple; returns True when it was new."""
+        """Insert one triple; returns True when it was new.
+
+        Exception-safe: any failure (including KeyboardInterrupt)
+        while the triple is being applied undoes it and restores a
+        consistent pre-op state before re-raising.
+        """
         if not isinstance(t, Triple):
             t = Triple(*t)
         if not t.is_valid_rdf():
@@ -246,12 +252,25 @@ class TripleStore:
         triples = self._graphs.setdefault(graph, set())
         if t in triples:
             return False
-        triples.add(t)
-        if self._in_transaction:
-            self._txn_log.append(("add", graph, t))
-        row = self._dataset.add(t)
-        if row is not None:
-            self._buffer_change(row, added=True)
+        try:
+            triples.add(t)
+            if self._in_transaction:
+                self._txn_log.append(("add", graph, t))
+            if FAULTS.enabled:
+                FAULTS.hit("store.add.apply")
+            row = self._dataset.add(t)
+            if row is not None:
+                self._buffer_change(row, added=True)
+        except BaseException:
+            triples.discard(t)
+            if (
+                self._in_transaction
+                and self._txn_log
+                and self._txn_log[-1] == ("add", graph, t)
+            ):
+                self._txn_log.pop()
+            self._recover()
+            raise
         if not self._in_transaction:
             self._flush_delta()
         return True
@@ -260,23 +279,40 @@ class TripleStore:
         """Insert a batch; returns the number of new triples.
 
         The whole batch is folded into the closure in one maintenance
-        step, not one per triple.
+        step, not one per triple — and it is **atomic**: a failure on
+        any triple (an invalid one mid-iterable, an interrupt, an
+        injected fault) undoes every triple already applied and
+        restores the pre-batch state before re-raising.
         """
         new = 0
         target = self._graphs.setdefault(graph, set())
-        for t in triples:
-            if not isinstance(t, Triple):
-                t = Triple(*t)
-            if not t.is_valid_rdf():
-                raise ValueError(f"not a well-formed RDF triple: {t}")
-            if t not in target:
-                target.add(t)
-                new += 1
-                if self._in_transaction:
-                    self._txn_log.append(("add", graph, t))
-                row = self._dataset.add(t)
-                if row is not None:
-                    self._buffer_change(row, added=True)
+        applied: List[Triple] = []
+        logged = 0
+        try:
+            for t in triples:
+                if not isinstance(t, Triple):
+                    t = Triple(*t)
+                if not t.is_valid_rdf():
+                    raise ValueError(f"not a well-formed RDF triple: {t}")
+                if t not in target:
+                    target.add(t)
+                    applied.append(t)
+                    new += 1
+                    if self._in_transaction:
+                        self._txn_log.append(("add", graph, t))
+                        logged += 1
+                    if FAULTS.enabled:
+                        FAULTS.hit("store.add_all.batch")
+                    row = self._dataset.add(t)
+                    if row is not None:
+                        self._buffer_change(row, added=True)
+        except BaseException:
+            for t in applied:
+                target.discard(t)
+            if logged:
+                del self._txn_log[-logged:]
+            self._recover()
+            raise
         if not self._in_transaction:
             self._flush_delta()
         return new
@@ -299,12 +335,25 @@ class TripleStore:
         triples = self._graphs.get(graph, set())
         if t not in triples:
             return False
-        triples.remove(t)
-        if self._in_transaction:
-            self._txn_log.append(("remove", graph, t))
-        row = self._dataset.discard(t)
-        if row is not None:
-            self._buffer_change(row, added=False)
+        try:
+            triples.remove(t)
+            if self._in_transaction:
+                self._txn_log.append(("remove", graph, t))
+            if FAULTS.enabled:
+                FAULTS.hit("store.remove.apply")
+            row = self._dataset.discard(t)
+            if row is not None:
+                self._buffer_change(row, added=False)
+        except BaseException:
+            triples.add(t)
+            if (
+                self._in_transaction
+                and self._txn_log
+                and self._txn_log[-1] == ("remove", graph, t)
+            ):
+                self._txn_log.pop()
+            self._recover()
+            raise
         if not self._in_transaction:
             self._flush_delta()
         return True
@@ -330,10 +379,17 @@ class TripleStore:
         dropped = self._graphs.pop(graph, None)
         if not dropped:
             return
-        for t in dropped:
-            row = self._dataset.discard(t)
-            if row is not None:
-                self._buffer_change(row, added=False)
+        try:
+            for t in dropped:
+                if FAULTS.enabled:
+                    FAULTS.hit("store.clear.graph")
+                row = self._dataset.discard(t)
+                if row is not None:
+                    self._buffer_change(row, added=False)
+        except BaseException:
+            self._graphs[graph] = dropped
+            self._recover()
+            raise
         self._flush_delta()
 
     # ------------------------------------------------------------------
@@ -347,28 +403,51 @@ class TripleStore:
         self._txn_log = []
 
     def commit(self) -> None:
+        """Close the transaction and fold its delta into the closure.
+
+        Apply-or-rollback atomic: the transaction's writes are already
+        in the graphs/dataset (applied), so once the transaction state
+        is closed the commit cannot half-apply — a failure during the
+        maintenance flush drops only the *derived* closure (recomputed
+        lazily from scratch); the committed data survives intact.
+        """
         if not self._in_transaction:
             raise TransactionError("no transaction in progress")
         self._in_transaction = False
         self._txn_log = []
+        if FAULTS.enabled:
+            FAULTS.hit("store.commit")
         self._flush_delta()
 
     def rollback(self) -> None:
         if not self._in_transaction:
             raise TransactionError("no transaction in progress")
-        for op, graph, t in reversed(self._txn_log):
-            if op == "add":
-                self._graphs.get(graph, set()).discard(t)
-                row = self._dataset.discard(t)
-                if row is not None:
-                    self._buffer_change(row, added=False)
-            else:
-                self._graphs.setdefault(graph, set()).add(t)
-                row = self._dataset.add(t)
-                if row is not None:
-                    self._buffer_change(row, added=True)
+        entries = list(reversed(self._txn_log))
         self._in_transaction = False
         self._txn_log = []
+        try:
+            for op, graph, t in entries:
+                if op == "add":
+                    self._graphs.get(graph, set()).discard(t)
+                    row = self._dataset.discard(t)
+                    if row is not None:
+                        self._buffer_change(row, added=False)
+                else:
+                    self._graphs.setdefault(graph, set()).add(t)
+                    row = self._dataset.add(t)
+                    if row is not None:
+                        self._buffer_change(row, added=True)
+        except BaseException:
+            # Finish the graph-level undo (set ops are idempotent, so
+            # replaying the whole reversed log is safe no matter where
+            # the loop died), then rebuild the derived state from it.
+            for op, graph, t in entries:
+                if op == "add":
+                    self._graphs.get(graph, set()).discard(t)
+                else:
+                    self._graphs.setdefault(graph, set()).add(t)
+            self._recover()
+            raise
         # When nothing inside the transaction forced a flush, the
         # inverse operations cancel the buffered delta exactly and the
         # materialized closure is untouched; otherwise the residue is
@@ -418,32 +497,48 @@ class TripleStore:
         changed = False
         sk = self._terms.skolemize_row
         timer = self.metrics.timer("store.flush_ms")
-        with timer, OBS.span(
-            "store.flush", adds=len(adds), removes=len(removes)
-        ):
-            if removes:
-                removed_rows = {sk(row) for row in removes}
-                for row in removed_rows:
-                    self._base_store.discard(TRIPLE_RELATION, row)
-                gone = retract_fixpoint_into(
-                    self._program,
-                    self._closure_store,
-                    self._base_store,
-                    [(TRIPLE_RELATION, row) for row in removed_rows],
-                )
-                changed = changed or bool(gone)
-                self._count("store.maintenance.incremental_delete")
-            if adds:
-                added_rows = {sk(row) for row in adds}
-                for row in added_rows:
-                    self._base_store.add(TRIPLE_RELATION, row)
-                grown = extend_fixpoint_into(
-                    self._program,
-                    self._closure_store,
-                    [(TRIPLE_RELATION, row) for row in added_rows],
-                )
-                changed = changed or bool(grown)
-                self._count("store.maintenance.incremental_insert")
+        try:
+            if FAULTS.enabled:
+                FAULTS.hit("store.flush.begin")
+            with timer, OBS.span(
+                "store.flush", adds=len(adds), removes=len(removes)
+            ):
+                if removes:
+                    removed_rows = {sk(row) for row in removes}
+                    for row in removed_rows:
+                        self._base_store.discard(TRIPLE_RELATION, row)
+                    if FAULTS.enabled:
+                        FAULTS.hit("store.flush.retract")
+                    gone = retract_fixpoint_into(
+                        self._program,
+                        self._closure_store,
+                        self._base_store,
+                        [(TRIPLE_RELATION, row) for row in removed_rows],
+                    )
+                    changed = changed or bool(gone)
+                    self._count("store.maintenance.incremental_delete")
+                if adds:
+                    added_rows = {sk(row) for row in adds}
+                    for row in added_rows:
+                        self._base_store.add(TRIPLE_RELATION, row)
+                    if FAULTS.enabled:
+                        FAULTS.hit("store.flush.extend")
+                    grown = extend_fixpoint_into(
+                        self._program,
+                        self._closure_store,
+                        [(TRIPLE_RELATION, row) for row in added_rows],
+                    )
+                    changed = changed or bool(grown)
+                    self._count("store.maintenance.incremental_insert")
+        except BaseException:
+            # A failure mid-DRed/extend (injected fault, budget trip,
+            # interrupt) leaves the fixpoint store and its EDB half
+            # updated.  The data itself — graphs and dataset cache — is
+            # already consistent, so recovery just drops the derived
+            # state; the next closure-dependent read rebuilds it from
+            # scratch.
+            self._recover_derived()
+            raise
         self.metrics.set_gauge("store.term_dict.size", len(self._terms))
         if OBS.enabled:
             if timer.elapsed_ms is not None:
@@ -479,6 +574,40 @@ class TripleStore:
         self._closure_graph = None
         self._normal_form = None
 
+    # ------------------------------------------------------------------
+    # Failure recovery
+    # ------------------------------------------------------------------
+
+    def _recover_derived(self) -> None:
+        """Drop all derived state after a failed maintenance step.
+
+        The named graphs and dataset cache are authoritative and
+        untouched by maintenance, so consistency is restored by
+        throwing away the (possibly half-updated) materialized closure
+        and buffered delta; the next closure-dependent read recomputes
+        from scratch.
+        """
+        self._pending_adds = set()
+        self._pending_removes = set()
+        self._invalidate_closure()
+        self._count("store.recovered_ops")
+
+    def _recover(self) -> None:
+        """Rebuild every derived structure from the named graphs.
+
+        Called after a failure in the *apply* phase of a write, once the
+        caller has restored ``_graphs`` to the pre-op triples: the
+        dataset cache may have been mid-mutation, so it is rebuilt from
+        scratch (reproducing refcounts and indexes exactly), and the
+        materialized closure is dropped like :meth:`_recover_derived`.
+        """
+        dataset = DatasetCache(terms=self._terms)
+        for triples in self._graphs.values():
+            for t in triples:
+                dataset.add(t)
+        self._dataset = dataset
+        self._recover_derived()
+
     def _materialized_closure_facts(self) -> Set[Tuple]:
         """The maintained closure's row set (flushing any buffered delta).
 
@@ -489,15 +618,26 @@ class TripleStore:
         if self._closure_store is None:
             if OBS.enabled:
                 OBS.registry.inc("store.closure_cache.miss")
-            with OBS.span("store.materialize", triples=len(self)):
-                sk = self._terms.skolemize_row
-                base_rows = {sk(row) for row in self._dataset.rows()}
-                facts = [(TRIPLE_RELATION, row) for row in base_rows]
-                self._closure_store = materialize_fixpoint(self._program, facts)
-            base = FactStore()
-            for row in base_rows:
-                base.add(TRIPLE_RELATION, row)
-            self._base_store = base
+            try:
+                with OBS.span("store.materialize", triples=len(self)):
+                    sk = self._terms.skolemize_row
+                    base_rows = {sk(row) for row in self._dataset.rows()}
+                    facts = [(TRIPLE_RELATION, row) for row in base_rows]
+                    self._closure_store = materialize_fixpoint(
+                        self._program, facts
+                    )
+                if FAULTS.enabled:
+                    # Window between the fixpoint store and its EDB
+                    # being installed: exactly the inconsistency
+                    # recovery must repair.
+                    FAULTS.hit("store.materialize")
+                base = FactStore()
+                for row in base_rows:
+                    base.add(TRIPLE_RELATION, row)
+                self._base_store = base
+            except BaseException:
+                self._recover_derived()
+                raise
             self._count("store.maintenance.recomputed")
             self.metrics.set_gauge("store.term_dict.size", len(self._terms))
             if OBS.enabled:

@@ -1,0 +1,711 @@
+"""Robustness suite: budgets, degraded answers, and fault injection.
+
+Three layers of guarantees are exercised here:
+
+* **Guards** — deadlines, step budgets, result caps and cancellation
+  tokens fire when exceeded and stay invisible when unlimited
+  (a default `Budget()` must reproduce unguarded answers exactly).
+* **Degraded answers** — the ``*_within`` predicates return
+  three-valued :class:`TriState` answers whose UNKNOWN branch carries
+  the partial evidence the search had established.
+* **Exception safety** — a fault injected at *every* named site of the
+  store/engine/closure write path (including ``KeyboardInterrupt``)
+  leaves the store equal to the pre-op or post-op state of a
+  from-scratch reference, with the closure consistent; a Hypothesis
+  stateful machine replays random op streams with random faults.
+"""
+
+import os
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import RDFGraph, Triple, URI
+from repro.core.terms import BNode
+from repro.core.vocabulary import SC, SP, TYPE
+from repro.generators import random_digraph
+from repro.reductions import DiGraph, encode_graph
+from repro.robustness import (
+    FAULTS,
+    SITES,
+    Budget,
+    CancellationToken,
+    DeadlineExceeded,
+    InjectedFault,
+    OperationCancelled,
+    ResultBudgetExceeded,
+    StepBudgetExceeded,
+    TriState,
+    core_within,
+    current_guard,
+    entails_within,
+    guarded,
+    is_lean_within,
+)
+from repro.semantics import entails, rdfs_closure, simple_entails
+from repro.store import TripleStore
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """No test leaks an armed fault site into the next."""
+    yield
+    FAULTS.reset()
+
+
+# ---------------------------------------------------------------------------
+# Guard mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestExecutionGuard:
+    def test_deadline_fires(self):
+        with guarded(Budget(deadline_ms=5), stride=16) as g:
+            with pytest.raises(DeadlineExceeded):
+                while True:
+                    g.tick()
+        assert g.tripped == "deadline"
+
+    def test_step_budget_trips_exactly_past_the_limit(self):
+        with guarded(Budget(max_steps=100)) as g:
+            with pytest.raises(StepBudgetExceeded):
+                for _ in range(1000):
+                    g.tick()
+        # Strictly-greater semantics: 100 steps are allowed, the 101st
+        # trips, and the guard schedules its own exact check boundary
+        # so amortization never overshoots.
+        assert g.steps == 101
+        assert g.tripped == "steps"
+
+    def test_bulk_tick_respects_budget(self):
+        with guarded(Budget(max_steps=100)) as g:
+            g.tick(60)
+            with pytest.raises(StepBudgetExceeded):
+                g.tick(60)
+        assert g.steps == 120
+
+    def test_result_cap(self):
+        with guarded(Budget(max_results=3)) as g:
+            with pytest.raises(ResultBudgetExceeded):
+                for _ in range(10):
+                    g.note_result()
+        assert g.results == 4
+
+    def test_cancellation_token(self):
+        token = CancellationToken()
+        with guarded(Budget(token=token), stride=4) as g:
+            g.tick()
+            token.cancel()
+            with pytest.raises(OperationCancelled):
+                for _ in range(100):
+                    g.tick()
+        assert g.tripped == "cancelled"
+
+    def test_unlimited_budget_never_trips(self):
+        with guarded(Budget.unlimited()) as g:
+            for _ in range(10_000):
+                g.tick()
+            g.note_result(10_000)
+        assert g.tripped is None
+        assert g.steps == 10_000
+
+    def test_ambient_guard_nests_and_unwinds(self):
+        assert current_guard() is None
+        with guarded(Budget(max_steps=5)) as outer:
+            assert current_guard() is outer
+            with guarded() as inner:
+                assert current_guard() is inner
+            assert current_guard() is outer
+        assert current_guard() is None
+
+    def test_guard_pops_even_on_trip(self):
+        with pytest.raises(StepBudgetExceeded):
+            with guarded(Budget(max_steps=0)) as g:
+                g.tick()
+        assert current_guard() is None
+
+    def test_budget_describe(self):
+        assert Budget().describe() == "unlimited"
+        assert Budget().is_unlimited
+        b = Budget(deadline_ms=10, max_steps=50)
+        assert not b.is_unlimited
+        assert "deadline=10ms" in b.describe()
+        assert "max_steps=50" in b.describe()
+
+
+# ---------------------------------------------------------------------------
+# Degraded three-valued answers
+# ---------------------------------------------------------------------------
+
+
+def _triple(s, p, o):
+    return Triple(URI(s), URI(p) if isinstance(p, str) else p, URI(o))
+
+
+_BX = BNode("x")
+
+
+def _taxonomy():
+    return RDFGraph(
+        [
+            _triple("painter", SC, "artist"),
+            _triple("artist", SC, "person"),
+            _triple("frida", TYPE, "painter"),
+        ]
+    )
+
+
+def _hard_instance(n=40, seed=2):
+    """A near-threshold 3-coloring pattern: ~2 s of unguarded search."""
+    inst = random_digraph(n, int(2.3 * n), seed=seed).symmetrized()
+    return encode_graph(DiGraph.complete(3)), encode_graph(inst)
+
+
+class TestTriState:
+    def test_bool_of_unknown_raises(self):
+        answer = TriState("UNKNOWN", reason="deadline")
+        with pytest.raises(ValueError):
+            bool(answer)
+        assert answer.unknown and not answer.known
+
+    def test_bool_of_decided(self):
+        assert bool(TriState("PROVED"))
+        assert not bool(TriState("REFUTED"))
+
+
+class TestDegradedAnswers:
+    def test_unlimited_budget_matches_unguarded_entailment(self):
+        g = _taxonomy()
+        goal = RDFGraph([_triple("frida", TYPE, "person")])
+        bad = RDFGraph([_triple("frida", TYPE, "sculptor")])
+        for conclusion in (goal, bad):
+            for simple in (False, True):
+                reference = (
+                    simple_entails(g, conclusion)
+                    if simple
+                    else entails(g, conclusion)
+                )
+                answer = entails_within(
+                    g, conclusion, Budget(), simple=simple
+                )
+                assert answer.known
+                assert bool(answer) == reference
+
+    def test_step_budget_trip_returns_unknown_with_evidence(self):
+        k3, pattern = _hard_instance()
+        answer = entails_within(
+            k3, pattern, Budget(max_steps=50), simple=True
+        )
+        assert answer.unknown
+        assert answer.reason == "steps"
+        assert answer.evidence["steps"] > 50
+        assert "elapsed_ms" in answer.evidence
+        assert "message" in answer.evidence
+
+    def test_is_lean_within_refuted_carries_witness(self):
+        non_lean = RDFGraph(
+            [_triple("a", "p", "b"), Triple(URI("a"), URI("p"), _BX)]
+        )
+        answer = is_lean_within(non_lean, Budget())
+        assert answer.refuted
+        witness = answer.evidence["witness"]
+        assert witness.apply_graph(non_lean) < non_lean
+
+    def test_is_lean_within_proved_on_lean_graph(self):
+        assert is_lean_within(_taxonomy(), Budget()).proved
+
+    def test_core_within_proved_carries_core_and_retraction(self):
+        non_lean = RDFGraph(
+            [_triple("a", "p", "b"), Triple(URI("a"), URI("p"), _BX)]
+        )
+        answer = core_within(non_lean, Budget())
+        assert answer.proved
+        assert answer.evidence["graph"] == RDFGraph([_triple("a", "p", "b")])
+        assert answer.evidence["iterations"] == 1
+        retraction = answer.evidence["retraction"]
+        assert retraction.apply_graph(non_lean) == answer.evidence["graph"]
+
+    def test_core_within_unknown_reports_partial_graph(self):
+        non_lean = RDFGraph(
+            [_triple("a", "p", "b"), Triple(URI("a"), URI("p"), _BX)]
+        )
+        answer = core_within(non_lean, Budget(max_steps=0))
+        assert answer.unknown
+        assert answer.reason == "steps"
+        # Every intermediate graph is still equivalent to the input
+        # (Theorem 3.10's invariant) — here the search died before the
+        # first shrink, so the partial answer is the input itself.
+        assert answer.evidence["graph"] == non_lean
+        assert answer.evidence["iterations"] == 0
+
+    def test_guard_metrics_reported(self):
+        from repro import obs
+
+        k3, pattern = _hard_instance()
+        with obs.instrumentation() as (registry, _tracer):
+            answer = entails_within(
+                k3, pattern, Budget(max_steps=50), simple=True
+            )
+        assert answer.unknown
+        assert registry.counter("guard.trips.steps") == 1
+        assert registry.counter("guard.degraded_answers") == 1
+        assert registry.counter("guard.checks") >= 1
+        assert registry.counter("guard.steps") > 50
+
+
+class TestAdversarialDeadline:
+    def test_ten_ms_deadline_answers_unknown_well_under_two_x(self):
+        import time
+
+        k3, pattern = _hard_instance()  # ~2 s unguarded
+        t0 = time.perf_counter()
+        answer = entails_within(
+            k3, pattern, Budget(deadline_ms=10), simple=True
+        )
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        assert answer.unknown
+        assert answer.reason == "deadline"
+        assert wall_ms < 20, f"deadline overshot: {wall_ms:.1f} ms"
+        assert answer.evidence["steps"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: every site leaves a consistent store
+# ---------------------------------------------------------------------------
+
+
+def _seed_triples():
+    return [
+        _triple("painter", SC, "artist"),
+        _triple("artist", SC, "person"),
+        _triple("paints", SP, "creates"),
+        _triple("frida", TYPE, "painter"),
+        _triple("frida", "paints", "portrait"),
+    ]
+
+
+_NEW = _triple("diego", TYPE, "painter")
+
+
+def _setup_plain(store):
+    store.add_all(_seed_triples())
+
+
+def _setup_materialized(store):
+    store.add_all(_seed_triples())
+    store.closure()
+
+
+def _setup_named(store):
+    store.add_all(_seed_triples(), graph="g")
+
+
+def _op_add(store):
+    store.add(_NEW)
+
+
+def _op_add_all(store):
+    store.add_all([_NEW, _triple("diego", "paints", "mural")])
+
+
+def _op_remove(store):
+    store.remove(_seed_triples()[0])
+
+
+def _op_clear(store):
+    store.clear("g")
+
+
+def _op_commit(store):
+    store.begin()
+    store.add(_NEW)
+    store.commit()
+
+
+def _op_closure(store):
+    store.closure()
+
+
+#: site -> (on_hit, setup, op).  Every store-reachable injection site,
+#: with an operation stream that provably executes it (asserted via the
+#: injector's hit tally).
+_SCENARIOS = {
+    "store.add.apply": (1, _setup_plain, _op_add),
+    "store.add_all.batch": (2, _setup_plain, _op_add_all),
+    "store.remove.apply": (1, _setup_plain, _op_remove),
+    "store.clear.graph": (2, _setup_named, _op_clear),
+    "store.commit": (1, _setup_plain, _op_commit),
+    "store.flush.begin": (1, _setup_materialized, _op_add),
+    "store.flush.extend": (1, _setup_materialized, _op_add),
+    "store.flush.retract": (1, _setup_materialized, _op_remove),
+    "store.materialize": (1, _setup_plain, _op_closure),
+    "engine.round": (1, _setup_plain, _op_closure),
+    "engine.dred.overdelete": (1, _setup_materialized, _op_remove),
+    "engine.dred.rederive": (1, _setup_materialized, _op_remove),
+}
+
+
+def test_every_site_has_a_scenario_or_its_own_test():
+    # closure.round lives in the staged-closure kernel (rdfs_closure),
+    # not on the store write path; it has a dedicated test below.
+    assert set(_SCENARIOS) | {"closure.round"} == set(SITES)
+
+
+def _replay_references(setup, op):
+    """The pre-op and post-op datasets a fault-free run produces."""
+    pre = TripleStore()
+    setup(pre)
+    post = TripleStore()
+    setup(post)
+    op(post)
+    return pre.dataset(), post.dataset()
+
+
+@pytest.mark.parametrize("site", sorted(_SCENARIOS))
+def test_injected_fault_leaves_store_consistent(site):
+    on_hit, setup, op = _SCENARIOS[site]
+    pre_dataset, post_dataset = _replay_references(setup, op)
+    store = TripleStore()
+    setup(store)
+    FAULTS.arm(site, on_hit=on_hit)
+    try:
+        with pytest.raises(InjectedFault):
+            op(store)
+        hits = FAULTS.hits.get(site, 0)
+    finally:
+        FAULTS.reset()
+    assert hits >= on_hit, f"scenario never reached {site}"
+    dataset = store.dataset()
+    assert dataset in (pre_dataset, post_dataset)
+    # The materialized closure must agree with a from-scratch closure
+    # of whatever dataset survived — i.e. the store stays fully usable.
+    assert store.closure() == rdfs_closure(dataset)
+
+
+@pytest.mark.parametrize(
+    "site, on_hit, setup, op",
+    [
+        ("store.add_all.batch", 2, _setup_plain, _op_add_all),
+        ("store.flush.extend", 1, _setup_materialized, _op_add),
+    ],
+)
+def test_keyboard_interrupt_is_recovered(site, on_hit, setup, op):
+    """Ctrl-C mid-batch / mid-maintenance must not corrupt the store."""
+    pre_dataset, post_dataset = _replay_references(setup, op)
+    store = TripleStore()
+    setup(store)
+    FAULTS.arm(site, on_hit=on_hit, exc=KeyboardInterrupt)
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            op(store)
+    finally:
+        FAULTS.reset()
+    dataset = store.dataset()
+    assert dataset in (pre_dataset, post_dataset)
+    assert store.closure() == rdfs_closure(dataset)
+
+
+def test_add_all_is_atomic_on_invalid_triple():
+    """A plain ValueError mid-batch rolls the whole batch back too."""
+    store = TripleStore()
+    store.add_all(_seed_triples())
+    pre = store.dataset()
+    from repro.core.terms import Literal
+
+    bad_batch = [_NEW, Triple(Literal("lit"), URI("p"), URI("o"))]
+    with pytest.raises(ValueError):
+        store.add_all(bad_batch)
+    assert store.dataset() == pre
+    assert store.closure() == rdfs_closure(pre)
+
+
+def test_recovered_ops_counter_bumps_once():
+    store = TripleStore()
+    store.add_all(_seed_triples())
+    assert store.metrics.counter("store.recovered_ops") == 0
+    FAULTS.arm("store.add.apply")
+    try:
+        with pytest.raises(InjectedFault):
+            store.add(_NEW)
+    finally:
+        FAULTS.reset()
+    assert store.metrics.counter("store.recovered_ops") == 1
+
+
+def test_closure_round_fault_propagates_and_retries_clean():
+    graph = RDFGraph(_seed_triples())
+    FAULTS.arm("closure.round")
+    try:
+        with pytest.raises(InjectedFault):
+            rdfs_closure(graph)
+    finally:
+        FAULTS.reset()
+    # rdfs_closure is a pure function: nothing to recover, and a retry
+    # must succeed from scratch.
+    closed = rdfs_closure(graph)
+    assert _triple("frida", TYPE, "person") in closed
+
+def test_unknown_site_fails_loudly():
+    with pytest.raises(ValueError):
+        FAULTS.arm("store.no_such_site")
+
+
+# ---------------------------------------------------------------------------
+# Stateful chaos: random op streams with random faults
+# ---------------------------------------------------------------------------
+
+_NODES = [URI(n) for n in ("a", "b", "c", "d")]
+_PREDICATES = [URI("p"), SC, SP, TYPE]
+
+triples_strategy = st.builds(
+    Triple,
+    st.sampled_from(_NODES),
+    st.sampled_from(_PREDICATES),
+    st.sampled_from(_NODES),
+)
+
+_WRITE_SITES = (
+    "store.add.apply",
+    "store.add_all.batch",
+    "store.flush.begin",
+    "store.flush.extend",
+    "store.materialize",
+    "engine.round",
+)
+_REMOVE_SITES = (
+    "store.remove.apply",
+    "store.flush.begin",
+    "store.flush.retract",
+    "engine.dred.overdelete",
+    "engine.dred.rederive",
+)
+
+
+class FaultyStoreMachine(RuleBasedStateMachine):
+    """Random ops with randomly armed fault sites against a model.
+
+    After a fault the store must equal either the pre-op model or the
+    post-op model (apply-phase failures roll back; maintenance-phase
+    failures keep the applied data and drop derived state) — the
+    machine adopts whichever one the store proves to be, then the
+    invariants re-verify dataset and closure from scratch.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.store = TripleStore()
+        self.model = set()
+
+    def _run_faulted(self, op, site, on_hit, post):
+        pre = set(self.model)
+        FAULTS.arm(site, on_hit=on_hit)
+        try:
+            op()
+            self.model = post
+        except InjectedFault:
+            dataset = self.store.dataset()
+            assert dataset in (RDFGraph(pre), RDFGraph(post))
+            self.model = post if dataset == RDFGraph(post) else pre
+        finally:
+            FAULTS.reset()
+
+    @rule(t=triples_strategy)
+    def add(self, t):
+        self.store.add(t)
+        self.model.add(t)
+
+    @rule(t=triples_strategy)
+    def remove(self, t):
+        self.store.remove(t)
+        self.model.discard(t)
+
+    @rule()
+    def materialize(self):
+        self.store.closure()
+
+    @rule(
+        ts=st.lists(triples_strategy, min_size=1, max_size=4),
+        site=st.sampled_from(_WRITE_SITES),
+        on_hit=st.integers(min_value=1, max_value=3),
+    )
+    def faulted_add_all(self, ts, site, on_hit):
+        self._run_faulted(
+            lambda: self.store.add_all(ts),
+            site,
+            on_hit,
+            self.model | set(ts),
+        )
+
+    @rule(
+        t=triples_strategy,
+        site=st.sampled_from(_REMOVE_SITES),
+        on_hit=st.integers(min_value=1, max_value=2),
+    )
+    def faulted_remove(self, t, site, on_hit):
+        self._run_faulted(
+            lambda: self.store.remove(t),
+            site,
+            on_hit,
+            self.model - {t},
+        )
+
+    @invariant()
+    def dataset_matches_model(self):
+        assert self.store.dataset() == RDFGraph(self.model)
+
+    @invariant()
+    def closure_matches_reference(self):
+        assert self.store.closure() == rdfs_closure(RDFGraph(self.model))
+
+
+FaultyStoreMachine.TestCase.settings = settings(
+    max_examples=40 if os.environ.get("REPRO_CHAOS") else 15,
+    stateful_step_count=12,
+    deadline=None,
+)
+TestFaultyStoreStateful = FaultyStoreMachine.TestCase
+
+
+# ---------------------------------------------------------------------------
+# Tolerant N-Triples parsing
+# ---------------------------------------------------------------------------
+
+
+class TestTolerantParse:
+    GOOD_AND_BAD = (
+        "a p b .\n"
+        "this line has five tokens .\n"
+        '"literal" p o .\n'
+        "# a comment\n"
+        "c q d .\n"
+    )
+
+    def test_strict_raises_on_first_bad_line(self):
+        from repro.rdfio.ntriples import ParseError, parse_ntriples
+
+        with pytest.raises(ParseError) as exc:
+            parse_ntriples(self.GOOD_AND_BAD)
+        assert exc.value.line_number == 2
+
+    def test_tolerant_returns_report_with_issues(self):
+        from repro.rdfio.ntriples import parse_ntriples
+
+        report = parse_ntriples(self.GOOD_AND_BAD, strict=False)
+        assert not report.ok
+        assert report.graph == RDFGraph(
+            [_triple("a", "p", "b"), _triple("c", "q", "d")]
+        )
+        assert [issue.line_number for issue in report.errors] == [2, 3]
+        reasons = [issue.reason for issue in report.errors]
+        assert "expected 3 terms" in reasons[0]
+        assert "ill-formed triple" in reasons[1]
+
+    def test_tolerant_on_clean_input_is_ok(self):
+        from repro.rdfio.ntriples import parse_ntriples, serialize_ntriples
+
+        graph = RDFGraph(_seed_triples())
+        report = parse_ntriples(serialize_ntriples(graph), strict=False)
+        assert report.ok
+        assert report.errors == ()
+        assert report.graph == graph
+
+
+# ---------------------------------------------------------------------------
+# CLI budget flags
+# ---------------------------------------------------------------------------
+
+
+DATA_NT = "painter sc artist .\nPicasso type painter .\n"
+GOAL_NT = "Picasso type artist .\n"
+QUERY_RQ = "CONSTRUCT { ?X status known . }\nWHERE { ?X type artist . }\n"
+
+
+@pytest.fixture
+def cli_files(tmp_path):
+    paths = {}
+    for name, content in [
+        ("data.nt", DATA_NT),
+        ("goal.nt", GOAL_NT),
+        ("q.rq", QUERY_RQ),
+    ]:
+        p = tmp_path / name
+        p.write_text(content)
+        paths[name] = str(p)
+    return paths
+
+
+def _run_cli(argv):
+    import io
+
+    from repro.cli import main
+
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCLIBudgets:
+    def test_entails_without_flags_is_unchanged(self, cli_files):
+        code, text = _run_cli(
+            ["entails", cli_files["data.nt"], cli_files["goal.nt"]]
+        )
+        assert code == 0
+        assert "entailed" in text
+
+    def test_entails_zero_step_budget_answers_unknown(self, cli_files):
+        code, text = _run_cli(
+            [
+                "entails",
+                cli_files["data.nt"],
+                cli_files["goal.nt"],
+                "--max-steps",
+                "0",
+            ]
+        )
+        assert code == 3
+        assert text.startswith("unknown")
+        assert "steps" in text
+
+    def test_entails_generous_budget_still_decides(self, cli_files):
+        code, text = _run_cli(
+            [
+                "entails",
+                cli_files["data.nt"],
+                cli_files["goal.nt"],
+                "--timeout-ms",
+                "60000",
+                "--max-steps",
+                "1000000",
+            ]
+        )
+        assert code == 0
+        assert "entailed" in text
+
+    def test_query_zero_step_budget_answers_unknown(self, cli_files):
+        code, text = _run_cli(
+            [
+                "query",
+                cli_files["q.rq"],
+                cli_files["data.nt"],
+                "--max-steps",
+                "0",
+            ]
+        )
+        assert code == 3
+        assert "# unknown" in text
+
+    def test_explain_zero_step_budget_answers_unknown(self, cli_files):
+        code, text = _run_cli(
+            [
+                "explain",
+                "entails",
+                cli_files["data.nt"],
+                cli_files["goal.nt"],
+                "--max-steps",
+                "0",
+            ]
+        )
+        assert code == 3
+        assert "unknown" in text
