@@ -12,10 +12,21 @@ import pytest
 
 from repro.generators import property_fanout, sc_chain_with_instance, sp_chain
 from repro.semantics import rdfs_closure
-from repro.semantics.closure import rdfs_closure_boxed, rdfs_closure_encoded
+from repro.semantics.closure import (
+    rdfs_closure_arrays,
+    rdfs_closure_boxed,
+    rdfs_closure_encoded,
+)
 
 CHAIN_SIZES = [8, 16, 32, 64]
 FANOUT_SIZES = [4, 8, 16]
+
+#: Extended growth curve for the kernel A/B/C: sp-chain(448) closes to
+#: ~101k triples (the 10⁵ target).  The boxed kernel is skipped here
+#: (its per-term hashing would dominate the whole bench run) and the
+#: slow pair only gets REPEATS_LARGE timed runs each.
+EXTENDED_CHAIN_SIZES = [128, 256, 448]
+REPEATS_LARGE = 2
 
 
 @pytest.mark.parametrize("n", CHAIN_SIZES)
@@ -65,11 +76,14 @@ def _best_of(fn, graph, repeats=5):
 
 
 def collect_ab_series():
-    """Encoded-vs-boxed kernel A/B: (family, |G|, encoded ms, boxed ms).
+    """Kernel A/B/C: (family, |G|, arrays ms, encoded ms, boxed ms).
 
-    Runs both closure implementations on the same growth workloads so
-    the dictionary-encoding speedup is a committed, reviewable number
-    (the CI perf gate watches the largest sp-chain row).
+    Runs all three closure kernels on the same growth workloads so the
+    sorted-run/merge-join speedup is a committed, reviewable number
+    (the CI perf gate watches the largest sp-chain row of both the
+    arrays and encoded columns).  On the extended sizes — where the
+    closure reaches ~10⁵ triples — ``boxed_ms`` is None: the boxed
+    kernel is only a baseline and would dominate the bench wall clock.
     """
     workloads = [("sp-chain", sp_chain(n)) for n in CHAIN_SIZES]
     workloads += [
@@ -77,9 +91,15 @@ def collect_ab_series():
     ]
     rows = []
     for family, g in workloads:
+        arrays_ms = _best_of(rdfs_closure_arrays, g)
         encoded_ms = _best_of(rdfs_closure_encoded, g)
         boxed_ms = _best_of(rdfs_closure_boxed, g)
-        rows.append((family, len(g), encoded_ms, boxed_ms))
+        rows.append((family, len(g), arrays_ms, encoded_ms, boxed_ms))
+    for n in EXTENDED_CHAIN_SIZES:
+        g = sp_chain(n)
+        arrays_ms = _best_of(rdfs_closure_arrays, g, repeats=REPEATS_LARGE)
+        encoded_ms = _best_of(rdfs_closure_encoded, g, repeats=REPEATS_LARGE)
+        rows.append(("sp-chain", len(g), arrays_ms, encoded_ms, None))
     return rows
 
 

@@ -81,10 +81,17 @@ def collect_series():
 
 
 def collect_ab_series():
-    """Encoded-vs-boxed closure kernel on the entailment ontologies."""
+    """Closure-kernel A/B/C on the entailment ontologies.
+
+    Rows: (family, |G|, arrays ms, encoded ms, boxed ms).
+    """
     import time
 
-    from repro.semantics.closure import rdfs_closure_boxed, rdfs_closure_encoded
+    from repro.semantics.closure import (
+        rdfs_closure_arrays,
+        rdfs_closure_boxed,
+        rdfs_closure_encoded,
+    )
 
     def best_of(fn, graph, repeats=5):
         best = float("inf")
@@ -101,6 +108,7 @@ def collect_ab_series():
             (
                 "schema+instances",
                 len(g),
+                best_of(rdfs_closure_arrays, g),
                 best_of(rdfs_closure_encoded, g),
                 best_of(rdfs_closure_boxed, g),
             )

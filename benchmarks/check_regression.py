@@ -10,14 +10,15 @@ sentinel workloads guard the two kernels this repo optimizes:
 
 * E4 ``hard/non-3-colorable n=10`` — the matching planner's hardest
   committed row (exhaustive refutation with backtracking);
-* the largest sp-chain row of the closure-kernel A/B — the
-  dictionary-encoded fixpoint.
+* the largest sp-chain row of the closure-kernel A/B/C, once for the
+  ``arrays`` (sorted-run merge) kernel and once for the ``encoded``
+  (dict-of-sets) baseline.
 
-The gate fails (exit 1) only on a >3x slowdown: CI runners are noisy,
-so the threshold is loose by design — it catches algorithmic
-regressions (a dropped index, an accidental quadratic loop), not jitter.
-Missing keys in either file are tolerated and reported as skips, so the
-gate keeps working across payload-schema changes.
+The gate fails (exit 1) on a >3x slowdown: CI runners are noisy, so
+the threshold is loose by design — it catches algorithmic regressions
+(a dropped index, an accidental quadratic loop), not jitter.  An
+expected section *missing* from either file also fails the gate: a
+silently dropped bench row would otherwise disable its check forever.
 
 A third check reads the fresh run's ``guard_overhead`` section (the
 execution-guard A/B from bench_guard_overhead.py): an infinite-budget
@@ -37,34 +38,55 @@ THRESHOLD = 3.0
 GUARD_OVERHEAD_THRESHOLD = 1.1
 
 
-def _e4_hard_ms(payload):
-    """The current E4 hard/non-3-colorable n=10 timing, or None."""
+def _e4_hard_series(payload):
+    """E4 hard/non-3-colorable timings keyed by n, or {}."""
     try:
         rows = payload["current"]["E4"]
     except (KeyError, TypeError):
-        return None
-    for row in rows:
-        if row.get("family") == "hard/non-3-colorable" and row.get("n") == 10:
-            return row.get("ms")
-    return None
+        return {}
+    return {
+        row["n"]: row["ms"]
+        for row in rows
+        if row.get("family") == "hard/non-3-colorable"
+        and row.get("n") is not None and row.get("ms") is not None
+    }
 
 
-def _closure_growth_ms(payload):
-    """The largest sp-chain encoded-kernel timing, or None."""
+def _closure_growth_series(payload, key):
+    """sp-chain timings of one kernel column keyed by |G|, or {}.
+
+    Rows where the column was not measured are dropped (``boxed_ms``
+    is None on the extended sizes), so the gate only ever compares
+    sizes both files actually timed with that kernel.
+    """
     try:
         rows = payload["closure_kernel"]["growth"]
     except (KeyError, TypeError):
-        return None
-    chains = [r for r in rows if r.get("family") == "sp-chain"]
-    if not chains:
-        return None
-    largest = max(chains, key=lambda r: r.get("size", 0))
-    return largest.get("encoded_ms")
+        return {}
+    return {
+        row["size"]: row[key]
+        for row in rows
+        if row.get("family") == "sp-chain"
+        and row.get("size") is not None and row.get(key) is not None
+    }
 
 
+def _closure_growth_arrays(payload):
+    return _closure_growth_series(payload, "arrays_ms")
+
+
+def _closure_growth_encoded(payload):
+    return _closure_growth_series(payload, "encoded_ms")
+
+
+#: Each check extracts a {workload-size: ms} series from a payload; the
+#: gate compares baseline vs fresh at the **largest size present in
+#: both**, so re-tuning the bench's size ladder never produces an
+#: apples-to-oranges ratio.
 CHECKS = [
-    ("E4 hard/non-3-colorable n=10", _e4_hard_ms),
-    ("closure-kernel sp-chain (largest)", _closure_growth_ms),
+    ("E4 hard/non-3-colorable", _e4_hard_series),
+    ("closure-kernel arrays sp-chain", _closure_growth_arrays),
+    ("closure-kernel encoded sp-chain", _closure_growth_encoded),
 ]
 
 
@@ -73,8 +95,11 @@ def check_guard_overhead(fresh) -> bool:
     try:
         rows = fresh["guard_overhead"]["rows"]
     except (KeyError, TypeError):
-        print("perf gate: guard overhead: no comparable rows, skipped")
-        return True
+        print("perf gate: guard overhead: section MISSING from fresh run")
+        return False
+    if not rows:
+        print("perf gate: guard overhead: section empty in fresh run")
+        return False
     ok = True
     for row in rows:
         name = row.get("workload", "?")
@@ -111,14 +136,26 @@ def main(argv=None) -> int:
 
     failed = False
     for name, extract in CHECKS:
-        base_ms, fresh_ms = extract(baseline), extract(fresh)
-        if base_ms is None or fresh_ms is None or base_ms <= 0:
-            print(f"perf gate: {name}: no comparable rows, skipped")
+        base_series, fresh_series = extract(baseline), extract(fresh)
+        common = sorted(set(base_series) & set(fresh_series))
+        if not common:
+            # A bench section this gate is supposed to watch has
+            # disappeared from one of the payloads: fail loudly — a
+            # skip here would silently disable the check forever.
+            side = "baseline" if not base_series else "fresh run"
+            print(f"perf gate: {name}: expected rows MISSING from {side}")
+            failed = True
+            continue
+        size = common[-1]
+        base_ms, fresh_ms = base_series[size], fresh_series[size]
+        if base_ms <= 0:
+            print(f"perf gate: {name} n={size}: bad baseline {base_ms}")
+            failed = True
             continue
         ratio = fresh_ms / base_ms
         verdict = "FAIL" if ratio > THRESHOLD else "ok"
         print(
-            f"perf gate: {name}: baseline {base_ms:.3f} ms, "
+            f"perf gate: {name} n={size}: baseline {base_ms:.3f} ms, "
             f"fresh {fresh_ms:.3f} ms ({ratio:.2f}x) {verdict}"
         )
         failed = failed or ratio > THRESHOLD

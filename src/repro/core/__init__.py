@@ -4,6 +4,16 @@ Public surface: term types, triples, graphs, maps, homomorphism search,
 isomorphism, and the ``rdfsV`` vocabulary.
 """
 
+from .columns import (
+    OrderView,
+    SortedRuns,
+    dedup_sorted,
+    gallop_left,
+    gallop_right,
+    merge_diff_sorted,
+    merge_join_pairs,
+    merge_union_sorted,
+)
 from .graph import RDFGraph, graph_from_triples, triple
 from .homomorphism import (
     count_assignments,
@@ -35,11 +45,13 @@ __all__ = [
     "MatchPlan",
     "Literal",
     "Map",
+    "OrderView",
     "RANGE",
     "RDFGraph",
     "RDFS_VOCABULARY",
     "SC",
     "SP",
+    "SortedRuns",
     "TYPE",
     "Term",
     "Triple",
@@ -47,17 +59,23 @@ __all__ = [
     "Variable",
     "canonical_form",
     "count_assignments",
+    "dedup_sorted",
     "explain",
     "find_assignment",
     "find_isomorphism",
     "find_map",
     "find_proper_endomorphism",
     "fresh_bnode",
+    "gallop_left",
+    "gallop_right",
     "fresh_bnode_factory",
     "graph_from_triples",
     "identity_map",
     "isomorphic",
     "iter_assignments",
     "iter_maps",
+    "merge_diff_sorted",
+    "merge_join_pairs",
+    "merge_union_sorted",
     "triple",
 ]

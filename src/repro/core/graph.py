@@ -70,6 +70,7 @@ class RDFGraph:
         "_bnodes",
         "_hash",
         "_encoded",
+        "_lazy_from",
     )
 
     def __init__(self, triples: Iterable[Triple] = ()):
@@ -81,10 +82,6 @@ class RDFGraph:
                 raise ValueError(f"not a well-formed RDF triple: {t}")
             items.append(t)
         self._triples: FrozenSet[Triple] = frozenset(items)
-        self._by_predicate: Dict[Term, Set[Triple]] = {}
-        self._by_subject: Dict[Term, Set[Triple]] = {}
-        self._by_sp: Dict[Tuple[Term, Term], Set[Triple]] = {}
-        self._by_po: Dict[Tuple[Term, Term], Set[Triple]] = {}
         # The object-keyed and (s, o)-keyed indexes are consulted far
         # less often than the other four (o-only and s+o lookups are
         # rare pattern shapes), yet the closure/minimize code creates
@@ -94,24 +91,98 @@ class RDFGraph:
         self._by_so: Optional[Dict[Tuple[Term, Term], Set[Triple]]] = None
         #: Lazily built dictionary-encoded view (see :meth:`encoded`).
         self._encoded: Optional[EncodedGraph] = None
+        #: Identity of the row set every derived cache was built from.
+        #: Instances are immutable by contract, but if ``_triples`` is
+        #: ever rebound in place, accessors notice the mismatch and
+        #: rebuild instead of serving stale indexes.
+        self._lazy_from: FrozenSet[Triple] = self._triples
+        self._build_core()
+        self._hash: Optional[int] = hash(self._triples)
+
+    @classmethod
+    def _from_trusted(cls, triples: Iterable[Triple]) -> "RDFGraph":
+        """Internal: build from known-valid triples, deferring all caches.
+
+        Kernels whose output rows are valid RDF by construction (the
+        arrays closure kernel decodes interned rows that were range-
+        checked on emission) skip per-triple validation here, and every
+        index — including the four the public constructor builds
+        eagerly — is materialized lazily on first access.  A closure
+        result that goes straight to iteration or set comparison never
+        pays for indexes it does not use.
+        """
+        g = object.__new__(cls)
+        g._triples = frozenset(triples)
+        g._by_subject = None
+        g._by_predicate = None
+        g._by_sp = None
+        g._by_po = None
+        g._by_object = None
+        g._by_so = None
+        g._encoded = None
+        g._universe = None
+        g._bnodes = None
+        g._hash = None
+        g._lazy_from = g._triples
+        return g
+
+    # -- derived-cache maintenance --------------------------------------
+
+    def _invalidate_stale(self) -> None:
+        """Drop every cache built from a row set other than ``_triples``.
+
+        The mutation guard behind all lazy builds: each accessor calls
+        this before trusting a cached structure, so an in-place rebind
+        of ``_triples`` (immutability violation or internal surgery)
+        yields rebuilt indexes rather than silently stale answers.
+        """
+        if self._lazy_from is not self._triples:
+            self._by_subject = None
+            self._by_predicate = None
+            self._by_sp = None
+            self._by_po = None
+            self._by_object = None
+            self._by_so = None
+            self._encoded = None
+            self._universe = None
+            self._bnodes = None
+            self._hash = None
+            self._lazy_from = self._triples
+
+    def _build_core(self) -> None:
+        by_subject: Dict[Term, Set[Triple]] = {}
+        by_predicate: Dict[Term, Set[Triple]] = {}
+        by_sp: Dict[Tuple[Term, Term], Set[Triple]] = {}
+        by_po: Dict[Tuple[Term, Term], Set[Triple]] = {}
         universe: Set[Term] = set()
         bnodes: Set[BNode] = set()
         for t in self._triples:
-            self._by_subject.setdefault(t.s, set()).add(t)
-            self._by_predicate.setdefault(t.p, set()).add(t)
-            self._by_sp.setdefault((t.s, t.p), set()).add(t)
-            self._by_po.setdefault((t.p, t.o), set()).add(t)
+            by_subject.setdefault(t.s, set()).add(t)
+            by_predicate.setdefault(t.p, set()).add(t)
+            by_sp.setdefault((t.s, t.p), set()).add(t)
+            by_po.setdefault((t.p, t.o), set()).add(t)
             for term in t:
                 universe.add(term)
                 if isinstance(term, BNode):
                     bnodes.add(term)
+        self._by_subject = by_subject
+        self._by_predicate = by_predicate
+        self._by_sp = by_sp
+        self._by_po = by_po
         self._universe = frozenset(universe)
         self._bnodes = frozenset(bnodes)
-        self._hash = hash(self._triples)
+
+    def _core_indexes(self):
+        """The four eager-by-default indexes, built/refreshed on demand."""
+        if self._by_subject is None or self._lazy_from is not self._triples:
+            self._invalidate_stale()
+            self._build_core()
+        return self._by_subject, self._by_predicate, self._by_sp, self._by_po
 
     def _object_index(self) -> Dict[Term, Set[Triple]]:
         idx = self._by_object
-        if idx is None:
+        if idx is None or self._lazy_from is not self._triples:
+            self._invalidate_stale()
             idx = {}
             for t in self._triples:
                 idx.setdefault(t.o, set()).add(t)
@@ -120,7 +191,8 @@ class RDFGraph:
 
     def _so_index(self) -> Dict[Tuple[Term, Term], Set[Triple]]:
         idx = self._by_so
-        if idx is None:
+        if idx is None or self._lazy_from is not self._triples:
+            self._invalidate_stale()
             idx = {}
             for t in self._triples:
                 idx.setdefault((t.s, t.o), set()).add(t)
@@ -136,10 +208,11 @@ class RDFGraph:
         planner depends on that to keep its deterministic enumeration
         order identical to the term-level implementation.
         """
+        self._invalidate_stale()
         enc = self._encoded
         if enc is None:
             terms = TermDict.from_sorted_terms(
-                sorted(self._universe, key=sort_key)
+                sorted(self.universe(), key=sort_key)
             )
             ids = terms._ids
             terms.encodes += 3 * len(self._triples)
@@ -178,7 +251,10 @@ class RDFGraph:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._triples)
+        return h
 
     def __le__(self, other: "RDFGraph") -> bool:
         return self._triples <= other._triples
@@ -228,19 +304,23 @@ class RDFGraph:
 
     def universe(self) -> FrozenSet[Term]:
         """``universe(G)``: the elements of ``UB`` occurring in triples."""
+        if self._universe is None or self._lazy_from is not self._triples:
+            self._core_indexes()
         return self._universe
 
     def voc(self) -> FrozenSet[URI]:
         """``voc(G) = universe(G) ∩ U``: the URIs occurring in G."""
-        return frozenset(t for t in self._universe if isinstance(t, URI))
+        return frozenset(t for t in self.universe() if isinstance(t, URI))
 
     def bnodes(self) -> FrozenSet[BNode]:
         """The blank nodes occurring in G."""
+        if self._bnodes is None or self._lazy_from is not self._triples:
+            self._core_indexes()
         return self._bnodes
 
     def is_ground(self) -> bool:
         """True iff G mentions no blank nodes."""
-        return not self._bnodes
+        return not self.bnodes()
 
     def is_simple(self) -> bool:
         """True iff G mentions no RDFS vocabulary (Definition 2.2)."""
@@ -248,11 +328,11 @@ class RDFGraph:
 
     def predicates(self) -> FrozenSet[Term]:
         """The terms occurring in predicate position."""
-        return frozenset(self._by_predicate)
+        return frozenset(self._core_indexes()[1])
 
     def subjects(self) -> FrozenSet[Term]:
         """The terms occurring in subject position."""
-        return frozenset(self._by_subject)
+        return frozenset(self._core_indexes()[0])
 
     def objects(self) -> FrozenSet[Term]:
         """The terms occurring in object position."""
@@ -269,10 +349,10 @@ class RDFGraph:
         implementation renames deterministically, keeping labels that do
         not clash.
         """
-        clashes = self._bnodes & other._bnodes
+        clashes = self.bnodes() & other.bnodes()
         if not clashes:
             return self.union(other)
-        fresh = fresh_bnode_factory(self._bnodes | other._bnodes)
+        fresh = fresh_bnode_factory(self.bnodes() | other.bnodes())
         renaming = {n: fresh() for n in sorted(clashes, key=sort_key)}
         return self.union(other.rename_bnodes(renaming))
 
@@ -304,15 +384,15 @@ class RDFGraph:
             t = Triple(s, p, o)
             return (t,) if t in self._triples else ()
         if s is not None and p is not None:
-            return self._by_sp.get((s, p), ())
+            return self._core_indexes()[2].get((s, p), ())
         if p is not None and o is not None:
-            return self._by_po.get((p, o), ())
+            return self._core_indexes()[3].get((p, o), ())
         if s is not None and o is not None:
             return self._so_index().get((s, o), ())
         if s is not None:
-            return self._by_subject.get(s, ())
+            return self._core_indexes()[0].get(s, ())
         if p is not None:
-            return self._by_predicate.get(p, ())
+            return self._core_indexes()[1].get(p, ())
         if o is not None:
             return self._object_index().get(o, ())
         return self._triples
@@ -326,15 +406,15 @@ class RDFGraph:
         if s is not None and p is not None and o is not None:
             return 1 if Triple(s, p, o) in self._triples else 0
         if s is not None and p is not None:
-            return len(self._by_sp.get((s, p), ()))
+            return len(self._core_indexes()[2].get((s, p), ()))
         if p is not None and o is not None:
-            return len(self._by_po.get((p, o), ()))
+            return len(self._core_indexes()[3].get((p, o), ()))
         if s is not None and o is not None:
             return len(self._so_index().get((s, o), ()))
         if s is not None:
-            return len(self._by_subject.get(s, ()))
+            return len(self._core_indexes()[0].get(s, ()))
         if p is not None:
-            return len(self._by_predicate.get(p, ()))
+            return len(self._core_indexes()[1].get(p, ()))
         if o is not None:
             return len(self._object_index().get(o, ()))
         return len(self._triples)
@@ -352,7 +432,7 @@ class RDFGraph:
         :meth:`unskolemize`.
         """
         forward: Dict[BNode, URI] = {
-            n: URI(SKOLEM_PREFIX + n.value) for n in self._bnodes
+            n: URI(SKOLEM_PREFIX + n.value) for n in self.bnodes()
         }
         inverse = {u: n for n, u in forward.items()}
 
@@ -402,7 +482,7 @@ class RDFGraph:
         """
         # Build the adjacency among blank nodes only: an edge whenever
         # some triple links two blanks (in either subject/object role).
-        adjacency: Dict[BNode, Set[BNode]] = {n: set() for n in self._bnodes}
+        adjacency: Dict[BNode, Set[BNode]] = {n: set() for n in self.bnodes()}
         edge_multiplicity: Dict[Tuple[BNode, BNode], int] = {}
         for t in self._triples:
             if isinstance(t.s, BNode) and isinstance(t.o, BNode):
@@ -416,7 +496,7 @@ class RDFGraph:
             return True  # two parallel triples between the same blanks
         # Undirected cycle detection among blanks via DFS.
         visited: Set[BNode] = set()
-        for start in self._bnodes:
+        for start in self.bnodes():
             if start in visited:
                 continue
             stack = [(start, None)]

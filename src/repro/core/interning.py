@@ -286,6 +286,37 @@ class TermDict:
 
         return Triple(dec(row[0]), dec(row[1]), dec(row[2]))
 
+    def decode_rows(self, rows: "Iterable[Row]") -> List[Triple]:
+        """Batch-decode rows into triples with the per-kind branches
+        inlined — the arrays kernel's output boundary.
+
+        Equivalent to ``[self.decode_triple(r) for r in rows]`` but
+        roughly 3x faster: pool lists are bound locally, the kind
+        dispatch is two int comparisons per position, and each
+        :class:`Triple` is built through ``tuple.__new__`` (Triple is a
+        NamedTuple, so this is just a tagged tuple fill).
+        """
+        uris, bnodes, literals = self._uris, self._bnodes, self._literals
+        new = tuple.__new__
+        out: List[Triple] = []
+        push = out.append
+        count = 0
+        for s, p, o in rows:
+            count += 1
+            push(new(Triple, (
+                uris[s] if s < BNODE_BASE
+                else bnodes[s - BNODE_BASE] if s < LITERAL_BASE
+                else literals[s - LITERAL_BASE],
+                uris[p] if p < BNODE_BASE
+                else bnodes[p - BNODE_BASE] if p < LITERAL_BASE
+                else literals[p - LITERAL_BASE],
+                uris[o] if o < BNODE_BASE
+                else bnodes[o - BNODE_BASE] if o < LITERAL_BASE
+                else literals[o - LITERAL_BASE],
+            )))
+        self.decodes += 3 * count
+        return out
+
     # -- ID-space skolemization (Definition 3.4) ---------------------------
 
     def skolem_id(self, bnode_id: int) -> int:
@@ -369,6 +400,7 @@ class EncodedGraph:
         "_by_sp",
         "_by_po",
         "_by_so",
+        "_runs",
     )
 
     def __init__(self, rows: Iterable[Row], terms: TermDict):
@@ -401,6 +433,7 @@ class EncodedGraph:
         self._by_sp = by_sp
         self._by_po = by_po
         self._by_so = by_so
+        self._runs = None
 
     @classmethod
     def from_graph(cls, graph: "Iterable[Triple]") -> "EncodedGraph":
@@ -467,6 +500,21 @@ class EncodedGraph:
     ) -> int:
         """``len(self.match(s, p, o))`` without building a new set."""
         return len(self.match(s, p, o))
+
+    def runs(self):
+        """The graph's sorted-run columnar view, built once on demand.
+
+        A :class:`~repro.core.columns.SortedRuns` over the same rows;
+        the planner's candidate-domain construction reads contiguous
+        ranges from it instead of materializing per-pattern row sets.
+        """
+        runs = self._runs
+        if runs is None:
+            from .columns import SortedRuns
+
+            runs = SortedRuns(sorted(self.rows))
+            self._runs = runs
+        return runs
 
     # -- adjacency view for transitive-closure kernels ---------------------
 

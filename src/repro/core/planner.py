@@ -305,11 +305,17 @@ class _ComponentSolver:
     def _base_candidates(self, ct: _CompiledTriple) -> List[Row]:
         """Target rows matching the constant positions of *ct*.
 
+        Reads one contiguous sorted run from the target's columnar view
+        (:meth:`EncodedGraph.runs`): the bound-constant prefix becomes a
+        pair of galloping binary searches instead of a hash probe that
+        materializes a per-pattern row set.  The run is already in row
+        order, so the base lists — and everything arc consistency
+        derives from them — come out deterministically sorted for free.
         Filters the excluded row and intra-triple repeated-term
         inconsistencies; does not yet apply domains.
         """
         exclude = self.exclude
-        matched = self.target.match(*ct.const)
+        matched = self.target.runs().match_range(*ct.const)
         if len(ct.free_at) > len(ct.free):
             # Repeated free term within one triple: keep only candidates
             # whose positions agree (e.g. (x, p, x) needs c.s == c.o).

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
+from ..core.columns import dedup_sorted
 from ..obs import OBS
 from ..robustness.faultinject import FAULTS
 from ..robustness.guard import current_guard
@@ -296,6 +297,15 @@ def _semi_naive_rounds(
 ):
     """Iterate delta rounds until no rule produces a new fact.
 
+    Each rule's head instantiations are collected as one **batch** per
+    round and deduplicated by a single sort plus adjacent-duplicate
+    drop before touching the store — the same sorted-run trajectory as
+    the arrays closure kernel — so a rule that re-derives the same head
+    many times (transitive rules do, combinatorially) pays one set
+    probe per *distinct* row instead of one per emission.  The ambient
+    execution guard is charged at the batch boundary, once per unique
+    row, mirroring the closure kernel's per-delta accounting.
+
     When *added* is given, every fact inserted by the loop is recorded
     there too (the insertion delta reported by the ``_into`` variants).
     """
@@ -319,18 +329,32 @@ def _semi_naive_rounds(
                 )
                 if not relevant:
                     continue
-                derived = 0
+                emitted: List[Tuple] = []
                 for position, atom in enumerate(rule.body):
                     if atom.relation not in delta.by_relation:
                         continue
-                    for row in _match_rule(rule, store, delta, position):
-                        if guard is not None:
-                            guard.tick()
-                        if store.add(rule.head.relation, row):
-                            new_delta.add(rule.head.relation, row)
-                            derived += 1
-                            if added is not None:
-                                added.add(rule.head.relation, row)
+                    emitted.extend(_match_rule(rule, store, delta, position))
+                if not emitted:
+                    continue
+                try:
+                    emitted.sort()
+                    batch = dedup_sorted(emitted)
+                except TypeError:
+                    # Rows mixing un-orderable value types: keep the
+                    # emission order, dedup by first occurrence.
+                    batch = list(dict.fromkeys(emitted))
+                if guard is not None:
+                    guard.tick(len(batch))
+                derived = 0
+                relation = rule.head.relation
+                for row in batch:
+                    if store.add(relation, row):
+                        new_delta.add(relation, row)
+                        derived += 1
+                        if added is not None:
+                            added.add(relation, row)
+                if OBS.enabled:
+                    OBS.registry.inc("datalog.batch_rows", len(batch))
                 if derived and OBS.enabled:
                     _report_rule_derivations(index, rule, derived)
                     round_derived += derived

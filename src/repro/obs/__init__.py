@@ -60,12 +60,18 @@ STANDARD_COUNTERS = (
     "planner.backtracks",
     "planner.solutions",
     "closure.rounds",
+    "closure.dispatch.arrays",
     "closure.dispatch.encoded",
     "closure.dispatch.boxed",
+    "closure.kernel.arrays.batch_rows",
+    "closure.kernel.arrays.delta_rows",
+    "columns.mergejoin.probes",
+    "columns.mergejoin.emits",
     "interning.encode_calls",
     "interning.decode_calls",
     "datalog.rounds",
     "datalog.derived",
+    "datalog.batch_rows",
     "datalog.dred.overdeleted",
     "datalog.dred.rederived",
     "store.dataset_cache.hit",

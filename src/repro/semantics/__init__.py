@@ -5,7 +5,18 @@ the 13-rule deductive system (sound and complete, Theorem 2.6), the two
 equivalent closure notions, and the map-based entailment procedures.
 """
 
-from .closure import ClosureOracle, closure, closure_delta, rdfs_closure, rdfs_closure_by_rules
+from .closure import (
+    ClosureOracle,
+    KERNEL_DISPATCH,
+    active_closure_kernel,
+    closure,
+    closure_delta,
+    rdfs_closure,
+    rdfs_closure_arrays,
+    rdfs_closure_by_rules,
+    rdfs_closure_boxed,
+    rdfs_closure_encoded,
+)
 from .entailment import (
     entailment_plan,
     entailment_witness,
@@ -35,6 +46,8 @@ from .rules import ALL_RULES, RULES_BY_NAME, Rule, RuleInstantiation
 __all__ = [
     "ALL_RULES",
     "ClosureOracle",
+    "KERNEL_DISPATCH",
+    "active_closure_kernel",
     "ExistentialStep",
     "Interpretation",
     "Proof",
@@ -63,7 +76,10 @@ __all__ = [
     "owl_entails",
     "same_as_classes",
     "rdfs_closure",
+    "rdfs_closure_arrays",
+    "rdfs_closure_boxed",
     "rdfs_closure_by_rules",
+    "rdfs_closure_encoded",
     "satisfies_simple",
     "simple_entails",
     "simple_equivalent",

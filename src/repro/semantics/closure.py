@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..core.columns import SortedRuns, merge_union_sorted
 from ..core.graph import RDFGraph
 from ..core.interning import (
     BNODE_BASE,
@@ -45,13 +46,30 @@ from .rules import apply_rules_to_fixpoint
 
 __all__ = [
     "rdfs_closure",
+    "rdfs_closure_arrays",
     "rdfs_closure_boxed",
     "rdfs_closure_encoded",
     "rdfs_closure_by_rules",
     "closure",
     "ClosureOracle",
     "closure_delta",
+    "active_closure_kernel",
+    "KERNEL_DISPATCH",
 ]
+
+#: Always-on per-process dispatch tallies (``repro stats`` reads these;
+#: the obs registry gets the same counts when instrumentation is on).
+KERNEL_DISPATCH: Dict[str, int] = {"arrays": 0, "encoded": 0, "boxed": 0}
+
+
+def active_closure_kernel() -> str:
+    """The kernel :func:`rdfs_closure` would dispatch to right now.
+
+    Resolves ``REPRO_CLOSURE_KERNEL`` (default ``arrays``); unknown
+    values fall back to the default, exactly as dispatch does.
+    """
+    mode = os.environ.get("REPRO_CLOSURE_KERNEL", "arrays")
+    return mode if mode in KERNEL_DISPATCH else "arrays"
 
 
 def rdfs_closure_by_rules(graph: RDFGraph) -> RDFGraph:
@@ -438,6 +456,303 @@ def rdfs_closure_encoded(graph: RDFGraph) -> RDFGraph:
     return out
 
 
+def _successor_sets(edges, guard) -> Dict[int, Set[int]]:
+    """Per-source reachability sets of a pair relation (DFS per source).
+
+    The int-space twin of :func:`_transitive_pairs`, kept in successor-
+    set form so rule application can leapfrog over its *sorted keys*
+    without flattening the whole quadratic pair relation.  A semi-naive
+    merge-join doubling was tried here and measured ~15x slower on
+    chains: composing delta with the full relation re-derives every
+    path decomposition (Θ(n³) emissions for a Θ(n²) closure), while
+    one DFS per source touches each reachable node exactly once.
+    """
+    successors: Dict[int, Set[int]] = {}
+    for a, b in edges:
+        successors.setdefault(a, set()).add(b)
+    reach: Dict[int, Set[int]] = {}
+    for start in successors:
+        if guard is not None:
+            guard.tick()  # one DFS from this start node
+        seen: Set[int] = set()
+        stack = list(successors[start])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            nxt = successors.get(node)
+            if nxt:
+                stack.extend(nxt)
+        reach[start] = seen
+    return reach
+
+
+def _reverse_reachable(edges, sources) -> Dict[int, List[int]]:
+    """``{s: [c, ...]}`` for each *source* s: all c with c →* s.
+
+    Reverse-DFS over the (input-sized) edge list, run only from the
+    handful of dom/range axiom subjects rules (6)/(7) care about —
+    cheaper than inverting the full transitive pair relation.
+    """
+    reverse: Dict[int, List[int]] = {}
+    for a, b in edges:
+        reverse.setdefault(b, []).append(a)
+    out: Dict[int, List[int]] = {}
+    for start in sources:
+        if start in out:
+            continue
+        seen: Set[int] = set()
+        stack = list(reverse.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(reverse.get(node, ()))
+        out[start] = list(seen)
+    return out
+
+
+def _arrays_round(acc: SortedRuns, tallies: Dict[str, int], guard) -> List[Row]:
+    """One staged emission over a sorted-run relation.
+
+    The array twin of :func:`_closure_round_ids`: every rule group
+    reads contiguous POS runs (the five rdfsV keywords are IDs 0–4, so
+    their runs sit at the front of the predicate column), and rule
+    application leapfrogs the sorted predicate runs against the sorted
+    keys of the sp/sc reachability relations — a key-level merge-join
+    in place of per-tuple dict probing.  Emits a raw batch (duplicates
+    allowed); the caller deduplicates by sorted-merge difference
+    against the accumulated run.
+    """
+    batch: List[Row] = []
+    push = batch.append
+    # Per-rule-group emission counters over the raw batch (duplicates
+    # included — first-emitter attribution happens at dedup time).
+    checkpoint = _make_checkpoint(batch)
+    pos = acc.pos
+    c1, c2 = pos.c1, pos.c2
+    sp_lo, sp_hi = pos.range1(SP_ID)
+    sc_lo, sc_hi = pos.range1(SC_ID)
+    ty_lo, ty_hi = pos.range1(TYPE_ID)
+    dom_lo, dom_hi = pos.range1(DOM_ID)
+    rg_lo, rg_hi = pos.range1(RANGE_ID)
+    groups = list(pos.groups())  # (predicate, lo, hi) runs, ascending
+    probes = emits = 0
+
+    # GROUP E: sp reflexivity — rules (8), (9), (10), (11).
+    sp_reflexive: Set[int] = set(range(VOCAB_SIZE))
+    sp_reflexive.update(k for k, _lo, _hi in groups)  # rule (8)
+    sp_reflexive.update(c2[dom_lo:dom_hi])  # rule (10)
+    sp_reflexive.update(c2[rg_lo:rg_hi])
+    sp_reflexive.update(c2[sp_lo:sp_hi])  # rule (11)
+    sp_reflexive.update(c1[sp_lo:sp_hi])
+    for a in sp_reflexive:
+        if a < LITERAL_BASE:
+            push((a, SP_ID, a))
+    checkpoint("rule8_11_sp_reflexivity")
+
+    # GROUP F: sc reflexivity — rules (12), (13).
+    sc_reflexive: Set[int] = set()
+    sc_reflexive.update(c1[dom_lo:dom_hi])  # rule (12)
+    sc_reflexive.update(c1[rg_lo:rg_hi])
+    sc_reflexive.update(c1[ty_lo:ty_hi])
+    sc_reflexive.update(c2[sc_lo:sc_hi])  # rule (13)
+    sc_reflexive.update(c1[sc_lo:sc_hi])
+    for a in sc_reflexive:
+        if a < LITERAL_BASE:
+            push((a, SC_ID, a))
+    checkpoint("rule12_13_sc_reflexivity")
+
+    # The sp/sc reachability relations, as per-source successor sets
+    # (DFS — linear in the output; see :func:`_successor_sets`).
+    sp_edges = list(zip(c2[sp_lo:sp_hi], c1[sp_lo:sp_hi]))
+    sc_edges = list(zip(c2[sc_lo:sc_hi], c1[sc_lo:sc_hi]))
+    sp_succ = _successor_sets(sp_edges, guard)
+    sc_succ = _successor_sets(sc_edges, guard)
+
+    # GROUP B, rule (2): sp transitivity.
+    for a, succ in sp_succ.items():
+        for b in succ:
+            push((a, SP_ID, b))
+    checkpoint("rule2_sp_transitivity")
+
+    # GROUP C, rule (4): sc transitivity.
+    for a, succ in sc_succ.items():
+        if a < LITERAL_BASE:
+            for b in succ:
+                if b < LITERAL_BASE:
+                    push((a, SC_ID, b))
+    checkpoint("rule4_sc_transitivity")
+
+    # GROUP B, rule (3): lift every triple along sp — leapfrog the
+    # predicate runs against the sorted sp-reachability keys; each
+    # match emits the whole run against the whole superproperty set.
+    if sp_succ:
+        sp_keys = sorted(sp_succ)
+        i, n = 0, len(sp_keys)
+        for p, lo, hi in groups:
+            while i < n and sp_keys[i] < p:
+                i += 1
+            if i >= n:
+                break
+            probes += 1
+            if sp_keys[i] != p:
+                continue
+            for b in sp_succ[p]:
+                if b < BNODE_BASE:  # no blank predicates
+                    for x in range(lo, hi):
+                        push((c2[x], b, c1[x]))
+                        emits += 1
+            i += 1
+    checkpoint("rule3_sp_lift")
+
+    # GROUP D, rules (6)/(7): dom/range typing through sp (Marin's
+    # fix).  Ordered BEFORE rule (5) — as in the encoded kernel — so
+    # the type pairs derived here are sc-lifted within the same round.
+    # Properties sp-below an axiom subject come from a reverse DFS over
+    # the (input-sized) sp edge list; each property's uses are one
+    # galloping range probe into the predicate column.
+    typed_pairs: List[Tuple[int, int]] = []  # (instance, class)
+    if dom_lo != dom_hi or rg_lo != rg_hi:
+        subjects = set(c2[dom_lo:dom_hi])
+        subjects.update(c2[rg_lo:rg_hi])
+        sp_sub = _reverse_reachable(sp_edges, subjects)
+        for a_lo, a_hi, use_subject in (
+            (dom_lo, dom_hi, True),
+            (rg_lo, rg_hi, False),
+        ):
+            for klass, a in zip(c1[a_lo:a_hi], c2[a_lo:a_hi]):
+                if klass >= LITERAL_BASE:
+                    continue
+                below = sp_sub.get(a)
+                properties = [a] + below if below else (a,)
+                for c in properties:
+                    lo, hi = pos.range1(c)
+                    probes += 1
+                    if use_subject:
+                        for x in range(lo, hi):
+                            typed_pairs.append((c2[x], klass))
+                    else:
+                        for x in range(lo, hi):
+                            target = c1[x]
+                            if target < LITERAL_BASE:
+                                typed_pairs.append((target, klass))
+        for x, klass in typed_pairs:
+            push((x, TYPE_ID, klass))
+    checkpoint("rule6_7_dom_range")
+
+    # GROUP D, rule (5): lift type along sc — a leapfrog merge-join of
+    # the class-grouped type pairs (the accumulated TYPE run unioned
+    # with the typings derived just above) against the sorted sc keys.
+    if sc_succ:
+        by_class = list(zip(c1[ty_lo:ty_hi], c2[ty_lo:ty_hi]))  # sorted
+        if typed_pairs:
+            by_class = merge_union_sorted(
+                by_class, sorted(set((k, x) for x, k in typed_pairs))
+            )
+        sc_keys = sorted(sc_succ)
+        i, m = 0, len(by_class)
+        j, n = 0, len(sc_keys)
+        while i < m and j < n:
+            k = by_class[i][0]
+            k2 = sc_keys[j]
+            probes += 1
+            if k < k2:
+                i += 1
+                while i < m and by_class[i][0] < k2:
+                    i += 1
+            elif k2 < k:
+                j += 1
+            else:
+                i2 = i + 1
+                while i2 < m and by_class[i2][0] == k:
+                    i2 += 1
+                supers = [b for b in sc_succ[k] if b < LITERAL_BASE]
+                if supers:
+                    for x in range(i, i2):
+                        xx = by_class[x][1]
+                        for b in supers:
+                            push((xx, TYPE_ID, b))
+                    emits += (i2 - i) * len(supers)
+                i = i2
+                j += 1
+    checkpoint("rule5_sc_type_lift")
+
+    if probes or emits:
+        tallies["probes"] = tallies.get("probes", 0) + probes
+        tallies["emits"] = tallies.get("emits", 0) + emits
+    return batch
+
+
+def rdfs_closure_arrays(graph: RDFGraph) -> RDFGraph:
+    """``RDFS-cl(G)`` via the array-native sorted-run kernel.
+
+    Interns the graph, keeps the accumulated closure as a
+    :class:`~repro.core.columns.SortedRuns` relation, and runs the
+    staged fixpoint with batch semantics: each round emits one raw
+    batch through merge-joins over contiguous POS runs, deduplicates it
+    by sorted-merge difference against the accumulated run (no
+    per-tuple set probing), and merges the delta back in one pass.  On
+    input without reserved vocabulary in subject/object positions a
+    single round is complete (same argument as the encoded kernel) and
+    the verification round is skipped.  Raises ``TypeError`` on
+    non-RDF terms (variables); :func:`rdfs_closure` falls back to the
+    boxed path in that case.
+    """
+    terms = TermDict()
+    enc = terms.encode_triple
+    rows_sorted = sorted({enc(t) for t in graph.triples})
+    acc = SortedRuns(rows_sorted)
+    tallies: Dict[str, int] = {}
+    guard = current_guard()
+    input_size = len(graph)
+    single_round = not any(
+        s < VOCAB_SIZE or o < VOCAB_SIZE for s, _p, o in rows_sorted
+    )
+    batch_total = delta_total = 0
+    with OBS.span("closure.fixpoint", input=input_size) as span:
+        rounds = 0
+        while True:
+            rounds += 1
+            if FAULTS.enabled:
+                FAULTS.hit("closure.round")
+            with OBS.span("closure.round", round=rounds) as round_span:
+                batch = _arrays_round(acc, tallies, guard)
+                batch.sort()
+                delta = acc.new_rows(batch)
+                round_span.annotate(new=len(delta))
+            batch_total += len(batch)
+            delta_total += len(delta)
+            if guard is not None:
+                # One step per batch boundary plus one per surviving
+                # delta row: budgets interrupt between batches, not
+                # inside a merge.
+                guard.tick(1 + len(delta))
+            if not delta:
+                break
+            acc = acc.union_sorted(delta)
+            if single_round:
+                break  # the verification round is provably empty
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.inc("closure.rounds", rounds)
+            registry.inc("closure.derived_triples", len(acc) - input_size)
+            span.annotate(rounds=rounds, output=len(acc))
+    out = RDFGraph._from_trusted(terms.decode_rows(acc.rows()))
+    if OBS.enabled:
+        registry = OBS.registry
+        registry.inc("interning.encode_calls", terms.encodes)
+        registry.inc("interning.decode_calls", terms.decodes)
+        registry.set_gauge("interning.closure_dict_size", len(terms))
+        registry.inc("closure.kernel.arrays.batch_rows", batch_total)
+        registry.inc("closure.kernel.arrays.delta_rows", delta_total)
+        registry.inc("columns.mergejoin.probes", tallies.get("probes", 0))
+        registry.inc("columns.mergejoin.emits", tallies.get("emits", 0))
+    return out
+
+
 def rdfs_closure(graph: RDFGraph) -> RDFGraph:
     """``RDFS-cl(G)`` via the staged algorithm, iterated to fixpoint.
 
@@ -446,21 +761,28 @@ def rdfs_closure(graph: RDFGraph) -> RDFGraph:
     positions); runs in time polynomial in ``|G|`` with output size
     ``Θ(|G|²)`` in the worst case (Theorem 3.6.3).
 
-    Dispatches to the dictionary-encoded int kernel
-    (:func:`rdfs_closure_encoded`) unless ``REPRO_CLOSURE_KERNEL=boxed``
-    is set or the graph holds terms the interner cannot encode, in which
-    case the boxed staged path runs instead.  Both produce the same
-    graph; ``closure.dispatch.*`` counters record which one ran.
+    Dispatches on ``REPRO_CLOSURE_KERNEL``: ``arrays`` (the default)
+    runs the sorted-run kernel (:func:`rdfs_closure_arrays`),
+    ``encoded`` the dictionary-encoded set kernel
+    (:func:`rdfs_closure_encoded`), ``boxed`` the term-level staged
+    path.  Graphs holding terms the interner cannot encode (variables)
+    fall back to boxed whatever the mode.  All three produce the same
+    graph; ``closure.dispatch.*`` counters and the always-on
+    :data:`KERNEL_DISPATCH` tallies record which one ran.
     """
-    if os.environ.get("REPRO_CLOSURE_KERNEL", "encoded") != "boxed":
+    mode = active_closure_kernel()
+    if mode != "boxed":
+        kernel = rdfs_closure_arrays if mode == "arrays" else rdfs_closure_encoded
         try:
-            result = rdfs_closure_encoded(graph)
+            result = kernel(graph)
         except TypeError:
             pass  # non-RDF terms (e.g. variables): boxed fallback below
         else:
+            KERNEL_DISPATCH[mode] += 1
             if OBS.enabled:
-                OBS.registry.inc("closure.dispatch.encoded")
+                OBS.registry.inc(f"closure.dispatch.{mode}")
             return result
+    KERNEL_DISPATCH["boxed"] += 1
     if OBS.enabled:
         OBS.registry.inc("closure.dispatch.boxed")
     return rdfs_closure_boxed(graph)

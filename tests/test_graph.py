@@ -145,6 +145,43 @@ class TestMatch:
         assert list(self.graph.match(s=URI("zzz"))) == []
 
 
+class TestLazyIndexInvalidation:
+    """The lazy ``_by_object``/``_by_so`` builds must not serve stale
+    answers after the triple set is mutated in place (regression: a
+    snapshot built before the mutation used to survive it, because the
+    cache slot was only checked for ``None``)."""
+
+    def _mutate(self, graph, new_triples):
+        object.__setattr__(graph, "_triples", frozenset(new_triples))
+
+    def test_object_index_rebuilds_after_mutation(self):
+        graph = g(("a", "p", "b"), ("c", "p", "b"))
+        # Force the lazy object index into existence, then mutate.
+        assert graph.count(o=URI("b")) == 2
+        self._mutate(graph, set(graph.triples) | {triple("d", "q", "b")})
+        assert graph.count(o=URI("b")) == 3
+        assert {t.s for t in graph.match(o=URI("b"))} == {
+            URI("a"), URI("c"), URI("d"),
+        }
+
+    def test_so_index_rebuilds_after_mutation(self):
+        graph = g(("a", "p", "b"), ("a", "q", "b"))
+        assert graph.count(s=URI("a"), o=URI("b")) == 2
+        self._mutate(graph, set(graph.triples) - {triple("a", "q", "b")})
+        assert graph.count(s=URI("a"), o=URI("b")) == 1
+        assert [t.p for t in graph.match(s=URI("a"), o=URI("b"))] == [URI("p")]
+
+    def test_core_indexes_rebuild_after_mutation(self):
+        graph = g(("a", "p", "b"))
+        assert graph.count(s=URI("a")) == 1
+        assert graph.universe() == {URI("a"), URI("p"), URI("b")}
+        self._mutate(graph, {triple("x", "y", "z")})
+        assert graph.count(s=URI("a")) == 0
+        assert graph.count(s=URI("x")) == 1
+        assert graph.universe() == {URI("x"), URI("y"), URI("z")}
+        assert graph.predicates() == {URI("y")}
+
+
 class TestSkolemization:
     def test_roundtrip(self):
         X = BNode("X")
