@@ -2,6 +2,7 @@
 """CI perf-regression gate over the committed benchmark baselines.
 
 Usage:  python benchmarks/check_regression.py BASELINE.json FRESH.json
+            [INGEST_BASELINE.json INGEST_FRESH.json]
 
 Compares a fresh ``BENCH_entailment.json`` (written by
 ``run_report.py --quick`` during the CI run) against the committed
@@ -13,6 +14,13 @@ sentinel workloads guard the two kernels this repo optimizes:
 * the largest sp-chain row of the closure-kernel A/B/C, once for the
   ``arrays`` (sorted-run merge) kernel and once for the ``encoded``
   (dict-of-sets) baseline.
+
+With the optional second pair, the same largest-common-size / >3x rule
+also gates the scale path from ``BENCH_ingest.json`` (committed full
+run vs the CI ``bench_ingest.py --smoke`` rerun): streaming-ingest
+wall-clock (a 3x slowdown at a fixed size is a 3x throughput drop) and
+the partitioned closure kernel.  Both ladders always contain the
+10⁵-triple row precisely so this comparison has a common size.
 
 The gate fails (exit 1) on a >3x slowdown: CI runners are noisy, so
 the threshold is loose by design — it catches algorithmic regressions
@@ -79,6 +87,33 @@ def _closure_growth_encoded(payload):
     return _closure_growth_series(payload, "encoded_ms")
 
 
+def _ingest_serial_series(payload):
+    """Serial streaming-load timings keyed by triple count, or {}."""
+    try:
+        rows = payload["ingest"]["rows"]
+    except (KeyError, TypeError):
+        return {}
+    return {
+        row["size"]: row["serial_ms"]
+        for row in rows
+        if row.get("size") is not None and row.get("serial_ms") is not None
+    }
+
+
+def _partitioned_closure_series(payload):
+    """Partitioned-closure timings keyed by triple count, or {}."""
+    try:
+        rows = payload["partitioned_closure"]["rows"]
+    except (KeyError, TypeError):
+        return {}
+    return {
+        row["size"]: row["partitioned_ms"]
+        for row in rows
+        if row.get("size") is not None
+        and row.get("partitioned_ms") is not None
+    }
+
+
 #: Each check extracts a {workload-size: ms} series from a payload; the
 #: gate compares baseline vs fresh at the **largest size present in
 #: both**, so re-tuning the bench's size ladder never produces an
@@ -87,6 +122,12 @@ CHECKS = [
     ("E4 hard/non-3-colorable", _e4_hard_series),
     ("closure-kernel arrays sp-chain", _closure_growth_arrays),
     ("closure-kernel encoded sp-chain", _closure_growth_encoded),
+]
+
+#: Checks over the optional BENCH_ingest.json pair.
+INGEST_CHECKS = [
+    ("streaming ingest serial", _ingest_serial_series),
+    ("partitioned closure", _partitioned_closure_series),
 ]
 
 
@@ -118,24 +159,10 @@ def check_guard_overhead(fresh) -> bool:
     return ok
 
 
-def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    if len(argv) != 2:
-        print(__doc__)
-        return 2
-    try:
-        baseline = json.loads(open(argv[0]).read())
-    except (OSError, ValueError) as e:
-        print(f"perf gate: cannot read baseline {argv[0]} ({e}); skipping")
-        return 0
-    try:
-        fresh = json.loads(open(argv[1]).read())
-    except (OSError, ValueError) as e:
-        print(f"perf gate: cannot read fresh run {argv[1]} ({e})")
-        return 1
-
+def run_checks(checks, baseline, fresh) -> bool:
+    """Compare each series at the largest common size; True when any fail."""
     failed = False
-    for name, extract in CHECKS:
+    for name, extract in checks:
         base_series, fresh_series = extract(baseline), extract(fresh)
         common = sorted(set(base_series) & set(fresh_series))
         if not common:
@@ -159,8 +186,49 @@ def main(argv=None) -> int:
             f"fresh {fresh_ms:.3f} ms ({ratio:.2f}x) {verdict}"
         )
         failed = failed or ratio > THRESHOLD
+    return failed
 
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) not in (2, 4):
+        print(__doc__)
+        return 2
+    try:
+        baseline = json.loads(open(argv[0]).read())
+    except (OSError, ValueError) as e:
+        print(f"perf gate: cannot read baseline {argv[0]} ({e}); skipping")
+        return 0
+    try:
+        fresh = json.loads(open(argv[1]).read())
+    except (OSError, ValueError) as e:
+        print(f"perf gate: cannot read fresh run {argv[1]} ({e})")
+        return 1
+
+    failed = run_checks(CHECKS, baseline, fresh)
     failed = failed or not check_guard_overhead(fresh)
+
+    if len(argv) == 4:
+        try:
+            ingest_baseline = json.loads(open(argv[2]).read())
+        except (OSError, ValueError) as e:
+            print(
+                f"perf gate: cannot read ingest baseline {argv[2]} ({e})"
+            )
+            ingest_baseline = None
+        try:
+            ingest_fresh = json.loads(open(argv[3]).read())
+        except (OSError, ValueError) as e:
+            print(f"perf gate: cannot read ingest fresh run {argv[3]} ({e})")
+            ingest_fresh = None
+        if ingest_baseline is None or ingest_fresh is None:
+            # The caller asked for the ingest gate; a missing file is a
+            # broken pipeline, not a reason to wave the check through.
+            failed = True
+        else:
+            failed = run_checks(
+                INGEST_CHECKS, ingest_baseline, ingest_fresh
+            ) or failed
 
     if failed:
         print(f"perf gate: regression above {THRESHOLD}x threshold")

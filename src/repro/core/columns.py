@@ -28,6 +28,7 @@ straight to decode) never pays for them.
 
 from __future__ import annotations
 
+import heapq
 from array import array
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -42,7 +43,10 @@ __all__ = [
     "dedup_sorted",
     "merge_union_sorted",
     "merge_diff_sorted",
+    "merge_union_many",
     "merge_join_pairs",
+    "rows_to_array",
+    "rows_from_array",
 ]
 
 
@@ -164,6 +168,58 @@ def merge_diff_sorted(a: List, b: List) -> List:
             prev = x
         i += 1
     return out
+
+
+def merge_union_many(sorted_lists: Sequence[List]) -> List:
+    """Union of many sorted lists (duplicates within/across allowed).
+
+    Binary merges for up to two inputs; a ``heapq.merge`` k-way pass
+    with adjacent-duplicate suppression beyond that — the merge step of
+    the spill pool (:mod:`repro.ingest.spill`) and of the partitioned
+    closure's final shard collection.
+    """
+    live = [lst for lst in sorted_lists if lst]
+    if not live:
+        return []
+    if len(live) == 1:
+        return dedup_sorted(live[0])
+    if len(live) == 2:
+        return merge_union_sorted(dedup_sorted(live[0]), dedup_sorted(live[1]))
+    out: List = []
+    push = out.append
+    prev = None
+    for row in heapq.merge(*live):
+        if row != prev:
+            push(row)
+            prev = row
+    return out
+
+
+# ----------------------------------------------------------------------
+# Flat-array (de)serialization — the spill format
+# ----------------------------------------------------------------------
+
+def rows_to_array(rows: Sequence[Row]) -> array:
+    """Pack row tuples into one flat ``array('q')`` of ``3 * len(rows)``
+    values (s, p, o interleaved) — the on-disk spill representation
+    written with ``array.tofile`` and read back with ``array.fromfile``.
+    """
+    flat = array("q", bytes(24 * len(rows)))
+    i = 0
+    for s, p, o in rows:
+        flat[i] = s
+        flat[i + 1] = p
+        flat[i + 2] = o
+        i += 3
+    return flat
+
+
+def rows_from_array(flat: array) -> List[Row]:
+    """Rebuild row tuples from a flat interleaved ``array('q')``."""
+    if len(flat) % 3:
+        raise ValueError(f"flat row array length {len(flat)} not a multiple of 3")
+    it = iter(flat)
+    return list(zip(it, it, it))
 
 
 # ----------------------------------------------------------------------
@@ -406,6 +462,27 @@ class SortedRuns:
 
     def difference(self, other: "SortedRuns") -> "SortedRuns":
         return SortedRuns(merge_diff_sorted(self._rows, other._rows))
+
+    # -- spill (de)serialization ----------------------------------------
+
+    def tofile(self, f) -> int:
+        """Serialize to a binary file as one flat ``array('q')`` of
+        ``3 * len(self)`` interleaved (s, p, o) values; returns the row
+        count the caller must remember to :meth:`fromfile` it back.
+
+        The sort order survives the round trip (rows are written in SPO
+        order), so reloading costs one pass — no re-sort, no re-dedup.
+        """
+        rows_to_array(self._rows).tofile(f)
+        return len(self._rows)
+
+    @classmethod
+    def fromfile(cls, f, n_rows: int) -> "SortedRuns":
+        """Reload a relation spilled by :meth:`tofile` (trusted: the
+        file holds exactly *n_rows* rows, sorted and duplicate-free)."""
+        flat = array("q")
+        flat.fromfile(f, 3 * n_rows)
+        return cls(rows_from_array(flat))
 
     # -- pattern ranges -------------------------------------------------
 

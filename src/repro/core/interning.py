@@ -247,6 +247,36 @@ class TermDict:
             oi = intern(o)
         return (si, pi, oi)
 
+    def encode_rows(self, triples: Iterable[Triple]) -> List[Row]:
+        """Bulk-encode an iterable of triples, interning as needed.
+
+        The batch twin of :meth:`encode_triple` and the encode-side
+        mirror of :meth:`decode_rows`: the dict probe and the intern
+        fallback are bound to locals once for the whole batch instead
+        of being re-looked-up per triple, which is what the closure
+        kernels and the streaming loader feed their whole input
+        through.
+        """
+        get = self._ids.get
+        intern = self._intern
+        out: List[Row] = []
+        push = out.append
+        count = 0
+        for s, p, o in triples:
+            count += 1
+            si = get(s)
+            if si is None:
+                si = intern(s)
+            pi = get(p)
+            if pi is None:
+                pi = intern(p)
+            oi = get(o)
+            if oi is None:
+                oi = intern(o)
+            push((si, pi, oi))
+        self.encodes += 3 * count
+        return out
+
     def lookup_triple(self, t: Triple) -> Optional[Row]:
         """Encode *t* without interning; ``None`` if any term is new."""
         ids = self._ids
@@ -348,6 +378,22 @@ class TermDict:
         return (s, p, o)
 
     # -- introspection -----------------------------------------------------
+
+    def pool_values(self) -> Tuple[List[str], List[str], List[str]]:
+        """Raw string values of the URI / BNode / Literal pools, in
+        interning order.
+
+        This is the wire format of the parallel loader's ID-remap step:
+        a worker ships its local dict as three string lists (cheap to
+        pickle) and the parent reconstructs terms and re-interns them in
+        the same order, so local ID ``base + i`` maps to the shared ID
+        of ``pool[i]``.
+        """
+        return (
+            [t.value for t in self._uris],
+            [t.value for t in self._bnodes],
+            [t.value for t in self._literals],
+        )
 
     def __len__(self) -> int:
         return len(self._uris) + len(self._bnodes) + len(self._literals)

@@ -1,6 +1,11 @@
 """Workload generators for tests, examples and benchmarks."""
 
 from .random_graphs import random_digraph, random_ground_graph, random_simple_rdf_graph
+from .ontology import (
+    synthetic_ontology_graph,
+    synthetic_ontology_lines,
+    write_synthetic_ontology,
+)
 from .queries import chain_query, random_query_from_graph, star_query
 from .schemas import art_schema, random_schema_with_instances
 from .structured import (
@@ -31,4 +36,7 @@ __all__ = [
     "sc_chain_with_instance",
     "sp_chain",
     "star_query",
+    "synthetic_ontology_graph",
+    "synthetic_ontology_lines",
+    "write_synthetic_ontology",
 ]

@@ -1,0 +1,118 @@
+"""A deterministic synthetic ontology at the million-triple scale.
+
+The ingest benchmark (ROADMAP item 3) needs a workload that (a) is
+large — the point is the 10⁶-triple load-and-close path — and (b) has a
+**near-linear closure**, unlike the sp-chain family whose Θ(n²) closure
+(Theorem 3.6.3) makes million-triple inputs infeasible by construction.
+This family holds the schema at a *fixed* size while the instance level
+grows, so every closure rule contributes at most a constant factor:
+
+* a binary ``sc`` tree over ``classes`` classes (depth ≈ log₂ classes),
+  rooted at ``thing``;
+* a depth-2 ``sp`` forest over ``properties`` properties (leaf
+  properties under group properties under one root ``related``), so
+  rule (3) lifts each instance triple to exactly its ≤ 2 ancestors;
+* ``dom``/``range`` axioms on the root property only, typing every
+  subject/object with the root class (no further ``sc`` lift);
+* instance triples with *fresh* subjects (``e0, e1, …``): every eighth
+  is a ``type`` triple at a leaf class (lifted along the ``sc`` branch
+  to the root), the rest use a leaf property and the previous entity as
+  object.
+
+The closure is therefore ≈ 4–5× the input for any size — the "predicted
+closure shape" the growth curve in ``BENCH_ingest.json`` checks.
+Everything is a bare-name URI and generation is pure arithmetic on the
+triple index, so the same ``n_triples`` always produces byte-identical
+output, streamed line by line without materializing a graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.graph import RDFGraph
+from ..core.terms import Triple, URI
+from ..core.vocabulary import DOM, RANGE, SC, SP, TYPE
+
+__all__ = [
+    "synthetic_ontology_lines",
+    "synthetic_ontology_graph",
+    "write_synthetic_ontology",
+]
+
+#: Fixed schema shape: a 255-node class tree is 8 levels deep, giving
+#: type triples a bounded (≤ 8) sc-lift; 63 leaf + 15 group properties
+#: keep the sp forest at depth 2.
+DEFAULT_CLASSES = 255
+DEFAULT_PROPERTIES = 63
+_GROUPS = 15
+
+
+def synthetic_ontology_lines(
+    n_triples: int,
+    classes: int = DEFAULT_CLASSES,
+    properties: int = DEFAULT_PROPERTIES,
+) -> Iterator[str]:
+    """Yield exactly *n_triples* N-Triples lines (schema first).
+
+    Deterministic in all arguments; all triples are pairwise distinct
+    (instance subjects are fresh per triple).  *n_triples* must cover
+    at least the schema (``classes + properties + 2·groups + 1``
+    triples).
+    """
+    if classes < 3 or properties < 3:
+        raise ValueError("need at least 3 classes and 3 properties")
+    schema = (classes - 1) + _GROUPS + properties + 2
+    if n_triples < schema:
+        raise ValueError(
+            f"n_triples={n_triples} cannot hold the {schema}-triple schema"
+        )
+    # Class tree: c1..c{classes-1} under binary parents, c0 = thing.
+    yield from (
+        f"c{i} {SC.value} c{(i - 1) // 2} ." for i in range(1, classes)
+    )
+    # Property forest: groups under the root, leaves under groups.
+    yield from (f"g{j} {SP.value} related ." for j in range(_GROUPS))
+    yield from (
+        f"p{i} {SP.value} g{i % _GROUPS} ." for i in range(properties)
+    )
+    # Root-property typing axioms (root class: no further sc lift).
+    yield f"related {DOM.value} c0 ."
+    yield f"related {RANGE.value} c0 ."
+    # Instance level: fresh subject per triple, previous entity as
+    # object, every 8th triple a leaf-class membership.
+    leaf_base = (classes - 1) // 2  # first leaf index in the class tree
+    n_leaves = classes - leaf_base
+    type_ = TYPE.value
+    for k in range(n_triples - schema):
+        if k % 8 == 0:
+            yield f"e{k} {type_} c{leaf_base + k % n_leaves} ."
+        else:
+            yield f"e{k} p{k % properties} e{k - 1} ."
+
+
+def synthetic_ontology_graph(n_triples: int, **kwargs) -> RDFGraph:
+    """The same family as a boxed graph (small sizes and tests only)."""
+    vocab = {
+        SC.value: SC, SP.value: SP, TYPE.value: TYPE,
+        DOM.value: DOM, RANGE.value: RANGE,
+    }
+    triples = []
+    for line in synthetic_ontology_lines(n_triples, **kwargs):
+        s, p, o, _dot = line.split()
+        triples.append(
+            Triple(URI(s), vocab.get(p, URI(p)), URI(o))
+        )
+    return RDFGraph(triples)
+
+
+def write_synthetic_ontology(path: str, n_triples: int, **kwargs) -> int:
+    """Stream the family to *path*; returns the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as f:
+        write = f.write
+        for line in synthetic_ontology_lines(n_triples, **kwargs):
+            write(line)
+            write("\n")
+            count += 1
+    return count

@@ -1,0 +1,28 @@
+"""Streaming bulk ingest: chunked parse → encode → sorted runs.
+
+The scale path for loading large N-Triples files (ROADMAP item 3):
+:func:`load_ntriples` streams a file in chunks, optionally parses them
+in parallel worker processes, dictionary-encodes with a deterministic
+ID-remap merge, and lands rows as sorted runs in a memory-bounded
+:class:`RunPool` — ready for the array-native and partitioned closure
+kernels without ever materializing a boxed graph.
+"""
+
+from .loader import (
+    DEFAULT_CHUNK_LINES,
+    DEFAULT_MAX_MEMORY_MB,
+    IngestResult,
+    load_ntriples,
+)
+from .spill import ROW_BYTES, SPILL_BLOCK_ROWS, RunPool, SpilledRun
+
+__all__ = [
+    "load_ntriples",
+    "IngestResult",
+    "RunPool",
+    "SpilledRun",
+    "DEFAULT_CHUNK_LINES",
+    "DEFAULT_MAX_MEMORY_MB",
+    "ROW_BYTES",
+    "SPILL_BLOCK_ROWS",
+]

@@ -1,0 +1,275 @@
+"""Streaming, optionally parallel, N-Triples bulk loader.
+
+The one-shot :func:`repro.rdfio.parse_ntriples` path materializes the
+whole text, the whole triple list and a fully indexed
+:class:`~repro.core.graph.RDFGraph` — three copies of the data, none of
+them the representation the closure kernels want.  This loader is the
+scale path (ROADMAP item 3): it reads the file in chunks of lines,
+parses and dictionary-encodes each chunk, and lands the result directly
+as sorted runs of ``(int, int, int)`` rows in a budgeted
+:class:`~repro.ingest.spill.RunPool` — the exact substrate of the
+``arrays`` and partitioned closure kernels.  Boxed terms exist only
+transiently inside a chunk.
+
+Parallel mode (``workers > 1``) fans chunks out over a
+``multiprocessing`` pool.  Each worker parses with a **local**
+:class:`~repro.core.interning.TermDict` and returns its three string
+pools plus locally-encoded rows; the parent then replays each pool into
+the shared dict **in chunk-index order** (the ID-remap step).  Because
+a local pool lists values in first-appearance order and chunks are
+remapped in file order, the shared dict's within-kind ID order equals
+the file's first-appearance order — *independent of the worker count
+and the chunk size*.  Loading the same file with any ``workers`` /
+``chunk_lines`` therefore yields bit-identical encoded rows, which the
+parity suite (``tests/test_partitioned.py``) pins down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from itertools import islice
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..core.columns import Row, SortedRuns
+from ..core.graph import RDFGraph
+from ..core.interning import BNODE_BASE, LITERAL_BASE, TermDict
+from ..core.terms import BNode, Literal, URI
+from ..obs import OBS
+from ..rdfio.ntriples import ParseIssue, iter_ntriples
+from .spill import RunPool
+
+__all__ = [
+    "IngestResult",
+    "load_ntriples",
+    "DEFAULT_CHUNK_LINES",
+    "DEFAULT_MAX_MEMORY_MB",
+]
+
+#: Lines per parse chunk.  Large enough that per-chunk overhead (local
+#: dict, remap, sort) amortizes; small enough that a chunk's boxed
+#: terms are a bounded transient.
+DEFAULT_CHUNK_LINES = 50_000
+
+#: Default budget for the pending-run pool before runs spill to disk.
+DEFAULT_MAX_MEMORY_MB = 512
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """What a bulk load produced, still in encoded form.
+
+    ``runs`` is the loaded relation (sorted, duplicate-free) over
+    ``terms``; decode lazily via :meth:`graph` only when a term-level
+    view is actually needed — at 10⁶ triples the boxed graph costs more
+    than the load did.
+    """
+
+    terms: TermDict
+    runs: SortedRuns
+    lines: int
+    chunks: int
+    issues: Tuple[ParseIssue, ...]
+    spilled_runs: int
+
+    @property
+    def triples(self) -> int:
+        """Distinct triples loaded."""
+        return len(self.runs)
+
+    @property
+    def ok(self) -> bool:
+        """True when no line was skipped."""
+        return not self.issues
+
+    def graph(self) -> RDFGraph:
+        """Decode to a term-level graph (boundary use only)."""
+        return RDFGraph._from_trusted(self.terms.decode_rows(self.runs.rows()))
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestResult({len(self.runs)} triples, {self.lines} lines, "
+            f"{self.chunks} chunks, {len(self.issues)} skipped, "
+            f"{self.spilled_runs} spilled runs)"
+        )
+
+
+# -- chunking ----------------------------------------------------------
+
+_Chunk = Tuple[int, List[str], int, bool]  # (index, lines, start_line, strict)
+
+
+def _chunks(
+    lines: Iterator[str], chunk_lines: int, strict: bool
+) -> Iterator[_Chunk]:
+    index = 0
+    start = 1
+    while True:
+        chunk = list(islice(lines, chunk_lines))
+        if not chunk:
+            return
+        yield (index, chunk, start, strict)
+        index += 1
+        start += len(chunk)
+
+
+# -- the worker half (runs in child processes) -------------------------
+
+def _parse_chunk(task: _Chunk):
+    """Parse one chunk against a fresh local dict (child-process body).
+
+    Returns ``(index, uris, bnodes, literals, rows, issues, n_lines)``
+    where the pools are raw string values in local interning order and
+    *rows* are sorted unique local-ID rows.  Everything is primitives,
+    so the pickle across the process boundary is cheap; a strict-mode
+    :class:`~repro.rdfio.ntriples.ParseError` propagates to the parent
+    (it pickles by its three original fields).
+    """
+    index, lines, start, strict = task
+    local = TermDict()
+    issues: List[ParseIssue] = []
+    rows = local.encode_rows(
+        iter_ntriples(lines, strict=strict, issues=issues, start=start)
+    )
+    uris, bnodes, literals = local.pool_values()
+    return (
+        index,
+        uris,
+        bnodes,
+        literals,
+        sorted(set(rows)),
+        tuple(issues),
+        len(lines),
+    )
+
+
+# -- the parent half: deterministic ID remap ---------------------------
+
+def _remap_rows(
+    terms: TermDict,
+    uris: List[str],
+    bnodes: List[str],
+    literals: List[str],
+    rows: List[Row],
+) -> List[Row]:
+    """Replay a worker's local pools into the shared dict and rewrite
+    its rows, re-sorted (the remap is injective but not monotonic)."""
+    intern = terms._intern
+    u = [intern(URI(v)) for v in uris]
+    b = [intern(BNode(v)) for v in bnodes]
+    lit = [intern(Literal(v)) for v in literals]
+    terms.encodes += len(u) + len(b) + len(lit)
+    out: List[Row] = []
+    push = out.append
+    for s, p, o in rows:
+        push((
+            u[s] if s < BNODE_BASE
+            else b[s - BNODE_BASE] if s < LITERAL_BASE
+            else lit[s - LITERAL_BASE],
+            u[p] if p < BNODE_BASE
+            else b[p - BNODE_BASE] if p < LITERAL_BASE
+            else lit[p - LITERAL_BASE],
+            u[o] if o < BNODE_BASE
+            else b[o - BNODE_BASE] if o < LITERAL_BASE
+            else lit[o - LITERAL_BASE],
+        ))
+    out.sort()
+    return out
+
+
+def _line_iter(source) -> Tuple[Iterator[str], Optional[IO]]:
+    """An iterator of lines from a path, file object or line iterable.
+
+    Strings and path-likes are opened as files (closed by the caller
+    via the returned handle); any other iterable is consumed as lines.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        f = open(source, "r", encoding="utf-8")
+        return iter(f), f
+    return iter(source), None
+
+
+def load_ntriples(
+    source: Union[str, os.PathLike, IO[str], Iterable[str]],
+    workers: int = 1,
+    chunk_lines: int = DEFAULT_CHUNK_LINES,
+    strict: bool = True,
+    max_memory_mb: Optional[int] = DEFAULT_MAX_MEMORY_MB,
+    term_dict: Optional[TermDict] = None,
+    tmp_dir: Optional[str] = None,
+) -> IngestResult:
+    """Bulk-load N-Triples-style input into encoded sorted runs.
+
+    *source* is a filesystem path, an open text file, or any iterable
+    of lines.  ``workers=1`` (the default) parses in-process, encoding
+    straight into the shared dict; ``workers > 1`` fans chunks out over
+    a process pool with the deterministic ID-remap merge (see module
+    docstring).  ``strict=False`` skips malformed lines and reports
+    them in ``result.issues``.  ``max_memory_mb`` bounds the
+    pending-run pool (``None`` disables spilling); *term_dict* lets a
+    caller accumulate several files into one shared dict.
+    """
+    terms = term_dict if term_dict is not None else TermDict()
+    encodes_before = terms.encodes
+    lines, handle = _line_iter(source)
+    issues: List[ParseIssue] = []
+    total_lines = 0
+    chunks = 0
+    max_bytes = None if max_memory_mb is None else max_memory_mb * (1 << 20)
+    pool = RunPool(max_bytes=max_bytes, tmp_dir=tmp_dir)
+    try:
+        with OBS.span("ingest.load", workers=workers) as span:
+            if workers <= 1:
+                for _, chunk, start, _ in _chunks(lines, chunk_lines, strict):
+                    chunks += 1
+                    total_lines += len(chunk)
+                    rows = terms.encode_rows(
+                        iter_ntriples(
+                            chunk, strict=strict, issues=issues, start=start
+                        )
+                    )
+                    pool.add(sorted(set(rows)))
+            else:
+                ctx = multiprocessing.get_context("fork")
+                task_iter = _chunks(lines, chunk_lines, strict)
+                with ctx.Pool(processes=workers) as procs:
+                    while True:
+                        # Waves of 2x the worker count keep every child
+                        # busy without buffering the whole file the way
+                        # an eager imap feeder thread would.
+                        wave = list(islice(task_iter, 2 * workers))
+                        if not wave:
+                            break
+                        for result in procs.map(_parse_chunk, wave):
+                            (_, uris, bnodes, lits,
+                             rows, chunk_issues, n_lines) = result
+                            chunks += 1
+                            total_lines += n_lines
+                            issues.extend(chunk_issues)
+                            pool.add(
+                                _remap_rows(terms, uris, bnodes, lits, rows)
+                            )
+            merged = pool.merge()
+            spills = pool.spills
+            span.annotate(lines=total_lines, rows=len(merged), spills=spills)
+    finally:
+        pool.close()
+        if handle is not None:
+            handle.close()
+    if OBS.enabled:
+        registry = OBS.registry
+        registry.inc("ingest.lines", total_lines)
+        registry.inc("ingest.chunks", chunks)
+        registry.inc("ingest.rows", len(merged))
+        registry.inc("ingest.skipped_lines", len(issues))
+        registry.inc("ingest.spilled_runs", spills)
+        registry.inc("interning.encode_calls", terms.encodes - encodes_before)
+    return IngestResult(
+        terms=terms,
+        runs=SortedRuns(merged),
+        lines=total_lines,
+        chunks=chunks,
+        issues=tuple(issues),
+        spilled_runs=spills,
+    )

@@ -63,12 +63,21 @@ STANDARD_COUNTERS = (
     "closure.dispatch.arrays",
     "closure.dispatch.encoded",
     "closure.dispatch.boxed",
+    "closure.dispatch.partitioned",
     "closure.kernel.arrays.batch_rows",
     "closure.kernel.arrays.delta_rows",
     "columns.mergejoin.probes",
     "columns.mergejoin.emits",
     "interning.encode_calls",
     "interning.decode_calls",
+    "ingest.lines",
+    "ingest.chunks",
+    "ingest.rows",
+    "ingest.skipped_lines",
+    "ingest.spilled_runs",
+    "closure.partitioned.rounds",
+    "closure.partitioned.exchanged_rows",
+    "closure.partitioned.spilled_shards",
     "datalog.rounds",
     "datalog.derived",
     "datalog.batch_rows",

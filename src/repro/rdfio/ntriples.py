@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..core.graph import RDFGraph
 from ..core.terms import BNode, Literal, Term, Triple, URI
@@ -31,6 +31,7 @@ __all__ = [
     "ParseError",
     "ParseIssue",
     "ParseReport",
+    "iter_ntriples",
     "parse_ntriples",
     "serialize_ntriples",
 ]
@@ -44,6 +45,13 @@ class ParseError(ValueError):
         self.reason = message
         self.line_number = line_number
         self.line = line
+
+    def __reduce__(self):
+        # Default exception pickling would replay __init__ with the
+        # already-formatted message as the only argument; the parallel
+        # ingest workers ship ParseErrors across process boundaries, so
+        # reconstruct from the original three fields instead.
+        return (ParseError, (self.reason, self.line_number, self.line))
 
 
 @dataclass(frozen=True)
@@ -93,15 +101,22 @@ _NAMED_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
 #: as a line boundary (which would break the line-oriented syntax).
 _LINE_BREAKERS = "\x0b\x0c\x1c\x1d\x1e\x85\u2028\u2029"
 
+#: A line tail that carries no further tokens: optional whitespace, then
+#: end-of-line or a comment.  ``_REST.match(line, pos)`` is the
+#: tokenizer's stop test, evaluated in C instead of slicing the line
+#: and stripping it per token.
+_REST = re.compile(r"\s*(?:\#.*\s*)?$")
+
+
+def _substitute_escape(match: "re.Match") -> str:
+    token = match.group(1)
+    if token.startswith("u"):
+        return chr(int(token[1:], 16))
+    return _NAMED_ESCAPES.get(token, token)
+
 
 def _unescape(text: str) -> str:
-    def substitute(match: "re.Match") -> str:
-        token = match.group(1)
-        if token.startswith("u"):
-            return chr(int(token[1:], 16))
-        return _NAMED_ESCAPES.get(token, token)
-
-    return _UNESCAPE_RE.sub(substitute, text)
+    return _UNESCAPE_RE.sub(_substitute_escape, text)
 
 
 def _escape(text: str) -> str:
@@ -128,12 +143,14 @@ def _parse_term(token: str) -> Term:
 
 
 def _tokenize(line: str, line_number: int) -> List[str]:
+    """All tokens of *line* as a list (error paths and tests only).
+
+    The hot path (:func:`_parse_line`) consumes tokens as they are
+    matched instead of materializing this list.
+    """
     tokens = []
     position = 0
-    while position < len(line):
-        remainder = line[position:]
-        if remainder.strip() == "" or remainder.lstrip().startswith("#"):
-            break
+    while not _REST.match(line, position):
         match = _TOKEN.match(line, position)
         if match is None:
             raise ParseError("cannot tokenize", line_number, line)
@@ -143,24 +160,81 @@ def _tokenize(line: str, line_number: int) -> List[str]:
 
 
 def _parse_line(line: str, line_number: int) -> Triple:
-    """One well-formed triple from *line*, or :class:`ParseError`."""
-    tokens = _tokenize(line, line_number)
-    if tokens and tokens[-1] == ".":
-        tokens = tokens[:-1]
-    if len(tokens) != 3:
+    """One well-formed triple from *line*, or :class:`ParseError`.
+
+    Tokens are matched and consumed in one pass — no intermediate token
+    list, no per-token line slicing.  The first three tokens become
+    terms; a fourth is only legal when it is the terminating ``.``.
+    """
+    token_match = _TOKEN.match
+    stop = _REST.match
+    s = p = o = token = None
+    count = 0
+    position = 0
+    while not stop(line, position):
+        match = token_match(line, position)
+        if match is None:
+            raise ParseError("cannot tokenize", line_number, line)
+        token = match.group(1)
+        position = match.end()
+        if count == 0:
+            s = token
+        elif count == 1:
+            p = token
+        elif count == 2:
+            o = token
+        count += 1
+    if count and token == ".":
+        count -= 1  # drop the terminating dot (never a term)
+    if count != 3:
         raise ParseError(
-            f"expected 3 terms, found {len(tokens)}", line_number, line
+            f"expected 3 terms, found {count}", line_number, line
         )
     try:
-        s, p, o = (_parse_term(t) for t in tokens)
+        t = Triple(_parse_term(s), _parse_term(p), _parse_term(o))
     except ParseError:
         raise
     except ValueError as err:  # e.g. the empty URI "<>"
         raise ParseError(str(err), line_number, line) from err
-    t = Triple(s, p, o)
     if not t.is_valid_rdf():
         raise ParseError("ill-formed triple", line_number, line)
     return t
+
+
+def iter_ntriples(
+    source: Union[str, Iterable[str]],
+    strict: bool = True,
+    issues: Optional[List[ParseIssue]] = None,
+    start: int = 1,
+) -> Iterator[Triple]:
+    """Stream triples from N-Triples-style text, one line at a time.
+
+    *source* is either a complete text (split on line boundaries) or
+    any iterable of lines — a file object, an ``islice`` of one, a list
+    of chunk lines.  Nothing is buffered beyond the current line, so a
+    million-triple file parses in constant memory; this generator is
+    the substrate of both :func:`parse_ntriples` and the streaming bulk
+    loader (:mod:`repro.ingest`).
+
+    With ``strict=True`` the first malformed line raises
+    :class:`ParseError`.  With ``strict=False`` malformed lines are
+    skipped; pass an *issues* list to collect one :class:`ParseIssue`
+    per skipped line.  *start* offsets the reported line numbers (the
+    parallel loader parses chunks whose first line is deep in the
+    file).
+    """
+    lines = source.splitlines() if isinstance(source, str) else source
+    skip = _REST.match
+    for line_number, line in enumerate(lines, start=start):
+        if skip(line):
+            continue
+        try:
+            yield _parse_line(line, line_number)
+        except ParseError as err:
+            if strict:
+                raise
+            if issues is not None:
+                issues.append(ParseIssue(line_number, err.reason, line))
 
 
 def parse_ntriples(
@@ -175,21 +249,14 @@ def parse_ntriples(
     well-formed triple, ``report.errors`` lists one
     :class:`ParseIssue` (line number, reason, raw line) per skipped
     line, in input order.
+
+    Both modes delegate to the streaming :func:`iter_ntriples`, so the
+    one-shot path shares the no-intermediate-token-list fast parse.
     """
-    triples = []
-    issues: List[ParseIssue] = []
-    for line_number, line in enumerate(text.splitlines(), start=1):
-        stripped = line.strip()
-        if not stripped or stripped.startswith("#"):
-            continue
-        try:
-            triples.append(_parse_line(line, line_number))
-        except ParseError as err:
-            if strict:
-                raise
-            issues.append(ParseIssue(line_number, err.reason, line))
     if strict:
-        return RDFGraph(triples)
+        return RDFGraph(iter_ntriples(text))
+    issues: List[ParseIssue] = []
+    triples = list(iter_ntriples(text, strict=False, issues=issues))
     return ParseReport(graph=RDFGraph(triples), errors=tuple(issues))
 
 

@@ -16,6 +16,7 @@ from .closure import (
     rdfs_closure_by_rules,
     rdfs_closure_boxed,
     rdfs_closure_encoded,
+    rdfs_closure_partitioned,
 )
 from .entailment import (
     entailment_plan,
@@ -80,6 +81,7 @@ __all__ = [
     "rdfs_closure_boxed",
     "rdfs_closure_by_rules",
     "rdfs_closure_encoded",
+    "rdfs_closure_partitioned",
     "satisfies_simple",
     "simple_entails",
     "simple_equivalent",

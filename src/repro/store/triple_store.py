@@ -317,6 +317,32 @@ class TripleStore:
             self._flush_delta()
         return new
 
+    def bulk_load(
+        self,
+        source,
+        graph: str = DEFAULT_GRAPH,
+        workers: int = 1,
+        strict: bool = True,
+        max_memory_mb: Optional[int] = None,
+    ) -> int:
+        """Stream an N-Triples file (or line iterable) into one graph.
+
+        A convenience front on :func:`repro.ingest.load_ntriples`: the
+        file is chunk-parsed (in parallel for ``workers > 1``), decoded
+        once, and folded in as a single atomic :meth:`add_all` batch —
+        one maintenance step for the whole file.  Returns the number of
+        new triples.
+        """
+        from ..ingest import load_ntriples
+
+        result = load_ntriples(
+            source,
+            workers=workers,
+            strict=strict,
+            max_memory_mb=max_memory_mb,
+        )
+        return self.add_all(result.graph(), graph=graph)
+
     def load_graph(self, source: RDFGraph, graph: str = DEFAULT_GRAPH) -> int:
         """Merge a source graph in (blank nodes renamed apart, §2.1)."""
         current = self.dataset()
