@@ -59,6 +59,12 @@ FULL_ARRAYS_LIMIT = 300_000
 
 PARSE_LINES = 20_000
 
+#: The obs-disabled overhead A/B (one size is enough: the check is a
+#: ratio, not a growth curve).
+OBS_OVERHEAD_SIZE = 10_000
+OBS_OVERHEAD_REPEATS = 5
+OBS_OVERHEAD_THRESHOLD = 1.1
+
 
 def _best_of(fn, repeats):
     best = float("inf")
@@ -150,6 +156,70 @@ def bench_partitioned_closure(path, sizes, arrays_limit, shards, repeats):
     return rows
 
 
+def bench_obs_overhead(path, shards):
+    """Interleaved A/B: plain vs obs-disabled ingest and close.
+
+    Side A is the untouched call (instrumentation never enabled, no
+    reporter anywhere); side B is the same call after an
+    ``obs.enable()``/``obs.disable()`` cycle, carrying a
+    constructed-but-disabled :class:`ProgressReporter` — exactly the
+    state a CLI run without ``--profile``/``--progress`` is in after
+    PR 8's telemetry wiring.  The sides interleave within one process
+    and one moment, so a tight 1.1x threshold is safe where a cross-run
+    ratio would be noise (same design as bench_guard_overhead.py).
+    """
+    from repro import obs
+    from repro.obs.progress import ProgressReporter
+
+    write_synthetic_ontology(path, OBS_OVERHEAD_SIZE)
+    base_rows = load_ntriples(path, workers=1).runs.rows()
+    reporter = ProgressReporter(enabled=False)
+    obs.enable()
+    obs.disable()
+
+    def interleaved(plain_fn, disabled_fn):
+        plain = disabled = float("inf")
+        for _ in range(OBS_OVERHEAD_REPEATS):
+            t0 = time.perf_counter()
+            plain_fn()
+            plain = min(plain, (time.perf_counter() - t0) * 1e3)
+            t0 = time.perf_counter()
+            disabled_fn()
+            disabled = min(disabled, (time.perf_counter() - t0) * 1e3)
+        return round(plain, 1), round(disabled, 1)
+
+    rows = []
+    for workload, plain_fn, disabled_fn in (
+        (
+            f"ingest serial n={OBS_OVERHEAD_SIZE}",
+            lambda: load_ntriples(path, workers=1),
+            lambda: load_ntriples(path, workers=1, progress=reporter),
+        ),
+        (
+            f"partitioned close n={OBS_OVERHEAD_SIZE}",
+            lambda: rdfs_closure_partitioned_rows(base_rows, shards=shards),
+            lambda: rdfs_closure_partitioned_rows(
+                base_rows, shards=shards, progress=reporter
+            ),
+        ),
+    ):
+        plain_ms, disabled_ms = interleaved(plain_fn, disabled_fn)
+        overhead = round(disabled_ms / plain_ms, 3) if plain_ms else None
+        rows.append(
+            {
+                "workload": workload,
+                "plain_ms": plain_ms,
+                "disabled_obs_ms": disabled_ms,
+                "overhead": overhead,
+            }
+        )
+        print(
+            f"obs off   {workload}: plain {plain_ms:>9.1f} ms, "
+            f"telemetry-off {disabled_ms:>9.1f} ms ({overhead}x)"
+        )
+    return {"rows": rows, "threshold": OBS_OVERHEAD_THRESHOLD}
+
+
 def bench_parse(repeats):
     text = "\n".join(synthetic_ontology_lines(PARSE_LINES)) + "\n"
     parse_ms, graph = _best_of(lambda: parse_ntriples(text), repeats)
@@ -196,6 +266,7 @@ def main(argv=None) -> int:
                 )
             },
             "parse": bench_parse(max(repeats, 2)),
+            "obs_overhead": bench_obs_overhead(path, shards),
         }
     with open(args.out, "w") as f:
         json.dump(payload, f, indent=2)

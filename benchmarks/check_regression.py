@@ -34,6 +34,11 @@ guarded run more than 1.1x slower than its interleaved unguarded twin
 fails the gate.  This one compares within the *fresh* file — the A and
 B sides share one runner and one moment, so the tight threshold is
 safe where a cross-run 1.1x would be noise.
+
+The fresh ``BENCH_ingest.json`` carries the analogous ``obs_overhead``
+section (bench_ingest.py): the telemetry-off ingest and partitioned
+close more than 1.1x slower than their interleaved plain twins fail
+the gate — the "near-free while off" promise of repro.obs, measured.
 """
 
 import json
@@ -44,6 +49,9 @@ THRESHOLD = 3.0
 
 #: A guarded-unlimited run above ``1.1x * unguarded`` fails the gate.
 GUARD_OVERHEAD_THRESHOLD = 1.1
+
+#: A telemetry-off run above ``1.1x * plain`` fails the gate.
+OBS_OVERHEAD_THRESHOLD = 1.1
 
 
 def _e4_hard_series(payload):
@@ -159,6 +167,34 @@ def check_guard_overhead(fresh) -> bool:
     return ok
 
 
+def check_obs_overhead(ingest_fresh) -> bool:
+    """True when the fresh run's obs-off A/B rows stay under 1.1x."""
+    try:
+        rows = ingest_fresh["obs_overhead"]["rows"]
+    except (KeyError, TypeError):
+        print("perf gate: obs overhead: section MISSING from fresh run")
+        return False
+    if not rows:
+        print("perf gate: obs overhead: section empty in fresh run")
+        return False
+    ok = True
+    for row in rows:
+        name = row.get("workload", "?")
+        overhead = row.get("overhead")
+        if overhead is None:
+            print(f"perf gate: obs overhead [{name}]: no ratio, skipped")
+            continue
+        verdict = "FAIL" if overhead > OBS_OVERHEAD_THRESHOLD else "ok"
+        print(
+            f"perf gate: obs overhead [{name}]: "
+            f"{row.get('plain_ms')} ms plain vs "
+            f"{row.get('disabled_obs_ms')} ms telemetry-off "
+            f"({overhead:.3f}x) {verdict}"
+        )
+        ok = ok and overhead <= OBS_OVERHEAD_THRESHOLD
+    return ok
+
+
 def run_checks(checks, baseline, fresh) -> bool:
     """Compare each series at the largest common size; True when any fail."""
     failed = False
@@ -229,6 +265,7 @@ def main(argv=None) -> int:
             failed = run_checks(
                 INGEST_CHECKS, ingest_baseline, ingest_fresh
             ) or failed
+            failed = failed or not check_obs_overhead(ingest_fresh)
 
     if failed:
         print(f"perf gate: regression above {THRESHOLD}x threshold")

@@ -257,7 +257,12 @@ def collect_metrics_snapshots():
     * ``E5`` — the longest blank chain through both the Yannakakis
       pipeline and the backtracking solver;
     * ``store`` — materialize, insert stream, one DRed deletion, then a
-      short read loop against the dataset cache.
+      short read loop against the dataset cache;
+    * ``ingest`` — a 2-worker smoke-sized bulk load plus a 2-shard
+      partitioned close, demonstrating the cross-process snapshot
+      merge: worker/shard counters arrive loss-free in the one parent
+      registry (``ingest.worker_snapshots``,
+      ``closure.partitioned.shard.<i>.*``).
     """
     from repro import obs
     from repro.generators import blank_chain, random_digraph
@@ -301,6 +306,21 @@ def collect_metrics_snapshots():
         for _ in range(8):
             store.dataset()
         snapshots["store"] = snap(registry, tracer)
+
+    with obs.instrumentation() as (registry, tracer):
+        import os
+        import tempfile
+
+        from repro.generators import write_synthetic_ontology
+        from repro.ingest import load_ntriples
+        from repro.semantics.closure import rdfs_closure_partitioned_rows
+
+        with tempfile.TemporaryDirectory(prefix="repro-obs-") as tmp:
+            path = os.path.join(tmp, "onto.nt")
+            write_synthetic_ontology(path, 10_000)
+            loaded = load_ntriples(path, workers=2)
+            rdfs_closure_partitioned_rows(loaded.runs.rows(), shards=2)
+        snapshots["ingest"] = snap(registry, tracer)
 
     return snapshots
 

@@ -126,6 +126,15 @@ def _budget_from_args(args):
     return Budget(deadline_ms=timeout_ms, max_steps=max_steps)
 
 
+def _add_trace_flag(p) -> None:
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of the command's spans to "
+        "PATH (view at https://ui.perfetto.dev); implies instrumentation",
+    )
+
+
 def _add_budget_flags(p) -> None:
     p.add_argument(
         "--timeout-ms",
@@ -236,6 +245,7 @@ def cmd_load(args, out) -> int:
         DEFAULT_MAX_MEMORY_MB,
         load_ntriples,
     )
+    from .obs.progress import ProgressReporter, progress_scope
 
     if args.max_memory_mb is None:
         max_memory_mb = DEFAULT_MAX_MEMORY_MB
@@ -243,35 +253,42 @@ def cmd_load(args, out) -> int:
         max_memory_mb = None
     else:
         max_memory_mb = args.max_memory_mb
-    t0 = time.perf_counter()
-    result = load_ntriples(
-        args.graph if args.graph != "-" else sys.stdin,
-        workers=args.parallel,
-        chunk_lines=args.chunk_lines or DEFAULT_CHUNK_LINES,
-        strict=not args.tolerant,
-        max_memory_mb=max_memory_mb,
-    )
-    load_ms = (time.perf_counter() - t0) * 1000.0
-    out.write(f"triples:            {result.triples}\n")
-    out.write(f"lines:              {result.lines}\n")
-    out.write(f"chunks:             {result.chunks}\n")
-    out.write(f"skipped lines:      {len(result.issues)}\n")
-    out.write(f"spilled runs:       {result.spilled_runs}\n")
-    out.write(f"terms interned:     {len(result.terms)}\n")
-    out.write(f"load ms:            {load_ms:.1f}\n")
-    if args.close:
-        from .semantics.closure import rdfs_closure_partitioned_rows
-
-        t1 = time.perf_counter()
-        acc = rdfs_closure_partitioned_rows(
-            result.runs.rows(),
-            shards=args.shards,
+    progress = None
+    if args.progress or args.progress_json:
+        # Heartbeats go to stderr so piped graph output stays clean.
+        progress = ProgressReporter(json_lines=args.progress_json)
+    with progress_scope(progress):
+        t0 = time.perf_counter()
+        result = load_ntriples(
+            args.graph if args.graph != "-" else sys.stdin,
+            workers=args.parallel,
+            chunk_lines=args.chunk_lines or DEFAULT_CHUNK_LINES,
+            strict=not args.tolerant,
             max_memory_mb=max_memory_mb,
+            progress=progress,
         )
-        close_ms = (time.perf_counter() - t1) * 1000.0
-        out.write(f"closure rows:       {len(acc)}\n")
-        out.write(f"closure shards:     {args.shards}\n")
-        out.write(f"close ms:           {close_ms:.1f}\n")
+        load_ms = (time.perf_counter() - t0) * 1000.0
+        out.write(f"triples:            {result.triples}\n")
+        out.write(f"lines:              {result.lines}\n")
+        out.write(f"chunks:             {result.chunks}\n")
+        out.write(f"skipped lines:      {len(result.issues)}\n")
+        out.write(f"spilled runs:       {result.spilled_runs}\n")
+        out.write(f"terms interned:     {len(result.terms)}\n")
+        out.write(f"load ms:            {load_ms:.1f}\n")
+        if args.close:
+            from .semantics.closure import rdfs_closure_partitioned_rows
+
+            t1 = time.perf_counter()
+            acc = rdfs_closure_partitioned_rows(
+                result.runs.rows(),
+                shards=args.shards,
+                max_memory_mb=max_memory_mb,
+                progress=progress,
+            )
+            close_ms = (time.perf_counter() - t1) * 1000.0
+            out.write(f"closure rows:       {len(acc)}\n")
+            out.write(f"closure shards:     {args.shards}\n")
+            out.write(f"close ms:           {close_ms:.1f}\n")
     if args.out:
         from .rdfio.ntriples import serialize_ntriples
 
@@ -279,6 +296,34 @@ def cmd_load(args, out) -> int:
         graph = RDFGraph._from_trusted(result.terms.decode_rows(target))
         Path(args.out).write_text(serialize_ntriples(graph))
         out.write(f"wrote:              {args.out}\n")
+    return 0
+
+
+def cmd_metrics(args, out) -> int:
+    """Re-export a ``--profile-json`` snapshot as Prometheus text or JSON."""
+    import json
+
+    from .obs import prometheus_text
+
+    payload = json.loads(_read_text(args.snapshot))
+    # Accept both the --profile-json payload ({"metrics": ..., "trace":
+    # ...}) and a bare registry snapshot.
+    snapshot = payload
+    if isinstance(payload, dict) and "metrics" in payload:
+        snapshot = payload["metrics"]
+    if not isinstance(snapshot, dict) or not (
+        {"counters", "gauges", "histograms"} & set(snapshot)
+    ):
+        print(
+            f"error: {args.snapshot}: not a metrics snapshot "
+            "(expected --profile-json output or a registry snapshot)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.format == "prom":
+        out.write(prometheus_text(snapshot))
+    else:
+        out.write(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     return 0
 
 
@@ -382,8 +427,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--profile-json",
         metavar="PATH",
-        help="with --profile: also write the full metrics snapshot and "
-        "span list as JSON to PATH",
+        help="write the full metrics snapshot and span list as JSON to "
+        "PATH (implies instrumentation; add --profile for the "
+        "human-readable summary too)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -417,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("conclusion_graph")
     p.add_argument("--simple", action="store_true", help="simple semantics")
     _add_budget_flags(p)
+    _add_trace_flag(p)
     p.set_defaults(fn=cmd_entails)
 
     p = sub.add_parser("equivalent", help="G1 ≡ G2? (exit 1 if not)")
@@ -429,6 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument("--semantics", choices=("union", "merge"), default="union")
     _add_budget_flags(p)
+    _add_trace_flag(p)
     p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("contains", help="q1 ⊑ q2? (exit 1 if not)")
@@ -493,8 +541,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="with --close: number of closure partitions (default 4)",
     )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit rate-limited heartbeat lines to stderr while loading",
+    )
+    p.add_argument(
+        "--progress-json",
+        action="store_true",
+        help="like --progress, but one JSON object per heartbeat line",
+    )
     p.add_argument("--out", metavar="PATH", help="write the result graph")
+    _add_trace_flag(p)
     p.set_defaults(fn=cmd_load)
+
+    p = sub.add_parser(
+        "metrics",
+        help="re-export a --profile-json snapshot (Prometheus text/JSON)",
+        description="Convert a metrics snapshot written by "
+        "--profile-json (or any registry snapshot JSON) into the "
+        "Prometheus text exposition format, or pretty-printed JSON.",
+    )
+    p.add_argument("snapshot", help="snapshot JSON file, or - for stdin")
+    p.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="output format (default: prom)",
+    )
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("stats", help="structural profile of a graph")
     p.add_argument("graph")
@@ -541,14 +616,16 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
     try:
-        if not args.profile:
+        if not args.profile and not args.profile_json and trace_out is None:
             return args.fn(args, out)
         from . import obs
 
         with obs.instrumentation() as (registry, tracer):
             code = args.fn(args, out)
-        _write_profile(registry, tracer, out)
+        if args.profile:
+            _write_profile(registry, tracer, out)
         if args.profile_json:
             import json
 
@@ -559,6 +636,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             Path(args.profile_json).write_text(
                 json.dumps(payload, indent=2) + "\n"
             )
+        if trace_out is not None:
+            obs.write_chrome_trace(tracer, trace_out)
         return code
     except FileNotFoundError as err:
         print(f"error: {err}", file=sys.stderr)

@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional
 
 from ..core.columns import dedup_sorted
 from ..obs import OBS
+from ..obs.progress import current_progress
 from ..robustness.faultinject import FAULTS
 from ..robustness.guard import current_guard
 
@@ -311,6 +312,10 @@ def _semi_naive_rounds(
     """
     round_no = 0
     guard = current_guard()
+    # Ambient only: the engine's public signatures stay fact-shaped;
+    # callers opt into heartbeats with obs.progress_scope(...).
+    progress = current_progress()
+    total_derived = 0
     while delta.by_relation:
         round_no += 1
         if FAULTS.enabled:
@@ -355,12 +360,23 @@ def _semi_naive_rounds(
                             added.add(relation, row)
                 if OBS.enabled:
                     OBS.registry.inc("datalog.batch_rows", len(batch))
+                round_derived += derived
                 if derived and OBS.enabled:
                     _report_rule_derivations(index, rule, derived)
-                    round_derived += derived
             if OBS.enabled:
                 OBS.registry.inc("datalog.rounds")
                 span.annotate(derived=round_derived)
+        total_derived += round_derived
+        if progress is not None:
+            progress.report(
+                "datalog",
+                round=round_no,
+                derived=total_derived,
+                delta=sum(
+                    len(rows) for rows in new_delta.by_relation.values()
+                ),
+                guard_steps=guard.steps if guard is not None else 0,
+            )
         delta = new_delta
 
 
@@ -469,44 +485,46 @@ def retract_fixpoint_into(
 
     # Phase 1: overdeletion.  ``store`` stays the *old* closure while the
     # deletion delta saturates, so every body atom can still be matched.
-    overdelete_span = OBS.span("datalog.dred.overdelete")
-    overdelete_span.__enter__()
-    guard = current_guard()
-    overdeleted = FactStore()
-    delta = FactStore()
-    for relation, row in removed_facts:
-        row = tuple(row)
-        if (relation, row) in store and overdeleted.add(relation, row):
-            delta.add(relation, row)
-    while delta.by_relation:
-        if FAULTS.enabled:
-            FAULTS.hit("engine.dred.overdelete")
-        if guard is not None:
-            guard.tick()
-        new_delta = FactStore()
-        for rule in program.rules:
-            if not rule.body:
-                continue
-            if not any(atom.relation in delta.by_relation for atom in rule.body):
-                continue
-            for position, atom in enumerate(rule.body):
-                if atom.relation not in delta.by_relation:
+    # A ``with`` block (not hand-called __enter__/__exit__): a
+    # BudgetExceeded from guard.tick() or an injected fault must still
+    # close the span, or it never gets an end time and the tracer's
+    # nesting stack is left pointing at a dead span.
+    with OBS.span("datalog.dred.overdelete") as overdelete_span:
+        guard = current_guard()
+        overdeleted = FactStore()
+        delta = FactStore()
+        for relation, row in removed_facts:
+            row = tuple(row)
+            if (relation, row) in store and overdeleted.add(relation, row):
+                delta.add(relation, row)
+        while delta.by_relation:
+            if FAULTS.enabled:
+                FAULTS.hit("engine.dred.overdelete")
+            if guard is not None:
+                guard.tick()
+            new_delta = FactStore()
+            for rule in program.rules:
+                if not rule.body:
                     continue
-                for row in _match_rule(rule, store, delta, position):
-                    if guard is not None:
-                        guard.tick()
-                    head = (rule.head.relation, row)
-                    if head not in store or head in overdeleted:
+                if not any(atom.relation in delta.by_relation for atom in rule.body):
+                    continue
+                for position, atom in enumerate(rule.body):
+                    if atom.relation not in delta.by_relation:
                         continue
-                    if stably_supported(*head):
-                        continue  # prune: no deletion can falsify it
-                    overdeleted.add(rule.head.relation, row)
-                    new_delta.add(rule.head.relation, row)
-        delta = new_delta
-    overdelete_span.annotate(
-        overdeleted=sum(len(r) for r in overdeleted.by_relation.values())
-    )
-    overdelete_span.__exit__(None, None, None)
+                    for row in _match_rule(rule, store, delta, position):
+                        if guard is not None:
+                            guard.tick()
+                        head = (rule.head.relation, row)
+                        if head not in store or head in overdeleted:
+                            continue
+                        if stably_supported(*head):
+                            continue  # prune: no deletion can falsify it
+                        overdeleted.add(rule.head.relation, row)
+                        new_delta.add(rule.head.relation, row)
+            delta = new_delta
+        overdelete_span.annotate(
+            overdeleted=sum(len(r) for r in overdeleted.by_relation.values())
+        )
 
     # Shrink the store to the surviving facts.
     for relation, rows in overdeleted.by_relation.items():

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from itertools import islice
 from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
@@ -36,7 +37,8 @@ from ..core.columns import Row, SortedRuns
 from ..core.graph import RDFGraph
 from ..core.interning import BNODE_BASE, LITERAL_BASE, TermDict
 from ..core.terms import BNode, Literal, URI
-from ..obs import OBS
+from ..obs import OBS, MetricsRegistry, Tracer
+from ..obs.progress import ProgressReporter, current_progress
 from ..rdfio.ntriples import ParseIssue, iter_ntriples
 from .spill import RunPool
 
@@ -97,11 +99,12 @@ class IngestResult:
 
 # -- chunking ----------------------------------------------------------
 
-_Chunk = Tuple[int, List[str], int, bool]  # (index, lines, start_line, strict)
+#: (index, lines, start_line, strict, collect_obs)
+_Chunk = Tuple[int, List[str], int, bool, bool]
 
 
 def _chunks(
-    lines: Iterator[str], chunk_lines: int, strict: bool
+    lines: Iterator[str], chunk_lines: int, strict: bool, collect_obs: bool
 ) -> Iterator[_Chunk]:
     index = 0
     start = 1
@@ -109,7 +112,7 @@ def _chunks(
         chunk = list(islice(lines, chunk_lines))
         if not chunk:
             return
-        yield (index, chunk, start, strict)
+        yield (index, chunk, start, strict, collect_obs)
         index += 1
         start += len(chunk)
 
@@ -119,28 +122,53 @@ def _chunks(
 def _parse_chunk(task: _Chunk):
     """Parse one chunk against a fresh local dict (child-process body).
 
-    Returns ``(index, uris, bnodes, literals, rows, issues, n_lines)``
-    where the pools are raw string values in local interning order and
-    *rows* are sorted unique local-ID rows.  Everything is primitives,
-    so the pickle across the process boundary is cheap; a strict-mode
-    :class:`~repro.rdfio.ntriples.ParseError` propagates to the parent
-    (it pickles by its three original fields).
+    Returns ``(index, uris, bnodes, literals, rows, issues, n_lines,
+    obs_payload)`` where the pools are raw string values in local
+    interning order and *rows* are sorted unique local-ID rows.
+    Everything is primitives, so the pickle across the process boundary
+    is cheap; a strict-mode :class:`~repro.rdfio.ntriples.ParseError`
+    propagates to the parent (it pickles by its three original fields).
+
+    With ``collect_obs`` set (the parent had instrumentation on), the
+    chunk is measured against a **private** registry/tracer pair —
+    counters incremented in a forked worker would otherwise die with
+    the worker — and their plain-dict snapshots ride home on the same
+    result tuple, where the parent merges them loss-free
+    (:meth:`MetricsRegistry.merge` / :meth:`Tracer.merge`).
     """
-    index, lines, start, strict = task
-    local = TermDict()
+    index, lines, start, strict, collect_obs = task
     issues: List[ParseIssue] = []
-    rows = local.encode_rows(
-        iter_ntriples(lines, strict=strict, issues=issues, start=start)
-    )
+    local = TermDict()
+    obs_payload = None
+    if collect_obs:
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with tracer.span("ingest.chunk", chunk=index, pid=os.getpid()):
+            with registry.timer("ingest.chunk_parse_ms"):
+                rows = local.encode_rows(
+                    iter_ntriples(
+                        lines, strict=strict, issues=issues, start=start
+                    )
+                )
+                rows = sorted(set(rows))
+        registry.inc("ingest.lines", len(lines))
+        registry.inc("ingest.chunks")
+        registry.inc("ingest.skipped_lines", len(issues))
+        obs_payload = (registry.snapshot(), tracer.snapshot(), os.getpid())
+    else:
+        rows = sorted(set(local.encode_rows(
+            iter_ntriples(lines, strict=strict, issues=issues, start=start)
+        )))
     uris, bnodes, literals = local.pool_values()
     return (
         index,
         uris,
         bnodes,
         literals,
-        sorted(set(rows)),
+        rows,
         tuple(issues),
         len(lines),
+        obs_payload,
     )
 
 
@@ -198,6 +226,7 @@ def load_ntriples(
     max_memory_mb: Optional[int] = DEFAULT_MAX_MEMORY_MB,
     term_dict: Optional[TermDict] = None,
     tmp_dir: Optional[str] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> IngestResult:
     """Bulk-load N-Triples-style input into encoded sorted runs.
 
@@ -209,6 +238,16 @@ def load_ntriples(
     them in ``result.issues``.  ``max_memory_mb`` bounds the
     pending-run pool (``None`` disables spilling); *term_dict* lets a
     caller accumulate several files into one shared dict.
+
+    *progress* (or the ambient reporter from
+    :func:`repro.obs.progress.progress_scope`) receives one
+    rate-limited heartbeat per chunk: lines, chunks, pending rows,
+    spills, lines/s.  With instrumentation on, multi-worker runs merge
+    each worker's registry/tracer snapshot back into the global pair as
+    results arrive, so the ``ingest.*`` counters are loss-free and
+    equal to a single-process run's over the same input — the
+    per-chunk accounting below and in :func:`_parse_chunk` is
+    deliberately identical.
     """
     terms = term_dict if term_dict is not None else TermDict()
     encodes_before = terms.encodes
@@ -218,21 +257,57 @@ def load_ntriples(
     chunks = 0
     max_bytes = None if max_memory_mb is None else max_memory_mb * (1 << 20)
     pool = RunPool(max_bytes=max_bytes, tmp_dir=tmp_dir)
+    if progress is None:
+        progress = current_progress()
+    t0 = time.perf_counter()
+
+    def heartbeat(force: bool = False) -> None:
+        if progress is None:
+            return
+        elapsed = time.perf_counter() - t0
+        progress.report(
+            "ingest",
+            force=force,
+            lines=total_lines,
+            chunks=chunks,
+            rows=pool.in_memory_rows + pool.spilled_rows,
+            spills=pool.spills,
+            lines_per_s=round(total_lines / elapsed) if elapsed > 0 else 0,
+            workers=workers,
+        )
+
     try:
         with OBS.span("ingest.load", workers=workers) as span:
             if workers <= 1:
-                for _, chunk, start, _ in _chunks(lines, chunk_lines, strict):
+                registry = OBS.registry
+                for _, chunk, start, _, _ in _chunks(
+                    lines, chunk_lines, strict, False
+                ):
                     chunks += 1
                     total_lines += len(chunk)
-                    rows = terms.encode_rows(
-                        iter_ntriples(
-                            chunk, strict=strict, issues=issues, start=start
+                    skipped_before = len(issues)
+                    with registry.timer("ingest.chunk_parse_ms"):
+                        rows = terms.encode_rows(
+                            iter_ntriples(
+                                chunk, strict=strict,
+                                issues=issues, start=start,
+                            )
                         )
-                    )
-                    pool.add(sorted(set(rows)))
+                        rows = sorted(set(rows))
+                    pool.add(rows)
+                    if OBS.enabled:
+                        registry.inc("ingest.lines", len(chunk))
+                        registry.inc("ingest.chunks")
+                        registry.inc(
+                            "ingest.skipped_lines",
+                            len(issues) - skipped_before,
+                        )
+                    heartbeat()
             else:
                 ctx = multiprocessing.get_context("fork")
-                task_iter = _chunks(lines, chunk_lines, strict)
+                task_iter = _chunks(
+                    lines, chunk_lines, strict, OBS.enabled
+                )
                 with ctx.Pool(processes=workers) as procs:
                     while True:
                         # Waves of 2x the worker count keep every child
@@ -242,14 +317,22 @@ def load_ntriples(
                         if not wave:
                             break
                         for result in procs.map(_parse_chunk, wave):
-                            (_, uris, bnodes, lits,
-                             rows, chunk_issues, n_lines) = result
+                            (_, uris, bnodes, lits, rows,
+                             chunk_issues, n_lines, obs_payload) = result
                             chunks += 1
                             total_lines += n_lines
                             issues.extend(chunk_issues)
                             pool.add(
                                 _remap_rows(terms, uris, bnodes, lits, rows)
                             )
+                            if obs_payload is not None and OBS.enabled:
+                                reg_snap, trace_snap, pid = obs_payload
+                                OBS.registry.merge(reg_snap)
+                                OBS.registry.inc("ingest.worker_snapshots")
+                                OBS.tracer.merge(
+                                    trace_snap, label=f"worker-{pid}"
+                                )
+                            heartbeat()
             merged = pool.merge()
             spills = pool.spills
             span.annotate(lines=total_lines, rows=len(merged), spills=spills)
@@ -257,12 +340,10 @@ def load_ntriples(
         pool.close()
         if handle is not None:
             handle.close()
+    heartbeat(force=True)
     if OBS.enabled:
         registry = OBS.registry
-        registry.inc("ingest.lines", total_lines)
-        registry.inc("ingest.chunks", chunks)
         registry.inc("ingest.rows", len(merged))
-        registry.inc("ingest.skipped_lines", len(issues))
         registry.inc("ingest.spilled_runs", spills)
         registry.inc("interning.encode_calls", terms.encodes - encodes_before)
     return IngestResult(

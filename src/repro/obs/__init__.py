@@ -30,7 +30,14 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional, Tuple
 
+from .export import chrome_trace, prometheus_text, write_chrome_trace
 from .metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from .progress import (
+    ProgressReporter,
+    current_progress,
+    peak_rss_bytes,
+    progress_scope,
+)
 from .tracing import TraceEvent, Tracer
 
 __all__ = [
@@ -41,6 +48,13 @@ __all__ = [
     "TraceEvent",
     "DEFAULT_BUCKETS",
     "STANDARD_COUNTERS",
+    "ProgressReporter",
+    "current_progress",
+    "progress_scope",
+    "peak_rss_bytes",
+    "prometheus_text",
+    "chrome_trace",
+    "write_chrome_trace",
     "enable",
     "disable",
     "is_enabled",
@@ -58,8 +72,10 @@ STANDARD_COUNTERS = (
     "planner.strategy.semijoin",
     "planner.strategy.backtrack",
     "planner.backtracks",
+    "planner.pruned_empty",
     "planner.solutions",
     "closure.rounds",
+    "closure.derived_triples",
     "closure.dispatch.arrays",
     "closure.dispatch.encoded",
     "closure.dispatch.boxed",
@@ -75,6 +91,7 @@ STANDARD_COUNTERS = (
     "ingest.rows",
     "ingest.skipped_lines",
     "ingest.spilled_runs",
+    "ingest.worker_snapshots",
     "closure.partitioned.rounds",
     "closure.partitioned.exchanged_rows",
     "closure.partitioned.spilled_shards",
@@ -87,6 +104,8 @@ STANDARD_COUNTERS = (
     "store.dataset_cache.miss",
     "store.closure_cache.hit",
     "store.closure_cache.miss",
+    "store.nf_cache.hit",
+    "store.nf_cache.miss",
     "store.maintenance.incremental_insert",
     "store.maintenance.incremental_delete",
     "store.maintenance.recomputed",

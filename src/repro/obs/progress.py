@@ -1,0 +1,157 @@
+"""Live progress heartbeats for long-running loads and closures.
+
+A 30-second ``repro load --close`` used to be completely silent; this
+module gives the bulk paths a pulse.  A :class:`ProgressReporter` emits
+rate-limited heartbeat lines to a stream (stderr by the CLI's default):
+human-readable by default, one JSON object per line in ``json_lines``
+mode, each carrying the reporting stage, its counters, an overall
+rate, elapsed time, and the process's peak RSS
+(``resource.getrusage``).
+
+Reporters are handed down explicitly where a function signature allows
+(``load_ntriples(progress=...)``) and ambiently otherwise: the Datalog
+semi-naive loop reads :func:`current_progress`, installed for a region
+with :func:`progress_scope` — the same pattern as the robustness
+guard.  With no reporter installed the hot-path cost is one function
+call returning ``None`` per *round* (never per row), and a reporter
+throttles itself to one line per ``interval_s`` so a million-row load
+writes a handful of lines, not a handful of megabytes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "ProgressReporter",
+    "current_progress",
+    "progress_scope",
+    "peak_rss_bytes",
+]
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, in bytes (None if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
+    here so heartbeat consumers never need to care.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX: degrade gracefully
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return rss
+    return rss * 1024
+
+
+class ProgressReporter:
+    """Rate-limited heartbeat emitter for the bulk ingest/closure paths.
+
+    ``report(stage, **fields)`` is called freely (once per chunk, per
+    round, per wave); at most one line per *interval_s* actually
+    reaches the stream, except ``force=True`` (phase boundaries and
+    final summaries always land).  *clock* is injectable so the
+    rate-limiting is unit-testable without sleeping.
+
+    A reporter constructed with ``enabled=False`` swallows everything —
+    call sites may hold one unconditionally; the disabled check is one
+    attribute read, which is what the obs-disabled overhead gate in
+    ``benchmarks/bench_ingest.py`` pins down.
+    """
+
+    def __init__(
+        self,
+        stream=None,
+        interval_s: float = 1.0,
+        json_lines: bool = False,
+        enabled: bool = True,
+        clock=time.monotonic,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval_s = interval_s
+        self.json_lines = json_lines
+        self.enabled = enabled
+        self.heartbeats = 0  # lines actually emitted
+        self._clock = clock
+        self._t0 = clock()
+        self._last_emit: Optional[float] = None
+
+    # -- the reporting protocol -----------------------------------------
+
+    def report(self, stage: str, force: bool = False, **fields) -> bool:
+        """Offer a heartbeat; returns True when a line was emitted."""
+        if not self.enabled:
+            return False
+        now = self._clock()
+        if (
+            not force
+            and self._last_emit is not None
+            and now - self._last_emit < self.interval_s
+        ):
+            return False
+        self._last_emit = now
+        self._emit(stage, now - self._t0, fields)
+        self.heartbeats += 1
+        return True
+
+    # -- formatting ------------------------------------------------------
+
+    @staticmethod
+    def _fmt_value(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        if isinstance(value, int) and abs(value) >= 10_000:
+            return f"{value:,}"
+        return str(value)
+
+    def _emit(self, stage: str, elapsed_s: float, fields: Dict) -> None:
+        rss = peak_rss_bytes()
+        if self.json_lines:
+            payload = {
+                "stage": stage,
+                "elapsed_s": round(elapsed_s, 3),
+                **fields,
+            }
+            if rss is not None:
+                payload["peak_rss_mb"] = round(rss / (1 << 20), 1)
+            self.stream.write(json.dumps(payload) + "\n")
+        else:
+            parts = [f"{k}={self._fmt_value(v)}" for k, v in fields.items()]
+            if rss is not None:
+                parts.append(f"rss={rss / (1 << 20):.0f}MB")
+            parts.append(f"t={elapsed_s:.1f}s")
+            self.stream.write(f"[repro] {stage}: " + " ".join(parts) + "\n")
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
+
+
+#: The ambient reporter (None = silent).  Installed per region by
+#: :func:`progress_scope`; read by code without a ``progress``
+#: parameter of its own (the Datalog semi-naive loop).
+_ACTIVE: Optional[ProgressReporter] = None
+
+
+def current_progress() -> Optional[ProgressReporter]:
+    """The ambient reporter installed by :func:`progress_scope`, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def progress_scope(
+    reporter: Optional[ProgressReporter],
+) -> Iterator[Optional[ProgressReporter]]:
+    """Install *reporter* as the ambient progress sink for a region."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = reporter
+    try:
+        yield reporter
+    finally:
+        _ACTIVE = previous

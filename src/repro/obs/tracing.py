@@ -40,16 +40,28 @@ class TraceEvent:
         self.start_ms = start_ms
         self.duration_ms: Optional[float] = None
 
-    def to_dict(self) -> Dict:
+    def to_dict(self, now_ms: Optional[float] = None) -> Dict:
+        """JSON form; an unfinished span closes at *now_ms* if given.
+
+        Spans abandoned mid-flight (a ``BudgetExceeded`` unwinding past
+        a hand-opened span, a generator never finalized) keep
+        ``duration_ms is None`` in the live event; the snapshot path
+        passes the capture time so they still record an end time
+        instead of vanishing from rollups, and are marked
+        ``"unfinished": true``.
+        """
+        duration = self.duration_ms
+        attrs = dict(self.attrs)
+        if duration is None and now_ms is not None:
+            duration = max(now_ms - self.start_ms, 0.0)
+            attrs["unfinished"] = True
         return {
             "index": self.index,
             "name": self.name,
-            "attrs": dict(self.attrs),
+            "attrs": attrs,
             "parent": self.parent,
             "start_ms": round(self.start_ms, 3),
-            "duration_ms": (
-                None if self.duration_ms is None else round(self.duration_ms, 3)
-            ),
+            "duration_ms": None if duration is None else round(duration, 3),
         }
 
 
@@ -71,8 +83,13 @@ class _Span:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *_exc) -> bool:
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
         self._event.duration_ms = (time.perf_counter() - self._t0) * 1e3
+        if exc_type is not None:
+            # An exception (BudgetExceeded, injected fault) unwound
+            # through the span: still a finished span, but flagged so
+            # rollups can distinguish aborted work.
+            self._event.attrs.setdefault("error", exc_type.__name__)
         self._tracer._pop(self._event)
         return False
 
@@ -134,6 +151,52 @@ class Tracer:
         elif event.index in self._stack:
             self._stack.remove(event.index)
 
+    def now_ms(self) -> float:
+        """Milliseconds since this tracer's origin (its time base)."""
+        return (time.perf_counter() - self._origin) * 1e3
+
+    def merge(self, events: List[Dict], label: str = "") -> None:
+        """Append another tracer's :meth:`snapshot` to this event list.
+
+        The cross-process half of the telemetry pipeline: a worker (or
+        shard) snapshots its private tracer, the plain dicts travel
+        over the result pipe, and the parent folds them in here.  The
+        foreign events keep their internal parent links (re-based onto
+        this tracer's index space); top-level foreign spans become
+        children of the currently open span, so a worker's chunk spans
+        nest under the parent's ``ingest.load``.
+
+        Foreign timestamps are measured against the *worker's* clock
+        origin, which is incomparable with ours — they are re-based so
+        the last foreign span ends at the merge instant.  That keeps
+        every event on one monotonic timeline (what the Chrome-trace
+        exporter needs) at the cost of showing worker work at its
+        *delivery* time rather than its true wall-clock slot; the
+        ``track`` attribute (*label*) preserves which source it was.
+        """
+        if not self.enabled or not events:
+            return
+        base = len(self._events)
+        anchor = self._stack[-1] if self._stack else None
+        end = max(
+            e["start_ms"] + (e["duration_ms"] or 0.0) for e in events
+        )
+        offset = self.now_ms() - end
+        for e in events:
+            attrs = dict(e.get("attrs", ()))
+            if label:
+                attrs.setdefault("track", label)
+            parent = e.get("parent")
+            event = TraceEvent(
+                index=base + e["index"],
+                name=e["name"],
+                attrs=attrs,
+                parent=anchor if parent is None else base + parent,
+                start_ms=e["start_ms"] + offset,
+            )
+            event.duration_ms = e.get("duration_ms")
+            self._events.append(event)
+
     # -- readers ---------------------------------------------------------
 
     def events(self) -> List[TraceEvent]:
@@ -148,20 +211,34 @@ class Tracer:
         self._origin = time.perf_counter()
 
     def snapshot(self) -> List[Dict]:
-        """Every recorded span as a JSON-able dict, in start order."""
-        return [e.to_dict() for e in self._events]
+        """Every recorded span as a JSON-able dict, in start order.
+
+        Unfinished spans (abandoned by an exception that bypassed their
+        ``__exit__``, e.g. a hand-opened span) are closed at capture
+        time and flagged ``unfinished`` instead of being dropped.
+        """
+        now = self.now_ms()
+        return [e.to_dict(now_ms=now) for e in self._events]
 
     def aggregate(self) -> Dict[str, Dict]:
-        """Per-span-name rollup: call count and total/max duration."""
+        """Per-span-name rollup: call count and total/max duration.
+
+        Unfinished spans contribute their elapsed-so-far duration, so
+        work aborted by a budget trip or injected fault still shows up
+        in the rollup instead of silently vanishing.
+        """
+        now = self.now_ms()
         out: Dict[str, Dict] = {}
         for e in self._events:
             row = out.setdefault(
                 e.name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
             )
             row["count"] += 1
-            if e.duration_ms is not None:
-                row["total_ms"] += e.duration_ms
-                row["max_ms"] = max(row["max_ms"], e.duration_ms)
+            duration = e.duration_ms
+            if duration is None:
+                duration = max(now - e.start_ms, 0.0)
+            row["total_ms"] += duration
+            row["max_ms"] = max(row["max_ms"], duration)
         for row in out.values():
             row["total_ms"] = round(row["total_ms"], 3)
             row["max_ms"] = round(row["max_ms"], 3)

@@ -43,7 +43,8 @@ from ..core.interning import (
 )
 from ..core.terms import BNode, Literal, Term, Triple, URI
 from ..core.vocabulary import DOM, RANGE, RDFS_VOCABULARY, SC, SP, TYPE
-from ..obs import OBS
+from ..obs import OBS, MetricsRegistry
+from ..obs.progress import ProgressReporter, current_progress
 from ..robustness.faultinject import FAULTS
 from ..robustness.guard import current_guard
 from .rules import apply_rules_to_fixpoint
@@ -825,6 +826,7 @@ def rdfs_closure_partitioned_rows(
     max_memory_mb: Optional[int] = None,
     tmp_dir: Optional[str] = None,
     tallies: Optional[Dict[str, int]] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> SortedRuns:
     """``RDFS-cl`` of encoded rows by hash-partitioned fixpoint.
 
@@ -851,6 +853,13 @@ def rdfs_closure_partitioned_rows(
     files between uses (:meth:`SortedRuns.tofile` flat-array format)
     whenever the resident estimate exceeds the bound, and the final
     union streams spilled shards back block-wise.
+
+    *progress* (or the ambient reporter) gets one heartbeat per global
+    round.  With instrumentation on, each shard additionally records
+    into a private :class:`MetricsRegistry` that is merged into the
+    global one under a ``closure.partitioned.shard.<i>.`` prefix at the
+    end — the same loss-free snapshot-merge protocol the multi-worker
+    loader uses across processes, exercised here across shards.
     """
     from ..ingest.spill import ROW_BYTES
 
@@ -859,6 +868,11 @@ def rdfs_closure_partitioned_rows(
     if tallies is None:
         tallies = {}
     guard = current_guard()
+    if progress is None:
+        progress = current_progress()
+    shard_regs: Optional[List[MetricsRegistry]] = (
+        [MetricsRegistry() for _ in range(shards)] if OBS.enabled else None
+    )
     max_bytes = None if max_memory_mb is None else max_memory_mb * (1 << 20)
 
     # One pass with the _is_schema_row test inlined (it is hot here).
@@ -975,7 +989,12 @@ def rdfs_closure_partitioned_rows(
                         enforce_budget()
                         continue
                     acc = sh.load()
-                    batch = _arrays_round(acc, tallies, guard)
+                    if shard_regs is not None:
+                        with shard_regs[i].timer("round_ms"):
+                            batch = _arrays_round(acc, tallies, guard)
+                        shard_regs[i].inc("rounds")
+                    else:
+                        batch = _arrays_round(acc, tallies, guard)
                     batch.sort()
                     delta = acc.new_rows(batch)
                     if guard is not None:
@@ -984,11 +1003,22 @@ def rdfs_closure_partitioned_rows(
                         sh.acc = acc.union_sorted(delta)
                         sh.n_rows = len(sh.acc)
                         route(delta, i)
+                        if shard_regs is not None:
+                            shard_regs[i].inc("derived_rows", len(delta))
                     else:
                         sh.needs_round = False
                     if single_round:
                         sh.needs_round = False
                     enforce_budget()
+                if progress is not None:
+                    progress.report(
+                        "closure.partitioned",
+                        round=rounds,
+                        rows=sum(sh.n_rows for sh in shard_state),
+                        exchanged=exchanged,
+                        spills=spill_events,
+                        shards=shards,
+                    )
                 if single_round and rounds >= 1:
                     # Drain the one exchange, then stop: routed rows
                     # are provably inert (see docstring).
@@ -1027,11 +1057,27 @@ def rdfs_closure_partitioned_rows(
     finally:
         if spill_dir is not None:
             shutil.rmtree(spill_dir, ignore_errors=True)
+    if progress is not None:
+        progress.report(
+            "closure.partitioned",
+            force=True,
+            round=rounds,
+            rows=len(out),
+            exchanged=exchanged,
+            spills=spill_events,
+            shards=shards,
+        )
     if OBS.enabled:
         registry = OBS.registry
         registry.inc("closure.partitioned.rounds", rounds)
         registry.inc("closure.partitioned.exchanged_rows", exchanged)
         registry.inc("closure.partitioned.spilled_shards", spill_events)
+        if shard_regs is not None:
+            for i, reg in enumerate(shard_regs):
+                registry.merge(
+                    reg.snapshot(),
+                    prefix=f"closure.partitioned.shard.{i}.",
+                )
     return SortedRuns(out)
 
 
