@@ -2,7 +2,8 @@
 """CI perf-regression gate over the committed benchmark baselines.
 
 Usage:  python benchmarks/check_regression.py BASELINE.json FRESH.json
-            [INGEST_BASELINE.json INGEST_FRESH.json]
+            [INGEST_BASELINE.json INGEST_FRESH.json
+             [QUERY_BASELINE.json QUERY_FRESH.json]]
 
 Compares a fresh ``BENCH_entailment.json`` (written by
 ``run_report.py --quick`` during the CI run) against the committed
@@ -39,6 +40,15 @@ The fresh ``BENCH_ingest.json`` carries the analogous ``obs_overhead``
 section (bench_ingest.py): the telemetry-off ingest and partitioned
 close more than 1.1x slower than their interleaved plain twins fail
 the gate — the "near-free while off" promise of repro.obs, measured.
+
+With the optional third pair, ``BENCH_query.json`` (committed full run
+vs the CI ``bench_query_cache.py --smoke`` rerun) gates the query-cache
+serving path the same way: the *cached* timings of the plan-hit,
+containment-hit and zipf-stream rows at the largest common size (a 3x
+slowdown on a cached hit means the fast path stopped being fast), plus
+a within-fresh check that ``store.query`` with *no* cache attached
+stays within 1.1x of a direct ``answers()`` call — the "free when
+disabled" promise of the serving layer.
 """
 
 import json
@@ -52,6 +62,9 @@ GUARD_OVERHEAD_THRESHOLD = 1.1
 
 #: A telemetry-off run above ``1.1x * plain`` fails the gate.
 OBS_OVERHEAD_THRESHOLD = 1.1
+
+#: A cache-disabled ``store.query`` above ``1.1x * answers()`` fails.
+QUERY_DISABLED_THRESHOLD = 1.1
 
 
 def _e4_hard_series(payload):
@@ -139,6 +152,42 @@ INGEST_CHECKS = [
 ]
 
 
+def _query_cached_series(payload, workload):
+    """Cached-serving timings of one query workload keyed by size."""
+    try:
+        rows = payload["query_cache"]["rows"]
+    except (KeyError, TypeError):
+        return {}
+    return {
+        row["size"]: row["cached_ms"]
+        for row in rows
+        if row.get("workload") == workload
+        and row.get("size") is not None and row.get("cached_ms") is not None
+    }
+
+
+def _query_plan_hit_series(payload):
+    return _query_cached_series(payload, "plan-hit")
+
+
+def _query_containment_hit_series(payload):
+    return _query_cached_series(payload, "containment-hit")
+
+
+def _query_zipf_series(payload):
+    return _query_cached_series(payload, "zipf-stream")
+
+
+#: Checks over the optional BENCH_query.json pair — cached-hit rows
+#: only: the cold columns re-measure paths the other gates already
+#: watch, but a cached-hit slowdown is *this* subsystem regressing.
+QUERY_CHECKS = [
+    ("query cache plan-hit", _query_plan_hit_series),
+    ("query cache containment-hit", _query_containment_hit_series),
+    ("query cache zipf-stream", _query_zipf_series),
+]
+
+
 def check_guard_overhead(fresh) -> bool:
     """True when the fresh run's guard-overhead rows stay under 1.1x."""
     try:
@@ -195,6 +244,34 @@ def check_obs_overhead(ingest_fresh) -> bool:
     return ok
 
 
+def check_query_disabled_overhead(query_fresh) -> bool:
+    """True when cache-less ``store.query`` stays within 1.1x."""
+    try:
+        rows = query_fresh["disabled_overhead"]["rows"]
+    except (KeyError, TypeError):
+        print("perf gate: query disabled overhead: section MISSING from fresh run")
+        return False
+    if not rows:
+        print("perf gate: query disabled overhead: section empty in fresh run")
+        return False
+    ok = True
+    for row in rows:
+        name = row.get("workload", "?")
+        overhead = row.get("overhead")
+        if overhead is None:
+            print(f"perf gate: query disabled overhead [{name}]: no ratio, skipped")
+            continue
+        verdict = "FAIL" if overhead > QUERY_DISABLED_THRESHOLD else "ok"
+        print(
+            f"perf gate: query disabled overhead [{name}]: "
+            f"{round(row.get('plain_ms', 0), 3)} ms answers() vs "
+            f"{round(row.get('disabled_ms', 0), 3)} ms store.query "
+            f"({overhead:.3f}x) {verdict}"
+        )
+        ok = ok and overhead <= QUERY_DISABLED_THRESHOLD
+    return ok
+
+
 def run_checks(checks, baseline, fresh) -> bool:
     """Compare each series at the largest common size; True when any fail."""
     failed = False
@@ -227,7 +304,7 @@ def run_checks(checks, baseline, fresh) -> bool:
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if len(argv) not in (2, 4):
+    if len(argv) not in (2, 4, 6):
         print(__doc__)
         return 2
     try:
@@ -244,7 +321,7 @@ def main(argv=None) -> int:
     failed = run_checks(CHECKS, baseline, fresh)
     failed = failed or not check_guard_overhead(fresh)
 
-    if len(argv) == 4:
+    if len(argv) >= 4:
         try:
             ingest_baseline = json.loads(open(argv[2]).read())
         except (OSError, ValueError) as e:
@@ -266,6 +343,27 @@ def main(argv=None) -> int:
                 INGEST_CHECKS, ingest_baseline, ingest_fresh
             ) or failed
             failed = failed or not check_obs_overhead(ingest_fresh)
+
+    if len(argv) == 6:
+        try:
+            query_baseline = json.loads(open(argv[4]).read())
+        except (OSError, ValueError) as e:
+            print(f"perf gate: cannot read query baseline {argv[4]} ({e})")
+            query_baseline = None
+        try:
+            query_fresh = json.loads(open(argv[5]).read())
+        except (OSError, ValueError) as e:
+            print(f"perf gate: cannot read query fresh run {argv[5]} ({e})")
+            query_fresh = None
+        if query_baseline is None or query_fresh is None:
+            # Same policy as the ingest pair: the caller asked for this
+            # gate, so a missing file is a broken pipeline.
+            failed = True
+        else:
+            failed = run_checks(
+                QUERY_CHECKS, query_baseline, query_fresh
+            ) or failed
+            failed = (not check_query_disabled_overhead(query_fresh)) or failed
 
     if failed:
         print(f"perf gate: regression above {THRESHOLD}x threshold")

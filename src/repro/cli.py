@@ -188,19 +188,37 @@ def cmd_equivalent(args, out) -> int:
 
 
 def cmd_query(args, out) -> int:
-    from .query import answers
-
     query = _load_query(args.query)
     database = _load_graph(args.graph)
+
+    if getattr(args, "cached", False):
+        # Serve through a store with the two-tier query cache attached:
+        # identical answers (property-tested), but repeated/subsumed
+        # queries in one process are filtered from cached valuations
+        # instead of re-searched.
+        from .store import TripleStore
+
+        store = TripleStore()
+        store.add_all(database)
+        store.enable_query_cache()
+
+        def _answer():
+            return store.query(query, semantics=args.semantics)
+    else:
+        from .query import answers
+
+        def _answer():
+            return answers(query, database, semantics=args.semantics)
+
     budget = _budget_from_args(args)
     if budget is None:
-        _print_graph(answers(query, database, semantics=args.semantics), out)
+        _print_graph(_answer(), out)
         return 0
     from .robustness import BudgetExceeded, guarded
 
     try:
         with guarded(budget):
-            result = answers(query, database, semantics=args.semantics)
+            result = _answer()
     except BudgetExceeded as err:
         out.write(f"# unknown ({err.reason} budget tripped: {err})\n")
         return 3
@@ -364,6 +382,28 @@ def cmd_stats(args, out) -> int:
     for kernel in sorted(KERNEL_DISPATCH):
         key = f"kernel.dispatch.{kernel}:"
         out.write(f"{key:20s}{KERNEL_DISPATCH[kernel]}\n")
+    # Query-cache counters (declare-at-zero: the cache is opt-in per
+    # store, so a profile that never enabled it shows the full row set
+    # at 0 rather than omitting it).
+    from .query.cache import (
+        CONTAINMENT_HITS,
+        EVICTIONS,
+        HITS,
+        INVALIDATIONS,
+        MISSES,
+        PLAN_HITS,
+    )
+
+    for name in (
+        HITS,
+        MISSES,
+        CONTAINMENT_HITS,
+        PLAN_HITS,
+        INVALIDATIONS,
+        EVICTIONS,
+    ):
+        key = f"{name}:"
+        out.write(f"{key:32s}{int(store.metrics.counter(name))}\n")
     return 0
 
 
@@ -475,6 +515,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query")
     p.add_argument("graph")
     p.add_argument("--semantics", choices=("union", "merge"), default="union")
+    p.add_argument(
+        "--cached",
+        action="store_true",
+        help="serve via TripleStore.query with the two-tier query cache",
+    )
     _add_budget_flags(p)
     _add_trace_flag(p)
     p.set_defaults(fn=cmd_query)

@@ -110,6 +110,12 @@ STANDARD_COUNTERS = (
     "store.maintenance.incremental_delete",
     "store.maintenance.recomputed",
     "store.recovered_ops",
+    "query.cache.hits",
+    "query.cache.misses",
+    "query.cache.containment_hits",
+    "query.cache.plan_hits",
+    "query.cache.invalidations",
+    "query.cache.evictions",
     "guard.checks",
     "guard.steps",
     "guard.trips.deadline",

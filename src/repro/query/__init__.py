@@ -9,11 +9,14 @@ from .answers import (
     answer_merge,
     answer_union,
     answers,
+    answers_from_valuations,
     identity_query,
     pre_answers,
+    pre_answers_from_valuations,
     single_answer,
     skolem_term,
 )
+from .cache import QueryCache, canonical_body
 from .containment import (
     body_substitutions,
     contained_entailment,
@@ -50,10 +53,14 @@ __all__ = [
     "union_contained_standard",
     "PatternGraph",
     "Query",
+    "QueryCache",
     "Tableau",
     "answer_merge",
     "answer_union",
     "answers",
+    "answers_from_valuations",
+    "canonical_body",
+    "pre_answers_from_valuations",
     "body_substitutions",
     "contained_entailment",
     "contained_standard",

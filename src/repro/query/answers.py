@@ -30,13 +30,20 @@ from typing import List, Optional
 
 from ..core.graph import RDFGraph
 from ..core.terms import BNode, Term, Triple, Variable
-from .matching import Valuation, iter_matchings, matching_target
+from .matching import (
+    Valuation,
+    iter_matchings,
+    matching_target,
+    satisfies_constraints,
+)
 from .tableau import Query
 
 __all__ = [
     "skolem_term",
     "single_answer",
     "pre_answers",
+    "pre_answers_from_valuations",
+    "answers_from_valuations",
     "answer_union",
     "answer_merge",
     "answers",
@@ -88,6 +95,57 @@ def single_answer(query: Query, valuation: Valuation) -> Optional[RDFGraph]:
     return RDFGraph(triples)
 
 
+def pre_answers_from_valuations(query: Query, valuations) -> List[RDFGraph]:
+    """Single answers built from an explicit valuation stream.
+
+    The shared tail of both the direct evaluation path and the query
+    cache's filtered-serving path: constraint filtering, head
+    instantiation, deduplication and the deterministic sort all happen
+    here, so a cached answer is byte-identical to an uncached one.
+    Valuations must be total on the body's variables; they may come
+    unfiltered (the cache stores them that way so differently-
+    constrained queries can share an entry).
+    """
+    seen = set()
+    out: List[RDFGraph] = []
+    for valuation in valuations:
+        if not satisfies_constraints(valuation, query.constraints):
+            continue
+        answer = single_answer(query, valuation)
+        if answer is None or answer.triples in seen:
+            continue
+        seen.add(answer.triples)
+        out.append(answer)
+    out.sort(key=lambda g: tuple(str(t) for t in g.sorted_triples()))
+    return out
+
+
+def _combine(pre: List[RDFGraph], semantics: str) -> RDFGraph:
+    """Fold a pre-answer list under one of the two answer semantics."""
+    if semantics == "union":
+        result = RDFGraph()
+        for answer in pre:
+            result = result.union(answer)
+        return result
+    if semantics == "merge":
+        result = RDFGraph()
+        for index, answer in enumerate(pre):
+            renaming = {
+                n: BNode(f"a{index}_{n.value}")
+                for n in answer.bnodes()
+            }
+            result = result.union(answer.rename_bnodes(renaming))
+        return result
+    raise ValueError(f"unknown semantics {semantics!r}; use 'union' or 'merge'")
+
+
+def answers_from_valuations(
+    query: Query, valuations, semantics: str = "union"
+) -> RDFGraph:
+    """``ans(q, D)`` from an explicit valuation stream (see above)."""
+    return _combine(pre_answers_from_valuations(query, valuations), semantics)
+
+
 def pre_answers(
     query: Query, database: RDFGraph, target: Optional[RDFGraph] = None
 ) -> List[RDFGraph]:
@@ -99,26 +157,16 @@ def pre_answers(
     """
     if target is None:
         target = matching_target(database, query.premise)
-    seen = set()
-    out: List[RDFGraph] = []
-    for valuation in iter_matchings(query, database, target=target):
-        answer = single_answer(query, valuation)
-        if answer is None or answer.triples in seen:
-            continue
-        seen.add(answer.triples)
-        out.append(answer)
-    out.sort(key=lambda g: tuple(str(t) for t in g.sorted_triples()))
-    return out
+    return pre_answers_from_valuations(
+        query, iter_matchings(query, database, target=target)
+    )
 
 
 def answer_union(
     query: Query, database: RDFGraph, target: Optional[RDFGraph] = None
 ) -> RDFGraph:
     """``ans∪(q, D)``: union of all single answers (shared blanks kept)."""
-    result = RDFGraph()
-    for answer in pre_answers(query, database, target=target):
-        result = result.union(answer)
-    return result
+    return _combine(pre_answers(query, database, target=target), "union")
 
 
 def answer_merge(
@@ -129,14 +177,7 @@ def answer_merge(
     Unique up to isomorphism; this implementation renames the blanks of
     the i-th single answer with an ``a{i}_`` prefix, deterministically.
     """
-    result = RDFGraph()
-    for index, answer in enumerate(pre_answers(query, database, target=target)):
-        renaming = {
-            n: BNode(f"a{index}_{n.value}")
-            for n in answer.bnodes()
-        }
-        result = result.union(answer.rename_bnodes(renaming))
-    return result
+    return _combine(pre_answers(query, database, target=target), "merge")
 
 
 def answers(
@@ -150,11 +191,11 @@ def answers(
     The paper adopts union semantics "unless stated otherwise"
     (Section 4.1); so do we.
     """
-    if semantics == "union":
-        return answer_union(query, database, target=target)
-    if semantics == "merge":
-        return answer_merge(query, database, target=target)
-    raise ValueError(f"unknown semantics {semantics!r}; use 'union' or 'merge'")
+    if semantics not in ("union", "merge"):
+        raise ValueError(
+            f"unknown semantics {semantics!r}; use 'union' or 'merge'"
+        )
+    return _combine(pre_answers(query, database, target=target), semantics)
 
 
 def identity_query() -> Query:

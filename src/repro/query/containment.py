@@ -54,15 +54,34 @@ __all__ = [
 _FROZEN_PREFIX = "urn:frozen-var:"
 
 
+def _escape_term(term: Term) -> Term:
+    """Alpha-rename user URIs that collide with the frozen namespace.
+
+    A user constant ``urn:frozen-var:x`` would otherwise thaw into the
+    query variable ``?x``; escaping it to ``urn:frozen-var:u!...`` keeps
+    the frozen namespace private.  The renaming is injective (``u!`` vs
+    the ``v!`` marker used for genuinely frozen variables) and applied
+    uniformly to every graph entering frozen space, so homomorphism,
+    isomorphism and core computations are unaffected.
+    """
+    if isinstance(term, URI) and term.value.startswith(_FROZEN_PREFIX):
+        return URI(_FROZEN_PREFIX + "u!" + term.value)
+    return term
+
+
 def _freeze_term(term: Term) -> Term:
     if isinstance(term, Variable):
-        return URI(_FROZEN_PREFIX + term.value)
-    return term
+        return URI(_FROZEN_PREFIX + "v!" + term.value)
+    return _escape_term(term)
 
 
 def _thaw_term(term: Term) -> Term:
     if isinstance(term, URI) and term.value.startswith(_FROZEN_PREFIX):
-        return Variable(term.value[len(_FROZEN_PREFIX):])
+        marked = term.value[len(_FROZEN_PREFIX):]
+        if marked.startswith("v!"):
+            return Variable(marked[2:])
+        if marked.startswith("u!"):
+            return URI(marked[2:])
     return term
 
 
@@ -103,8 +122,19 @@ def body_substitutions(
     ``target`` is ``nf(B)`` (Theorem 5.5) or ``P′ + B`` (Theorem 5.8)
     with the *contained* query's body variables frozen; θ's images are
     thawed back so frozen variables reappear as :class:`Variable`.
+
+    The container body's *constants* get the same collision escaping as
+    the target (see :func:`_escape_term`), so a user URI inside the
+    frozen namespace still matches its escaped image.
     """
-    body = list(container.body)
+    body = [
+        Triple(
+            t.s if isinstance(t.s, Variable) else _escape_term(t.s),
+            t.p if isinstance(t.p, Variable) else _escape_term(t.p),
+            t.o if isinstance(t.o, Variable) else _escape_term(t.o),
+        )
+        for t in container.body
+    ]
     for assignment in iter_assignments(body, containee_body_target):
         yield {
             v: _thaw_term(t)
@@ -169,8 +199,13 @@ def _standard_target(contained: Query) -> RDFGraph:
 
 
 def _premise_target(contained: Query, container: Query) -> RDFGraph:
-    """``P′ + B`` with B's variables frozen (Theorem 5.8, simple queries)."""
-    return _freeze_pattern(contained.body) + container.premise
+    """``P′ + B`` with B's variables frozen (Theorem 5.8, simple queries).
+
+    The premise passes through :func:`_freeze_triples` too — it has no
+    variables, but its URIs need the same collision escaping as the rest
+    of the frozen target.
+    """
+    return _freeze_pattern(contained.body) + _freeze_triples(container.premise)
 
 
 def premise_elimination(query: Query) -> List[Query]:

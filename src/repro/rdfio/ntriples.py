@@ -269,6 +269,11 @@ def _serialize_term(term: Term) -> str:
             return f"<{term.value}>"
         if any(ch.isspace() for ch in term.value):
             return f"<{term.value}>"
+        if "#" in term.value:
+            # A bare name with a fragment marker would collide with the
+            # comment syntax of the query surface grammar; the angle
+            # form is unambiguous in both grammars.
+            return f"<{term.value}>"
         return term.value
     if isinstance(term, BNode):
         return f"_:{term.value}"

@@ -16,6 +16,16 @@ queries can live in files and be fed to the CLI::
 
 Terms follow the N-Triples-style syntax of
 :mod:`repro.rdfio.ntriples`, extended with ``?var`` variables.
+
+Realistic query files additionally get:
+
+* ``# ...`` comment lines (stripped anywhere outside a quoted literal);
+* SPARQL-style ``PREFIX name: <iri>`` declarations in the prologue
+  (before ``CONSTRUCT``).  A bare name ``name:local`` whose prefix was
+  declared expands to ``<iri + local>``; undeclared colon names stay
+  plain URIs (so ``urn:x`` keeps working), and the last declaration of
+  a prefix wins.  :func:`serialize_query` always emits full URIs, so
+  ``parse_query(serialize_query(q)) == q`` holds exactly.
 """
 
 from __future__ import annotations
@@ -37,6 +47,10 @@ class QuerySyntaxError(ValueError):
 _SECTION = re.compile(
     r"(CONSTRUCT|WHERE|PREMISE|BOUND)\s*", re.IGNORECASE
 )
+_PREFIX_DECL = re.compile(
+    r"\s*PREFIX\s+([A-Za-z_][A-Za-z0-9_\-]*)?:\s*<([^<>\s]*)>",
+    re.IGNORECASE,
+)
 _TERM = re.compile(
     r"""
     \s*(
@@ -55,15 +69,24 @@ _TERM = re.compile(
 def _strip_comments(text: str) -> str:
     lines = []
     for line in text.splitlines():
-        # Remove '#' comments, respecting quoted literals.
+        # Remove '#' comments, respecting quoted literals and angle
+        # URIs (fragment URIs like <ns#local> are everywhere once
+        # PREFIX declarations exist).  An angle URI cannot contain
+        # whitespace, so a stray '<' stops absorbing at the next space.
         out = []
         in_string = False
+        in_uri = False
         i = 0
         while i < len(line):
             ch = line[i]
-            if ch == '"' and (i == 0 or line[i - 1] != "\\"):
+            if not in_string:
+                if ch == "<":
+                    in_uri = True
+                elif in_uri and (ch == ">" or ch.isspace()):
+                    in_uri = False
+            if not in_uri and ch == '"' and (i == 0 or line[i - 1] != "\\"):
                 in_string = not in_string
-            if ch == "#" and not in_string:
+            if ch == "#" and not in_string and not in_uri:
                 break
             out.append(ch)
             i += 1
@@ -71,7 +94,25 @@ def _strip_comments(text: str) -> str:
     return "\n".join(lines)
 
 
-def _parse_term(token: str) -> Term:
+def _extract_prefixes(text: str):
+    """Consume prologue ``PREFIX name: <iri>`` declarations.
+
+    Declarations live before the first section keyword (SPARQL's
+    prologue position); the last declaration of a name wins.  Returns
+    the mapping and the remaining text.
+    """
+    prefixes: Dict[str, str] = {}
+    position = 0
+    while True:
+        match = _PREFIX_DECL.match(text, position)
+        if match is None:
+            break
+        prefixes[match.group(1) or ""] = match.group(2)
+        position = match.end()
+    return prefixes, text[position:]
+
+
+def _parse_term(token: str, prefixes: Dict[str, str]) -> Term:
     if token.startswith("?"):
         return Variable(token[1:])
     if token.startswith("<") and token.endswith(">"):
@@ -82,10 +123,17 @@ def _parse_term(token: str) -> Term:
         from .ntriples import _unescape
 
         return Literal(_unescape(token[1:-1]))
+    if prefixes and ":" in token:
+        name, local = token.split(":", 1)
+        base = prefixes.get(name)
+        if base is not None:
+            return URI(base + local)
     return URI(token)
 
 
-def _parse_triple_block(block: str, allow_variables: bool) -> List[Triple]:
+def _parse_triple_block(
+    block: str, allow_variables: bool, prefixes: Dict[str, str]
+) -> List[Triple]:
     tokens: List[str] = []
     position = 0
     while position < len(block):
@@ -101,7 +149,7 @@ def _parse_triple_block(block: str, allow_variables: bool) -> List[Triple]:
         if len(parts) != 3:
             raise QuerySyntaxError(f"expected 3 terms per triple, got {parts}")
         try:
-            return Triple(*(_parse_term(t) for t in parts))
+            return Triple(*(_parse_term(t, prefixes) for t in parts))
         except ValueError as err:  # e.g. the empty URI "<>"
             raise QuerySyntaxError(str(err)) from err
 
@@ -150,16 +198,21 @@ def _braced(body: str, keyword: str) -> str:
 def parse_query(text: str) -> Query:
     """Parse the surface syntax into a :class:`repro.query.Query`."""
     text = _strip_comments(text)
+    prefixes, text = _extract_prefixes(text)
     sections = _extract_sections(text)
     if "CONSTRUCT" not in sections or "WHERE" not in sections:
         raise QuerySyntaxError("both CONSTRUCT and WHERE sections are required")
 
-    head = _parse_triple_block(_braced(sections["CONSTRUCT"], "CONSTRUCT"), True)
-    body = _parse_triple_block(_braced(sections["WHERE"], "WHERE"), True)
+    head = _parse_triple_block(
+        _braced(sections["CONSTRUCT"], "CONSTRUCT"), True, prefixes
+    )
+    body = _parse_triple_block(_braced(sections["WHERE"], "WHERE"), True, prefixes)
 
     premise = RDFGraph()
     if "PREMISE" in sections:
-        triples = _parse_triple_block(_braced(sections["PREMISE"], "PREMISE"), False)
+        triples = _parse_triple_block(
+            _braced(sections["PREMISE"], "PREMISE"), False, prefixes
+        )
         premise = RDFGraph(triples)
 
     constraints = frozenset()

@@ -225,6 +225,14 @@ class DatasetCache:
         decode = self.terms.decode
         return frozenset(decode(i) for i in self._bnode_counts)
 
+    def has_bnodes(self) -> bool:
+        """O(1): does any live triple mention a blank node?
+
+        Gates the query cache's exact-invalidation path — for a ground
+        dataset ``nf = cl`` and delta overlap testing is sound.
+        """
+        return bool(self._bnode_counts)
+
     def snapshot(self) -> RDFGraph:
         """The union as an immutable ``RDFGraph``; cached between writes."""
         if self._snapshot is None:

@@ -163,6 +163,12 @@ class TripleStore:
         #: Cross-check incremental maintenance against a from-scratch
         #: fixpoint after every flush (also settable per instance).
         self.validate_maintenance = _VALIDATE_ENV
+        #: Monotonic derived-state version: bumped whenever a flushed
+        #: delta changes the materialized closure (or drops it).  Reads
+        #: served from the query cache are guarded by it.
+        self._version = 0
+        #: Optional two-tier query cache (see ``enable_query_cache``).
+        self._query_cache = None
         #: Per-store metrics: maintenance counters and flush timings.
         #: Always on (cold-path increments only); mirrored into the
         #: process-global registry while ``repro.obs`` is enabled.
@@ -516,11 +522,17 @@ class TripleStore:
         self._pending_adds, self._pending_removes = set(), set()
         if self._closure_store is None:
             # Nothing materialized: the delta is subsumed by the next
-            # lazy from-scratch computation.
+            # lazy from-scratch computation.  Without a closure delta to
+            # test overlap against, cached query state is flushed
+            # conservatively.
             self._closure_graph = None
             self._normal_form = None
+            self._version += 1
+            if self._query_cache is not None:
+                self._query_cache.invalidate_all()
             return
         changed = False
+        delta_rows: Set[Row] = set()
         sk = self._terms.skolemize_row
         timer = self.metrics.timer("store.flush_ms")
         try:
@@ -541,7 +553,9 @@ class TripleStore:
                         self._base_store,
                         [(TRIPLE_RELATION, row) for row in removed_rows],
                     )
-                    changed = changed or bool(gone)
+                    if gone:
+                        changed = True
+                        delta_rows.update(gone.get(TRIPLE_RELATION, ()))
                     self._count("store.maintenance.incremental_delete")
                 if adds:
                     added_rows = {sk(row) for row in adds}
@@ -554,7 +568,9 @@ class TripleStore:
                         self._closure_store,
                         [(TRIPLE_RELATION, row) for row in added_rows],
                     )
-                    changed = changed or bool(grown)
+                    if grown:
+                        changed = True
+                        delta_rows.update(grown.get(TRIPLE_RELATION, ()))
                     self._count("store.maintenance.incremental_insert")
         except BaseException:
             # A failure mid-DRed/extend (injected fault, budget trip,
@@ -574,6 +590,8 @@ class TripleStore:
             # The closure delta is non-empty: derived caches are stale.
             self._closure_graph = None
             self._normal_form = None
+            self._version += 1
+            self._notify_query_cache(delta_rows)
         if self.validate_maintenance:
             self._assert_maintenance_agrees()
 
@@ -599,6 +617,34 @@ class TripleStore:
         self._base_store = None
         self._closure_graph = None
         self._normal_form = None
+        self._version += 1
+        if self._query_cache is not None:
+            self._query_cache.invalidate_all()
+
+    def _notify_query_cache(self, delta_rows: Set[Row]) -> None:
+        """Route one flushed delta's net closure-row changes to the cache.
+
+        The selective (pattern-overlap) path is exactly sound only for
+        ground datasets, where ``nf = cl`` — a ground graph is its own
+        core, so a cached valuation set can change only via a closure
+        row matching one of the entry's body patterns.  Blank nodes let
+        core folding propagate a delta across predicates, so any blank
+        in the dataset (or a skolem/blank ID in the delta, belt and
+        braces) falls back to a full flush.
+        """
+        cache = self._query_cache
+        if cache is None:
+            return
+        unsk = self._terms.unskolemize_id
+        ground = not self._dataset.has_bnodes() and all(
+            not (BNODE_BASE <= i < LITERAL_BASE) and unsk(i) == i
+            for row in delta_rows
+            for i in row
+        )
+        if ground:
+            cache.invalidate_delta(delta_rows, self._terms.lookup, self._version)
+        else:
+            cache.invalidate_all()
 
     # ------------------------------------------------------------------
     # Failure recovery
@@ -740,15 +786,61 @@ class TripleStore:
             OBS.registry.inc("store.nf_cache.hit")
         return self._normal_form
 
+    @property
+    def version(self) -> int:
+        """Monotonic derived-state version (bumps on effective deltas)."""
+        return self._version
+
+    @property
+    def query_cache(self):
+        """The active :class:`~repro.query.cache.QueryCache`, or None."""
+        return self._query_cache
+
+    def enable_query_cache(
+        self,
+        max_bytes: int = 32 << 20,
+        max_entries: int = 256,
+        max_plans: int = 128,
+        answer_cache: bool = True,
+    ):
+        """Attach the two-tier query cache to :meth:`query`.
+
+        Off by default — enabling it changes no answer (cached serving
+        is byte-identical, property-tested), only the work done per
+        request.  Counters land in ``self.metrics`` (and the obs
+        registry when instrumentation is on) as ``query.cache.*``.
+        ``answer_cache=False`` keeps only the prepared-plan tier.
+        """
+        from ..query.cache import QueryCache
+
+        self._query_cache = QueryCache(
+            max_bytes=max_bytes,
+            max_entries=max_entries,
+            max_plans=max_plans,
+            answer_cache=answer_cache,
+            count=self._count,
+        )
+        return self._query_cache
+
+    def disable_query_cache(self) -> None:
+        self._query_cache = None
+
     def query(self, q: Query, semantics: str = "union") -> RDFGraph:
         """Answer a tableau query against the dataset (paper semantics).
 
-        Premise-free queries reuse the cached normal form; queries with
-        premises must renormalize against ``D + P`` per Definition 4.3.
+        Premise-free queries reuse the cached normal form — and, when
+        :meth:`enable_query_cache` has been called, the two-tier query
+        cache; queries with premises must renormalize against ``D + P``
+        per Definition 4.3 (their target is not the store's normal
+        form, so they always bypass the cache).
         """
         from ..query.answers import answers
 
-        target = self.normal_form() if not q.premise else None
+        if q.premise:
+            return answers(q, self.dataset(), semantics=semantics, target=None)
+        target = self.normal_form()
+        if self._query_cache is not None:
+            return self._query_cache.answer(q, semantics, target, self._version)
         return answers(q, self.dataset(), semantics=semantics, target=target)
 
     def describe(self, node: Term) -> RDFGraph:

@@ -102,6 +102,23 @@ class TestGraphCommands:
         assert "incremental_delete: 0" in text
         assert "recomputed:         1" in text
 
+    def test_stats_query_cache_counters_declared_at_zero(self, files):
+        code, text = run(["stats", files["data.nt"]])
+        assert code == 0
+        for name in (
+            "query.cache.hits",
+            "query.cache.misses",
+            "query.cache.containment_hits",
+            "query.cache.plan_hits",
+            "query.cache.invalidations",
+            "query.cache.evictions",
+        ):
+            assert any(
+                line.split()[0] == f"{name}:" and line.split()[-1] == "0"
+                for line in text.splitlines()
+                if line.strip()
+            ), name
+
     def test_dot(self, files):
         code, text = run(["dot", files["data.nt"]])
         assert code == 0
@@ -151,6 +168,29 @@ class TestQueryAndPath:
             ["query", files["q.rq"], files["data.nt"], "--semantics", "merge"]
         )
         assert code == 0
+
+    def test_query_cached_matches_plain(self, files):
+        plain_code, plain_text = run(
+            ["query", files["q.rq"], files["data.nt"]]
+        )
+        code, text = run(
+            ["query", files["q.rq"], files["data.nt"], "--cached"]
+        )
+        assert code == plain_code == 0
+        assert text == plain_text
+
+    def test_query_cached_merge_matches_plain(self, files):
+        _, plain_text = run(
+            ["query", files["q.rq"], files["data.nt"], "--semantics", "merge"]
+        )
+        code, text = run(
+            [
+                "query", files["q.rq"], files["data.nt"],
+                "--cached", "--semantics", "merge",
+            ]
+        )
+        assert code == 0
+        assert text == plain_text
 
     def test_path_all_pairs(self, files):
         code, text = run(["path", "paints", files["data.nt"]])

@@ -273,3 +273,48 @@ class TestRDFSBodies:
         # nf(B) of q contains (?X, type, c) by rule (6), so q2's body
         # maps into it with matching head.
         assert contained_standard(q, q2)
+
+
+class TestFrozenNamespaceCollisions:
+    """User URIs inside the reserved ``urn:frozen-var:`` namespace must
+    not be conflated with frozen query variables: the decision procedure
+    escapes them apart before matching (the guard in
+    :mod:`repro.query.containment`)."""
+
+    def test_reflexive_with_colliding_constant(self):
+        from repro.core import URI
+
+        c = URI("urn:frozen-var:X")
+        q = simple_query([("?X", "q", c)], [("?X", "p", c)])
+        assert contained_standard(q, q)
+        assert contained_entailment(q, q)
+
+    def test_variable_and_colliding_constant_kept_apart(self):
+        from repro.core import URI
+
+        c = URI("urn:frozen-var:X")
+        # q's body freezes to {(frozen ?X, p, escaped c)} — two distinct
+        # URIs.  Unescaped, both positions would collapse to the same
+        # ``urn:frozen-var:X`` node and the merged-variable container
+        # below would (wrongly) find a matching.
+        q = simple_query([("?X", "q", c)], [("?X", "p", c)])
+        distinct = simple_query([("?Y", "q", "?Z")], [("?Y", "p", "?Z")])
+        merged = simple_query([("?Y", "q", "?Y")], [("?Y", "p", "?Y")])
+        assert contained_standard(q, distinct)  # θ: ?Y → ?X, ?Z → c
+        # Witness against q ⊑ merged: D = {(s, p, c)} gives q the answer
+        # (s, q, c), which merged (needing subject = object) never has.
+        assert not contained_standard(q, merged)
+
+    def test_premise_constants_in_reserved_namespace(self):
+        from repro.core import URI
+
+        u = URI("urn:frozen-var:Q")
+        contained = simple_query([(u, "q", u)], [(u, "p", u)])
+        container = simple_query(
+            [("?Y", "q", "?Y")],
+            [("?Y", "p", "?Y")],
+            premise=RDFGraph([triple(u, URI("p"), u)]),
+        )
+        # Theorem 5.8 target = nf(freeze(B) + P'); the premise constant
+        # is escaped too, so ?Y binds to it and thaws back to the URI.
+        assert contained_standard(contained, container)

@@ -1,9 +1,11 @@
 """Tests for the CONSTRUCT/WHERE query surface syntax."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
 
-from repro.core import BNode, Literal, RDFGraph, URI, Variable, triple
-from repro.query import answer_union
+from repro.core import BNode, Literal, RDFGraph, Triple, URI, Variable, triple
+from repro.query import answer_union, head_body_query
 from repro.rdfio.query_syntax import QuerySyntaxError, parse_query, serialize_query
 
 
@@ -127,6 +129,143 @@ class TestRoundTrip:
     @pytest.mark.parametrize("case", CASES)
     def test_roundtrip(self, case):
         q = parse_query(case)
+        assert parse_query(serialize_query(q)) == q
+
+
+class TestPrefixes:
+    def test_prefix_expansion(self):
+        q = parse_query(
+            """
+            PREFIX ex: <http://ex.org/ns#>
+            CONSTRUCT { ?X ex:made ?Y . }
+            WHERE { ?X ex:paints ?Y . }
+            """
+        )
+        assert any(t.p == URI("http://ex.org/ns#paints") for t in q.body)
+        assert any(t.p == URI("http://ex.org/ns#made") for t in q.head)
+
+    def test_default_prefix(self):
+        q = parse_query(
+            "PREFIX : <urn:default#>\n"
+            "CONSTRUCT { ?X :p c . } WHERE { ?X :p b . }"
+        )
+        assert any(t.p == URI("urn:default#p") for t in q.body)
+
+    def test_last_declaration_wins(self):
+        q = parse_query(
+            "PREFIX ex: <urn:one#>\n"
+            "PREFIX ex: <urn:two#>\n"
+            "CONSTRUCT { a ex:p b . } WHERE { a ex:p b . }"
+        )
+        assert any(t.p == URI("urn:two#p") for t in q.body)
+
+    def test_undeclared_colon_name_stays_plain(self):
+        q = parse_query(
+            "PREFIX ex: <urn:one#>\n"
+            "CONSTRUCT { a urn:x b . } WHERE { a urn:x b . }"
+        )
+        assert any(t.p == URI("urn:x") for t in q.body)
+
+    def test_declaration_survives_comments(self):
+        # '#' inside the angle IRI of a declaration is not a comment.
+        q = parse_query(
+            "# file header\n"
+            "PREFIX ex: <urn:ns#>  # trailing comment\n"
+            "CONSTRUCT { a ex:t b . } WHERE { a ex:t b . }"
+        )
+        assert any(t.p == URI("urn:ns#t") for t in q.body)
+
+    def test_expanded_query_roundtrips(self):
+        q = parse_query(
+            "PREFIX ex: <urn:ns#>\n"
+            "CONSTRUCT { ?X ex:made ?Y . } WHERE { ?X ex:paints ?Y . }"
+        )
+        # serialize emits full (angle-quoted where needed) URIs; the
+        # prefix-free rendition parses back to the same query.
+        assert parse_query(serialize_query(q)) == q
+
+
+# Term pools for the generative round-trip property.  Everything here is
+# serializable by design: URIs avoid whitespace/quotes/braces/'?' (the
+# bare-name token alphabet), while '#', ':' and the reserved
+# ``urn:frozen-var:`` namespace are fair game.
+_RT_URIS = [
+    URI(v)
+    for v in [
+        "a",
+        "b",
+        "p",
+        "urn:x",
+        "urn:frozen-var:X",
+        "http://ex.org/ns#term",
+        "urn:default#type",
+        "rel-1",
+        "x.y",
+    ]
+]
+_RT_LITERALS = [
+    Literal(v)
+    for v in ["plain", 'with "quote"', "line\nbreak", "tab\there", "#1", "a\\b"]
+]
+_RT_BNODES = [BNode(v) for v in ["N", "n1", "x.y", "a-b"]]
+_RT_VARS = [Variable(v) for v in ["A", "B", "C"]]
+
+
+@hst.composite
+def surface_queries(draw):
+    """Queries exercising head blanks, premises, and BOUND sets."""
+    var = hst.sampled_from(_RT_VARS)
+    uri = hst.sampled_from(_RT_URIS)
+    lit = hst.sampled_from(_RT_LITERALS)
+    blank = hst.sampled_from(_RT_BNODES)
+    body = [
+        Triple(
+            draw(hst.one_of(var, uri)),
+            draw(hst.one_of(var, uri)),
+            draw(hst.one_of(var, uri, lit)),
+        )
+        for _ in range(draw(hst.integers(min_value=1, max_value=3)))
+    ]
+    body_vars = sorted(
+        {x for t in body for x in t.variables()}, key=lambda v: v.value
+    )
+    head_subject = hst.one_of(uri, blank)
+    head_predicate = uri
+    head_object = hst.one_of(uri, blank, lit)
+    if body_vars:
+        bound = hst.sampled_from(body_vars)
+        head_subject = hst.one_of(head_subject, bound)
+        head_predicate = hst.one_of(head_predicate, bound)
+        head_object = hst.one_of(head_object, bound)
+    head = [
+        Triple(draw(head_subject), draw(head_predicate), draw(head_object))
+        for _ in range(draw(hst.integers(min_value=1, max_value=2)))
+    ]
+    premise = RDFGraph(
+        Triple(
+            draw(hst.one_of(uri, blank)),
+            draw(uri),
+            draw(hst.one_of(uri, blank, lit)),
+        )
+        for _ in range(draw(hst.integers(min_value=0, max_value=2)))
+    )
+    head_vars = sorted(
+        {x for t in head for x in t.variables()}, key=lambda v: v.value
+    )
+    constraints = (
+        draw(hst.sets(hst.sampled_from(head_vars), max_size=len(head_vars)))
+        if head_vars
+        else frozenset()
+    )
+    return head_body_query(
+        head=head, body=body, premise=premise, constraints=constraints
+    )
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(q=surface_queries())
+    def test_parse_serialize_roundtrip(self, q):
         assert parse_query(serialize_query(q)) == q
 
 
