@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Durable-backend benchmark → ``BENCH_durability.json``.
+
+Two questions a durability layer must answer with numbers:
+
+* **commit latency vs batch size** — every durable commit is one WAL
+  append run plus one fsync, so the per-commit cost should be dominated
+  by the fsync at small batches and amortize away as batches grow.  For
+  each batch size the same adds are also replayed into a pure
+  :class:`MemoryBackend` store, giving the durability overhead ratio
+  (how much the WAL costs *on this machine's disk*, not in the
+  abstract).
+
+* **recovery time vs log length** — opening a store whose WAL holds K
+  committed batches must replay all K; the curve should be linear in
+  the log, and a checkpoint must reset it (the post-checkpoint open
+  reads segments, not the log).  Each ladder row reports the replay
+  open, the WAL byte count it consumed, and the open time after a
+  checkpoint of the same data.
+
+``--smoke`` runs the CI-sized ladder.  Both ladders contain the
+64-row-batch and 256-batch rows so ``check_regression.py`` always
+finds a common size.
+"""
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+import os
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    ),
+)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_util import atomic_write_json
+
+from repro.core import Triple, URI
+from repro.store import TripleStore
+
+#: Rows per commit.  Both ladders contain 64 (the regression gate's
+#: common size); the full ladder walks the amortization curve.
+SMOKE_BATCH_SIZES = [1, 64]
+FULL_BATCH_SIZES = [1, 16, 64, 512, 2048]
+
+#: Committed WAL batches to replay at open.  Both ladders contain 256.
+SMOKE_LOG_LENGTHS = [256]
+FULL_LOG_LENGTHS = [256, 1024, 4096]
+
+#: Total rows written per commit-latency measurement (split into
+#: ``total // batch`` commits, at least MIN_COMMITS of them).
+SMOKE_TOTAL_ROWS = 1_024
+FULL_TOTAL_ROWS = 8_192
+MIN_COMMITS = 4
+
+
+def _triples(n, tag):
+    return [
+        Triple(URI(f"u:{tag}-s{i // 7}"), URI(f"u:p{i % 7}"), URI(f"u:o{i}"))
+        for i in range(n)
+    ]
+
+
+def bench_commit_latency(batch, total_rows, tmp_parent):
+    """One durable store, ``total//batch`` single-batch commits."""
+    commits = max(MIN_COMMITS, total_rows // batch)
+    batches = [
+        _triples(batch, f"b{batch}x{j}") for j in range(commits)
+    ]
+
+    store_dir = tempfile.mkdtemp(dir=tmp_parent)
+    store = TripleStore.open(os.path.join(store_dir, "store"))
+    t0 = time.perf_counter()
+    for rows in batches:
+        store.add_all(rows)
+    durable_ms = (time.perf_counter() - t0) * 1e3
+    fsyncs = int(store.metrics.counter("wal.fsyncs"))
+    store.close()
+    shutil.rmtree(store_dir, ignore_errors=True)
+
+    memory = TripleStore()
+    t0 = time.perf_counter()
+    for rows in batches:
+        memory.add_all(rows)
+    memory_ms = (time.perf_counter() - t0) * 1e3
+
+    return {
+        "batch_rows": batch,
+        "commits": commits,
+        "fsyncs": fsyncs,
+        "durable_ms": durable_ms,
+        "memory_ms": memory_ms,
+        "ms_per_commit": durable_ms / commits,
+        "rows_per_s": (commits * batch) / (durable_ms / 1e3),
+        "overhead": durable_ms / memory_ms if memory_ms else None,
+    }
+
+
+def bench_recovery(batches, tmp_parent, repeats):
+    """Open time of a WAL holding *batches* committed batches."""
+    store_dir = os.path.join(tempfile.mkdtemp(dir=tmp_parent), "store")
+    store = TripleStore.open(store_dir)
+    for j in range(batches):
+        store.add_all(_triples(4, f"r{j}"))
+    wal_bytes = store.backend.info()["wal_bytes"]
+    rows = len(store.dataset())
+    store.close()
+
+    replay_ms = float("inf")
+    recovered = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        reopened = TripleStore.open(store_dir)
+        replay_ms = min(replay_ms, (time.perf_counter() - t0) * 1e3)
+        recovered = int(reopened.metrics.counter("wal.recovered_batches"))
+        reopened.close()
+    assert recovered == batches, (recovered, batches)
+
+    # Checkpoint the same data: the open must now read segments, and
+    # its cost stops tracking the (now reset) log length.
+    compact = TripleStore.open(store_dir)
+    compact.checkpoint()
+    compact.close()
+    checkpointed_ms = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        reopened = TripleStore.open(store_dir)
+        checkpointed_ms = min(
+            checkpointed_ms, (time.perf_counter() - t0) * 1e3
+        )
+        reopened.close()
+    shutil.rmtree(os.path.dirname(store_dir), ignore_errors=True)
+
+    return {
+        "batches": batches,
+        "rows": rows,
+        "wal_bytes": wal_bytes,
+        "recovery_ms": replay_ms,
+        "checkpointed_open_ms": checkpointed_ms,
+        "batches_per_s": batches / (replay_ms / 1e3),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--smoke", action="store_true", help="CI-sized run"
+    )
+    ap.add_argument("--out", default="BENCH_durability.json")
+    args = ap.parse_args(argv)
+
+    batch_sizes = SMOKE_BATCH_SIZES if args.smoke else FULL_BATCH_SIZES
+    log_lengths = SMOKE_LOG_LENGTHS if args.smoke else FULL_LOG_LENGTHS
+    total_rows = SMOKE_TOTAL_ROWS if args.smoke else FULL_TOTAL_ROWS
+    repeats = 2 if args.smoke else 3
+
+    tmp_parent = tempfile.mkdtemp(prefix="repro-bench-durability-")
+    try:
+        commit_rows = [
+            bench_commit_latency(b, total_rows, tmp_parent)
+            for b in batch_sizes
+        ]
+        recovery_rows = [
+            bench_recovery(k, tmp_parent, repeats) for k in log_lengths
+        ]
+    finally:
+        shutil.rmtree(tmp_parent, ignore_errors=True)
+
+    payload = {
+        "meta": {
+            "mode": "smoke" if args.smoke else "full",
+            "total_rows": total_rows,
+            "repeats": repeats,
+            "python": sys.version.split()[0],
+        },
+        "commit_latency": {"rows": commit_rows},
+        "recovery": {"rows": recovery_rows},
+    }
+    atomic_write_json(args.out, payload)
+
+    for row in commit_rows:
+        print(
+            f"commit batch={row['batch_rows']:<5d} "
+            f"{row['commits']:>5d} commits  "
+            f"{row['ms_per_commit']:8.3f} ms/commit  "
+            f"{row['rows_per_s']:>10.0f} rows/s  "
+            f"({row['overhead']:.1f}x over memory)"
+        )
+    for row in recovery_rows:
+        print(
+            f"recover batches={row['batches']:<6d} "
+            f"wal {row['wal_bytes']:>8d} B  "
+            f"replay {row['recovery_ms']:8.2f} ms  "
+            f"checkpointed open {row['checkpointed_open_ms']:6.2f} ms"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

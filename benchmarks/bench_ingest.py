@@ -35,6 +35,9 @@ sys.path.insert(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
     ),
 )
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_util import atomic_write_json
 
 from repro.generators import synthetic_ontology_lines, write_synthetic_ontology
 from repro.ingest import load_ntriples
@@ -268,9 +271,7 @@ def main(argv=None) -> int:
             "parse": bench_parse(max(repeats, 2)),
             "obs_overhead": bench_obs_overhead(path, shards),
         }
-    with open(args.out, "w") as f:
-        json.dump(payload, f, indent=2)
-        f.write("\n")
+    atomic_write_json(args.out, payload)
     print(f"wrote {args.out}")
     return 0
 

@@ -43,6 +43,9 @@ sys.path.insert(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
     ),
 )
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_util import atomic_write_json
 
 from repro.core import Triple, URI, Variable
 from repro.core.vocabulary import TYPE
@@ -292,9 +295,7 @@ def main(argv=None) -> int:
         "query_cache": {"rows": rows},
         "disabled_overhead": {"rows": overhead_rows},
     }
-    with open(args.out, "w") as f:
-        json.dump(payload, f, indent=2)
-        f.write("\n")
+    atomic_write_json(args.out, payload)
     for row in rows:
         print(
             f"{row['workload']:18s} n={row['size']:<7d} "

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark scripts."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def atomic_write_json(path, payload) -> None:
+    """Write *payload* as JSON via a same-directory temp file + rename.
+
+    Benchmark JSON is consumed by the regression gate and archived as a
+    CI artifact; a benchmark process dying mid-write (OOM, timeout,
+    ctrl-C) must leave either the previous file or the new one, never a
+    half-written JSON that fails parsing downstream.  ``os.replace`` is
+    atomic on POSIX and Windows when source and target share a
+    directory, which is why the temp file sits next to the target.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)

@@ -3,7 +3,8 @@
 
 Usage:  python benchmarks/check_regression.py BASELINE.json FRESH.json
             [INGEST_BASELINE.json INGEST_FRESH.json
-             [QUERY_BASELINE.json QUERY_FRESH.json]]
+             [QUERY_BASELINE.json QUERY_FRESH.json
+              [DURABILITY_BASELINE.json DURABILITY_FRESH.json]]]
 
 Compares a fresh ``BENCH_entailment.json`` (written by
 ``run_report.py --quick`` during the CI run) against the committed
@@ -49,6 +50,13 @@ slowdown on a cached hit means the fast path stopped being fast), plus
 a within-fresh check that ``store.query`` with *no* cache attached
 stays within 1.1x of a direct ``answers()`` call — the "free when
 disabled" promise of the serving layer.
+
+With the optional fourth pair, ``BENCH_durability.json`` (committed
+full run vs the CI ``bench_durability.py --smoke`` rerun) gates the
+durable backend: per-commit WAL latency at the largest common batch
+size, and WAL-replay recovery time at the largest common log length.
+Both ladders contain the 64-row-batch and 256-batch rows by
+construction, so the comparison always has a common size.
 """
 
 import json
@@ -188,6 +196,41 @@ QUERY_CHECKS = [
 ]
 
 
+def _commit_latency_series(payload):
+    """Per-commit WAL latency keyed by batch size, or {}."""
+    try:
+        rows = payload["commit_latency"]["rows"]
+    except (KeyError, TypeError):
+        return {}
+    return {
+        row["batch_rows"]: row["ms_per_commit"]
+        for row in rows
+        if row.get("batch_rows") is not None
+        and row.get("ms_per_commit") is not None
+    }
+
+
+def _recovery_series(payload):
+    """WAL-replay open time keyed by committed-batch count, or {}."""
+    try:
+        rows = payload["recovery"]["rows"]
+    except (KeyError, TypeError):
+        return {}
+    return {
+        row["batches"]: row["recovery_ms"]
+        for row in rows
+        if row.get("batches") is not None
+        and row.get("recovery_ms") is not None
+    }
+
+
+#: Checks over the optional BENCH_durability.json pair.
+DURABILITY_CHECKS = [
+    ("durable commit latency", _commit_latency_series),
+    ("wal recovery", _recovery_series),
+]
+
+
 def check_guard_overhead(fresh) -> bool:
     """True when the fresh run's guard-overhead rows stay under 1.1x."""
     try:
@@ -304,7 +347,7 @@ def run_checks(checks, baseline, fresh) -> bool:
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if len(argv) not in (2, 4, 6):
+    if len(argv) not in (2, 4, 6, 8):
         print(__doc__)
         return 2
     try:
@@ -344,7 +387,7 @@ def main(argv=None) -> int:
             ) or failed
             failed = failed or not check_obs_overhead(ingest_fresh)
 
-    if len(argv) == 6:
+    if len(argv) >= 6:
         try:
             query_baseline = json.loads(open(argv[4]).read())
         except (OSError, ValueError) as e:
@@ -364,6 +407,30 @@ def main(argv=None) -> int:
                 QUERY_CHECKS, query_baseline, query_fresh
             ) or failed
             failed = (not check_query_disabled_overhead(query_fresh)) or failed
+
+    if len(argv) == 8:
+        try:
+            durability_baseline = json.loads(open(argv[6]).read())
+        except (OSError, ValueError) as e:
+            print(
+                f"perf gate: cannot read durability baseline {argv[6]} ({e})"
+            )
+            durability_baseline = None
+        try:
+            durability_fresh = json.loads(open(argv[7]).read())
+        except (OSError, ValueError) as e:
+            print(
+                f"perf gate: cannot read durability fresh run {argv[7]} ({e})"
+            )
+            durability_fresh = None
+        if durability_baseline is None or durability_fresh is None:
+            # Same policy again: the caller asked for the durability
+            # gate, so a missing file is a broken pipeline.
+            failed = True
+        else:
+            failed = run_checks(
+                DURABILITY_CHECKS, durability_baseline, durability_fresh
+            ) or failed
 
     if failed:
         print(f"perf gate: regression above {THRESHOLD}x threshold")

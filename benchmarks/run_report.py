@@ -35,6 +35,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 import bench_acyclic_entailment
+from bench_util import atomic_write_json
 import bench_closure_ablation
 import bench_closure_growth
 import bench_containment
@@ -337,7 +338,7 @@ def write_metrics_json(snapshots, path: Path) -> None:
         ),
         "sections": snapshots,
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(path, payload)
     print(f"wrote {path}")
 
 
@@ -345,7 +346,7 @@ def write_store_json(payload, path: Path, metrics=None) -> None:
     """Seed-vs-current store write numbers as a reviewable artifact."""
     if metrics is not None:
         payload = dict(payload, metrics=metrics)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(path, payload)
     print(f"\nwrote {path}")
 
 
@@ -388,7 +389,7 @@ def write_bench_json(
         payload["guard_overhead"] = guard_overhead
     if metrics is not None:
         payload["metrics"] = metrics
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(path, payload)
     print(f"\nwrote {path}")
 
 

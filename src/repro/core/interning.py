@@ -395,6 +395,28 @@ class TermDict:
             [t.value for t in self._literals],
         )
 
+    def pool_sizes(self) -> Tuple[int, int, int]:
+        """Current (URI, BNode, Literal) pool lengths — a high-water
+        mark for :meth:`pool_records_since`."""
+        return (len(self._uris), len(self._bnodes), len(self._literals))
+
+    def pool_records_since(
+        self, marks: Tuple[int, int, int]
+    ) -> List[Tuple[str, str]]:
+        """Terms interned since *marks*, as ``(kind, value)`` records.
+
+        The durable backend's string-pool log entries: appending these
+        in order (URIs, then BNodes, then Literals) and replaying them
+        through :meth:`encode` at open reconstructs the exact same ID
+        assignment, because IDs are dense per-kind append positions.
+        """
+        u, b, l = marks
+        out: List[Tuple[str, str]] = []
+        out.extend(("U", t.value) for t in self._uris[u:])
+        out.extend(("B", t.value) for t in self._bnodes[b:])
+        out.extend(("L", t.value) for t in self._literals[l:])
+        return out
+
     def __len__(self) -> int:
         return len(self._uris) + len(self._bnodes) + len(self._literals)
 

@@ -28,6 +28,7 @@ from array import array
 from typing import Iterator, List, Optional
 
 from ..core.columns import Row, merge_union_many, rows_to_array
+from ..robustness.faultinject import FAULTS
 
 __all__ = ["RunPool", "SpilledRun", "ROW_BYTES", "SPILL_BLOCK_ROWS"]
 
@@ -143,8 +144,23 @@ class RunPool:
         run = self._runs.pop(i)
         self._in_memory_rows -= len(run)
         path = os.path.join(self._spill_dir(), f"run-{self.spills:05d}.bin")
-        with open(path, "wb") as f:
-            rows_to_array(run).tofile(f)
+        try:
+            with open(path, "wb") as f:
+                if FAULTS.enabled:
+                    FAULTS.hit("ingest.spill.write")
+                rows_to_array(run).tofile(f)
+        except BaseException:
+            # A failed spill (disk full, interrupt, injected fault) must
+            # not lose the run *or* leave a partial file for the merge
+            # to trip over: put the run back in memory, delete the
+            # half-written file, and let the caller see the error.
+            self._runs.append(run)
+            self._in_memory_rows += len(run)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            raise
         self._spilled.append(SpilledRun(path, len(run)))
         self.spills += 1
         self.spilled_rows += len(run)

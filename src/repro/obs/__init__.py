@@ -110,6 +110,14 @@ STANDARD_COUNTERS = (
     "store.maintenance.incremental_delete",
     "store.maintenance.recomputed",
     "store.recovered_ops",
+    "wal.appends",
+    "wal.fsyncs",
+    "wal.terms.appends",
+    "wal.terms.fsyncs",
+    "wal.recovered_batches",
+    "wal.torn_tail_bytes",
+    "wal.repaired_commits",
+    "durable.checkpoints",
     "query.cache.hits",
     "query.cache.misses",
     "query.cache.containment_hits",

@@ -31,7 +31,7 @@ while instrumentation is on.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Tuple, Type
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type
 
 from ..obs import OBS
 
@@ -63,6 +63,15 @@ SITES: Tuple[str, ...] = (
     "engine.dred.rederive",
     # staged closure kernel
     "closure.round",
+    # durable backend I/O (crash windows on the persistence path)
+    "durable.wal.post_write",
+    "durable.wal.pre_fsync",
+    "durable.terms.post_write",
+    "durable.terms.pre_fsync",
+    "durable.checkpoint.mid_compaction",
+    "durable.checkpoint.pre_rename",
+    # ingest spill I/O
+    "ingest.spill.write",
 )
 
 
@@ -73,8 +82,11 @@ class FaultInjector:
 
     def __init__(self):
         self.enabled = False
-        #: site -> (remaining hit number to fire on, exception class)
-        self._armed: Dict[str, Tuple[int, Type[BaseException]]] = {}
+        #: site -> (hit number to fire on, exception class, on_fire hook)
+        self._armed: Dict[
+            str,
+            Tuple[int, Type[BaseException], Optional[Callable[[str], None]]],
+        ] = {}
         #: site -> dynamic hit count since the last reset
         self.hits: Dict[str, int] = {}
 
@@ -83,13 +95,21 @@ class FaultInjector:
         site: str,
         on_hit: int = 1,
         exc: Type[BaseException] = InjectedFault,
+        on_fire: Optional[Callable[[str], None]] = None,
     ) -> None:
-        """Make *site* raise ``exc`` on its ``on_hit``-th execution."""
+        """Make *site* raise ``exc`` on its ``on_hit``-th execution.
+
+        *on_fire* runs at the firing site, after the hit is recorded
+        but **before** the exception propagates — the crash–reopen
+        tests use it to photograph the on-disk state at the exact
+        instant of the simulated crash, before any in-process
+        exception handler gets a chance to repair it.
+        """
         if site not in SITES:
             raise ValueError(f"unknown injection site: {site!r}")
         if on_hit < 1:
             raise ValueError("on_hit must be >= 1")
-        self._armed[site] = (on_hit, exc)
+        self._armed[site] = (on_hit, exc, on_fire)
         self.enabled = True
 
     def disarm(self, site: str) -> None:
@@ -114,9 +134,11 @@ class FaultInjector:
             OBS.registry.inc(f"faultinject.hit.{site}")
         armed = self._armed.get(site)
         if armed is not None and count == armed[0]:
-            exc = armed[1]
+            exc, on_fire = armed[1], armed[2]
             if OBS.enabled:
                 OBS.registry.inc(f"faultinject.raised.{site}")
+            if on_fire is not None:
+                on_fire(site)
             raise exc(f"injected fault at {site!r} (hit {count})")
 
     @contextmanager
@@ -125,9 +147,10 @@ class FaultInjector:
         site: str,
         on_hit: int = 1,
         exc: Type[BaseException] = InjectedFault,
+        on_fire: Optional[Callable[[str], None]] = None,
     ) -> Iterator["FaultInjector"]:
         """Arm *site* for the block, then fully reset the injector."""
-        self.arm(site, on_hit=on_hit, exc=exc)
+        self.arm(site, on_hit=on_hit, exc=exc, on_fire=on_fire)
         try:
             yield self
         finally:
@@ -136,7 +159,7 @@ class FaultInjector:
     def describe(self) -> List[str]:
         return [
             f"{site} -> {exc.__name__} on hit {n}"
-            for site, (n, exc) in sorted(self._armed.items())
+            for site, (n, exc, _) in sorted(self._armed.items())
         ]
 
     def __repr__(self) -> str:

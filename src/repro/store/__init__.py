@@ -6,9 +6,16 @@ dataset cache, and query answering with the tableau semantics of
 Section 4.
 """
 
-from .dataset_cache import DatasetCache
-from .triple_store import (
+from .backend import (
     DEFAULT_GRAPH,
+    BackendState,
+    MemoryBackend,
+    StorageBackend,
+    StorageError,
+)
+from .dataset_cache import DatasetCache
+from .durable import DurableBackend
+from .triple_store import (
     MaintenanceStats,
     TransactionError,
     TripleStore,
@@ -16,8 +23,13 @@ from .triple_store import (
 
 __all__ = [
     "DEFAULT_GRAPH",
+    "BackendState",
     "DatasetCache",
+    "DurableBackend",
     "MaintenanceStats",
+    "MemoryBackend",
+    "StorageBackend",
+    "StorageError",
     "TransactionError",
     "TripleStore",
 ]

@@ -1,0 +1,140 @@
+"""The engine / storage-backend split of :class:`TripleStore`.
+
+:class:`~repro.store.triple_store.TripleStore` is the *engine*: named
+graphs, transactions, the dataset cache, incremental closure
+maintenance, query answering.  Everything about *where the committed
+data lives between processes* is delegated to a
+:class:`StorageBackend`:
+
+* :class:`MemoryBackend` — the historical behaviour: nothing persists,
+  every hook is a no-op, and ``durable`` is False so the engine's
+  write paths skip the persistence bookkeeping entirely (one attribute
+  read per operation, same idiom as ``OBS``/``FAULTS``).
+* :class:`~repro.store.durable.DurableBackend` — a pure-python durable
+  backend: a write-ahead log of committed batches, an append-only
+  string-pool log for the term dictionary, and SPO/POS/OSP segment
+  files written at checkpoints, with crash recovery on open.
+
+The contract is deliberately narrow — the engine stays the single
+source of truth while the process lives, and the backend is a
+*durability channel*, not a second database:
+
+* ``load()`` is called once, when the engine attaches.  It returns the
+  committed :class:`BackendState` (term-pool records in interning
+  order plus per-graph encoded rows) or ``None`` for an empty/ephemeral
+  backend; the engine replays it into its in-memory structures.
+* ``commit_batch(new_terms, ops)`` is called at every durable commit
+  point (each auto-committed write, each transaction commit) with the
+  term-pool appends since the last commit and the ordered per-graph
+  triple operations.  It must be atomic-or-raise: either the whole
+  batch is durably committed, or the backend restores its previous
+  on-disk state and raises (the engine then rolls the in-memory
+  operation back too).
+* ``checkpoint(graphs_rows)`` folds the engine's current committed
+  state into compact segment files and resets the log.
+
+Term IDs are stable across restarts because the term dictionary is
+reconstructed by replaying pool appends in their original per-kind
+order (see :meth:`~repro.core.interning.TermDict.pool_records_since`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.interning import Row
+
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "BackendState",
+    "StorageError",
+    "TermRecord",
+    "DurableOp",
+    "DEFAULT_GRAPH",
+]
+
+#: Default graph name (canonical definition; the engine re-exports it).
+DEFAULT_GRAPH = "default"
+
+#: One term-pool append: (kind, value) with kind in "U" / "B" / "L".
+TermRecord = Tuple[str, str]
+
+#: One durable triple operation: (op, graph, row) with op in
+#: "add" / "del", the graph-name removal marker ("drop", graph, None),
+#: or the full-reset marker ("clear", "", None).
+DurableOp = Tuple[str, str, Optional[Row]]
+
+
+class StorageError(RuntimeError):
+    """A backend could not durably commit or recover.
+
+    Raised on unrecoverable I/O failures (a commit whose on-disk repair
+    also failed poisons the backend: every later commit raises until
+    the store is reopened) and on corrupt segment files at open.
+    """
+
+
+class BackendState:
+    """The committed state a backend hands the engine at attach time."""
+
+    __slots__ = ("terms", "graphs")
+
+    def __init__(
+        self,
+        terms: Sequence[TermRecord],
+        graphs: Dict[str, List[Row]],
+    ):
+        #: Term-pool records in interning order (per kind), replayed
+        #: into the engine's TermDict so IDs match the on-disk rows.
+        self.terms = terms
+        #: graph name -> sorted encoded rows (may be empty: a named
+        #: graph whose triples were all removed keeps its name).
+        self.graphs = graphs
+
+    def __repr__(self) -> str:
+        rows = sum(len(r) for r in self.graphs.values())
+        return (
+            f"BackendState(terms={len(self.terms)}, "
+            f"graphs={len(self.graphs)}, rows={rows})"
+        )
+
+
+class StorageBackend:
+    """Base class / interface for triple-store storage backends."""
+
+    #: False for ephemeral backends: the engine checks this one
+    #: attribute per write and skips all persistence bookkeeping when
+    #: it is off, so the in-memory store pays nothing for the split.
+    durable: bool = False
+
+    def bind_counter(self, count: Callable[..., None]) -> None:
+        """Receive the engine's counter sink (``store._count``)."""
+
+    def load(self) -> Optional[BackendState]:
+        """Recover and return the committed state, or ``None``."""
+        return None
+
+    def commit_batch(
+        self, new_terms: Sequence[TermRecord], ops: Sequence[DurableOp]
+    ) -> None:
+        """Durably commit one batch (atomic-or-raise)."""
+
+    def should_checkpoint(self) -> bool:
+        """True when the log has grown enough to be worth compacting."""
+        return False
+
+    def checkpoint(self, graphs_rows: Dict[str, List[Row]]) -> None:
+        """Fold the committed state into segments and reset the log."""
+
+    def close(self) -> None:
+        """Release file handles; the store must not be written after."""
+
+
+class MemoryBackend(StorageBackend):
+    """The no-op backend: data lives (and dies) with the process."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "MemoryBackend()"

@@ -1,0 +1,17 @@
+"""Durable storage backend: WAL + term log + checkpoint segments."""
+
+from .backend import DEFAULT_CHECKPOINT_BYTES, MANIFEST_NAME, DurableBackend
+from .recordlog import MAGIC, RecordLog, scan_records
+from .segments import SEGMENT_ORDERINGS, read_segment, write_segment
+
+__all__ = [
+    "DurableBackend",
+    "MANIFEST_NAME",
+    "DEFAULT_CHECKPOINT_BYTES",
+    "RecordLog",
+    "scan_records",
+    "MAGIC",
+    "write_segment",
+    "read_segment",
+    "SEGMENT_ORDERINGS",
+]

@@ -1,0 +1,478 @@
+"""The pure-python durable storage backend.
+
+On-disk layout of a store directory::
+
+    MANIFEST.json        atomically-replaced root pointer (generation,
+                         active WAL file, segment metadata + CRCs)
+    terms.log            append-only string-pool log: one record per
+                         interned term, replayed in order at open so
+                         term IDs are bit-identical across restarts
+    wal-<gen>.log        write-ahead log of committed batches
+    segments-<gen>/      per-graph SPO/POS/OSP segment files written
+                         by the last checkpoint
+
+Commit protocol (one durable batch = one engine commit point):
+
+1. append the term-pool records interned since the last commit to
+   ``terms.log``; fsync it — a WAL row may only reference terms that
+   are already durable;
+2. append the batch's ``A`` (add) / ``R`` (remove) / ``D`` (drop a
+   graph name) / ``X`` (clear everything) records to the WAL, then one
+   ``C`` (commit, sequence-numbered) record; fsync.
+
+Recovery replays records in three steps: the term log's intact records
+rebuild the term pools (extra terms from an un-committed batch are
+harmless — they occupy IDs nothing references); the manifest's segment
+files rebuild each graph's committed rows; the WAL's batches are
+applied **only up to the last intact ``C`` record** — add/remove
+application is idempotent set algebra, so replaying a batch that the
+segments already contain is safe.  Everything after the last commit
+record (a torn record, a corrupt record, or intact records of a batch
+whose ``C`` never hit the disk) is truncated away, counted in
+``wal.torn_tail_bytes``.
+
+A commit that fails mid-append (I/O error, injected fault) repairs the
+tail in-process by truncating both logs back to their pre-batch
+offsets and re-raises; if even the repair fails the backend is
+*poisoned* — every later commit raises :class:`StorageError` until the
+store is reopened, because the on-disk tail state is unknown.
+
+Checkpoints write a new segment generation and a fresh WAL, then
+commit both with one atomic manifest replace (``os.replace``); a crash
+anywhere before the replace leaves the old generation authoritative
+and the half-built one as stray files that the next open removes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import struct
+from array import array
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ...core.columns import rows_from_array, rows_to_array
+from ...robustness.faultinject import FAULTS
+from ..backend import (
+    DEFAULT_GRAPH,
+    BackendState,
+    DurableOp,
+    StorageBackend,
+    StorageError,
+    TermRecord,
+)
+from .recordlog import MAGIC, RecordLog, fsync_dir, scan_records
+
+__all__ = ["DurableBackend", "MANIFEST_NAME", "DEFAULT_CHECKPOINT_BYTES"]
+
+MANIFEST_NAME = "MANIFEST.json"
+TERMS_LOG_NAME = "terms.log"
+
+#: WAL size beyond which :meth:`DurableBackend.should_checkpoint`
+#: suggests folding the log into segments (8 MiB ≈ a few hundred
+#: thousand buffered row operations).
+DEFAULT_CHECKPOINT_BYTES = 8 << 20
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_FRAME_OVERHEAD = 8  # u32 length + u32 crc per record
+
+
+def _noop_count(name: str, amount: int = 1) -> None:
+    pass
+
+
+# -- WAL payload (de)coding --------------------------------------------
+
+def _encode_ops_record(op: str, graph: str, rows: List[Tuple[int, int, int]]) -> bytes:
+    tag = b"A" if op == "add" else b"R"
+    name = graph.encode("utf-8")
+    return (
+        tag
+        + _U32.pack(len(name))
+        + name
+        + _U32.pack(len(rows))
+        + rows_to_array(rows).tobytes()
+    )
+
+
+def _decode_record(payload: bytes):
+    """-> ("commit", seq) | ("clear",) | ("drop", graph) | (op, graph, rows)."""
+    tag = payload[:1]
+    if tag == b"C":
+        return ("commit", _U64.unpack_from(payload, 1)[0])
+    if tag == b"X":
+        return ("clear",)
+    if tag == b"D":
+        (name_len,) = _U32.unpack_from(payload, 1)
+        return ("drop", payload[5 : 5 + name_len].decode("utf-8"))
+    if tag not in (b"A", b"R"):
+        raise StorageError(f"unknown WAL record tag {tag!r}")
+    (name_len,) = _U32.unpack_from(payload, 1)
+    name = payload[5 : 5 + name_len].decode("utf-8")
+    (n_rows,) = _U32.unpack_from(payload, 5 + name_len)
+    flat = array("q")
+    flat.frombytes(payload[9 + name_len : 9 + name_len + 24 * n_rows])
+    return ("add" if tag == b"A" else "del", name, rows_from_array(flat))
+
+
+class DurableBackend(StorageBackend):
+    """WAL + segment-file persistence for :class:`TripleStore`.
+
+    ``fsync=False`` trades the crash-durability guarantee for speed
+    (flush-only commits) — for tests and bulk loads that end in an
+    explicit checkpoint, never for serving.
+    """
+
+    durable = True
+
+    def __init__(
+        self,
+        path,
+        wal_checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        fsync: bool = True,
+    ):
+        self.path = Path(path)
+        self.wal_checkpoint_bytes = wal_checkpoint_bytes
+        self.fsync = fsync
+        self._count: Callable[..., None] = _noop_count
+        self._manifest: Optional[dict] = None
+        self._generation = 0
+        self._seq = 1
+        self._wal: Optional[RecordLog] = None
+        self._terms_log: Optional[RecordLog] = None
+        self._poisoned: Optional[str] = None
+        self._closed = False
+
+    # -- attach protocol -------------------------------------------------
+
+    def bind_counter(self, count: Callable[..., None]) -> None:
+        self._count = count
+
+    def load(self) -> BackendState:
+        """Open-or-create the store directory and recover its state."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        manifest = self._read_manifest()
+        if manifest is None:
+            manifest = {
+                "format": 1,
+                "generation": 0,
+                "next_seq": 1,
+                "wal": "wal-0.log",
+                "graphs": [],
+            }
+            self._write_manifest(manifest)
+        self._manifest = manifest
+        self._generation = int(manifest["generation"])
+        self._seq = int(manifest["next_seq"])
+        self._remove_strays(manifest)
+
+        # 1. Term-pool log: every intact record survives (un-committed
+        #    extras are harmless); only a torn tail is repaired.
+        terms_path = self.path / TERMS_LOG_NAME
+        term_payloads, terms_end, terms_size = scan_records(terms_path)
+        terms: List[TermRecord] = [
+            (p[:1].decode("ascii"), p[1:].decode("utf-8"))
+            for p in term_payloads
+        ]
+        if terms_size > terms_end:
+            self._count("wal.torn_tail_bytes", terms_size - terms_end)
+        self._terms_log = RecordLog(
+            terms_path,
+            terms_end,
+            terms_size,
+            name="terms",
+            counter_prefix="wal.terms",
+            count=self._count,
+        )
+
+        # 2. Segment generation named by the manifest.
+        from .segments import read_segment
+
+        graphs: Dict[str, Set[Tuple[int, int, int]]] = {}
+        for entry in manifest["graphs"]:
+            if entry["rows"]:
+                runs = read_segment(self.path / entry["base"], entry)
+                graphs[entry["name"]] = set(runs.rows())
+            else:
+                graphs[entry["name"]] = set()
+
+        # 3. WAL replay up to the last intact commit record.
+        wal_path = self.path / manifest["wal"]
+        payloads, _, wal_size = scan_records(wal_path)
+        committed_end = len(MAGIC) if wal_size else 0
+        offset = committed_end
+        pending = []
+        last_seq = 0
+        for payload in payloads:
+            offset += _FRAME_OVERHEAD + len(payload)
+            decoded = _decode_record(payload)
+            if decoded[0] == "commit":
+                for change in pending:
+                    self._apply(graphs, change)
+                pending = []
+                committed_end = offset
+                last_seq = max(last_seq, decoded[1])
+                self._count("wal.recovered_batches")
+            else:
+                pending.append(decoded)
+        if wal_size > committed_end:
+            # Torn tail *or* intact records of an uncommitted batch:
+            # both must go before new batches are appended after them.
+            self._count("wal.torn_tail_bytes", wal_size - committed_end)
+        self._wal = RecordLog(
+            wal_path,
+            committed_end,
+            wal_size,
+            name="wal",
+            counter_prefix="wal",
+            count=self._count,
+        )
+        self._seq = max(self._seq, last_seq + 1)
+        return BackendState(
+            terms=terms,
+            graphs={name: sorted(rows) for name, rows in graphs.items()},
+        )
+
+    @staticmethod
+    def _apply(graphs: Dict[str, Set], change) -> None:
+        if change[0] == "clear":
+            graphs.clear()
+            graphs[DEFAULT_GRAPH] = set()
+            return
+        if change[0] == "drop":
+            graphs.pop(change[1], None)
+            return
+        op, name, rows = change
+        target = graphs.setdefault(name, set())
+        if op == "add":
+            target.update(rows)
+        else:
+            target.difference_update(rows)
+
+    # -- manifest ----------------------------------------------------------
+
+    def _read_manifest(self) -> Optional[dict]:
+        try:
+            return json.loads((self.path / MANIFEST_NAME).read_text())
+        except FileNotFoundError:
+            return None
+        except ValueError as err:
+            # os.replace is atomic, so a syntactically broken manifest
+            # is real corruption, not a crash artefact.
+            raise StorageError(f"corrupt manifest in {self.path}: {err}")
+
+    def _write_manifest(self, manifest: dict) -> None:
+        tmp = self.path / (MANIFEST_NAME + ".tmp")
+        with open(tmp, "w") as f:
+            json.dump(manifest, f, indent=2, sort_keys=True)
+            f.write("\n")
+            f.flush()
+            os.fsync(f.fileno())
+        if FAULTS.enabled:
+            FAULTS.hit("durable.checkpoint.pre_rename")
+        os.replace(tmp, self.path / MANIFEST_NAME)
+        fsync_dir(self.path)
+
+    def _remove_strays(self, manifest: dict) -> None:
+        """Drop files a crashed checkpoint left outside the manifest."""
+        keep_wal = manifest["wal"]
+        keep_dirs = {
+            entry["base"].split("/", 1)[0] for entry in manifest["graphs"]
+        }
+        for child in self.path.iterdir():
+            name = child.name
+            if name.startswith("wal-") and name != keep_wal:
+                child.unlink(missing_ok=True)
+            elif name.startswith("segments-") and name not in keep_dirs:
+                shutil.rmtree(child, ignore_errors=True)
+            elif name == MANIFEST_NAME + ".tmp":
+                child.unlink(missing_ok=True)
+
+    # -- the write path ----------------------------------------------------
+
+    def _check_writable(self) -> None:
+        if self._closed:
+            raise StorageError("backend is closed")
+        if self._wal is None:
+            raise StorageError("backend was never loaded")
+        if self._poisoned is not None:
+            raise StorageError(
+                f"backend poisoned by an earlier failure ({self._poisoned}); "
+                "reopen the store to recover"
+            )
+
+    def commit_batch(
+        self, new_terms: Sequence[TermRecord], ops: Sequence[DurableOp]
+    ) -> None:
+        self._check_writable()
+        terms_start = self._terms_log.size
+        wal_start = self._wal.size
+        try:
+            if new_terms:
+                append = self._terms_log.append
+                for kind, value in new_terms:
+                    append(kind.encode("ascii") + value.encode("utf-8"))
+                self._sync(self._terms_log)
+            if ops:
+                i, n = 0, len(ops)
+                while i < n:
+                    op, graph, _ = ops[i]
+                    if op == "clear":
+                        self._wal.append(b"X")
+                        i += 1
+                        continue
+                    if op == "drop":
+                        name = graph.encode("utf-8")
+                        self._wal.append(b"D" + _U32.pack(len(name)) + name)
+                        i += 1
+                        continue
+                    j = i
+                    rows = []
+                    while j < n and ops[j][0] == op and ops[j][1] == graph:
+                        rows.append(ops[j][2])
+                        j += 1
+                    self._wal.append(
+                        _encode_ops_record(op, graph, sorted(set(rows)))
+                    )
+                    i = j
+                self._wal.append(b"C" + _U64.pack(self._seq))
+                self._sync(self._wal)
+                self._seq += 1
+        except BaseException:
+            self._repair(terms_start, wal_start)
+            raise
+
+    def _sync(self, log: RecordLog) -> None:
+        if self.fsync:
+            log.sync()
+        else:
+            log._f.flush()
+
+    def _repair(self, terms_start: int, wal_start: int) -> None:
+        """Cut a failed batch's partial records back off the logs."""
+        try:
+            self._terms_log.truncate_to(terms_start)
+            self._wal.truncate_to(wal_start)
+            self._count("wal.repaired_commits")
+        except OSError as err:
+            self._poisoned = f"tail repair failed: {err}"
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def should_checkpoint(self) -> bool:
+        return (
+            self._wal is not None
+            and self._poisoned is None
+            and self._wal.size >= self.wal_checkpoint_bytes
+        )
+
+    def checkpoint(self, graphs_rows: Dict[str, List]) -> None:
+        """Fold *graphs_rows* (the committed state) into a new generation."""
+        self._check_writable()
+        from .segments import write_segment
+
+        gen = self._generation + 1
+        seg_dirname = f"segments-{gen}"
+        wal_name = f"wal-{gen}.log"
+        seg_dir = self.path / seg_dirname
+        new_wal: Optional[RecordLog] = None
+        try:
+            seg_dir.mkdir(exist_ok=True)
+            entries = []
+            for i, name in enumerate(sorted(graphs_rows)):
+                rows = graphs_rows[name]
+                entry = {"name": name, "base": f"{seg_dirname}/g{i:04d}"}
+                if rows:
+                    entry.update(write_segment(self.path / entry["base"], rows))
+                else:
+                    entry["rows"] = 0
+                entries.append(entry)
+            fsync_dir(seg_dir)
+            # The new WAL must exist (and be durable) before the
+            # manifest that names it is committed.
+            new_wal = RecordLog(
+                self.path / wal_name,
+                0,
+                0,
+                name="wal",
+                counter_prefix="wal",
+                count=self._count,
+            )
+            fsync_dir(self.path)
+            manifest = {
+                "format": 1,
+                "generation": gen,
+                "next_seq": self._seq,
+                "wal": wal_name,
+                "graphs": entries,
+            }
+            self._write_manifest(manifest)
+        except BaseException:
+            # The old generation is still the manifest's; remove the
+            # half-built one and keep serving.
+            if new_wal is not None:
+                new_wal.close()
+            try:
+                (self.path / wal_name).unlink(missing_ok=True)
+            except OSError:
+                pass
+            shutil.rmtree(seg_dir, ignore_errors=True)
+            raise
+        old_wal, self._wal = self._wal, new_wal
+        old_manifest, self._manifest = self._manifest, manifest
+        self._generation = gen
+        old_wal.close()
+        try:
+            (self.path / old_manifest["wal"]).unlink(missing_ok=True)
+        except OSError:
+            pass
+        for base_dir in {
+            e["base"].split("/", 1)[0] for e in old_manifest["graphs"]
+        }:
+            if base_dir != seg_dirname:
+                shutil.rmtree(self.path / base_dir, ignore_errors=True)
+        self._count("durable.checkpoints")
+
+    # -- introspection / lifecycle -----------------------------------------
+
+    def sync_points(self) -> Dict[str, int]:
+        """{file name: durable byte count} — the crash-simulation hook.
+
+        A power loss preserves each log only up to its last fsync; the
+        crash–reopen tests copy the directory truncating (or tearing)
+        each log at these offsets to reproduce exactly that state.
+        """
+        out: Dict[str, int] = {}
+        if self._terms_log is not None:
+            out[TERMS_LOG_NAME] = self._terms_log.synced_bytes
+        if self._wal is not None and self._manifest is not None:
+            out[self._manifest["wal"]] = self._wal.synced_bytes
+        return out
+
+    def info(self) -> Dict[str, object]:
+        """Operator-facing summary for ``repro open``."""
+        return {
+            "path": str(self.path),
+            "generation": self._generation,
+            "wal_file": self._manifest["wal"] if self._manifest else None,
+            "wal_bytes": self._wal.size if self._wal else 0,
+            "terms_log_bytes": self._terms_log.size if self._terms_log else 0,
+            "next_seq": self._seq,
+            "poisoned": self._poisoned,
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+        if self._terms_log is not None:
+            self._terms_log.close()
+
+    def __repr__(self) -> str:
+        return f"DurableBackend({str(self.path)!r}, gen={self._generation})"

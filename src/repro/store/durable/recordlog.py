@@ -1,0 +1,197 @@
+"""Length-prefixed, CRC-checksummed append-only record logs.
+
+Both durable logs — the write-ahead log of committed batches and the
+term-dictionary string-pool log — share one file format:
+
+.. code-block:: text
+
+    file   := MAGIC record*
+    MAGIC  := b"RPRLOG1\\n"                       (8 bytes)
+    record := len:u32le  crc:u32le  payload       (crc = crc32(payload))
+
+The framing makes torn tails *detectable*: a crash can leave a short
+final record (length header promises more bytes than exist) or a
+corrupt one (CRC mismatch), and :func:`scan_records` stops at the
+first such record, reporting the byte offset of the last intact one so
+the caller can truncate the tail away.  What the intact records *mean*
+— which are committed, which are an abandoned batch — is the caller's
+semantics (:mod:`repro.store.durable.backend`), not the log's.
+
+Fsync discipline: :meth:`RecordLog.append` only buffers;
+:meth:`RecordLog.sync` flushes and ``os.fsync``\\ s, advancing
+:attr:`RecordLog.synced_bytes` — the prefix guaranteed to survive a
+crash.  The crash–reopen tests simulate power loss by copying the
+store directory with each log truncated to (or torn just past) its
+synced prefix.
+
+Fault sites (:data:`repro.robustness.faultinject.FAULTS`):
+``durable.<name>.post_write`` fires after a record's bytes are
+buffered, ``durable.<name>.pre_fsync`` after the flush but before the
+fsync — the two windows where acknowledged-but-volatile data can be
+lost.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Callable, List, Tuple
+
+from ...robustness.faultinject import FAULTS
+
+__all__ = ["MAGIC", "RecordLog", "scan_records", "frame_record"]
+
+#: File-format magic, 8 bytes, shared by both logs.
+MAGIC = b"RPRLOG1\n"
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+
+def _noop_count(name: str, amount: int = 1) -> None:
+    pass
+
+
+def frame_record(payload: bytes) -> bytes:
+    """One framed record: length + CRC header followed by the payload."""
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_records(path) -> Tuple[List[bytes], int, int]:
+    """Scan a record log, stopping at the first torn/corrupt record.
+
+    Returns ``(payloads, valid_end, file_size)``: the intact payloads
+    in order, the byte offset just past the last intact record (the
+    truncation point for tail repair), and the current file size.  A
+    missing, empty, or header-torn file yields ``([], 0, size)`` — the
+    caller recreates the header.
+    """
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except FileNotFoundError:
+        return [], 0, 0
+    size = len(data)
+    if size < len(MAGIC) or data[: len(MAGIC)] != MAGIC:
+        return [], 0, size
+    payloads: List[bytes] = []
+    off = len(MAGIC)
+    header = _FRAME.size
+    while off + header <= size:
+        length, crc = _FRAME.unpack_from(data, off)
+        end = off + header + length
+        if end > size:
+            break  # short payload: torn tail
+        payload = data[off + header : end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt record: stop, truncate here
+        payloads.append(payload)
+        off = end
+    return payloads, off, size
+
+
+def fsync_dir(directory) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class RecordLog:
+    """An append handle over one recovered (tail-repaired) record log.
+
+    The caller runs :func:`scan_records` first and passes the
+    truncation point; the constructor repairs the tail (``ftruncate``)
+    before appending resumes, so a torn record can never end up in the
+    *middle* of the log.
+    """
+
+    __slots__ = (
+        "path",
+        "name",
+        "_f",
+        "_size",
+        "synced_bytes",
+        "_count",
+        "_counter_prefix",
+    )
+
+    def __init__(
+        self,
+        path,
+        valid_end: int,
+        file_size: int,
+        name: str = "wal",
+        counter_prefix: str = "wal",
+        count: Callable[..., None] = _noop_count,
+    ):
+        self.path = os.fspath(path)
+        self.name = name
+        self._count = count
+        self._counter_prefix = counter_prefix
+        created = valid_end == 0
+        # 'ab' keeps every write at EOF even after an ftruncate repair.
+        self._f = open(self.path, "ab")
+        if file_size > valid_end or (created and file_size > 0):
+            # Torn or header-less tail left by a crash: cut it off
+            # before anything is appended after it.
+            os.ftruncate(self._f.fileno(), valid_end)
+        if created:
+            self._f.write(MAGIC)
+            self._f.flush()
+            os.fsync(self._f.fileno())
+            self._size = len(MAGIC)
+        else:
+            self._size = valid_end
+        #: Bytes guaranteed durable (advanced by :meth:`sync`).
+        self.synced_bytes = self._size
+
+    @property
+    def size(self) -> int:
+        """Current log size in bytes (including unsynced appends)."""
+        return self._size
+
+    def append(self, payload: bytes) -> None:
+        """Buffer one framed record (durable only after :meth:`sync`)."""
+        rec = frame_record(payload)
+        self._f.write(rec)
+        self._size += len(rec)
+        self._count(f"{self._counter_prefix}.appends")
+        if FAULTS.enabled:
+            FAULTS.hit(f"durable.{self.name}.post_write")
+
+    def sync(self) -> None:
+        """Flush and fsync; everything appended so far becomes durable."""
+        self._f.flush()
+        if FAULTS.enabled:
+            FAULTS.hit(f"durable.{self.name}.pre_fsync")
+        os.fsync(self._f.fileno())
+        self.synced_bytes = self._size
+        self._count(f"{self._counter_prefix}.fsyncs")
+
+    def truncate_to(self, offset: int) -> None:
+        """Tail repair after a failed commit: drop bytes past *offset*."""
+        self._f.flush()
+        os.ftruncate(self._f.fileno(), offset)
+        self._size = offset
+        if self.synced_bytes > offset:
+            self.synced_bytes = offset
+
+    def close(self) -> None:
+        try:
+            self._f.close()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordLog({self.path!r}, {self._size} bytes, "
+            f"{self.synced_bytes} synced)"
+        )

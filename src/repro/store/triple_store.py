@@ -48,7 +48,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..core.graph import RDFGraph
 from ..core.interning import BNODE_BASE, LITERAL_BASE, Row, TermDict
-from ..core.terms import BNode, Term, Triple
+from ..core.terms import BNode, Literal, Term, Triple, URI
 from ..datalog.engine import (
     FactStore,
     evaluate_program,
@@ -62,12 +62,20 @@ from ..obs.metrics import MetricsRegistry
 from ..query.tableau import Query
 from ..robustness.faultinject import FAULTS
 from ..semantics.entailment import entails as graph_entails
+from .backend import (
+    DEFAULT_GRAPH,
+    BackendState,
+    DurableOp,
+    MemoryBackend,
+    StorageBackend,
+)
 from .dataset_cache import DatasetCache
 
-__all__ = ["TripleStore", "TransactionError", "MaintenanceStats"]
+__all__ = ["TripleStore", "TransactionError", "MaintenanceStats", "DEFAULT_GRAPH"]
 
-#: Default graph name.
-DEFAULT_GRAPH = "default"
+#: ``(kind byte in the term-pool log) -> term constructor`` for backend
+#: state replay.
+_TERM_CTOR = {"U": URI, "B": BNode, "L": Literal}
 
 #: Environment switch: cross-check every incremental maintenance step
 #: against a from-scratch fixpoint (slow; for tests and debugging).
@@ -133,9 +141,21 @@ class TripleStore:
         with store.transaction():
             store.add(triple("frida", TYPE, "painter"))
         assert store.entails(triple("frida", TYPE, "artist"))
+
+    Durability is delegated to a pluggable
+    :class:`~repro.store.backend.StorageBackend`.  The default is the
+    ephemeral :class:`~repro.store.backend.MemoryBackend` (identical to
+    the historical behaviour); :meth:`TripleStore.open` attaches the
+    WAL-backed :class:`~repro.store.durable.DurableBackend` so every
+    commit point survives a crash::
+
+        store = TripleStore.open("/data/my-store")
+        store.add(triple("frida", TYPE, "painter"))   # durable
+        store.close()
+        store = TripleStore.open("/data/my-store")    # recovered
     """
 
-    def __init__(self):
+    def __init__(self, backend: Optional[StorageBackend] = None):
         self._graphs: Dict[str, Set[Triple]] = {DEFAULT_GRAPH: set()}
         #: The store-wide term dictionary: every term interned exactly
         #: once, shared by the dataset cache and the closure machinery
@@ -177,6 +197,43 @@ class TripleStore:
         #: incremental insert deltas, incremental DRed deletions, or
         #: from-scratch recomputations (exposed for the benchmarks).
         self.stats = MaintenanceStats(self.metrics)
+        #: The durability channel.  ``_durable`` is the one attribute
+        #: the write paths test (same idiom as ``OBS``/``FAULTS``), so
+        #: the in-memory store pays nothing for the split.
+        self._backend = backend if backend is not None else MemoryBackend()
+        self._durable = bool(self._backend.durable)
+        #: Graph-level operations since the last durable commit point
+        #: (auto-commit or transaction commit).
+        self._durable_ops: List[DurableOp] = []
+        self._backend.bind_counter(self._count)
+        if self._durable:
+            state = self._backend.load()
+            if state is not None:
+                self._replay_backend(state)
+        #: Term-pool high-water marks at the last durable commit; the
+        #: diff is each batch's ``new_terms``.
+        self._term_marks = self._terms.pool_sizes()
+
+    def _replay_backend(self, state: BackendState) -> None:
+        """Rebuild the in-memory structures from recovered backend state.
+
+        The term pools are replayed in their original interning order,
+        so every recovered row decodes under exactly the IDs it was
+        written with (vocabulary seeding happened in ``__init__``, as
+        it did in the original process).
+        """
+        encode = self._terms.encode
+        for kind, value in state.terms:
+            encode(_TERM_CTOR[kind](value))
+        for name, rows in state.graphs.items():
+            target = self._graphs.setdefault(name, set())
+            if not rows:
+                continue
+            triples = self._terms.decode_rows(rows)
+            target.update(triples)
+            dataset_add = self._dataset.add
+            for t in triples:
+                dataset_add(t)
 
     def _count(self, name: str, amount: int = 1) -> None:
         """Bump a cold-path counter here and (if on) in the global registry."""
@@ -258,6 +315,7 @@ class TripleStore:
         triples = self._graphs.setdefault(graph, set())
         if t in triples:
             return False
+        ops_len = len(self._durable_ops) if self._durable else 0
         try:
             triples.add(t)
             if self._in_transaction:
@@ -267,6 +325,12 @@ class TripleStore:
             row = self._dataset.add(t)
             if row is not None:
                 self._buffer_change(row, added=True)
+            if self._durable:
+                self._durable_ops.append(
+                    ("add", graph, self._terms.lookup_triple(t))
+                )
+                if not self._in_transaction:
+                    self._persist_ops()
         except BaseException:
             triples.discard(t)
             if (
@@ -275,10 +339,13 @@ class TripleStore:
                 and self._txn_log[-1] == ("add", graph, t)
             ):
                 self._txn_log.pop()
+            if self._durable:
+                del self._durable_ops[ops_len:]
             self._recover()
             raise
         if not self._in_transaction:
             self._flush_delta()
+            self._maybe_checkpoint()
         return True
 
     def add_all(self, triples: Iterable[Triple], graph: str = DEFAULT_GRAPH) -> int:
@@ -294,6 +361,7 @@ class TripleStore:
         target = self._graphs.setdefault(graph, set())
         applied: List[Triple] = []
         logged = 0
+        ops_len = len(self._durable_ops) if self._durable else 0
         try:
             for t in triples:
                 if not isinstance(t, Triple):
@@ -312,15 +380,24 @@ class TripleStore:
                     row = self._dataset.add(t)
                     if row is not None:
                         self._buffer_change(row, added=True)
+                    if self._durable:
+                        self._durable_ops.append(
+                            ("add", graph, self._terms.lookup_triple(t))
+                        )
+            if self._durable and not self._in_transaction:
+                self._persist_ops()
         except BaseException:
             for t in applied:
                 target.discard(t)
             if logged:
                 del self._txn_log[-logged:]
+            if self._durable:
+                del self._durable_ops[ops_len:]
             self._recover()
             raise
         if not self._in_transaction:
             self._flush_delta()
+            self._maybe_checkpoint()
         return new
 
     def bulk_load(
@@ -367,6 +444,7 @@ class TripleStore:
         triples = self._graphs.get(graph, set())
         if t not in triples:
             return False
+        ops_len = len(self._durable_ops) if self._durable else 0
         try:
             triples.remove(t)
             if self._in_transaction:
@@ -376,6 +454,12 @@ class TripleStore:
             row = self._dataset.discard(t)
             if row is not None:
                 self._buffer_change(row, added=False)
+            if self._durable:
+                self._durable_ops.append(
+                    ("del", graph, self._terms.lookup_triple(t))
+                )
+                if not self._in_transaction:
+                    self._persist_ops()
         except BaseException:
             triples.add(t)
             if (
@@ -384,10 +468,13 @@ class TripleStore:
                 and self._txn_log[-1] == ("remove", graph, t)
             ):
                 self._txn_log.pop()
+            if self._durable:
+                del self._durable_ops[ops_len:]
             self._recover()
             raise
         if not self._in_transaction:
             self._flush_delta()
+            self._maybe_checkpoint()
         return True
 
     def clear(self, graph: Optional[str] = None) -> None:
@@ -399,18 +486,31 @@ class TripleStore:
         """
         if self._in_transaction:
             raise TransactionError("clear() is not allowed inside a transaction")
+        ops_len = len(self._durable_ops) if self._durable else 0
         if graph is None:
+            old_graphs = self._graphs
             self._graphs = {DEFAULT_GRAPH: set()}
             # The shared term dictionary survives a clear: IDs are
             # append-only, and re-adding the same terms must reuse them.
             self._dataset = DatasetCache(terms=self._terms)
             self._pending_adds = set()
             self._pending_removes = set()
+            if self._durable:
+                self._durable_ops.append(("clear", "", None))
+                try:
+                    self._persist_ops()
+                except BaseException:
+                    self._graphs = old_graphs
+                    del self._durable_ops[ops_len:]
+                    self._recover()
+                    raise
             self._invalidate_closure()
             return
         dropped = self._graphs.pop(graph, None)
-        if not dropped:
+        if dropped is None:
             return
+        # An existing-but-empty graph still flows through: its *name*
+        # was just removed, and that removal must be persisted too.
         try:
             for t in dropped:
                 if FAULTS.enabled:
@@ -418,11 +518,20 @@ class TripleStore:
                 row = self._dataset.discard(t)
                 if row is not None:
                     self._buffer_change(row, added=False)
+            if self._durable:
+                # One graph-drop record, not |G| deletes: replay must
+                # also forget the graph *name*, exactly like the pop
+                # above.
+                self._durable_ops.append(("drop", graph, None))
+                self._persist_ops()
         except BaseException:
             self._graphs[graph] = dropped
+            if self._durable:
+                del self._durable_ops[ops_len:]
             self._recover()
             raise
         self._flush_delta()
+        self._maybe_checkpoint()
 
     # ------------------------------------------------------------------
     # Transactions
@@ -442,18 +551,36 @@ class TripleStore:
         is closed the commit cannot half-apply — a failure during the
         maintenance flush drops only the *derived* closure (recomputed
         lazily from scratch); the committed data survives intact.
+
+        On a durable backend the whole transaction is one WAL batch,
+        written and fsynced *before* the transaction state closes: if
+        the backend cannot commit it (I/O failure, injected fault), the
+        on-disk tail is repaired, the transaction is rolled back in
+        memory, and the error propagates — all-or-nothing on disk and
+        in memory alike.
         """
         if not self._in_transaction:
             raise TransactionError("no transaction in progress")
+        if self._durable:
+            try:
+                self._persist_ops()
+            except BaseException:
+                self.rollback()
+                raise
         self._in_transaction = False
         self._txn_log = []
         if FAULTS.enabled:
             FAULTS.hit("store.commit")
         self._flush_delta()
+        self._maybe_checkpoint()
 
     def rollback(self) -> None:
         if not self._in_transaction:
             raise TransactionError("no transaction in progress")
+        if self._durable:
+            # Nothing in this transaction reached the backend (batches
+            # are written only at commit), so undoing is memory-only.
+            self._durable_ops = []
         entries = list(reversed(self._txn_log))
         self._in_transaction = False
         self._txn_log = []
@@ -493,6 +620,32 @@ class TripleStore:
     # ------------------------------------------------------------------
     # Closure maintenance
     # ------------------------------------------------------------------
+
+    def _persist_ops(self) -> None:
+        """Send the buffered graph operations to the durable backend.
+
+        One atomic backend batch per commit point: the term-pool
+        records interned since the last batch plus the ordered ops.
+        On success the buffer is consumed and the term marks advance;
+        on failure both are left for the caller's exception handler
+        (the write paths drop their own ops, :meth:`commit` rolls the
+        transaction back).
+        """
+        new_terms = self._terms.pool_records_since(self._term_marks)
+        if not self._durable_ops and not new_terms:
+            return
+        self._backend.commit_batch(new_terms, self._durable_ops)
+        self._durable_ops = []
+        self._term_marks = self._terms.pool_sizes()
+
+    def _maybe_checkpoint(self) -> None:
+        """Fold the WAL into segments when the backend asks for it."""
+        if (
+            self._durable
+            and not self._in_transaction
+            and self._backend.should_checkpoint()
+        ):
+            self.checkpoint()
 
     def _buffer_change(self, row: Row, added: bool) -> None:
         """Record a net dataset-level change awaiting closure maintenance."""
@@ -869,6 +1022,62 @@ class TripleStore:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path, **backend_opts) -> "TripleStore":
+        """Open (or create) a durable store directory.
+
+        Attaches a :class:`~repro.store.durable.DurableBackend` at
+        *path* and recovers its committed state: replayed term pools
+        (IDs bit-identical to the writing process), checkpoint
+        segments, and every WAL batch whose commit record survived.
+        Keyword options are forwarded to the backend
+        (``wal_checkpoint_bytes``, ``fsync``).
+        """
+        from .durable import DurableBackend
+
+        return cls(backend=DurableBackend(path, **backend_opts))
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The attached storage backend (memory by default)."""
+        return self._backend
+
+    @property
+    def durable(self) -> bool:
+        """True when writes are persisted through a durable backend."""
+        return self._durable
+
+    def checkpoint(self) -> None:
+        """Compact the durable log into segment files (no-op in memory).
+
+        Writes every graph's committed rows as a new segment
+        generation, swaps the manifest atomically, and starts a fresh
+        WAL.  Runs automatically when the WAL outgrows the backend's
+        threshold; callable explicitly before :meth:`close` to make
+        reopening cheapest.
+        """
+        if not self._durable:
+            return
+        if self._in_transaction:
+            raise TransactionError(
+                "checkpoint() is not allowed inside a transaction"
+            )
+        lookup = self._terms.lookup_triple
+        graphs_rows = {
+            name: sorted(lookup(t) for t in triples)
+            for name, triples in self._graphs.items()
+        }
+        self._backend.checkpoint(graphs_rows)
+
+    def close(self) -> None:
+        """Release the backend's file handles.
+
+        Committed data is already durable (every commit point is
+        fsynced), so closing without a final :meth:`checkpoint` loses
+        nothing — reopening just replays more WAL.
+        """
+        self._backend.close()
 
     def save(self, directory) -> None:
         """Serialize every named graph as ``<name>.nt`` under *directory*."""

@@ -350,7 +350,20 @@ _SCENARIOS = {
 def test_every_site_has_a_scenario_or_its_own_test():
     # closure.round lives in the staged-closure kernel (rdfs_closure),
     # not on the store write path; it has a dedicated test below.
-    assert set(_SCENARIOS) | {"closure.round"} == set(SITES)
+    # The durable.* I/O sites and ingest.spill.write are exercised by
+    # the crash–reopen suite in test_durability.py and the spill
+    # cleanup test in test_ingest.py / test_durability.py.
+    own_tests = {
+        "closure.round",
+        "durable.wal.post_write",
+        "durable.wal.pre_fsync",
+        "durable.terms.post_write",
+        "durable.terms.pre_fsync",
+        "durable.checkpoint.mid_compaction",
+        "durable.checkpoint.pre_rename",
+        "ingest.spill.write",
+    }
+    assert set(_SCENARIOS) | own_tests == set(SITES)
 
 
 def _replay_references(setup, op):
